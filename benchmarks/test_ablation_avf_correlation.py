@@ -1,0 +1,55 @@
+"""Ablation: analytic occupancy (AVF proxy) vs measured vulnerability.
+
+Paper Section 3.3 notes its injection results "corroborate" Mukherjee et
+al.'s analytic AVF methodology.  This benchmark performs the comparison
+directly: per-structure average occupancy over fault-free execution
+against the measured failure rate of faults injected into that
+structure.  Expected shape: a positive rank correlation -- fuller
+structures fail more.
+"""
+
+from conftest import run_once
+
+from repro.analysis.avf import estimate_avf, measured_structure_rates
+from repro.analysis.stats import least_squares
+from repro.uarch.core import Pipeline
+from repro.utils.tables import format_table
+from repro.workloads import get_workload
+
+
+def test_avf_proxy_vs_measured(benchmark, campaign_latch_ram):
+    def compute():
+        # Average the occupancy proxy across three contrasting kernels.
+        totals = {}
+        for name in ("gzip", "mcf", "gcc"):
+            pipeline = Pipeline(get_workload(name, scale="small").program)
+            pipeline.run(1500)
+            estimate = estimate_avf(pipeline, 1500)
+            for structure, value in estimate.occupancy.items():
+                totals.setdefault(structure, []).append(value)
+        proxy = {s: sum(v) / len(v) for s, v in totals.items()}
+        measured = measured_structure_rates(campaign_latch_ram.trials)
+        return proxy, measured
+
+    proxy, measured = run_once(benchmark, compute)
+
+    rows = []
+    points = []
+    for structure in sorted(proxy):
+        rate, n = measured.get(structure, (None, 0))
+        rows.append([structure, proxy[structure],
+                     100 * rate if rate is not None else "-", n])
+        if rate is not None and n >= 15:
+            points.append((proxy[structure], rate))
+    print()
+    print(format_table(
+        ["structure", "occupancy proxy", "measured fail%", "trials"],
+        rows, title="AVF-proxy occupancy vs measured vulnerability"))
+
+    from conftest import SHAPE_ASSERTS
+    if not SHAPE_ASSERTS or len(points) < 3:
+        return
+    slope, _intercept, r = least_squares(points)
+    print("fit: fail%% = %.1f * occupancy + c   (r=%.2f)"
+          % (100 * slope, r))
+    assert slope > 0, "occupancy does not track vulnerability"

@@ -1,0 +1,88 @@
+"""Ablation: sensitivity to the single-bit fault model (paper Section 6).
+
+The paper's results rest on the single-bit-flip model and it flags this
+as a threat to validity.  This ablation measures how the masking rate
+degrades when 2 or 4 bits are corrupted simultaneously -- the shape
+matters for extrapolating to multi-bit upsets in smaller geometries.
+Expected: masking decreases monotonically with the number of flips, but
+far less than linearly (independent faults often land in independently
+dead state).
+"""
+
+from conftest import SCALE, run_once
+
+from repro.inject.golden import record_golden, workload_page_sets
+from repro.inject.outcome import TrialOutcome
+from repro.inject.trial import run_trial
+from repro.uarch.config import PipelineConfig
+from repro.uarch.core import Pipeline
+from repro.uarch.statelib import StorageKind
+from repro.utils.rng import SplitRng
+from repro.utils.tables import format_table
+from repro.workloads import get_workload
+
+KINDS = frozenset({StorageKind.LATCH, StorageKind.RAM})
+HORIZON = 800
+TRIALS = 20 if SCALE == "quick" else 60
+
+
+def run_multibit_trial(pipeline, checkpoint, golden, rng, flips):
+    """Like run_trial, but injecting ``flips`` independent bit flips."""
+    # Pre-flip (flips - 1) bits, then delegate the last flip + the
+    # monitoring loop to run_trial.  restore() inside run_trial would
+    # undo our flips, so apply them through a wrapped rng trick instead:
+    # simplest correct approach is to replicate restore-inject here.
+    pipeline.restore(checkpoint)
+    pipeline.tlb_insn_pages = golden.insn_pages
+    pipeline.tlb_data_pages = golden.data_pages
+    extra = [pipeline.space.choose_bit(rng, KINDS)
+             for _ in range(flips - 1)]
+
+    class _ReplayRng:
+        """First randrange call: the final flip.  Also re-applies the
+        extra flips after run_trial's restore."""
+
+        def __init__(self):
+            self.value = rng.randrange(pipeline.eligible_bits(KINDS))
+
+        def randrange(self, _total):
+            for element_index, bit in extra:
+                pipeline.space.flip_bit(element_index, bit)
+            return self.value
+
+    return run_trial(pipeline, checkpoint, golden, _ReplayRng(), KINDS,
+                     "gzip", 0, horizon=HORIZON)
+
+
+def test_multibit_sensitivity(benchmark):
+    workload = get_workload("gzip", scale="tiny")
+    pages = workload_page_sets(workload.program)
+    pipeline = Pipeline(workload.program, PipelineConfig.paper())
+    pipeline.run(700)
+    checkpoint = pipeline.checkpoint()
+    golden = record_golden(pipeline, checkpoint, HORIZON, 300, *pages)
+
+    def measure():
+        rows = []
+        for flips in (1, 2, 4):
+            rng = SplitRng(1000 + flips)
+            benign = 0
+            for _ in range(TRIALS):
+                result = run_multibit_trial(pipeline, checkpoint, golden,
+                                            rng, flips)
+                benign += 1 if result.outcome.is_benign else 0
+            rows.append([flips, TRIALS, 100.0 * benign / TRIALS])
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print()
+    print(format_table(["simultaneous flips", "trials", "benign%"], rows,
+                       title="Fault-model ablation: multi-bit upsets"))
+
+    from conftest import SHAPE_ASSERTS
+    if not SHAPE_ASSERTS:
+        return
+    benign = {row[0]: row[2] for row in rows}
+    # Monotone (with sampling slack), and 4 flips still mostly benign.
+    assert benign[1] + 15 >= benign[2] >= benign[4] - 15
+    assert benign[4] >= 25.0

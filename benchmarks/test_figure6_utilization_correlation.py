@@ -1,0 +1,52 @@
+"""Figure 6: benign-fault rate vs valid in-flight instructions.
+
+The paper's scatter plot shows a clear negative least-mean-squares
+trend: the fuller the pipeline is of instructions that will eventually
+commit, the likelier a fault is to land in live state -- yet even near
+the 132-instruction capacity, ~70% of faults remain benign.
+"""
+
+from conftest import run_once
+
+from repro.analysis.aggregate import utilization_bins
+from repro.analysis.stats import least_squares
+from repro.utils.tables import format_table
+
+
+def test_figure6_utilization_vs_masking(benchmark, campaign_latch_ram):
+    trials = campaign_latch_ram.trials
+    points, raw = run_once(benchmark, lambda: utilization_bins(trials, 8))
+    slope, intercept, r = least_squares(
+        [(x, y) for x, y, _n in points])
+
+    print()
+    rows = [[centre, 100.0 * rate, n] for centre, rate, n in points]
+    print(format_table(
+        ["valid_inflight", "benign%", "trials"], rows,
+        title="Figure 6: benign rate vs valid instructions in flight"))
+    print("LMS trendline: benign%% = %.3f * occupancy + %.1f  (r=%.2f)"
+          % (100 * slope, 100 * intercept, r))
+    from repro.analysis.figures import scatter_plot
+    print()
+    print(scatter_plot(
+        [(x, y) for x, y, _n in points], width=56, height=14,
+        title="Figure 6 (scatter): benign rate vs occupancy",
+        x_label="valid instructions in flight", y_label="benign"))
+
+    from conftest import SHAPE_ASSERTS
+    if not SHAPE_ASSERTS:
+        return
+    # Negative correlation between occupancy and benign rate.
+    assert slope < 0, "no occupancy/vulnerability correlation"
+    assert r < -0.15, "correlation too weak: r=%.2f" % r
+
+    # Even the fullest-bin trials stay mostly benign (paper: ~70%).
+    fullest = max(points, key=lambda p: p[0])
+    if fullest[2] >= 10:
+        assert fullest[1] >= 0.45, (
+            "benign rate at full pipeline collapsed: %.2f" % fullest[1])
+
+    # And the emptiest bins approach full masking.
+    emptiest = min(points, key=lambda p: p[0])
+    if emptiest[2] >= 10:
+        assert emptiest[1] >= 0.75

@@ -1,0 +1,47 @@
+"""Figure 7: failure-mode breakdown per state category (latch+RAM).
+
+Paper shape: register-file inconsistencies dominate the failures, fed by
+the register file itself, the alias tables, the free lists and the
+pointer fields; deadlock (locked) is the second failure family, fed by
+ctrl/qctrl/robptr/valid corruption.
+"""
+
+from collections import Counter
+
+from conftest import run_once
+
+from repro.analysis.aggregate import (
+    failure_mode_totals,
+    failure_modes_by_category,
+)
+from repro.analysis.report import render_failure_modes
+from repro.inject.outcome import FailureMode
+
+
+def test_figure7_failure_mode_breakdown(benchmark, campaign_latch_ram):
+    trials = campaign_latch_ram.trials
+    table = run_once(benchmark, lambda: failure_modes_by_category(trials))
+    print()
+    print(render_failure_modes(
+        trials, "Figure 7: failure modes by state category (latch+RAM)"))
+
+    from conftest import SHAPE_ASSERTS
+    if not SHAPE_ASSERTS:
+        return
+    totals = failure_mode_totals(trials)
+    assert totals, "campaign produced no failures to break down"
+
+    # Register-file inconsistency is the dominant failure mode.
+    dominant = max(totals, key=totals.get)
+    assert dominant in (FailureMode.REGFILE, FailureMode.CTRL,
+                        FailureMode.ITLB), dominant
+    assert totals.get(FailureMode.REGFILE, 0) >= \
+        0.2 * sum(totals.values())
+
+    # regfile failures are fed by the register-state categories.
+    feeders = Counter()
+    for category, counts in table.items():
+        feeders[category] += counts.get(FailureMode.REGFILE, 0)
+    top_feeders = {c for c, _n in feeders.most_common(6)}
+    assert top_feeders & {"regfile", "archrat", "regptr", "specrat",
+                          "specfreelist", "archfreelist"}

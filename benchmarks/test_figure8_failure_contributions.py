@@ -1,0 +1,36 @@
+"""Figure 8: relative contribution of each state category to failures.
+
+The paper's pie chart: the register file, alias tables, free lists and
+register-pointer fields together account for the majority of all
+SDC+Terminated outcomes on the unprotected machine.
+"""
+
+from conftest import run_once
+
+from repro.analysis.aggregate import failure_contributions
+from repro.analysis.report import render_contributions
+
+REGISTER_STATE = {"regfile", "archrat", "specrat", "archfreelist",
+                  "specfreelist", "regptr"}
+
+
+def test_figure8_contributions(benchmark, campaign_latch_ram):
+    trials = campaign_latch_ram.trials
+    shares = run_once(benchmark, lambda: failure_contributions(trials))
+    print()
+    print(render_contributions(
+        trials,
+        "Figure 8: contribution of each category to SDC+Terminated"))
+
+    from conftest import SHAPE_ASSERTS
+    if not SHAPE_ASSERTS:
+        return
+    assert shares, "no failures to apportion"
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+    register_share = sum(shares.get(c, 0.0) for c in REGISTER_STATE)
+    print("register-state categories' combined share: %.1f%%"
+          % (100 * register_share))
+    # Paper: "a large fraction of the failures would be removed" by
+    # protecting these categories -- they carry a major share.
+    assert register_share >= 0.25

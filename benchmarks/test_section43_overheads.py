@@ -1,0 +1,67 @@
+"""Section 4.3: protection-mechanism storage overheads.
+
+Paper: the four mechanisms add 3061 bits to a ~45K-bit pipeline (~7%
+fault-rate surcharge), roughly two-thirds RAM-type storage.
+"""
+
+from conftest import run_once
+
+from repro.isa.assembler import assemble
+from repro.protect import protection_overhead_report
+from repro.uarch.config import PipelineConfig, ProtectionConfig
+from repro.uarch.core import Pipeline
+from repro.utils.tables import format_table
+
+
+def test_section43_overheads(benchmark):
+    pipeline = Pipeline(assemble("    halt"),
+                        PipelineConfig.paper(ProtectionConfig.full()))
+    report = run_once(benchmark, lambda: protection_overhead_report(pipeline))
+
+    print()
+    rows = [
+        ["baseline pipeline bits", report["baseline_bits"], "~45K"],
+        ["added bits (all mechanisms)", report["added_total_bits"], "3061"],
+        ["added latch bits", report["added_latch_bits"], "~1/3 of added"],
+        ["added RAM bits", report["added_ram_bits"], "~2/3 of added"],
+        ["timeout counter bits", report["timeout_counter_bits"], "~10"],
+        ["fault-rate surcharge", "%.1f%%"
+         % (100 * report["fault_rate_surcharge"]), "6-7%"],
+    ]
+    print(format_table(["metric", "ours", "paper"], rows,
+                       title="Section 4.3: protection overheads"))
+
+    assert 30_000 <= report["baseline_bits"] <= 55_000
+    assert 1500 <= report["added_total_bits"] <= 4000
+    assert report["ram_fraction_of_added"] >= 0.5
+    assert 0.03 <= report["fault_rate_surcharge"] <= 0.10
+    assert 5 <= report["timeout_counter_bits"] <= 12
+
+
+def test_section43_per_mechanism_breakdown(benchmark):
+    """Each mechanism's individual cost (regfile ECC = 640+gen bits,
+    regptr ECC = 4 bits/pointer, parity = 1 bit/insn word)."""
+    def measure():
+        base = Pipeline(assemble("    halt"),
+                        PipelineConfig.paper()).eligible_bits()
+        costs = {}
+        for name, protection in [
+            ("timeout", ProtectionConfig(timeout=True)),
+            ("regfile_ecc", ProtectionConfig(regfile_ecc=True)),
+            ("regptr_ecc", ProtectionConfig(regptr_ecc=True)),
+            ("insn_parity", ProtectionConfig(insn_parity=True)),
+        ]:
+            pipe = Pipeline(assemble("    halt"),
+                            PipelineConfig.paper(protection))
+            costs[name] = pipe.eligible_bits() - base
+        return costs
+
+    costs = run_once(benchmark, measure)
+    print()
+    print(format_table(["mechanism", "added bits"], sorted(costs.items()),
+                       title="Per-mechanism storage cost"))
+    assert costs["timeout"] <= 12
+    # 80 entries x 8 check bits + generation-port latches.
+    assert 640 <= costs["regfile_ecc"] <= 800
+    assert costs["regptr_ecc"] >= 1000
+    assert 50 <= costs["insn_parity"] <= 200

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Exploring the model: custom machine configurations and workloads.
+
+Shows the library as a research vehicle beyond the paper's experiments:
+
+* sweep a structural parameter (ROB size) and observe IPC;
+* compare the workload kernels' microarchitectural signatures;
+* write a custom assembly workload and measure its masking profile.
+
+Run:  python examples/custom_pipeline.py
+"""
+
+import dataclasses
+
+from repro.inject import Campaign, CampaignConfig
+from repro.isa import assemble
+from repro.uarch import Pipeline, PipelineConfig
+from repro.utils.tables import format_table
+from repro.workloads import get_workload
+
+
+def rob_size_sweep():
+    """IPC versus reorder-buffer size on the gzip kernel."""
+    rows = []
+    workload = get_workload("gzip", scale="tiny")
+    for rob in (16, 32, 64, 128):
+        config = dataclasses.replace(PipelineConfig.paper(),
+                                     rob_entries=rob)
+        pipeline = Pipeline(workload.program, config)
+        pipeline.run(6000)
+        rows.append([rob, pipeline.total_retired / pipeline.cycle_count])
+    print(format_table(["rob_entries", "ipc"], rows,
+                       title="ROB-size sweep (gzip kernel)"))
+
+
+def workload_signatures():
+    """Each kernel's IPC on the paper machine (cf. paper Section 3.1)."""
+    rows = []
+    for name in ("gzip", "bzip2", "crafty", "gcc", "mcf", "perlbmk"):
+        workload = get_workload(name, scale="tiny")
+        pipeline = Pipeline(workload.program)
+        pipeline.run(4000)  # skip init
+        start = pipeline.total_retired
+        pipeline.run(6000)
+        ipc = (pipeline.total_retired - start) / 6000.0
+        rows.append([name, ipc, workload.profile])
+    rows.sort(key=lambda row: -row[1])
+    print(format_table(["kernel", "steady ipc", "profile"], rows,
+                       title="Workload microarchitectural signatures"))
+
+
+CUSTOM_KERNEL = """
+    ; a deliberately serial kernel: one long dependency chain
+    li    s0, 100000
+    li    t0, 1
+chain:
+    mulq  t0, #3, t0
+    addq  t0, #1, t0
+    srl   t0, #1, t0
+    subq  s0, #1, s0
+    bgt   s0, chain
+    mov   t0, a0
+    putq
+    halt
+"""
+
+
+def custom_workload_masking():
+    """Masking profile of a user-written kernel (serial dependency chain:
+    the pipeline runs near-empty, so masking should be high)."""
+    import repro.workloads.registry as registry
+    from repro.inject.golden import record_golden
+    from repro.inject.trial import run_trial
+    from repro.uarch.statelib import StorageKind
+    from repro.utils.rng import SplitRng
+
+    program = assemble(CUSTOM_KERNEL)
+    pipeline = Pipeline(program)
+    pipeline.run(2000)
+    checkpoint = pipeline.checkpoint()
+    golden = record_golden(pipeline, checkpoint, horizon=800, margin=300,
+                           insn_pages={1}, data_pages=set())
+    golden.insn_pages = {0x1000 >> 12}
+
+    kinds = frozenset({StorageKind.LATCH, StorageKind.RAM})
+    outcomes = {}
+    for seed in range(60):
+        result = run_trial(pipeline, checkpoint, golden, SplitRng(seed),
+                           kinds, "custom", 0)
+        outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
+    rows = [[outcome.value, count] for outcome, count in outcomes.items()]
+    print(format_table(["outcome", "trials"], rows,
+                       title="Custom serial kernel: 60 injection trials"))
+    benign = sum(c for o, c in outcomes.items() if o.is_benign)
+    print("benign fraction: %.0f%% -- the pipeline is near-empty "
+          "(occupancy masking, paper Figure 6), but every in-flight "
+          "instruction feeds the serial chain, so the live minority "
+          "still fails" % (100 * benign / 60))
+
+
+if __name__ == "__main__":
+    rob_size_sweep()
+    print()
+    workload_signatures()
+    print()
+    custom_workload_masking()

@@ -1,0 +1,21 @@
+"""repro -- reproduction of Wang et al., DSN 2004.
+
+"Characterizing the Effects of Transient Faults on a High-Performance
+Processor Pipeline": single-bit-upset fault injection into a
+latch-accurate model of a deeply pipelined out-of-order processor,
+lightweight protection mechanisms, and software-level fault masking.
+
+Public API tour
+---------------
+* :mod:`repro.isa` -- Alpha-inspired ISA subset, assembler, semantics.
+* :mod:`repro.arch` -- functional (architectural) simulator.
+* :mod:`repro.uarch` -- the latch-accurate out-of-order pipeline model.
+* :mod:`repro.protect` -- the paper's four lightweight protection
+  mechanisms (timeout counter, regfile ECC, regptr ECC, insn parity).
+* :mod:`repro.inject` -- fault-injection campaigns, outcome taxonomy,
+  and the Section-5 software-level injector.
+* :mod:`repro.workloads` -- ten synthetic SPEC2000int-like kernels.
+* :mod:`repro.analysis` -- statistics and report rendering.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Statistics and aggregation for campaign results."""
+
+from repro.analysis.aggregate import (
+    failure_contributions,
+    failure_modes_by_category,
+    outcomes_by_category,
+    outcomes_by_workload,
+    utilization_bins,
+)
+from repro.analysis.avf import estimate_avf, measured_structure_rates
+from repro.analysis.figures import outcome_bars, scatter_plot
+from repro.analysis.stats import (
+    confidence_interval,
+    least_squares,
+    proportion_ci,
+)
+
+__all__ = [
+    "failure_contributions",
+    "failure_modes_by_category",
+    "outcomes_by_category",
+    "outcomes_by_workload",
+    "utilization_bins",
+    "confidence_interval",
+    "least_squares",
+    "proportion_ci",
+    "estimate_avf",
+    "measured_structure_rates",
+    "outcome_bars",
+    "scatter_plot",
+]

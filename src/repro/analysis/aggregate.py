@@ -1,0 +1,101 @@
+"""Aggregation of trial lists into the paper's figure/table shapes."""
+
+from collections import Counter, defaultdict
+
+from repro.inject.outcome import TrialOutcome
+
+# Canonical outcome order used by the figures (matches the paper's bar
+# stacking: failures at the bottom, masked at the top).
+OUTCOME_ORDER = (
+    TrialOutcome.SDC,
+    TrialOutcome.TERMINATED,
+    TrialOutcome.GRAY,
+    TrialOutcome.MICRO_MATCH,
+)
+
+
+def outcomes_by_workload(trials):
+    """Figure 3 rows: workload -> Counter(outcome)."""
+    table = defaultdict(Counter)
+    for trial in trials:
+        table[trial.workload][trial.outcome] += 1
+    return dict(table)
+
+
+def outcomes_by_category(trials):
+    """Figure 4/5/9 rows: state category -> Counter(outcome)."""
+    table = defaultdict(Counter)
+    for trial in trials:
+        table[trial.category][trial.outcome] += 1
+    return dict(table)
+
+
+def failure_modes_by_category(trials):
+    """Figure 7 rows: state category -> Counter(failure mode)."""
+    table = defaultdict(Counter)
+    for trial in trials:
+        if trial.failure_mode is not None:
+            table[trial.category][trial.failure_mode] += 1
+    return dict(table)
+
+
+def failure_contributions(trials):
+    """Figure 8/10 shares: category -> fraction of all failures."""
+    failures = Counter(
+        trial.category for trial in trials if trial.outcome.is_failure)
+    total = sum(failures.values())
+    if total == 0:
+        return {}
+    return {category: count / total for category, count in failures.items()}
+
+
+def failure_mode_totals(trials):
+    """Overall failure-mode mix (Table 2 / Section 4.1)."""
+    return Counter(trial.failure_mode for trial in trials
+                   if trial.failure_mode is not None)
+
+
+def utilization_bins(trials, bin_width=8):
+    """Figure 6 points: valid-instruction occupancy vs benign rate.
+
+    Returns a list of ``(occupancy_bin_centre, benign_rate, n_trials)``
+    plus the raw (occupancy, benign) pairs for the least-squares fit.
+    """
+    bins = defaultdict(lambda: [0, 0])  # centre -> [benign, total]
+    raw = []
+    for trial in trials:
+        centre = (trial.valid_inflight // bin_width) * bin_width \
+            + bin_width // 2
+        cell = bins[centre]
+        benign = 1 if trial.outcome.is_benign else 0
+        cell[0] += benign
+        cell[1] += 1
+        raw.append((trial.valid_inflight, benign))
+    points = [
+        (centre, benign / total, total)
+        for centre, (benign, total) in sorted(bins.items())
+        if total > 0
+    ]
+    return points, raw
+
+
+def masked_fraction(trials, include_gray=False):
+    """Fraction masked (μArch Match, optionally + Gray Area)."""
+    if not trials:
+        return 0.0
+    good = 0
+    for trial in trials:
+        if trial.outcome == TrialOutcome.MICRO_MATCH:
+            good += 1
+        elif include_gray and trial.outcome == TrialOutcome.GRAY:
+            good += 1
+    return good / len(trials)
+
+
+def failure_rate_per_bit(trials, eligible_bits):
+    """Failure probability normalised per eligible bit (Section 4.4's
+    fair comparison across machines with different state totals)."""
+    if not trials or not eligible_bits:
+        return 0.0
+    failures = sum(1 for t in trials if t.outcome.is_failure)
+    return failures / len(trials)

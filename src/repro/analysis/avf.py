@@ -1,0 +1,96 @@
+"""Occupancy-based vulnerability estimation (AVF proxy).
+
+Paper Section 3.3 relates its masking measurements to Mukherjee et
+al.'s Architectural Vulnerability Factor analysis [21]: a structure's
+vulnerability tracks how much of it holds live state.  This module
+computes the analytic side of that comparison -- per-structure average
+occupancy over a fault-free execution window -- so campaigns can check
+the correlation the paper reports (our Figure 6 benchmark measures the
+same effect trial-by-trial).
+
+The estimate is deliberately simple, as in the original ACE analysis:
+``AVF_proxy(structure) = mean fraction of valid entries``.  Structures
+holding architectural state (register file, RATs) are pinned near 1.0.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+# Structure name -> (element-name prefix used by injection results)
+STRUCTURES = {
+    "rob": "rob[",
+    "scheduler": "sched[",
+    "fetchq": "fetchq[",
+    "loadq": "lq[",
+    "storeq": "sq[",
+    "biq": "biq.",
+    "mhr": "mhr[",
+}
+
+
+@dataclass
+class AvfEstimate:
+    """Per-structure occupancy statistics over a sampled window."""
+
+    occupancy: Dict[str, float]
+    cycles: int
+
+    def proxy(self, structure):
+        return self.occupancy.get(structure, 0.0)
+
+
+def sample_occupancy(pipeline):
+    """Instantaneous valid-entry fraction of each major structure."""
+    def frac(entries):
+        if not entries:
+            return 0.0
+        return sum(1 for e in entries if e.valid.get()) / len(entries)
+
+    mem = pipeline.memunit
+    return {
+        "rob": pipeline.rob.count.get() / len(pipeline.rob.entries),
+        "scheduler": frac(pipeline.scheduler.entries),
+        "fetchq": min(1.0, pipeline.frontend.fq_count.get()
+                      / len(pipeline.frontend.fetchq)),
+        "loadq": min(1.0, mem.lq_count.get() / len(mem.lq)),
+        "storeq": min(1.0, mem.sq_count.get() / len(mem.sq)),
+        "biq": min(1.0, pipeline.frontend.biq.count.get()
+                   / pipeline.frontend.biq.capacity),
+        "mhr": frac(mem.mhr),
+    }
+
+
+def estimate_avf(pipeline, cycles, sample_every=4):
+    """Run the (fault-free) pipeline forward, averaging occupancy.
+
+    Mutates the pipeline (advances it ``cycles`` cycles); callers wanting
+    a clean machine should checkpoint/restore around the call.
+    """
+    totals = {name: 0.0 for name in STRUCTURES}
+    samples = 0
+    for cycle in range(cycles):
+        pipeline.cycle()
+        if pipeline.halted:
+            break
+        if cycle % sample_every == 0:
+            for name, value in sample_occupancy(pipeline).items():
+                totals[name] += value
+            samples += 1
+    if samples == 0:
+        return AvfEstimate(occupancy={}, cycles=0)
+    return AvfEstimate(
+        occupancy={name: total / samples for name, total in totals.items()},
+        cycles=cycles)
+
+
+def measured_structure_rates(trials):
+    """Measured failure rate of trials grouped by structure prefix."""
+    rates = {}
+    for name, prefix in STRUCTURES.items():
+        matching = [t for t in trials if t.element_name.startswith(prefix)]
+        if not matching:
+            continue
+        failures = sum(1 for t in matching if t.outcome.is_failure)
+        rates[name] = (failures / len(matching), len(matching))
+    return rates

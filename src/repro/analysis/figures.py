@@ -1,0 +1,112 @@
+"""Plain-text figure rendering: stacked bars and scatter plots.
+
+The paper's figures are stacked-bar charts (outcome mixes) and one
+scatter plot (Figure 6).  These renderers draw the same shapes in ASCII
+so benchmark output is visually comparable to the paper without any
+plotting dependency.
+"""
+
+_BAR_GLYPHS = {
+    "sdc": "#",
+    "terminated": "X",
+    "gray": ":",
+    "uarch_match": ".",
+    "exception": "#",
+    "state_ok": ".",
+    "output_ok": ":",
+    "output_bad": "X",
+}
+
+
+def stacked_bar_chart(table, series_order, width=50, title=None,
+                      glyphs=None):
+    """Render ``label -> {series: count}`` as horizontal stacked bars.
+
+    ``series_order`` fixes the stacking order (leftmost first).  Counts
+    are normalised per row; each row shows its total n.
+    """
+    glyphs = glyphs or _BAR_GLYPHS
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join("%s=%s" % (glyphs.get(str(s), "?"), s)
+                       for s in series_order)
+    lines.append("legend: " + legend)
+    label_width = max((len(str(label)) for label in table), default=5)
+    for label in sorted(table):
+        counts = table[label]
+        total = sum(counts.get(s, 0) for s in series_order)
+        if total == 0:
+            continue
+        bar = []
+        used = 0
+        for series in series_order:
+            share = counts.get(series, 0) / total
+            cells = int(round(share * width))
+            cells = min(cells, width - used)
+            bar.append(glyphs.get(str(series), "?") * cells)
+            used += cells
+        bar.append(" " * (width - used))
+        lines.append("%s |%s| n=%d"
+                     % (str(label).ljust(label_width), "".join(bar), total))
+    return "\n".join(lines)
+
+
+def scatter_plot(points, width=60, height=16, title=None,
+                 x_label="x", y_label="y"):
+    """Render ``(x, y)`` points as an ASCII scatter plot.
+
+    Multiple points in one cell render as ``*``; single points as ``o``.
+    Axes are annotated with min/max values.
+    """
+    points = [(float(x), float(y)) for x, y in points]
+    lines = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = (height - 1) - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*" if grid[row][col] != " " else "o"
+
+    top_label = "%.2f" % y_hi
+    bottom_label = "%.2f" % y_lo
+    margin = max(len(top_label), len(bottom_label), len(y_label) + 1)
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(margin)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif index == height // 2:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + " |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    lines.append(" " * margin + "  %-*s%s"
+                 % (width - len("%.0f" % x_hi), "%.0f" % x_lo,
+                    "%.0f" % x_hi))
+    lines.append(" " * margin + "  (%s)" % x_label)
+    return "\n".join(lines)
+
+
+def outcome_bars(trials, key, title=None):
+    """Stacked bars of trial outcomes grouped by ``key(trial)``."""
+    from collections import Counter, defaultdict
+
+    table = defaultdict(Counter)
+    for trial in trials:
+        table[key(trial)][trial.outcome.value] += 1
+    order = ["sdc", "terminated", "gray", "uarch_match"]
+    return stacked_bar_chart(dict(table), order, title=title)

@@ -1,0 +1,112 @@
+"""Rendering of campaign results as paper-style ASCII tables."""
+
+from repro.analysis.aggregate import (
+    OUTCOME_ORDER,
+    failure_contributions,
+    failure_modes_by_category,
+    outcomes_by_category,
+    outcomes_by_workload,
+)
+from repro.analysis.stats import confidence_interval
+from repro.inject.outcome import FailureMode
+from repro.utils.tables import format_table
+
+_OUTCOME_LABEL = {
+    "sdc": "SDC",
+    "terminated": "Term",
+    "gray": "Gray",
+    "uarch_match": "uArchMatch",
+}
+
+
+def render_outcomes(table, title, key_header):
+    """Render a mapping key -> Counter(outcome) as stacked percentages."""
+    headers = [key_header, "n"] + [
+        _OUTCOME_LABEL[o.value] + "%" for o in OUTCOME_ORDER] + ["ci95"]
+    rows = []
+    for key in sorted(table):
+        counts = table[key]
+        total = sum(counts.values())
+        row = [key, total]
+        for outcome in OUTCOME_ORDER:
+            row.append(100.0 * counts.get(outcome, 0) / total if total else 0)
+        failures = sum(counts.get(o, 0) for o in OUTCOME_ORDER[:2])
+        row.append(100.0 * confidence_interval(failures, total))
+        rows.append(row)
+    aggregate = _aggregate_row(table)
+    if aggregate:
+        rows.append(aggregate)
+    return format_table(headers, rows, title=title)
+
+
+def _aggregate_row(table):
+    total = 0
+    counts = {}
+    for cell in table.values():
+        for outcome, count in cell.items():
+            counts[outcome] = counts.get(outcome, 0) + count
+            total += count
+    if not total:
+        return None
+    row = ["AGGREGATE", total]
+    for outcome in OUTCOME_ORDER:
+        row.append(100.0 * counts.get(outcome, 0) / total)
+    failures = sum(counts.get(o, 0) for o in OUTCOME_ORDER[:2])
+    row.append(100.0 * confidence_interval(failures, total))
+    return row
+
+
+def render_workload_outcomes(trials, title):
+    """Figure 3-style table: outcome mix per benchmark."""
+    return render_outcomes(outcomes_by_workload(trials), title, "benchmark")
+
+
+def render_category_outcomes(trials, title):
+    """Figure 4/5/9-style table: outcome mix per state category."""
+    return render_outcomes(outcomes_by_category(trials), title, "category")
+
+
+def render_failure_modes(trials, title):
+    """Figure 7-style table: failure-mode counts per category."""
+    table = failure_modes_by_category(trials)
+    modes = list(FailureMode)
+    headers = ["category", "failures"] + [m.value for m in modes]
+    rows = []
+    for category in sorted(table):
+        counts = table[category]
+        total = sum(counts.values())
+        rows.append([category, total]
+                    + [counts.get(m, 0) for m in modes])
+    totals = ["TOTAL", sum(sum(c.values()) for c in table.values())]
+    for mode in modes:
+        totals.append(sum(c.get(mode, 0) for c in table.values()))
+    rows.append(totals)
+    return format_table(headers, rows, title=title)
+
+
+def render_contributions(trials, title):
+    """Figure 8/10-style table: each category's share of failures."""
+    shares = failure_contributions(trials)
+    headers = ["category", "share_of_failures%"]
+    rows = [[category, 100.0 * share]
+            for category, share in sorted(
+                shares.items(), key=lambda item: -item[1])]
+    return format_table(headers, rows, title=title)
+
+
+def render_inventory(inventory, title):
+    """Render a Table 1-style state inventory."""
+    from repro.uarch.statelib import StorageKind
+
+    headers = ["category", "latch_bits", "ram_bits"]
+    rows = []
+    total_latch = total_ram = 0
+    for category in sorted(inventory, key=lambda c: c.value):
+        cell = inventory[category]
+        latch = cell.get(StorageKind.LATCH, 0)
+        ram = cell.get(StorageKind.RAM, 0)
+        total_latch += latch
+        total_ram += ram
+        rows.append([category.value, latch, ram])
+    rows.append(["TOTAL", total_latch, total_ram])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,63 @@
+"""Statistical helpers: proportion confidence intervals, least squares.
+
+The paper quotes binomial confidence intervals for its trial counts
+(Section 2.3: <0.7% at 95% confidence for 25-30k trials; ~10% for the
+~100-trial qctrl cell) and fits a least-mean-squares trendline for the
+utilization/masking correlation (Figure 6).
+"""
+
+import math
+
+_Z95 = 1.959963984540054  # two-sided 95% normal quantile
+
+
+def proportion_ci(successes, trials, z=_Z95):
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(point, low, high)``.  Well-behaved at 0/1 proportions and
+    small n, unlike the normal approximation.
+    """
+    if trials == 0:
+        return 0.0, 0.0, 1.0
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(
+        p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return p, max(0.0, centre - half), min(1.0, centre + half)
+
+
+def confidence_interval(successes, trials, z=_Z95):
+    """Half-width of the normal-approximation interval (paper's metric)."""
+    if trials == 0:
+        return 1.0
+    p = successes / trials
+    return z * math.sqrt(p * (1 - p) / trials)
+
+
+def least_squares(points):
+    """Least-mean-squares line fit: returns ``(slope, intercept, r)``.
+
+    ``points`` is an iterable of (x, y).  ``r`` is the Pearson
+    correlation coefficient (0.0 when degenerate).
+    """
+    points = list(points)
+    n = len(points)
+    if n < 2:
+        return 0.0, points[0][1] if points else 0.0, 0.0
+    sum_x = sum(x for x, _ in points)
+    sum_y = sum(y for _, y in points)
+    sum_xx = sum(x * x for x, _ in points)
+    sum_yy = sum(y * y for _, y in points)
+    sum_xy = sum(x * y for x, y in points)
+    var_x = n * sum_xx - sum_x * sum_x
+    var_y = n * sum_yy - sum_y * sum_y
+    cov = n * sum_xy - sum_x * sum_y
+    if var_x <= 0:
+        return 0.0, sum_y / n, 0.0
+    slope = cov / var_x
+    intercept = (sum_y - slope * sum_x) / n
+    if var_y <= 0:  # <= guards float rounding when all y are equal
+        return slope, intercept, 0.0
+    r = cov / math.sqrt(var_x * var_y)
+    return slope, intercept, max(-1.0, min(1.0, r))

@@ -1,0 +1,19 @@
+"""Architectural layer: sparse memory, register state, functional simulator.
+
+The functional simulator plays the role SimpleScalar's ``sim-fast`` plays
+in the paper: the golden architectural reference for the pipeline model,
+and the substrate for the Section-5 software-level fault injections.
+"""
+
+from repro.arch.functional import FunctionalSimulator, SoftwareFault, StepInfo
+from repro.arch.memory import PAGE_SIZE, Memory
+from repro.arch.state import ArchState
+
+__all__ = [
+    "FunctionalSimulator",
+    "SoftwareFault",
+    "StepInfo",
+    "Memory",
+    "PAGE_SIZE",
+    "ArchState",
+]

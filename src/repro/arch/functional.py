@@ -1,0 +1,251 @@
+"""Instruction-at-a-time functional simulator.
+
+This fills the role of SimpleScalar's functional simulator in the paper
+(Section 5): it provides golden architectural executions and the
+substrate into which the six software-level fault models are injected.
+
+The simulator is deliberately forgiving of *injected* weirdness -- an
+instruction corrupted into an invalid encoding raises an architectural
+exception (halting the run with ``exception`` set), mirroring how real
+hardware traps, and never raises a Python error.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.memory import Memory, page_of
+from repro.arch.state import ArchState
+from repro.isa.encoding import decode
+from repro.isa.instruction import PAL_ARG_REG, Instruction
+from repro.isa.opcodes import Op, REG_ZERO
+from repro.isa.semantics import (
+    Exc,
+    check_alignment,
+    cond_taken,
+    effective_address,
+    operate,
+)
+from repro.utils.bits import MASK64, to_signed
+
+
+class SoftwareFaultKind(enum.Enum):
+    """The six software-level fault models of paper Section 5 / Figure 11."""
+
+    RESULT_BIT32 = "reg-bit-flip-32"  # (1) flip one of the low 32 result bits
+    RESULT_BIT64 = "reg-bit-flip-64"  # (2) flip one of all 64 result bits
+    RESULT_RANDOM = "reg-random-64"  # (3) replace result with 64 random bits
+    INSN_BIT = "insn-bit-flip"  # (4) flip one bit of the instruction word
+    TO_NOP = "insn-to-nop"  # (5) replace the instruction with a NOP
+    FLIP_BRANCH = "branch-flip"  # (6) force a conditional branch the other way
+
+
+@dataclass
+class SoftwareFault:
+    """A fault directive applied to exactly one dynamic instruction."""
+
+    kind: SoftwareFaultKind
+    bit: int = 0  # for the bit-flip models
+    random_value: int = 0  # for RESULT_RANDOM
+
+
+@dataclass
+class StepInfo:
+    """What one :meth:`FunctionalSimulator.step` did."""
+
+    pc: int
+    insn: Instruction
+    exception: Exc = Exc.NONE
+    halted: bool = False
+    syscall: bool = False  # an output PAL call (external communication)
+    branch_taken: Optional[bool] = None
+    dest: Optional[int] = None
+    result: Optional[int] = None
+    mem_write: Optional[tuple] = None  # (address, value, size)
+
+
+class FunctionalSimulator:
+    """Executes a :class:`~repro.isa.assembler.Program` architecturally."""
+
+    def __init__(self, program, track_pages=False):
+        self.program = program
+        memory = Memory(program.image, track_pages=track_pages)
+        self.state = ArchState(memory, pc=program.entry)
+        self.output = []
+        self.halted = False
+        self.exception = Exc.NONE
+        self.instret = 0  # retired dynamic instruction count
+        # Pages executed from; with track_pages also records data pages
+        # via the Memory object.
+        self.insn_pages = set()
+        self.track_pages = track_pages
+
+    # -- Convenience views -----------------------------------------------------
+
+    @property
+    def memory(self):
+        return self.state.memory
+
+    def output_text(self):
+        return "".join(self.output)
+
+    # -- Execution ---------------------------------------------------------------
+
+    def run(self, max_instructions):
+        """Run until HALT, an exception, or ``max_instructions`` retire.
+
+        Returns the number of instructions executed in this call.
+        """
+        executed = 0
+        while not self.halted and executed < max_instructions:
+            self.step()
+            executed += 1
+        return executed
+
+    def step(self, fault=None):
+        """Execute one instruction, optionally applying a software fault.
+
+        Returns a :class:`StepInfo` record.  After HALT or an exception the
+        simulator is ``halted`` and further steps are no-ops.
+        """
+        if self.halted:
+            return StepInfo(pc=self.state.pc, insn=Instruction(op=Op.HALT),
+                            halted=True)
+
+        state = self.state
+        pc = state.pc
+        if self.track_pages:
+            self.insn_pages.add(page_of(pc))
+
+        word = state.memory.fetch_word(pc)
+        if fault is not None and fault.kind == SoftwareFaultKind.INSN_BIT:
+            word ^= 1 << (fault.bit & 31)
+        insn = decode(word)
+        if fault is not None and fault.kind == SoftwareFaultKind.TO_NOP:
+            insn = Instruction(op=Op.BIS, ra=REG_ZERO, rb=REG_ZERO, rc=REG_ZERO)
+
+        info = self._execute(pc, insn, fault)
+        self.instret += 1
+        return info
+
+    # -- Internals ----------------------------------------------------------------
+
+    def _execute(self, pc, insn, fault):
+        state = self.state
+        op = insn.op
+        info = StepInfo(pc=pc, insn=insn)
+        next_pc = (pc + 4) & MASK64
+
+        if op == Op.INVALID:
+            return self._raise(info, Exc.INVALID_INSN)
+
+        if insn.is_pal:
+            if op == Op.HALT:
+                self.halted = True
+                info.halted = True
+                return info
+            if op == Op.PUTC:
+                self.output.append(chr(state.read_reg(PAL_ARG_REG) & 0xFF))
+                info.syscall = True
+            elif op == Op.PUTQ:
+                self.output.append(
+                    "%d\n" % to_signed(state.read_reg(PAL_ARG_REG))
+                )
+                info.syscall = True
+            state.pc = next_pc
+            return info
+
+        if insn.is_mem:
+            return self._execute_mem(info, insn, next_pc, fault)
+
+        if insn.is_control:
+            return self._execute_control(info, insn, pc, next_pc, fault)
+
+        if op in (Op.LDA, Op.LDAH):
+            base = state.read_reg(insn.rb)
+            scale = 65536 if op == Op.LDAH else 1
+            result = (base + insn.disp * scale) & MASK64
+            return self._writeback(info, insn.ra, result, next_pc, fault)
+
+        # Operate format.
+        a = state.read_reg(insn.ra)
+        b = insn.literal if insn.is_literal else state.read_reg(insn.rb)
+        result, exc = operate(op, a, b)
+        if exc != Exc.NONE:
+            return self._raise(info, exc)
+        return self._writeback(info, insn.rc, result, next_pc, fault)
+
+    def _execute_mem(self, info, insn, next_pc, fault):
+        state = self.state
+        size = 4 if insn.op in (Op.LDL, Op.STL) else 8
+        address = effective_address(state.read_reg(insn.rb), insn.disp)
+        exc = check_alignment(address, size)
+        if exc != Exc.NONE:
+            return self._raise(info, exc)
+
+        if insn.is_load:
+            if size == 4:
+                value = state.memory.load_long(address)
+            else:
+                value = state.memory.load_quad(address)
+            return self._writeback(info, insn.ra, value, next_pc, fault)
+
+        value = state.read_reg(insn.ra)
+        if size == 4:
+            state.memory.store_long(address, value)
+        else:
+            state.memory.store_quad(address, value)
+        info.mem_write = (address, value & MASK64, size)
+        state.pc = next_pc
+        return info
+
+    def _execute_control(self, info, insn, pc, next_pc, fault):
+        state = self.state
+        op = insn.op
+
+        if insn.is_jump:
+            target = state.read_reg(insn.rb) & ~3 & MASK64
+            if insn.ra != REG_ZERO:
+                self._apply_result(info, insn.ra, next_pc, fault)
+            state.pc = target
+            info.branch_taken = True
+            return info
+
+        taken = cond_taken(op, state.read_reg(insn.ra))
+        if (
+            fault is not None
+            and fault.kind == SoftwareFaultKind.FLIP_BRANCH
+            and insn.is_cond_branch
+        ):
+            taken = not taken
+        if op in (Op.BR, Op.BSR) and insn.ra != REG_ZERO:
+            self._apply_result(info, insn.ra, next_pc, fault)
+        state.pc = insn.branch_target(pc) if taken else next_pc
+        info.branch_taken = taken
+        return info
+
+    def _writeback(self, info, dest, result, next_pc, fault):
+        self._apply_result(info, dest, result, fault)
+        self.state.pc = next_pc
+        return info
+
+    def _apply_result(self, info, dest, result, fault):
+        """Write a register result, applying result-corrupting fault models."""
+        if fault is not None and dest != REG_ZERO:
+            kind = fault.kind
+            if kind == SoftwareFaultKind.RESULT_BIT32:
+                result ^= 1 << (fault.bit & 31)
+            elif kind == SoftwareFaultKind.RESULT_BIT64:
+                result ^= 1 << (fault.bit & 63)
+            elif kind == SoftwareFaultKind.RESULT_RANDOM:
+                result = fault.random_value & MASK64
+        self.state.write_reg(dest, result)
+        info.dest = dest if dest != REG_ZERO else None
+        info.result = result & MASK64 if dest != REG_ZERO else None
+
+    def _raise(self, info, exc):
+        info.exception = exc
+        self.exception = exc
+        self.halted = True
+        info.halted = True
+        return info

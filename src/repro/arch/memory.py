@@ -1,0 +1,94 @@
+"""Sparse quadword-granular memory with page tracking.
+
+Memory is a dict from 8-byte-aligned addresses to 64-bit values; absent
+addresses read as zero.  Page tracking records which 4KB virtual pages a
+fault-free execution touches -- the paper preloads its TLBs with exactly
+those pages, so during injected trials an access outside the recorded set
+is an itlb/dtlb failure.
+"""
+
+from repro.utils.bits import MASK32, MASK64, sext
+
+PAGE_SIZE = 4096
+_PAGE_SHIFT = 12
+
+
+def page_of(address):
+    """4KB page number of a byte address."""
+    return (address & MASK64) >> _PAGE_SHIFT
+
+
+class Memory:
+    """Sparse 64-bit memory image."""
+
+    __slots__ = ("quads", "touched_pages", "track_pages")
+
+    def __init__(self, image=None, track_pages=False):
+        self.quads = dict(image) if image else {}
+        self.track_pages = track_pages
+        self.touched_pages = set()
+
+    def copy(self, track_pages=False):
+        """An independent copy (page tracking state is not copied)."""
+        return Memory(self.quads, track_pages=track_pages)
+
+    # -- Quadword (8-byte) access -------------------------------------------
+
+    def load_quad(self, address):
+        address &= MASK64 & ~7
+        if self.track_pages:
+            self.touched_pages.add(address >> _PAGE_SHIFT)
+        return self.quads.get(address, 0)
+
+    def store_quad(self, address, value):
+        address &= MASK64 & ~7
+        if self.track_pages:
+            self.touched_pages.add(address >> _PAGE_SHIFT)
+        self.quads[address] = value & MASK64
+
+    # -- Longword (4-byte) access ---------------------------------------------
+
+    def load_long(self, address):
+        """Load a 32-bit value, sign-extended to 64 bits (Alpha LDL)."""
+        quad = self.load_quad(address)
+        if address & 4:
+            quad >>= 32
+        return sext(quad & MASK32, 32) & MASK64
+
+    def store_long(self, address, value):
+        quad_addr = address & MASK64 & ~7
+        quad = self.load_quad(quad_addr)
+        if address & 4:
+            quad = (quad & 0xFFFFFFFF) | ((value & MASK32) << 32)
+        else:
+            quad = (quad & ~0xFFFFFFFF & MASK64) | (value & MASK32)
+        self.store_quad(quad_addr, quad)
+
+    # -- Instruction fetch ------------------------------------------------------
+
+    def fetch_word(self, address):
+        """Fetch the 32-bit instruction word at (4-byte aligned) ``address``."""
+        quad = self.load_quad(address)
+        if address & 4:
+            return (quad >> 32) & 0xFFFFFFFF
+        return quad & 0xFFFFFFFF
+
+    # -- Comparison support ----------------------------------------------------
+
+    def content_signature(self):
+        """An order-independent hash of non-zero memory contents."""
+        total = 0
+        for address, value in self.quads.items():
+            if value:
+                total ^= hash((address, value))
+        return total
+
+    def differs_from(self, other):
+        """True when any address holds different (non-zero) contents."""
+        for address, value in self.quads.items():
+            if value != other.quads.get(address, 0):
+                return True
+        for address, value in other.quads.items():
+            if value and address not in self.quads:
+                return True
+        return False

@@ -1,0 +1,46 @@
+"""Program-visible architectural state: registers, PC, memory."""
+
+from repro.isa.opcodes import NUM_REGS, REG_ZERO
+from repro.utils.bits import MASK64
+
+
+class ArchState:
+    """Architectural state: 32 x 64-bit registers, PC, and a memory image.
+
+    This is the state the paper verifies against the golden model --
+    "program-visible state such as memory, registers, and program
+    counter" (Section 2.2).
+    """
+
+    __slots__ = ("regs", "pc", "memory")
+
+    def __init__(self, memory, pc=0):
+        self.regs = [0] * NUM_REGS
+        self.pc = pc & MASK64
+        self.memory = memory
+
+    def read_reg(self, index):
+        index &= 31
+        if index == REG_ZERO:
+            return 0
+        return self.regs[index]
+
+    def write_reg(self, index, value):
+        index &= 31
+        if index != REG_ZERO:
+            self.regs[index] = value & MASK64
+
+    def reg_signature(self):
+        """Hashable snapshot of the register file (r31 normalised to 0)."""
+        return tuple(self.regs[:REG_ZERO]) + (0,)
+
+    def signature(self):
+        """Hash of the complete architectural state (regs, pc, memory)."""
+        return hash(
+            (self.reg_signature(), self.pc, self.memory.content_signature())
+        )
+
+    def copy(self):
+        clone = ArchState(self.memory.copy(), pc=self.pc)
+        clone.regs = list(self.regs)
+        return clone

@@ -1,0 +1,276 @@
+"""Command-line interface: ``repro-faults`` / ``python -m repro``.
+
+Subcommands:
+
+* ``inventory``  -- print the machine's Table 1 state inventory.
+* ``run``        -- run a workload on the pipeline, report IPC/output.
+* ``campaign``   -- run a microarchitectural injection campaign and
+  print Figure 3/4-style outcome tables.
+* ``software``   -- run a Section-5 software-level campaign (Figure 11).
+* ``overhead``   -- print the protection-mechanism storage overheads.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.report import (
+    render_category_outcomes,
+    render_contributions,
+    render_failure_modes,
+    render_inventory,
+    render_workload_outcomes,
+)
+from repro.inject.campaign import Campaign, CampaignConfig
+from repro.inject.software import SoftwareCampaign, SoftwareCampaignConfig
+from repro.protect import protection_overhead_report
+from repro.uarch.config import PipelineConfig, ProtectionConfig
+from repro.uarch.core import Pipeline
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    return args.handler(args)
+
+
+def build_parser():
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description="Transient-fault characterisation of a high-performance "
+                    "pipeline (Wang et al., DSN 2004 reproduction)")
+    sub = parser.add_subparsers(dest="command")
+
+    p = sub.add_parser("inventory", help="print the Table 1 state inventory")
+    p.add_argument("--protected", action="store_true",
+                   help="include the Section-4 protection mechanisms")
+    p.set_defaults(handler=cmd_inventory)
+
+    p = sub.add_parser("run", help="run one workload on the pipeline")
+    p.add_argument("workload", choices=WORKLOAD_NAMES)
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "small", "large"))
+    p.add_argument("--max-cycles", type=int, default=2_000_000)
+    p.set_defaults(handler=cmd_run)
+
+    p = sub.add_parser("campaign", help="microarchitectural injection "
+                                        "campaign (Figures 3-8)")
+    p.add_argument("--workloads", nargs="*", default=list(WORKLOAD_NAMES))
+    p.add_argument("--kinds", default="latch+ram",
+                   choices=("latch", "latch+ram"))
+    p.add_argument("--trials", type=int, default=25,
+                   help="trials per start point")
+    p.add_argument("--start-points", type=int, default=3)
+    p.add_argument("--horizon", type=int, default=1200)
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "large"))
+    p.add_argument("--seed", type=int, default=2004)
+    p.add_argument("--protected", action="store_true",
+                   help="enable all four protection mechanisms")
+    p.add_argument("--paper-scale", action="store_true",
+                   help="the paper's 25-30k trial scale (very slow)")
+    p.add_argument("--parallel", type=int, default=1, metavar="N",
+                   help="shard workloads across N processes")
+    p.add_argument("--save", metavar="PATH",
+                   help="write the trial results to a JSON file")
+    p.set_defaults(handler=cmd_campaign)
+
+    p = sub.add_parser("software", help="software-level campaign "
+                                        "(Figure 11)")
+    p.add_argument("--workloads", nargs="*", default=list(WORKLOAD_NAMES))
+    p.add_argument("--trials", type=int, default=12,
+                   help="trials per fault model per workload")
+    p.add_argument("--seed", type=int, default=500)
+    p.add_argument("--save", metavar="PATH",
+                   help="write the trial results to a JSON file")
+    p.set_defaults(handler=cmd_software)
+
+    p = sub.add_parser("overhead", help="protection storage overheads "
+                                        "(Section 4.3)")
+    p.set_defaults(handler=cmd_overhead)
+
+    p = sub.add_parser("trace", help="run a workload with occupancy "
+                                     "tracing and a retirement log")
+    p.add_argument("workload", choices=WORKLOAD_NAMES)
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--log", type=int, default=20,
+                   help="retirement-log lines to print")
+    p.set_defaults(handler=cmd_trace)
+
+    p = sub.add_parser("avf", help="occupancy-based AVF proxy per "
+                                   "structure (cf. Section 3.3)")
+    p.add_argument("--workloads", nargs="*", default=["gzip", "mcf"])
+    p.add_argument("--cycles", type=int, default=2000)
+    p.set_defaults(handler=cmd_avf)
+    return parser
+
+
+def cmd_inventory(args):
+    """Print the Table 1 state inventory."""
+    protection = ProtectionConfig.full() if args.protected \
+        else ProtectionConfig.none()
+    workload = get_workload("gzip", scale="tiny")
+    pipeline = Pipeline(workload.program, PipelineConfig.paper(protection))
+    print(render_inventory(pipeline.space.inventory(),
+                           "State inventory (cf. paper Table 1)"))
+    print("total injectable bits:", pipeline.eligible_bits())
+    return 0
+
+
+def cmd_run(args):
+    """Run one workload on the pipeline and report IPC."""
+    workload = get_workload(args.workload, scale=args.scale)
+    pipeline = Pipeline(workload.program)
+    pipeline.run(args.max_cycles)
+    ipc = pipeline.total_retired / max(1, pipeline.cycle_count)
+    print("workload : %s (%s)" % (workload.name, workload.profile))
+    print("cycles   : %d" % pipeline.cycle_count)
+    print("retired  : %d  (IPC %.2f)" % (pipeline.total_retired, ipc))
+    print("halted   : %s" % pipeline.halted)
+    print("output   : %r" % pipeline.output_text()[:200])
+    return 0
+
+
+def cmd_campaign(args):
+    """Run a microarchitectural campaign; print tables."""
+    protection = ProtectionConfig.full() if args.protected \
+        else ProtectionConfig.none()
+    if args.paper_scale:
+        config = CampaignConfig.paper(
+            workloads=tuple(args.workloads), kinds=args.kinds,
+            seed=args.seed, protection=protection)
+    else:
+        config = CampaignConfig(
+            workloads=tuple(args.workloads), kinds=args.kinds,
+            trials_per_start_point=args.trials,
+            start_points_per_workload=args.start_points,
+            horizon=args.horizon, scale=args.scale, seed=args.seed,
+            protection=protection)
+    if args.parallel > 1:
+        from repro.inject.parallel import run_parallel
+        result = run_parallel(config, workers=args.parallel)
+    else:
+        result = Campaign(config).run(progress=_progress)
+    sys.stderr.write("\n")
+    if args.save:
+        from repro.inject.store import save_result
+        save_result(result, args.save)
+        print("results written to %s" % args.save)
+    print(render_workload_outcomes(
+        result.trials, "Outcomes by benchmark (cf. Figure 3)"))
+    print()
+    print(render_category_outcomes(
+        result.trials, "Outcomes by state category (cf. Figures 4/5/9)"))
+    print()
+    print(render_failure_modes(
+        result.trials, "Failure modes (cf. Figure 7)"))
+    print()
+    print(render_contributions(
+        result.trials, "Failure contributions (cf. Figures 8/10)"))
+    print()
+    print("eligible bits: %d   elapsed: %.1fs"
+          % (result.eligible_bits, result.elapsed_seconds))
+    return 0
+
+
+def cmd_software(args):
+    """Run a Section-5 software campaign (Figure 11)."""
+    config = SoftwareCampaignConfig(
+        workloads=tuple(args.workloads),
+        trials_per_model_per_workload=args.trials, seed=args.seed)
+    result = SoftwareCampaign(config).run(progress=_progress)
+    sys.stderr.write("\n")
+    if args.save:
+        from repro.inject.store import save_result
+        save_result(result, args.save)
+        print("results written to %s" % args.save)
+    from repro.inject.software import ALL_FAULT_MODELS, SoftwareOutcome
+    from repro.utils.tables import format_table
+    headers = ["fault model", "n"] + [o.value for o in SoftwareOutcome] \
+        + ["stateok_diverged%"]
+    rows = []
+    for model in ALL_FAULT_MODELS:
+        counts = result.outcome_counts(model)
+        total = sum(counts.values())
+        row = [model.value, total]
+        row += [100.0 * counts[o] / total if total else 0.0
+                for o in SoftwareOutcome]
+        row.append(100.0 * result.state_ok_divergence_rate(model))
+        rows.append(row)
+    print(format_table(headers, rows,
+                       title="Software fault models (cf. Figure 11), %"))
+    return 0
+
+
+def cmd_overhead(args):
+    """Print protection storage overheads (Section 4.3)."""
+    workload = get_workload("gzip", scale="tiny")
+    pipeline = Pipeline(workload.program,
+                        PipelineConfig.paper(ProtectionConfig.full()))
+    report = protection_overhead_report(pipeline)
+    for key, value in report.items():
+        if isinstance(value, float):
+            print("%-26s %.3f" % (key, value))
+        else:
+            print("%-26s %d" % (key, value))
+    return 0
+
+
+def cmd_trace(args):
+    """Trace a workload: occupancy timelines + retirements."""
+    from repro.uarch.trace import (
+        PipelineTracer,
+        retirement_log,
+        rob_window,
+        structure_snapshot,
+    )
+
+    workload = get_workload(args.workload, scale="small")
+    pipeline = Pipeline(workload.program)
+    tracer = PipelineTracer(sample_every=2).attach(pipeline)
+    pipeline.run(args.cycles)
+    tracer.detach()
+    print(structure_snapshot(pipeline))
+    for structure in ("rob", "sched", "fetchq", "lq", "sq"):
+        print(tracer.occupancy_timeline(structure))
+    print("window IPC: %.2f" % tracer.ipc())
+    print()
+    print("oldest in-flight instructions:")
+    print(rob_window(pipeline, limit=8))
+    print()
+    print("next retirements:")
+    print(retirement_log(pipeline, 200, limit=args.log))
+    return 0
+
+
+def cmd_avf(args):
+    """Print per-structure occupancy (AVF proxy, Section 3.3)."""
+    from repro.analysis.avf import estimate_avf
+    from repro.utils.tables import format_table
+
+    rows = []
+    for name in args.workloads:
+        workload = get_workload(name, scale="small")
+        pipeline = Pipeline(workload.program)
+        pipeline.run(1000)
+        estimate = estimate_avf(pipeline, args.cycles)
+        for structure, value in sorted(estimate.occupancy.items()):
+            rows.append([name, structure, value])
+    print(format_table(["workload", "structure", "occupancy proxy"], rows,
+                       title="AVF occupancy proxy (cf. paper Section 3.3)"))
+    return 0
+
+
+def _progress(done, total):
+    if done % 20 == 0 or done == total:
+        sys.stderr.write("\r%d/%d trials" % (done, total))
+        sys.stderr.flush()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Simulator-internal faults (a corrupted bit propagating through the pipeline
+model) must never raise Python exceptions -- defensive masking is built into
+the model itself.  The exceptions here cover *user* errors: malformed
+assembly, invalid configuration, and misuse of the public API.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AssemblerError(ReproError):
+    """Raised when assembly source cannot be assembled.
+
+    Carries the offending line number when available.
+    """
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded into 32 bits."""
+
+
+class ConfigError(ReproError):
+    """Raised when a simulator or campaign configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """Raised on misuse of a simulator API (not by injected faults)."""
+
+
+class CampaignError(ReproError):
+    """Raised when a fault-injection campaign is misconfigured."""

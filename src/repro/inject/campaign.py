@@ -1,0 +1,182 @@
+"""Campaign orchestration (paper Section 2.3).
+
+A campaign sweeps fault-injection trials over a set of workloads and
+start points.  Following the paper's methodology, the injection *time*
+is fixed per start point (checkpoints taken at intervals after warm-up)
+while the injected *bit* is selected uniformly over all eligible state;
+each experiment aggregates trials across 250-300 start points at paper
+scale, scaled down by default for laptop runtimes (see
+:meth:`CampaignConfig.paper` / :meth:`CampaignConfig.test`).
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import CampaignError
+from repro.inject.golden import record_golden, workload_page_sets
+from repro.inject.trial import run_trial
+from repro.uarch.config import PipelineConfig, ProtectionConfig
+from repro.uarch.core import Pipeline
+from repro.uarch.statelib import StorageKind
+from repro.utils.rng import SplitRng
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+_KINDS = {
+    "latch": (StorageKind.LATCH,),
+    "latch+ram": (StorageKind.LATCH, StorageKind.RAM),
+}
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one injection campaign.
+
+    ``kinds`` selects the element population: ``"latch+ram"`` (the
+    paper's l+r campaigns) or ``"latch"`` (latch-only).
+    """
+
+    workloads: tuple = WORKLOAD_NAMES
+    scale: str = "small"
+    kinds: str = "latch+ram"
+    trials_per_start_point: int = 25
+    start_points_per_workload: int = 3
+    warmup_cycles: int = 1200
+    spacing_cycles: int = 400
+    horizon: int = 1200
+    margin: int = 400
+    seed: int = 2004
+    protection: ProtectionConfig = field(default_factory=ProtectionConfig)
+    locked_multiplier: int = 2
+
+    def __post_init__(self):
+        if self.kinds not in _KINDS:
+            raise CampaignError(
+                "kinds must be 'latch' or 'latch+ram', got %r" % self.kinds)
+
+    @classmethod
+    def test(cls, **overrides):
+        """A seconds-scale configuration for unit tests."""
+        defaults = dict(
+            workloads=("gzip",), scale="tiny", trials_per_start_point=6,
+            start_points_per_workload=2, warmup_cycles=400,
+            spacing_cycles=150, horizon=400, margin=150)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def default(cls, **overrides):
+        """The minutes-scale configuration the benchmarks report."""
+        return cls(**overrides)
+
+    @classmethod
+    def paper(cls, **overrides):
+        """The paper's published scale (25-30k trials, 10k-cycle horizon).
+
+        Expect multi-day runtimes in pure Python; provided for
+        completeness and for running subsets on large machines.
+        """
+        defaults = dict(
+            scale="large", trials_per_start_point=100,
+            start_points_per_workload=28, warmup_cycles=5000,
+            spacing_cycles=2000, horizon=10_000, margin=2000)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @property
+    def total_trials(self):
+        return (len(self.workloads) * self.start_points_per_workload
+                * self.trials_per_start_point)
+
+
+@dataclass
+class CampaignResult:
+    """All trials of one campaign plus machine metadata."""
+
+    config: CampaignConfig
+    trials: list
+    eligible_bits: int
+    inventory: dict  # category -> {latch_bits, ram_bits}
+    elapsed_seconds: float
+
+    def outcome_counts(self):
+        counts = {}
+        for trial in self.trials:
+            counts[trial.outcome] = counts.get(trial.outcome, 0) + 1
+        return counts
+
+    def failure_rate(self):
+        failures = sum(1 for t in self.trials if t.outcome.is_failure)
+        return failures / len(self.trials) if self.trials else 0.0
+
+    def masked_rate(self):
+        from repro.inject.outcome import TrialOutcome
+        masked = sum(1 for t in self.trials
+                     if t.outcome == TrialOutcome.MICRO_MATCH)
+        return masked / len(self.trials) if self.trials else 0.0
+
+
+class Campaign:
+    """Runs injection trials per the configured sweep."""
+
+    def __init__(self, config, pipeline_config=None):
+        self.config = config
+        self.pipeline_config = pipeline_config or PipelineConfig.paper(
+            config.protection)
+
+    def run(self, progress=None):
+        """Execute the campaign; returns a :class:`CampaignResult`.
+
+        ``progress`` is an optional callable invoked as
+        ``progress(done_trials, total_trials)``.
+        """
+        config = self.config
+        rng_root = SplitRng(config.seed)
+        kinds = _KINDS[config.kinds]
+        trials = []
+        eligible_bits = None
+        inventory = None
+        started = time.time()
+        done = 0
+
+        for workload_name in config.workloads:
+            workload = get_workload(workload_name, scale=config.scale)
+            insn_pages, data_pages = workload_page_sets(workload.program)
+            pipeline = Pipeline(workload.program, self.pipeline_config)
+            if eligible_bits is None:
+                eligible_bits = pipeline.eligible_bits(kinds)
+                inventory = pipeline.space.inventory()
+            pipeline.run(config.warmup_cycles, stop_on_halt=True)
+            wl_rng = rng_root.split("workload/%s" % workload_name)
+
+            for start_point in range(config.start_points_per_workload):
+                pipeline.run(config.spacing_cycles, stop_on_halt=True)
+                if pipeline.halted:
+                    raise CampaignError(
+                        "workload %r finished before start point %d; use a "
+                        "larger scale" % (workload_name, start_point))
+                checkpoint = pipeline.checkpoint()
+                golden = record_golden(
+                    pipeline, checkpoint, config.horizon, config.margin,
+                    insn_pages, data_pages)
+                sp_rng = wl_rng.split("sp/%d" % start_point)
+                for trial_index in range(config.trials_per_start_point):
+                    trial_rng = sp_rng.split("trial/%d" % trial_index)
+                    trials.append(run_trial(
+                        pipeline, checkpoint, golden, trial_rng, kinds,
+                        workload_name, start_point,
+                        horizon=config.horizon,
+                        locked_multiplier=config.locked_multiplier))
+                    done += 1
+                    if progress is not None:
+                        progress(done, config.total_trials)
+                pipeline.restore(checkpoint)
+                pipeline.tlb_insn_pages = None
+                pipeline.tlb_data_pages = None
+
+        return CampaignResult(
+            config=config,
+            trials=trials,
+            eligible_bits=eligible_bits or 0,
+            inventory=inventory or {},
+            elapsed_seconds=time.time() - started,
+        )

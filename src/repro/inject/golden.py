@@ -1,0 +1,87 @@
+"""Golden-trace recording.
+
+For each start point, the fault-free pipeline is run once for
+``horizon + margin`` cycles recording everything trials compare against:
+
+* the full microarchitectural state signature after every cycle (the
+  μArch-Match criterion);
+* the committed-register-file view hash at every (cycle-boundary,
+  retirement-count) point -- the timing-tolerant architectural check;
+* the retirement stream (pc, operation, destination, value);
+* the store-drain stream (address, value, size);
+* the set of sequence numbers that eventually retire (for the Figure 6
+  valid-instruction occupancy metric);
+* the instruction/data page sets of the complete fault-free execution
+  (the paper's TLB preload), computed once per workload on the
+  functional simulator.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.arch.functional import FunctionalSimulator
+from repro.errors import CampaignError, SimulationError
+
+
+@dataclass
+class GoldenTrace:
+    """Everything a trial compares against, for one start point."""
+
+    start_cycle: int
+    horizon: int
+    margin: int
+    sigs: List[int] = field(default_factory=list)
+    view_by_k: Dict[int, int] = field(default_factory=dict)
+    retired: List[tuple] = field(default_factory=list)
+    drains: List[tuple] = field(default_factory=list)
+    retired_seqs: Set[int] = field(default_factory=set)
+    insn_pages: Set[int] = field(default_factory=set)
+    data_pages: Set[int] = field(default_factory=set)
+
+
+def workload_page_sets(program, max_instructions=20_000_000):
+    """The TLB-preload page sets: every page the fault-free run touches.
+
+    Mirrors the paper's methodology of preloading both TLBs with all
+    pages accessed by the workload in the absence of faults.
+    """
+    sim = FunctionalSimulator(program, track_pages=True)
+    sim.run(max_instructions)
+    return set(sim.insn_pages), set(sim.memory.touched_pages)
+
+
+def record_golden(pipeline, checkpoint, horizon, margin, insn_pages,
+                  data_pages):
+    """Run the fault-free pipeline from ``checkpoint`` and record it."""
+    pipeline.restore(checkpoint)
+    pipeline.tlb_insn_pages = None
+    pipeline.tlb_data_pages = None
+
+    trace = GoldenTrace(
+        start_cycle=pipeline.cycle_count,
+        horizon=horizon,
+        margin=margin,
+        insn_pages=insn_pages,
+        data_pages=data_pages,
+    )
+    space = pipeline.space
+    k = 0
+    trace.view_by_k[0] = hash(pipeline.committed_view())
+    for _ in range(horizon + margin):
+        pipeline.cycle()
+        for record in pipeline.retired_this_cycle:
+            trace.retired.append(record)
+            trace.retired_seqs.add(record[0])
+            k += 1
+        trace.drains.extend(pipeline.drains_this_cycle)
+        trace.sigs.append(space.signature())
+        trace.view_by_k[k] = hash(pipeline.committed_view())
+        if pipeline.failure_event is not None:
+            raise SimulationError(
+                "golden run raised %r -- workload or model bug"
+                % (pipeline.failure_event,))
+        if pipeline.halted:
+            raise CampaignError(
+                "golden run halted inside the trace window; use a longer "
+                "workload scale for injection campaigns")
+    return trace

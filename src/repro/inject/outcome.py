@@ -1,0 +1,61 @@
+"""Trial outcome taxonomy (paper Section 2.2 and Table 2)."""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TrialOutcome(enum.Enum):
+    """The four outcomes of a microarchitectural injection trial."""
+
+    MICRO_MATCH = "uarch_match"  # complete microarchitectural state match
+    TERMINATED = "terminated"  # premature termination of the workload
+    SDC = "sdc"  # silent data corruption
+    GRAY = "gray"  # neither, within the simulation limit
+
+    @property
+    def is_failure(self):
+        return self in (TrialOutcome.TERMINATED, TrialOutcome.SDC)
+
+    @property
+    def is_benign(self):
+        """Non-failures (the paper's Figure 6 'benign' rate)."""
+        return not self.is_failure
+
+
+class FailureMode(enum.Enum):
+    """The seven failure modes of paper Table 2."""
+
+    CTRL = "ctrl"  # control-flow violation: wrong insn committed
+    DTLB = "dtlb"  # non-speculative access to an invalid page
+    EXCEPT = "except"  # an exception was generated
+    ITLB = "itlb"  # processor redirected to an invalid page
+    LOCKED = "locked"  # deadlock or livelock detected
+    MEM = "mem"  # memory inconsistent
+    REGFILE = "regfile"  # register file inconsistent
+
+    @property
+    def outcome(self):
+        """Which failure outcome this mode belongs to (paper Table 2)."""
+        if self in (FailureMode.EXCEPT, FailureMode.LOCKED):
+            return TrialOutcome.TERMINATED
+        return TrialOutcome.SDC
+
+
+@dataclass
+class TrialResult:
+    """One completed injection trial."""
+
+    outcome: TrialOutcome
+    failure_mode: Optional[FailureMode]
+    workload: str
+    element_name: str
+    category: str  # state category (paper Table 1 row)
+    kind: str  # "latch" or "ram"
+    bit: int
+    start_point: int
+    inject_cycle: int  # absolute cycle of injection
+    cycles_run: int  # cycles simulated after injection
+    valid_inflight: int  # in-flight insns that eventually commit (Fig 6)
+    total_inflight: int
+    detail: str = ""

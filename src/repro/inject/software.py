@@ -1,0 +1,289 @@
+"""Software-level (architectural) fault injection -- paper Section 5.
+
+Errors that escape the microarchitecture are modelled by corrupting one
+dynamic instruction on the functional simulator (the SimpleScalar role)
+with one of six fault models, then monitoring for one of four outcomes:
+
+* ``EXCEPTION``  -- the program trapped (a "noisy" failure);
+* ``STATE_OK``   -- the complete architectural state re-converged with
+  the fault-free execution before the next system call (software masked
+  the fault; once state matches, determinism guarantees the rest of the
+  run is identical);
+* ``OUTPUT_OK``  -- state never provably converged, but the user-visible
+  output is identical (weaker than STATE_OK, per the paper);
+* ``OUTPUT_BAD`` -- the program produced wrong output (or never
+  terminated within the run cap).
+
+Each trial additionally records whether control flow *temporarily*
+diverged from the reference before masking -- the paper observes this
+for 10-20% of the State-OK trials in the first five fault models.
+"""
+
+import enum
+import time
+from dataclasses import dataclass
+
+from repro.arch.functional import (
+    FunctionalSimulator,
+    SoftwareFault,
+    SoftwareFaultKind,
+)
+from repro.errors import CampaignError
+from repro.utils.rng import SplitRng
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+ALL_FAULT_MODELS = (
+    SoftwareFaultKind.RESULT_BIT32,
+    SoftwareFaultKind.RESULT_BIT64,
+    SoftwareFaultKind.RESULT_RANDOM,
+    SoftwareFaultKind.INSN_BIT,
+    SoftwareFaultKind.TO_NOP,
+    SoftwareFaultKind.FLIP_BRANCH,
+)
+
+
+class SoftwareOutcome(enum.Enum):
+    """The four outcomes of paper Figure 11."""
+
+    EXCEPTION = "exception"
+    STATE_OK = "state_ok"
+    OUTPUT_OK = "output_ok"
+    OUTPUT_BAD = "output_bad"
+
+
+@dataclass
+class SoftwareTrialResult:
+    """One completed software-level trial."""
+    outcome: SoftwareOutcome
+    model: SoftwareFaultKind
+    workload: str
+    inject_index: int
+    control_diverged: bool
+    instructions_run: int
+
+
+@dataclass(frozen=True)
+class SoftwareCampaignConfig:
+    """Parameters of a Section-5 software-level campaign."""
+
+    workloads: tuple = WORKLOAD_NAMES
+    scale: str = "tiny"
+    models: tuple = ALL_FAULT_MODELS
+    trials_per_model_per_workload: int = 12
+    seed: int = 500
+    max_instruction_factor: float = 2.0
+    max_instruction_slack: int = 20_000
+
+    @classmethod
+    def test(cls, **overrides):
+        defaults = dict(workloads=("gzip", "gcc"),
+                        trials_per_model_per_workload=4)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def default(cls, **overrides):
+        return cls(**overrides)
+
+    @classmethod
+    def paper(cls, **overrides):
+        """~10,000-15,000 trials per fault model (paper Section 5)."""
+        defaults = dict(scale="large",
+                        trials_per_model_per_workload=1200)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @property
+    def total_trials(self):
+        return (len(self.workloads) * len(self.models)
+                * self.trials_per_model_per_workload)
+
+
+@dataclass
+class _GoldenRun:
+    """Reference execution of one workload on the functional simulator."""
+
+    pcs: list
+    reg_write_indices: list
+    branch_indices: list
+    syscall_sigs: list  # state signature after each syscall
+    output: str
+    instret: int
+    final_sig: int
+
+
+@dataclass
+class SoftwareCampaignResult:
+    """All trials of one software-level campaign."""
+    config: SoftwareCampaignConfig
+    trials: list
+    elapsed_seconds: float
+
+    def outcome_counts(self, model=None):
+        counts = {outcome: 0 for outcome in SoftwareOutcome}
+        for trial in self.trials:
+            if model is None or trial.model == model:
+                counts[trial.outcome] += 1
+        return counts
+
+    def state_ok_divergence_rate(self, model=None):
+        """Fraction of STATE_OK trials with transient control divergence."""
+        state_ok = [t for t in self.trials
+                    if t.outcome == SoftwareOutcome.STATE_OK
+                    and (model is None or t.model == model)]
+        if not state_ok:
+            return 0.0
+        return sum(1 for t in state_ok if t.control_diverged) / len(state_ok)
+
+
+def _state_signature(sim):
+    return hash((sim.state.reg_signature(), sim.state.pc,
+                 sim.memory.content_signature()))
+
+
+def record_software_golden(program, max_instructions=20_000_000):
+    """Run the reference execution, recording the trial-compare surface."""
+    sim = FunctionalSimulator(program)
+    pcs = []
+    reg_writes = []
+    branches = []
+    syscall_sigs = []
+    while not sim.halted and sim.instret < max_instructions:
+        index = sim.instret
+        pcs.append(sim.state.pc)
+        info = sim.step()
+        if info.dest is not None:
+            reg_writes.append(index)
+        if info.insn.is_cond_branch:
+            branches.append(index)
+        if info.syscall:
+            syscall_sigs.append(_state_signature(sim))
+    if not sim.halted:
+        raise CampaignError("golden software run did not terminate")
+    return _GoldenRun(
+        pcs=pcs,
+        reg_write_indices=reg_writes,
+        branch_indices=branches,
+        syscall_sigs=syscall_sigs,
+        output=sim.output_text(),
+        instret=sim.instret,
+        final_sig=_state_signature(sim),
+    )
+
+
+def _make_fault(model, rng):
+    if model == SoftwareFaultKind.RESULT_BIT32:
+        return SoftwareFault(model, bit=rng.randrange(32))
+    if model == SoftwareFaultKind.RESULT_BIT64:
+        return SoftwareFault(model, bit=rng.randrange(64))
+    if model == SoftwareFaultKind.RESULT_RANDOM:
+        return SoftwareFault(model, random_value=rng.getrandbits(64))
+    if model == SoftwareFaultKind.INSN_BIT:
+        return SoftwareFault(model, bit=rng.randrange(32))
+    return SoftwareFault(model)
+
+
+def _pick_index(model, golden, rng):
+    """Choose the dynamic instruction the fault model applies to."""
+    if model in (SoftwareFaultKind.RESULT_BIT32,
+                 SoftwareFaultKind.RESULT_BIT64,
+                 SoftwareFaultKind.RESULT_RANDOM):
+        pool = golden.reg_write_indices
+    elif model == SoftwareFaultKind.FLIP_BRANCH:
+        pool = golden.branch_indices
+    else:
+        pool = None
+    if pool:
+        return rng.choice(pool)
+    return rng.randrange(max(1, golden.instret))
+
+
+def run_software_trial(program, golden, model, rng, workload_name,
+                       max_instruction_factor=2.0,
+                       max_instruction_slack=20_000):
+    """One Section-5 trial: corrupt one dynamic instruction, classify."""
+    inject_index = _pick_index(model, golden, rng)
+    fault = _make_fault(model, rng)
+    limit = int(golden.instret * max_instruction_factor) \
+        + max_instruction_slack
+
+    sim = FunctionalSimulator(program)
+    diverged = False
+    converged = False
+    syscalls = 0
+    output_prefix_ok = True
+    n_pcs = len(golden.pcs)
+
+    while not sim.halted and sim.instret < limit:
+        index = sim.instret
+        if index < n_pcs and sim.state.pc != golden.pcs[index]:
+            diverged = True
+        elif index >= n_pcs:
+            diverged = True
+        info = sim.step(fault if index == inject_index else None)
+        if info.syscall:
+            syscalls += 1
+            if output_prefix_ok and not golden.output.startswith(
+                    sim.output_text()):
+                output_prefix_ok = False
+            if (index > inject_index and output_prefix_ok
+                    and syscalls <= len(golden.syscall_sigs)
+                    and _state_signature(sim)
+                    == golden.syscall_sigs[syscalls - 1]):
+                # Full architectural state matches the reference at the
+                # same syscall boundary: determinism guarantees the rest
+                # of the execution is identical.
+                converged = True
+                break
+
+    if sim.exception:
+        outcome = SoftwareOutcome.EXCEPTION
+    elif converged:
+        outcome = SoftwareOutcome.STATE_OK
+    elif sim.halted and sim.output_text() == golden.output:
+        outcome = SoftwareOutcome.OUTPUT_OK
+    else:
+        outcome = SoftwareOutcome.OUTPUT_BAD
+
+    return SoftwareTrialResult(
+        outcome=outcome,
+        model=model,
+        workload=workload_name,
+        inject_index=inject_index,
+        control_diverged=diverged,
+        instructions_run=sim.instret,
+    )
+
+
+class SoftwareCampaign:
+    """Sweeps the six fault models over the workload set."""
+
+    def __init__(self, config):
+        self.config = config
+
+    def run(self, progress=None):
+        config = self.config
+        rng_root = SplitRng(config.seed)
+        trials = []
+        started = time.time()
+        done = 0
+        for workload_name in config.workloads:
+            workload = get_workload(workload_name, scale=config.scale)
+            golden = record_software_golden(workload.program)
+            wl_rng = rng_root.split("workload/%s" % workload_name)
+            for model in config.models:
+                model_rng = wl_rng.split("model/%s" % model.value)
+                for trial_index in range(
+                        config.trials_per_model_per_workload):
+                    trial_rng = model_rng.split("trial/%d" % trial_index)
+                    trials.append(run_software_trial(
+                        workload.program, golden, model, trial_rng,
+                        workload_name,
+                        config.max_instruction_factor,
+                        config.max_instruction_slack))
+                    done += 1
+                    if progress is not None:
+                        progress(done, config.total_trials)
+        return SoftwareCampaignResult(
+            config=config, trials=trials,
+            elapsed_seconds=time.time() - started)

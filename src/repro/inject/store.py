@@ -1,0 +1,238 @@
+"""Campaign-result persistence.
+
+Fault-injection campaigns are expensive; their results should outlive
+the process.  This module serialises campaign results (micro-
+architectural and software-level) to a stable JSON schema and loads them
+back, so analyses and figures can be regenerated without re-running
+trials, and results from sharded/clustered runs can be merged.
+"""
+
+import json
+
+from repro.arch.functional import SoftwareFaultKind
+from repro.inject.campaign import CampaignConfig, CampaignResult
+from repro.inject.outcome import FailureMode, TrialOutcome, TrialResult
+from repro.inject.software import (
+    SoftwareCampaignConfig,
+    SoftwareCampaignResult,
+    SoftwareOutcome,
+    SoftwareTrialResult,
+)
+from repro.uarch.config import ProtectionConfig
+from repro.uarch.statelib import StateCategory, StorageKind
+
+SCHEMA_VERSION = 1
+
+
+# -- Microarchitectural campaigns ---------------------------------------------
+
+
+def campaign_to_dict(result):
+    """Serialise a :class:`CampaignResult` to plain JSON types."""
+    config = result.config
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "uarch-campaign",
+        "config": {
+            "workloads": list(config.workloads),
+            "scale": config.scale,
+            "kinds": config.kinds,
+            "trials_per_start_point": config.trials_per_start_point,
+            "start_points_per_workload": config.start_points_per_workload,
+            "warmup_cycles": config.warmup_cycles,
+            "spacing_cycles": config.spacing_cycles,
+            "horizon": config.horizon,
+            "margin": config.margin,
+            "seed": config.seed,
+            "protection": {
+                "timeout": config.protection.timeout,
+                "regfile_ecc": config.protection.regfile_ecc,
+                "regptr_ecc": config.protection.regptr_ecc,
+                "insn_parity": config.protection.insn_parity,
+            },
+        },
+        "eligible_bits": result.eligible_bits,
+        "inventory": {
+            category.value: {
+                kind.value: bits for kind, bits in cell.items()
+            }
+            for category, cell in result.inventory.items()
+        },
+        "elapsed_seconds": result.elapsed_seconds,
+        "trials": [
+            {
+                "outcome": trial.outcome.value,
+                "mode": trial.failure_mode.value
+                if trial.failure_mode else None,
+                "workload": trial.workload,
+                "element": trial.element_name,
+                "category": trial.category,
+                "kind": trial.kind,
+                "start_point": trial.start_point,
+                "inject_cycle": trial.inject_cycle,
+                "cycles_run": trial.cycles_run,
+                "valid_inflight": trial.valid_inflight,
+                "total_inflight": trial.total_inflight,
+                "detail": trial.detail,
+            }
+            for trial in result.trials
+        ],
+    }
+
+
+def campaign_from_dict(data):
+    """Inverse of :func:`campaign_to_dict`."""
+    if data.get("kind") != "uarch-campaign":
+        raise ValueError("not a uarch-campaign document")
+    raw_config = data["config"]
+    config = CampaignConfig(
+        workloads=tuple(raw_config["workloads"]),
+        scale=raw_config["scale"],
+        kinds=raw_config["kinds"],
+        trials_per_start_point=raw_config["trials_per_start_point"],
+        start_points_per_workload=raw_config["start_points_per_workload"],
+        warmup_cycles=raw_config["warmup_cycles"],
+        spacing_cycles=raw_config["spacing_cycles"],
+        horizon=raw_config["horizon"],
+        margin=raw_config["margin"],
+        seed=raw_config["seed"],
+        protection=ProtectionConfig(**raw_config["protection"]),
+    )
+    trials = [
+        TrialResult(
+            outcome=TrialOutcome(raw["outcome"]),
+            failure_mode=FailureMode(raw["mode"]) if raw["mode"] else None,
+            workload=raw["workload"],
+            element_name=raw["element"],
+            category=raw["category"],
+            kind=raw["kind"],
+            bit=0,
+            start_point=raw["start_point"],
+            inject_cycle=raw["inject_cycle"],
+            cycles_run=raw["cycles_run"],
+            valid_inflight=raw["valid_inflight"],
+            total_inflight=raw["total_inflight"],
+            detail=raw.get("detail", ""),
+        )
+        for raw in data["trials"]
+    ]
+    inventory = {
+        StateCategory(category): {
+            StorageKind(kind): bits for kind, bits in cell.items()
+        }
+        for category, cell in data["inventory"].items()
+    }
+    return CampaignResult(
+        config=config,
+        trials=trials,
+        eligible_bits=data["eligible_bits"],
+        inventory=inventory,
+        elapsed_seconds=data["elapsed_seconds"],
+    )
+
+
+# -- Software campaigns ----------------------------------------------------------
+
+
+def software_to_dict(result):
+    """Serialise a software-campaign result to plain JSON types."""
+    config = result.config
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "software-campaign",
+        "config": {
+            "workloads": list(config.workloads),
+            "scale": config.scale,
+            "models": [model.value for model in config.models],
+            "trials_per_model_per_workload":
+                config.trials_per_model_per_workload,
+            "seed": config.seed,
+        },
+        "elapsed_seconds": result.elapsed_seconds,
+        "trials": [
+            {
+                "outcome": trial.outcome.value,
+                "model": trial.model.value,
+                "workload": trial.workload,
+                "inject_index": trial.inject_index,
+                "control_diverged": trial.control_diverged,
+                "instructions_run": trial.instructions_run,
+            }
+            for trial in result.trials
+        ],
+    }
+
+
+def software_from_dict(data):
+    """Inverse of :func:`software_to_dict`."""
+    if data.get("kind") != "software-campaign":
+        raise ValueError("not a software-campaign document")
+    raw_config = data["config"]
+    config = SoftwareCampaignConfig(
+        workloads=tuple(raw_config["workloads"]),
+        scale=raw_config["scale"],
+        models=tuple(SoftwareFaultKind(m) for m in raw_config["models"]),
+        trials_per_model_per_workload=
+        raw_config["trials_per_model_per_workload"],
+        seed=raw_config["seed"],
+    )
+    trials = [
+        SoftwareTrialResult(
+            outcome=SoftwareOutcome(raw["outcome"]),
+            model=SoftwareFaultKind(raw["model"]),
+            workload=raw["workload"],
+            inject_index=raw["inject_index"],
+            control_diverged=raw["control_diverged"],
+            instructions_run=raw["instructions_run"],
+        )
+        for raw in data["trials"]
+    ]
+    return SoftwareCampaignResult(
+        config=config, trials=trials,
+        elapsed_seconds=data["elapsed_seconds"])
+
+
+# -- File I/O -------------------------------------------------------------------------
+
+
+def save_result(result, path):
+    """Write a campaign result (either kind) to ``path`` as JSON."""
+    if isinstance(result, CampaignResult):
+        document = campaign_to_dict(result)
+    elif isinstance(result, SoftwareCampaignResult):
+        document = software_to_dict(result)
+    else:
+        raise TypeError("unsupported result type %r" % type(result))
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+
+
+def load_result(path):
+    """Load a result saved by :func:`save_result`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("kind") == "uarch-campaign":
+        return campaign_from_dict(document)
+    if document.get("kind") == "software-campaign":
+        return software_from_dict(document)
+    raise ValueError("unrecognised result document in %s" % path)
+
+
+def merge_campaigns(results):
+    """Merge shard results of the *same* configuration (cluster runs)."""
+    results = list(results)
+    if not results:
+        raise ValueError("nothing to merge")
+    first = results[0]
+    trials = []
+    elapsed = 0.0
+    for result in results:
+        trials.extend(result.trials)
+        elapsed = max(elapsed, result.elapsed_seconds)
+    return CampaignResult(
+        config=first.config,
+        trials=trials,
+        eligible_bits=first.eligible_bits,
+        inventory=first.inventory,
+        elapsed_seconds=elapsed,
+    )

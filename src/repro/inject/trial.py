@@ -1,0 +1,159 @@
+"""Single-trial execution and outcome classification (paper Section 2.2).
+
+The trial restores the start-point checkpoint, flips one bit, installs
+the TLB page sets, and monitors the pipeline for up to ``horizon``
+cycles.  Classification, in precedence order each cycle:
+
+1. a failure event raised at retirement (``itlb`` / ``dtlb`` /
+   ``except``);
+2. retirement-stream divergence: wrong PC committed -> ``ctrl``; right
+   PC but wrong destination/value -> ``regfile``;
+3. store-drain divergence -> ``mem``;
+4. committed-register-view divergence at a matching retirement count ->
+   ``regfile`` (this is what catches direct hits on committed state);
+5. ``deadlock`` cycles without retirement -> ``locked`` (the observation
+   threshold is twice the in-pipeline timeout threshold so that a
+   successful timeout-flush recovery is *not* misclassified -- it lands
+   in Gray Area instead, as in paper Figure 9);
+6. full microarchitectural state match with the golden signature ->
+   ``MICRO_MATCH`` (masked);
+7. horizon exhausted -> ``GRAY``.
+"""
+
+from repro.arch.memory import page_of
+from repro.inject.outcome import FailureMode, TrialOutcome, TrialResult
+
+_FAILURE_BY_EVENT = {
+    "itlb": FailureMode.ITLB,
+    "dtlb": FailureMode.DTLB,
+    "except": FailureMode.EXCEPT,
+}
+
+
+def run_trial(pipeline, checkpoint, golden, rng, kinds, workload_name,
+              start_point, horizon=None, locked_multiplier=2):
+    """Run one fault-injection trial; returns a :class:`TrialResult`."""
+    pipeline.restore(checkpoint)
+    pipeline.tlb_insn_pages = golden.insn_pages
+    pipeline.tlb_data_pages = golden.data_pages
+
+    inflight = pipeline.inflight_seqs()
+    valid_inflight = sum(1 for s in inflight if s in golden.retired_seqs)
+
+    meta = pipeline.inject_random_fault(rng, kinds)
+    horizon = horizon or golden.horizon
+    locked_threshold = locked_multiplier * pipeline.config.deadlock_cycles
+
+    def result(outcome, mode, cycles, detail=""):
+        return TrialResult(
+            outcome=outcome,
+            failure_mode=mode,
+            workload=workload_name,
+            element_name=meta.name,
+            category=meta.category.value,
+            kind=meta.kind.value,
+            bit=0,
+            start_point=start_point,
+            inject_cycle=golden.start_cycle,
+            cycles_run=cycles,
+            valid_inflight=valid_inflight,
+            total_inflight=len(inflight),
+            detail=detail,
+        )
+
+    space = pipeline.space
+    k = 0
+    drain_index = 0
+    cycles_since_retire = 0
+    n_golden_retired = len(golden.retired)
+    n_golden_drains = len(golden.drains)
+    overrun = False
+
+    for cycle in range(horizon):
+        pipeline.cycle()
+
+        # 1. Retirement-raised failures.
+        if pipeline.failure_event is not None:
+            kind, _details = pipeline.failure_event
+            mode = _FAILURE_BY_EVENT.get(kind, FailureMode.EXCEPT)
+            return result(mode.outcome, mode, cycle + 1, detail=kind)
+
+        # 2. Retirement-stream compare.
+        if pipeline.retired_this_cycle:
+            cycles_since_retire = 0
+            for record in pipeline.retired_this_cycle:
+                if k >= n_golden_retired:
+                    overrun = True
+                    break
+                mode = _compare_retired(record, golden.retired[k],
+                                        golden.insn_pages)
+                if mode is not None:
+                    return result(mode.outcome, mode, cycle + 1,
+                                  detail="retired[%d]" % k)
+                k += 1
+            if overrun:
+                break
+        else:
+            cycles_since_retire += 1
+
+        # 3. Store-drain compare.
+        for drain in pipeline.drains_this_cycle:
+            if drain_index >= n_golden_drains:
+                overrun = True
+                break
+            if drain != golden.drains[drain_index]:
+                return result(TrialOutcome.SDC, FailureMode.MEM, cycle + 1,
+                              detail="drain[%d]" % drain_index)
+            drain_index += 1
+        if overrun:
+            break
+
+        # A fault-free-looking HALT cannot occur mid-window (golden does
+        # not halt); a committed HALT here means wrong control flow.
+        if pipeline.halted:
+            return result(TrialOutcome.SDC, FailureMode.CTRL, cycle + 1,
+                          detail="early halt")
+
+        # 4. Committed-register-file view at a shared retirement count.
+        golden_view = golden.view_by_k.get(k)
+        if golden_view is not None and \
+                hash(pipeline.committed_view()) != golden_view:
+            return result(TrialOutcome.SDC, FailureMode.REGFILE, cycle + 1,
+                          detail="view@k=%d" % k)
+
+        # 5. Deadlock / livelock.
+        if cycles_since_retire >= locked_threshold:
+            return result(TrialOutcome.TERMINATED, FailureMode.LOCKED,
+                          cycle + 1)
+
+        # 6. Complete microarchitectural state match.
+        if space.signature() == golden.sigs[cycle]:
+            return result(TrialOutcome.MICRO_MATCH, None, cycle + 1)
+
+    # 7. Horizon exhausted without failure or match.
+    return result(TrialOutcome.GRAY, None, horizon,
+                  detail="overrun" if overrun else "")
+
+
+def _compare_retired(record, golden_record, insn_pages):
+    """Classify a retired-instruction divergence, or None when equal.
+
+    The ghost sequence number identifies *which* fetched instruction
+    committed (analysis-only; no pipeline behaviour depends on it):
+
+    * same instruction, wrong PC label -> the architectural program
+      counter is corrupted (``ctrl`` -- control-flow state violated);
+    * different instruction from an unmapped page -> the processor was
+      genuinely redirected to an invalid page (``itlb``);
+    * different instruction from a mapped page -> an incorrect (but
+      valid) instruction was fetched and committed (``ctrl``).
+    """
+    seq, pc, op_id, dest, value = record
+    gseq, gpc, gop, gdest, gvalue = golden_record
+    if pc != gpc or op_id != gop:
+        if seq != gseq and page_of(pc) not in insn_pages:
+            return FailureMode.ITLB
+        return FailureMode.CTRL
+    if dest != gdest or value != gvalue:
+        return FailureMode.REGFILE
+    return None

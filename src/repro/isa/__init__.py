@@ -1,0 +1,39 @@
+"""Alpha-inspired 64-bit integer ISA subset.
+
+The paper's processor executes a subset of the Alpha ISA (no floating
+point, no synchronizing memory operations).  This package defines an
+Alpha-inspired fixed-width 32-bit encoding with the same four instruction
+formats (PAL, memory, branch, operate), 32 x 64-bit integer registers with
+``r31 == 0``, a two-pass assembler, and pure-functional operation
+semantics shared by the functional and pipeline simulators.
+"""
+
+from repro.isa.assembler import Program, assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    NUM_REGS,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    FuClass,
+    Op,
+    PalFunc,
+)
+
+__all__ = [
+    "Program",
+    "assemble",
+    "disassemble",
+    "decode",
+    "encode",
+    "Instruction",
+    "NUM_REGS",
+    "REG_RA",
+    "REG_SP",
+    "REG_ZERO",
+    "FuClass",
+    "Op",
+    "PalFunc",
+]

@@ -1,0 +1,485 @@
+"""Two-pass assembler for the Alpha-inspired ISA subset.
+
+Workloads are written as assembly text (see ``repro.workloads.kernels``).
+Supported syntax::
+
+    ; comment (semicolon only; '#' introduces literals)
+    .org 0x1000                       ; set location counter
+    .quad 123                         ; emit a 64-bit datum
+    .long 123                         ; emit a 32-bit datum
+    .space 64                         ; reserve zeroed bytes
+    .align 8                          ; align location counter
+    label:
+        lda   r1, 100(r31)
+        ldah  r2, 1(r31)
+        addq  r1, r2, r3              ; register form
+        addq  r1, #5, r3              ; 8-bit literal form
+        ldq   r4, 8(r1)
+        stq   r4, 16(sp)
+        beq   r1, label
+        br    label                   ; ra defaults to r31
+        bsr   ra, func
+        jsr   ra, (r4)
+        ret   (ra)
+        halt / putc / putq / nop
+        mov   r1, r2                  ; pseudo: bis r1, r31, r2
+        clr   r1                      ; pseudo: bis r31, r31, r1
+        li    r1, 123456              ; pseudo: ldah+lda expansion
+
+Register aliases follow the Alpha calling convention (v0, t0-t11, s0-s6,
+a0-a5, ra, gp, sp, zero).
+"""
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    MEMORY_OPCODES,
+    OPERATE_FUNCS,
+    REG_RA,
+    REG_ZERO,
+    Op,
+)
+from repro.utils.bits import MASK64, sext
+
+_REG_ALIASES = {
+    "zero": 31,
+    "sp": 30,
+    "gp": 29,
+    "at": 28,
+    "ra": 26,
+    "v0": 0,
+}
+_REG_ALIASES.update({"t%d" % i: 1 + i for i in range(8)})  # t0-t7 -> r1-r8
+_REG_ALIASES.update({"s%d" % i: 9 + i for i in range(7)})  # s0-s6 -> r9-r15
+_REG_ALIASES.update({"a%d" % i: 16 + i for i in range(6)})  # a0-a5 -> r16-r21
+_REG_ALIASES.update({"t%d" % (8 + i): 22 + i for i in range(4)})  # t8-t11
+
+_OPERATE_OPS = {
+    op.name.lower(): op for funcs in OPERATE_FUNCS.values() for op in funcs.values()
+}
+_MEMORY_OPS = {op.name.lower(): op for op in MEMORY_OPCODES.values()}
+_BRANCH_OPS = {op.name.lower(): op for op in BRANCH_OPCODES.values()}
+_PAL_OPS = {
+    "halt": Op.HALT,
+    "putc": Op.PUTC,
+    "putq": Op.PUTQ,
+    "palnop": Op.PAL_NOP,
+}
+
+
+@dataclass
+class Program:
+    """An assembled program image.
+
+    ``image`` maps quadword-aligned byte addresses to 64-bit values;
+    ``entry`` is the first executable address; ``labels`` maps label names
+    to addresses (used by tests and by the workload kernels to locate
+    their data regions).
+    """
+
+    entry: int
+    image: dict = field(default_factory=dict)
+    labels: dict = field(default_factory=dict)
+    source: str = ""
+
+    def word_at(self, address):
+        """Fetch the 32-bit instruction word at ``address``."""
+        quad = self.image.get(address & ~7 & MASK64, 0)
+        if address & 4:
+            return (quad >> 32) & 0xFFFFFFFF
+        return quad & 0xFFFFFFFF
+
+
+def assemble(source, base=0x1000):
+    """Assemble ``source`` text into a :class:`Program`.
+
+    ``base`` is the default origin when the source has no leading
+    ``.org``.  Raises :class:`AssemblerError` with a line number on any
+    syntax or range problem.
+    """
+    statements = _parse(source, base)
+    labels = _layout(statements)
+    program = Program(entry=_entry_point(statements), labels=labels, source=source)
+    for stmt in statements:
+        stmt.emit(program, labels)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+class _Statement:
+    """One placed item: an instruction, a datum, or reserved space."""
+
+    def __init__(self, line_no):
+        self.line_no = line_no
+        self.address = None
+
+    size = 0
+    align = 1
+    is_code = False
+
+    def emit(self, program, labels):
+        raise NotImplementedError
+
+
+class _Insn(_Statement):
+    size = 4
+    align = 4
+    is_code = True
+
+    def __init__(self, line_no, mnemonic, operands):
+        super().__init__(line_no)
+        self.mnemonic = mnemonic
+        self.operands = operands
+
+    def emit(self, program, labels):
+        insn = _build_instruction(self, labels)
+        word = encode(insn)
+        _write_word(program, self.address, word)
+
+
+class _LoadImm(_Statement):
+    """``li rX, value`` pseudo-op: a fixed ldah+lda pair (8 bytes)."""
+
+    size = 8
+    align = 4
+    is_code = True
+
+    def __init__(self, line_no, reg_text, value_expr):
+        super().__init__(line_no)
+        self.reg_text = reg_text
+        self.value_expr = value_expr
+
+    def emit(self, program, labels):
+        reg = _parse_reg(self.reg_text, self.line_no)
+        value = _resolve_value(self.value_expr, labels, self.line_no)
+        value = sext(value & 0xFFFFFFFF, 32)
+        low = sext(value & 0xFFFF, 16)
+        high = (value - low) >> 16
+        if not -(1 << 15) <= high <= (1 << 15) - 1:
+            # Exactly the values a real ldah+lda pair can form:
+            # [-0x80000000, 0x7fff7fff].  Larger constants belong in a
+            # .quad constant pool loaded with ldq.
+            raise AssemblerError(
+                "li value %s not representable by ldah+lda "
+                "(range -0x80000000..0x7fff7fff); use a .quad constant"
+                % self.value_expr, self.line_no
+            )
+        ldah = Instruction(op=Op.LDAH, ra=reg, rb=REG_ZERO, disp=high)
+        lda = Instruction(op=Op.LDA, ra=reg, rb=reg, disp=low)
+        _write_word(program, self.address, encode(ldah))
+        _write_word(program, self.address + 4, encode(lda))
+
+
+class _Datum(_Statement):
+    def __init__(self, line_no, value_expr, size):
+        super().__init__(line_no)
+        self.value_expr = value_expr
+        self.size = size
+        self.align = size
+
+    def emit(self, program, labels):
+        value = _resolve_value(self.value_expr, labels, self.line_no)
+        if self.size == 8:
+            program.image[self.address] = value & MASK64
+        else:
+            quad_addr = self.address & ~7
+            quad = program.image.get(quad_addr, 0)
+            if self.address & 4:
+                quad = (quad & 0xFFFFFFFF) | ((value & 0xFFFFFFFF) << 32)
+            else:
+                quad = (quad & ~0xFFFFFFFF & MASK64) | (value & 0xFFFFFFFF)
+            program.image[quad_addr] = quad
+
+
+class _Space(_Statement):
+    align = 8
+
+    def __init__(self, line_no, nbytes):
+        super().__init__(line_no)
+        self.size = nbytes
+
+    def emit(self, program, labels):
+        for offset in range(0, self.size, 8):
+            program.image.setdefault((self.address + offset) & ~7, 0)
+
+
+class _Org(_Statement):
+    def __init__(self, line_no, address):
+        super().__init__(line_no)
+        self.org_address = address
+
+    def emit(self, program, labels):
+        pass
+
+
+class _Align(_Statement):
+    def __init__(self, line_no, boundary):
+        super().__init__(line_no)
+        self.boundary = boundary
+
+    def emit(self, program, labels):
+        pass
+
+
+class _Label(_Statement):
+    def __init__(self, line_no, name):
+        super().__init__(line_no)
+        self.name = name
+
+    def emit(self, program, labels):
+        pass
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+
+
+def _parse(source, base):
+    statements = [_Org(0, base)]
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";")[0].strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                statements.append(_Label(line_no, match.group(1)))
+                line = line[match.end():].strip()
+                continue
+            statements.append(_parse_statement(line, line_no))
+            line = ""
+    return statements
+
+
+def _parse_statement(line, line_no):
+    parts = line.split(None, 1)
+    head = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    if head == ".org":
+        return _Org(line_no, _parse_int(rest, line_no))
+    if head == ".quad":
+        return _Datum(line_no, rest.strip(), 8)
+    if head == ".long":
+        return _Datum(line_no, rest.strip(), 4)
+    if head == ".space":
+        return _Space(line_no, _parse_int(rest, line_no))
+    if head == ".align":
+        return _Align(line_no, _parse_int(rest, line_no))
+    if head.startswith("."):
+        raise AssemblerError("unknown directive %r" % head, line_no)
+    operands = [field.strip() for field in rest.split(",")] if rest else []
+    if head == "li":
+        if len(operands) != 2:
+            raise AssemblerError("li expects 2 operands", line_no)
+        return _LoadImm(line_no, operands[0], operands[1])
+    return _Insn(line_no, head, operands)
+
+
+def _parse_int(text, line_no):
+    try:
+        return int(text.strip(), 0)
+    except ValueError:
+        raise AssemblerError("bad integer %r" % text, line_no)
+
+
+# ---------------------------------------------------------------------------
+# Layout (pass 1)
+# ---------------------------------------------------------------------------
+
+
+def _layout(statements):
+    labels = {}
+    location = 0
+    for stmt in statements:
+        if isinstance(stmt, _Org):
+            location = stmt.org_address
+        elif isinstance(stmt, _Align):
+            boundary = max(1, stmt.boundary)
+            location = (location + boundary - 1) // boundary * boundary
+        elif isinstance(stmt, _Label):
+            if stmt.name in labels:
+                raise AssemblerError(
+                    "duplicate label %r" % stmt.name, stmt.line_no
+                )
+            labels[stmt.name] = location
+            stmt.address = location
+        else:
+            align = stmt.align
+            location = (location + align - 1) // align * align
+            stmt.address = location
+            location += stmt.size
+    return labels
+
+
+def _entry_point(statements):
+    for stmt in statements:
+        if stmt.is_code and stmt.address is not None:
+            return stmt.address
+    raise AssemblerError("program contains no instructions")
+
+
+# ---------------------------------------------------------------------------
+# Instruction construction (pass 2)
+# ---------------------------------------------------------------------------
+
+_MEM_OPERAND_RE = re.compile(r"^(?:(.+?))?\(\s*([^)]+)\s*\)$")
+
+
+def _build_instruction(stmt, labels):
+    mnemonic, operands, line_no = stmt.mnemonic, stmt.operands, stmt.line_no
+
+    if mnemonic in _PAL_OPS:
+        _expect_operands(operands, 0, mnemonic, line_no)
+        return Instruction(op=_PAL_OPS[mnemonic])
+
+    if mnemonic == "nop":
+        _expect_operands(operands, 0, mnemonic, line_no)
+        return Instruction(op=Op.BIS, ra=31, rb=31, rc=31)
+
+    if mnemonic == "mov":
+        _expect_operands(operands, 2, mnemonic, line_no)
+        src = _parse_reg(operands[0], line_no)
+        dst = _parse_reg(operands[1], line_no)
+        return Instruction(op=Op.BIS, ra=src, rb=src, rc=dst)
+
+    if mnemonic == "clr":
+        _expect_operands(operands, 1, mnemonic, line_no)
+        dst = _parse_reg(operands[0], line_no)
+        return Instruction(op=Op.BIS, ra=31, rb=31, rc=dst)
+
+    if mnemonic in _OPERATE_OPS:
+        _expect_operands(operands, 3, mnemonic, line_no)
+        ra = _parse_reg(operands[0], line_no)
+        rc = _parse_reg(operands[2], line_no)
+        op = _OPERATE_OPS[mnemonic]
+        literal = _try_parse_literal(operands[1])
+        if literal is not None:
+            if not 0 <= literal <= 255:
+                raise AssemblerError(
+                    "literal %d out of range 0..255" % literal, line_no
+                )
+            return Instruction(
+                op=op, ra=ra, rc=rc, is_literal=True, literal=literal
+            )
+        rb = _parse_reg(operands[1], line_no)
+        return Instruction(op=op, ra=ra, rb=rb, rc=rc)
+
+    if mnemonic in _MEMORY_OPS:
+        _expect_operands(operands, 2, mnemonic, line_no)
+        ra = _parse_reg(operands[0], line_no)
+        disp, rb = _parse_mem_operand(operands[1], labels, line_no)
+        return Instruction(op=_MEMORY_OPS[mnemonic], ra=ra, rb=rb, disp=disp)
+
+    if mnemonic in _BRANCH_OPS:
+        op = _BRANCH_OPS[mnemonic]
+        if op in (Op.BR, Op.BSR) and len(operands) == 1:
+            ra = REG_ZERO if op == Op.BR else REG_RA
+            target = operands[0]
+        else:
+            _expect_operands(operands, 2, mnemonic, line_no)
+            ra = _parse_reg(operands[0], line_no)
+            target = operands[1]
+        disp = _branch_disp(target, stmt.address, labels, line_no)
+        return Instruction(op=op, ra=ra, disp=disp)
+
+    if mnemonic in ("jmp", "jsr", "ret"):
+        op = {"jmp": Op.JMP, "jsr": Op.JSR, "ret": Op.RET}[mnemonic]
+        if mnemonic == "ret" and len(operands) == 1:
+            ra, base_text = REG_ZERO, operands[0]
+        elif mnemonic == "ret" and not operands:
+            ra, base_text = REG_ZERO, "(ra)"
+        else:
+            _expect_operands(operands, 2, mnemonic, line_no)
+            ra, base_text = _parse_reg(operands[0], line_no), operands[1]
+        rb = _parse_jump_base(base_text, line_no)
+        return Instruction(op=op, ra=ra, rb=rb)
+
+    raise AssemblerError("unknown mnemonic %r" % mnemonic, line_no)
+
+
+def _expect_operands(operands, count, mnemonic, line_no):
+    if len(operands) != count:
+        raise AssemblerError(
+            "%s expects %d operands, got %d" % (mnemonic, count, len(operands)),
+            line_no,
+        )
+
+
+def _parse_reg(text, line_no):
+    name = text.strip().lower()
+    if name in _REG_ALIASES:
+        return _REG_ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        number = int(name[1:])
+        if 0 <= number < 32:
+            return number
+    raise AssemblerError("bad register %r" % text, line_no)
+
+
+def _try_parse_literal(text):
+    text = text.strip()
+    if text.startswith("#"):
+        text = text[1:]
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+def _parse_mem_operand(text, labels, line_no):
+    text = text.strip()
+    match = _MEM_OPERAND_RE.match(text)
+    if match:
+        disp_text = (match.group(1) or "0").strip()
+        base = _parse_reg(match.group(2), line_no)
+    else:
+        disp_text, base = text, REG_ZERO
+    disp = _resolve_value(disp_text, labels, line_no)
+    disp = sext(disp, 16) if -(1 << 15) <= disp < (1 << 16) else disp
+    if not -(1 << 15) <= disp <= (1 << 15) - 1:
+        raise AssemblerError("displacement %d out of range" % disp, line_no)
+    return disp, base
+
+
+def _parse_jump_base(text, line_no):
+    text = text.strip()
+    if text.startswith("(") and text.endswith(")"):
+        text = text[1:-1]
+    return _parse_reg(text, line_no)
+
+
+def _branch_disp(target, pc, labels, line_no):
+    value = _resolve_value(target.strip(), labels, line_no)
+    delta = value - (pc + 4)
+    if delta % 4:
+        raise AssemblerError("branch target %r not word aligned" % target, line_no)
+    disp = delta // 4
+    if not -(1 << 20) <= disp <= (1 << 20) - 1:
+        raise AssemblerError("branch target %r out of range" % target, line_no)
+    return disp
+
+
+def _resolve_value(text, labels, line_no):
+    text = text.strip()
+    if text in labels:
+        return labels[text]
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError("unresolved symbol %r" % text, line_no)
+
+
+def _write_word(program, address, word):
+    quad_addr = address & ~7
+    quad = program.image.get(quad_addr, 0)
+    if address & 4:
+        quad = (quad & 0xFFFFFFFF) | ((word & 0xFFFFFFFF) << 32)
+    else:
+        quad = (quad & ~0xFFFFFFFF & MASK64) | (word & 0xFFFFFFFF)
+    program.image[quad_addr] = quad

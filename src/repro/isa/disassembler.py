@@ -1,0 +1,41 @@
+"""Instruction-word disassembly for traces, debugging and reports."""
+
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+def disassemble(word_or_insn, pc=None):
+    """Render an instruction word (or decoded ``Instruction``) as text.
+
+    When ``pc`` is given, PC-relative branch targets are rendered as
+    absolute hex addresses.
+    """
+    if isinstance(word_or_insn, Instruction):
+        insn = word_or_insn
+    else:
+        insn = decode(word_or_insn)
+
+    op = insn.op
+    if op == Op.INVALID:
+        return ".invalid 0x%08x" % insn.raw
+    if insn.is_pal:
+        return insn.mnemonic
+    if insn.is_mem:
+        return "%-6s r%d, %d(r%d)" % (insn.mnemonic, insn.ra, insn.disp, insn.rb)
+    if insn.is_jump:
+        return "%-6s r%d, (r%d)" % (insn.mnemonic, insn.ra, insn.rb)
+    if insn.is_control:  # PC-relative branch
+        if pc is not None:
+            target = "0x%x" % insn.branch_target(pc)
+        else:
+            target = ".%+d" % (4 * insn.disp)
+        return "%-6s r%d, %s" % (insn.mnemonic, insn.ra, target)
+    if insn.is_literal:
+        return "%-6s r%d, #%d, r%d" % (
+            insn.mnemonic,
+            insn.ra,
+            insn.literal,
+            insn.rc,
+        )
+    return "%-6s r%d, r%d, r%d" % (insn.mnemonic, insn.ra, insn.rb, insn.rc)

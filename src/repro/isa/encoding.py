@@ -1,0 +1,134 @@
+"""Binary encode/decode for the four instruction formats.
+
+``decode`` is *total*: any 32-bit pattern decodes to some ``Instruction``
+(unknown opcodes or function codes yield ``Op.INVALID``), because the
+fault-injection campaigns flip bits of latched instruction words and the
+pipeline must then fetch, decode and attempt to execute the result --
+never crash the simulator.
+"""
+
+import functools
+
+from repro.errors import EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    JUMP_HINTS,
+    MEMORY_OPCODES,
+    OPC_JUMP,
+    OPC_PAL,
+    OPERATE_FUNCS,
+    PAL_FUNCS,
+    Op,
+)
+from repro.utils.bits import extract, sext
+
+_MEM_OPC_BY_OP = {op: opc for opc, op in MEMORY_OPCODES.items()}
+_BR_OPC_BY_OP = {op: opc for opc, op in BRANCH_OPCODES.items()}
+_OPER_CODES_BY_OP = {
+    op: (opc, func)
+    for opc, funcs in OPERATE_FUNCS.items()
+    for func, op in funcs.items()
+}
+_PAL_FUNC_BY_OP = {op: int(func) for func, op in PAL_FUNCS.items()}
+_JUMP_HINT_BY_OP = {Op.JMP: 0, Op.JSR: 1, Op.RET: 2}
+
+NOP_WORD = None  # filled in below
+
+
+@functools.lru_cache(maxsize=65536)
+def decode(word):
+    """Decode a 32-bit instruction word into an ``Instruction``.
+
+    Total function; results are cached since pipelines re-decode hot loops
+    every cycle.
+    """
+    word &= 0xFFFFFFFF
+    opcode = extract(word, 26, 6)
+    ra = extract(word, 21, 5)
+    rb = extract(word, 16, 5)
+
+    if opcode == OPC_PAL:
+        func = extract(word, 0, 26)
+        op = PAL_FUNCS.get(func, Op.INVALID)
+        return Instruction(op=op, raw=word)
+
+    if opcode in MEMORY_OPCODES:
+        disp = sext(word, 16)
+        return Instruction(
+            op=MEMORY_OPCODES[opcode], ra=ra, rb=rb, disp=disp, raw=word
+        )
+
+    if opcode == OPC_JUMP:
+        hint = extract(word, 14, 2)
+        return Instruction(op=JUMP_HINTS[hint], ra=ra, rb=rb, raw=word)
+
+    if opcode in BRANCH_OPCODES:
+        disp = sext(word, 21)
+        return Instruction(op=BRANCH_OPCODES[opcode], ra=ra, disp=disp, raw=word)
+
+    if opcode in OPERATE_FUNCS:
+        func = extract(word, 5, 7)
+        op = OPERATE_FUNCS[opcode].get(func, Op.INVALID)
+        if op == Op.INVALID:
+            return Instruction(op=Op.INVALID, raw=word)
+        rc = extract(word, 0, 5)
+        if extract(word, 12, 1):
+            literal = extract(word, 13, 8)
+            return Instruction(
+                op=op, ra=ra, rc=rc, is_literal=True, literal=literal, raw=word
+            )
+        return Instruction(op=op, ra=ra, rb=rb, rc=rc, raw=word)
+
+    return Instruction(op=Op.INVALID, raw=word)
+
+
+def encode(insn):
+    """Encode an ``Instruction`` into its 32-bit word.
+
+    Raises :class:`EncodingError` when a field is out of range (assembler
+    errors), never for any decodable operation.
+    """
+    op = insn.op
+    if op in _PAL_FUNC_BY_OP:
+        return (OPC_PAL << 26) | _PAL_FUNC_BY_OP[op]
+
+    if op in _MEM_OPC_BY_OP:
+        opc = _MEM_OPC_BY_OP[op]
+        _check_range(insn.disp, -(1 << 15), (1 << 15) - 1, "displacement")
+        return (
+            (opc << 26)
+            | (insn.ra << 21)
+            | (insn.rb << 16)
+            | (insn.disp & 0xFFFF)
+        )
+
+    if op in _JUMP_HINT_BY_OP:
+        hint = _JUMP_HINT_BY_OP[op]
+        return (OPC_JUMP << 26) | (insn.ra << 21) | (insn.rb << 16) | (hint << 14)
+
+    if op in _BR_OPC_BY_OP:
+        opc = _BR_OPC_BY_OP[op]
+        _check_range(insn.disp, -(1 << 20), (1 << 20) - 1, "branch displacement")
+        return (opc << 26) | (insn.ra << 21) | (insn.disp & 0x1FFFFF)
+
+    if op in _OPER_CODES_BY_OP:
+        opc, func = _OPER_CODES_BY_OP[op]
+        word = (opc << 26) | (insn.ra << 21) | (func << 5) | insn.rc
+        if insn.is_literal:
+            _check_range(insn.literal, 0, 255, "literal")
+            word |= (insn.literal << 13) | (1 << 12)
+        else:
+            word |= insn.rb << 16
+        return word
+
+    raise EncodingError("cannot encode operation %r" % (op,))
+
+
+def _check_range(value, lo, hi, what):
+    if not lo <= value <= hi:
+        raise EncodingError("%s %d out of range [%d, %d]" % (what, value, lo, hi))
+
+
+# A canonical NOP: BIS r31, r31, r31.
+NOP_WORD = encode(Instruction(op=Op.BIS, ra=31, rb=31, rc=31))

@@ -1,0 +1,150 @@
+"""The decoded-instruction value type shared by both simulators."""
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import (
+    COND_BRANCH_OPS,
+    CONTROL_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    OUTPUT_OPS,
+    PAL_OPS,
+    REG_ZERO,
+    STORE_OPS,
+    UNCOND_BRANCH_OPS,
+    JUMP_OPS,
+    Op,
+    fu_class,
+    op_mnemonic,
+)
+
+# Register the PAL output convention reads (Alpha a0-style argument reg).
+PAL_ARG_REG = 16
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction.
+
+    ``ra``/``rb``/``rc`` follow the Alpha field conventions; unused fields
+    are ``REG_ZERO``.  ``literal`` is the 8-bit operate-format literal and
+    is only meaningful when ``is_literal`` is set.  ``disp`` is the
+    sign-extended displacement (bytes for memory format, instruction words
+    for branch format).  ``raw`` is the 32-bit encoding this instruction
+    was decoded from (or encodes to).
+    """
+
+    op: Op
+    ra: int = REG_ZERO
+    rb: int = REG_ZERO
+    rc: int = REG_ZERO
+    is_literal: bool = False
+    literal: int = 0
+    disp: int = 0
+    raw: int = 0
+
+    # -- Classification ----------------------------------------------------
+
+    @property
+    def is_load(self):
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self):
+        return self.op in STORE_OPS
+
+    @property
+    def is_mem(self):
+        return self.op in MEM_OPS
+
+    @property
+    def is_cond_branch(self):
+        return self.op in COND_BRANCH_OPS
+
+    @property
+    def is_uncond_branch(self):
+        return self.op in UNCOND_BRANCH_OPS
+
+    @property
+    def is_jump(self):
+        return self.op in JUMP_OPS
+
+    @property
+    def is_control(self):
+        return self.op in CONTROL_OPS
+
+    @property
+    def is_pal(self):
+        return self.op in PAL_OPS
+
+    @property
+    def is_output(self):
+        return self.op in OUTPUT_OPS
+
+    @property
+    def is_halt(self):
+        return self.op == Op.HALT
+
+    @property
+    def is_invalid(self):
+        return self.op == Op.INVALID
+
+    @property
+    def fu(self):
+        return fu_class(self.op)
+
+    # -- Register usage ----------------------------------------------------
+
+    @property
+    def dest(self):
+        """Architectural destination register, or ``None``.
+
+        Writes to r31 are architectural no-ops and report no destination.
+        """
+        op = self.op
+        if op in (Op.LDA, Op.LDAH) or op in LOAD_OPS:
+            reg = self.ra
+        elif op in UNCOND_BRANCH_OPS or op in JUMP_OPS:
+            reg = self.ra  # link register (pc + 4)
+        elif op in STORE_OPS or op in COND_BRANCH_OPS or op in PAL_OPS:
+            return None
+        elif op == Op.INVALID:
+            return None
+        else:  # operate format
+            reg = self.rc
+        if reg == REG_ZERO:
+            return None
+        return reg
+
+    @property
+    def srcs(self):
+        """Architectural source registers (r31 reads are omitted)."""
+        op = self.op
+        regs = []
+        if op in (Op.LDA, Op.LDAH) or op in LOAD_OPS:
+            regs = [self.rb]
+        elif op in STORE_OPS:
+            regs = [self.ra, self.rb]
+        elif op in COND_BRANCH_OPS:
+            regs = [self.ra]
+        elif op in JUMP_OPS:
+            regs = [self.rb]
+        elif op in UNCOND_BRANCH_OPS:
+            regs = []
+        elif op in OUTPUT_OPS:
+            regs = [PAL_ARG_REG]
+        elif op in PAL_OPS or op == Op.INVALID:
+            regs = []
+        else:  # operate format
+            regs = [self.ra] if self.is_literal else [self.ra, self.rb]
+        return [r for r in regs if r != REG_ZERO]
+
+    # -- Rendering ----------------------------------------------------------
+
+    @property
+    def mnemonic(self):
+        return op_mnemonic(self.op)
+
+    def branch_target(self, pc):
+        """Target of a PC-relative control transfer located at ``pc``."""
+        return (pc + 4 + 4 * self.disp) & ((1 << 64) - 1)

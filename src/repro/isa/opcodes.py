@@ -1,0 +1,276 @@
+"""Opcode and function-code tables for the Alpha-inspired ISA subset.
+
+Four encoding formats, mirroring the Alpha architecture:
+
+* ``PAL``      -- opcode 0x00; 26-bit PALcode function (HALT and the
+                  output pseudo-syscalls used as the software-visible
+                  communication boundary in Section 5 of the paper).
+* ``MEMORY``   -- opcode, ra, rb, 16-bit signed displacement
+                  (loads, stores, LDA/LDAH, and JMP-class transfers).
+* ``BRANCH``   -- opcode, ra, 21-bit signed word displacement.
+* ``OPERATE``  -- opcode, ra, rb-or-literal, 7-bit function code, rc.
+
+Opcode numbers follow the Alpha manual where the subset overlaps it
+(LDA=0x08, LDQ=0x29, BEQ=0x39, INTA=0x10, ...), so real-Alpha intuition
+transfers; unimplemented opcodes decode to an invalid-instruction marker
+that raises an exception at retirement (one of the paper's ``except``
+failure modes).
+"""
+
+import enum
+
+NUM_REGS = 32
+REG_ZERO = 31  # r31 always reads as zero, writes are discarded
+REG_RA = 26  # conventional return-address register
+REG_GP = 29
+REG_SP = 30
+
+
+class Format(enum.Enum):
+    """Instruction encoding format."""
+
+    PAL = "pal"
+    MEMORY = "memory"
+    BRANCH = "branch"
+    OPERATE = "operate"
+    JUMP = "jump"  # memory format, disp[15:14] = hint
+
+
+class FuClass(enum.IntEnum):
+    """Function-unit class an operation executes on (paper Figure 2)."""
+
+    SIMPLE = 0  # 2 simple ALUs, 1-cycle
+    COMPLEX = 1  # 1 complex ALU, 2-5 cycles
+    BRANCH = 2  # 1 branch ALU
+    AGEN = 3  # 2 address-generation units (memory ops)
+    NONE = 4  # PAL / no execution needed
+
+
+class Op(enum.IntEnum):
+    """Canonical operation identifiers (post-decode).
+
+    The 8-bit value of each member is the ``op_id`` stored in pipeline
+    control words, so a bit flip in a latched control word re-decodes to a
+    *different but well-defined* operation -- exactly the "incorrect (but
+    valid) instruction" behaviour behind the paper's ``ctrl`` failures.
+    """
+
+    INVALID = 0
+    # PAL
+    HALT = 1
+    PUTC = 2
+    PUTQ = 3
+    PAL_NOP = 4
+    # Loads / stores / address literals
+    LDA = 8
+    LDAH = 9
+    LDL = 10
+    LDQ = 11
+    STL = 12
+    STQ = 13
+    # Integer arithmetic (simple)
+    ADDQ = 16
+    SUBQ = 17
+    ADDL = 18
+    SUBL = 19
+    CMPEQ = 20
+    CMPLT = 21
+    CMPLE = 22
+    CMPULT = 23
+    CMPULE = 24
+    # Logical (simple)
+    AND = 32
+    BIC = 33
+    BIS = 34
+    ORNOT = 35
+    XOR = 36
+    EQV = 37
+    # Shifts (simple)
+    SLL = 40
+    SRL = 41
+    SRA = 42
+    # Multiply / divide (complex ALU)
+    MULL = 48
+    MULQ = 49
+    UMULH = 50
+    DIVQ = 51
+    REMQ = 52
+    # Control transfers
+    BR = 64
+    BSR = 65
+    BEQ = 66
+    BNE = 67
+    BLT = 68
+    BGE = 69
+    BLE = 70
+    BGT = 71
+    BLBC = 72
+    BLBS = 73
+    JMP = 80
+    JSR = 81
+    RET = 82
+
+
+# ---------------------------------------------------------------------------
+# Primary opcode table: opcode -> (format, mnemonic-or-resolver)
+# ---------------------------------------------------------------------------
+
+OPC_PAL = 0x00
+OPC_LDA = 0x08
+OPC_LDAH = 0x09
+OPC_INTA = 0x10
+OPC_INTL = 0x11
+OPC_INTS = 0x12
+OPC_INTM = 0x13
+OPC_JUMP = 0x1A
+OPC_LDL = 0x28
+OPC_LDQ = 0x29
+OPC_STL = 0x2C
+OPC_STQ = 0x2D
+OPC_BR = 0x30
+OPC_BSR = 0x34
+OPC_BLBC = 0x38
+OPC_BEQ = 0x39
+OPC_BLT = 0x3A
+OPC_BLE = 0x3B
+OPC_BLBS = 0x3C
+OPC_BNE = 0x3D
+OPC_BGE = 0x3E
+OPC_BGT = 0x3F
+
+MEMORY_OPCODES = {
+    OPC_LDA: Op.LDA,
+    OPC_LDAH: Op.LDAH,
+    OPC_LDL: Op.LDL,
+    OPC_LDQ: Op.LDQ,
+    OPC_STL: Op.STL,
+    OPC_STQ: Op.STQ,
+}
+
+BRANCH_OPCODES = {
+    OPC_BR: Op.BR,
+    OPC_BSR: Op.BSR,
+    OPC_BLBC: Op.BLBC,
+    OPC_BEQ: Op.BEQ,
+    OPC_BLT: Op.BLT,
+    OPC_BLE: Op.BLE,
+    OPC_BLBS: Op.BLBS,
+    OPC_BNE: Op.BNE,
+    OPC_BGE: Op.BGE,
+    OPC_BGT: Op.BGT,
+}
+
+# Operate-format function codes per primary opcode (Alpha numbering where
+# the subset overlaps the real ISA).
+OPERATE_FUNCS = {
+    OPC_INTA: {
+        0x00: Op.ADDL,
+        0x09: Op.SUBL,
+        0x20: Op.ADDQ,
+        0x29: Op.SUBQ,
+        0x2D: Op.CMPEQ,
+        0x4D: Op.CMPLT,
+        0x6D: Op.CMPLE,
+        0x1D: Op.CMPULT,
+        0x3D: Op.CMPULE,
+    },
+    OPC_INTL: {
+        0x00: Op.AND,
+        0x08: Op.BIC,
+        0x20: Op.BIS,
+        0x28: Op.ORNOT,
+        0x40: Op.XOR,
+        0x48: Op.EQV,
+    },
+    OPC_INTS: {
+        0x39: Op.SLL,
+        0x34: Op.SRL,
+        0x3C: Op.SRA,
+    },
+    OPC_INTM: {
+        0x00: Op.MULL,
+        0x20: Op.MULQ,
+        0x30: Op.UMULH,
+        0x40: Op.DIVQ,
+        0x48: Op.REMQ,
+    },
+}
+
+JUMP_HINTS = {
+    0: Op.JMP,
+    1: Op.JSR,
+    2: Op.RET,
+    3: Op.JMP,  # coroutine hint treated as plain JMP
+}
+
+
+class PalFunc(enum.IntEnum):
+    """PALcode function codes (the model's syscall surface)."""
+
+    HALT = 0x00
+    NOP = 0x01
+    PUTC = 0x02  # emit chr(r16 & 0xff) to the output stream
+    PUTQ = 0x03  # emit decimal rendering of r16 plus newline
+
+
+PAL_FUNCS = {
+    PalFunc.HALT: Op.HALT,
+    PalFunc.NOP: Op.PAL_NOP,
+    PalFunc.PUTC: Op.PUTC,
+    PalFunc.PUTQ: Op.PUTQ,
+}
+
+# ---------------------------------------------------------------------------
+# Per-operation static properties
+# ---------------------------------------------------------------------------
+
+LOAD_OPS = frozenset({Op.LDL, Op.LDQ})
+STORE_OPS = frozenset({Op.STL, Op.STQ})
+MEM_OPS = LOAD_OPS | STORE_OPS
+COND_BRANCH_OPS = frozenset(
+    {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLE, Op.BGT, Op.BLBC, Op.BLBS}
+)
+UNCOND_BRANCH_OPS = frozenset({Op.BR, Op.BSR})
+JUMP_OPS = frozenset({Op.JMP, Op.JSR, Op.RET})
+CONTROL_OPS = COND_BRANCH_OPS | UNCOND_BRANCH_OPS | JUMP_OPS
+CALL_OPS = frozenset({Op.BSR, Op.JSR})
+RETURN_OPS = frozenset({Op.RET})
+PAL_OPS = frozenset({Op.HALT, Op.PUTC, Op.PUTQ, Op.PAL_NOP})
+COMPLEX_OPS = frozenset({Op.MULL, Op.MULQ, Op.UMULH, Op.DIVQ, Op.REMQ})
+OUTPUT_OPS = frozenset({Op.PUTC, Op.PUTQ})
+
+# Complex-ALU latencies (paper: "1 complex ALU (2-5 cycles)").
+COMPLEX_LATENCY = {
+    Op.MULL: 2,
+    Op.MULQ: 3,
+    Op.UMULH: 3,
+    Op.DIVQ: 5,
+    Op.REMQ: 5,
+}
+
+
+def fu_class(op):
+    """Return the function-unit class an operation executes on."""
+    if op in COMPLEX_OPS:
+        return FuClass.COMPLEX
+    if op in CONTROL_OPS:
+        return FuClass.BRANCH
+    if op in MEM_OPS:
+        return FuClass.AGEN
+    if op in PAL_OPS:
+        return FuClass.NONE
+    return FuClass.SIMPLE
+
+
+def op_mnemonic(op):
+    """Lower-case assembly mnemonic for an operation."""
+    special = {
+        Op.HALT: "halt",
+        Op.PUTC: "putc",
+        Op.PUTQ: "putq",
+        Op.PAL_NOP: "palnop",
+        Op.INVALID: ".invalid",
+    }
+    if op in special:
+        return special[op]
+    return Op(op).name.lower()

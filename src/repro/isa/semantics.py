@@ -1,0 +1,219 @@
+"""Pure-functional operation semantics.
+
+Both the functional (architectural) simulator and the pipeline model's
+execution units evaluate operations through this module, guaranteeing the
+two layers agree instruction-for-instruction -- the property the
+co-simulation integration tests check.
+
+All evaluation functions are *total*: any ``Op`` (including one produced
+by a bit-flipped control word) yields a defined result or a defined
+exception code, never a Python error.
+"""
+
+import enum
+
+from repro.isa.opcodes import Op
+from repro.utils.bits import MASK32, MASK64, sext, to_signed
+
+
+class Exc(enum.IntEnum):
+    """Architectural exception causes (paper's ``except`` failure mode)."""
+
+    NONE = 0
+    INVALID_INSN = 1  # undecodable instruction word reached execution
+    DIV_ZERO = 2  # integer divide/remainder by zero
+    UNALIGNED = 3  # misaligned memory access
+
+
+def operate(op, a, b):
+    """Evaluate a (non-memory, non-control) operation.
+
+    ``a`` and ``b`` are unsigned 64-bit operand values (``b`` is the
+    zero-extended literal for literal-form instructions).  Returns
+    ``(result, exc)`` with ``result`` an unsigned 64-bit value.
+    """
+    handler = _OPERATE_TABLE.get(op)
+    if handler is None:
+        return 0, Exc.INVALID_INSN
+    return handler(a, b)
+
+
+def cond_taken(op, a):
+    """Direction of a conditional branch given its ``ra`` operand value.
+
+    Unconditional transfers report taken; non-control ops report
+    not-taken (a corrupted control word claiming branch-ness resolves to
+    a defined direction).
+    """
+    sa = to_signed(a)
+    if op == Op.BEQ:
+        return a == 0
+    if op == Op.BNE:
+        return a != 0
+    if op == Op.BLT:
+        return sa < 0
+    if op == Op.BGE:
+        return sa >= 0
+    if op == Op.BLE:
+        return sa <= 0
+    if op == Op.BGT:
+        return sa > 0
+    if op == Op.BLBC:
+        return (a & 1) == 0
+    if op == Op.BLBS:
+        return (a & 1) == 1
+    if op in (Op.BR, Op.BSR, Op.JMP, Op.JSR, Op.RET):
+        return True
+    return False
+
+
+def effective_address(base, disp):
+    """Memory-format effective address: base register + displacement."""
+    return (base + disp) & MASK64
+
+
+def check_alignment(address, size):
+    """Return ``Exc.UNALIGNED`` when ``address`` is not ``size``-aligned."""
+    if address % size:
+        return Exc.UNALIGNED
+    return Exc.NONE
+
+
+# ---------------------------------------------------------------------------
+# Operate-format evaluation table
+# ---------------------------------------------------------------------------
+
+
+def _ok(value):
+    return value & MASK64, Exc.NONE
+
+
+def _addq(a, b):
+    return _ok(a + b)
+
+
+def _subq(a, b):
+    return _ok(a - b)
+
+
+def _addl(a, b):
+    return _ok(sext((a + b) & MASK32, 32))
+
+
+def _subl(a, b):
+    return _ok(sext((a - b) & MASK32, 32))
+
+
+def _cmpeq(a, b):
+    return _ok(1 if a == b else 0)
+
+
+def _cmplt(a, b):
+    return _ok(1 if to_signed(a) < to_signed(b) else 0)
+
+
+def _cmple(a, b):
+    return _ok(1 if to_signed(a) <= to_signed(b) else 0)
+
+
+def _cmpult(a, b):
+    return _ok(1 if a < b else 0)
+
+
+def _cmpule(a, b):
+    return _ok(1 if a <= b else 0)
+
+
+def _and(a, b):
+    return _ok(a & b)
+
+
+def _bic(a, b):
+    return _ok(a & ~b)
+
+
+def _bis(a, b):
+    return _ok(a | b)
+
+
+def _ornot(a, b):
+    return _ok(a | (~b & MASK64))
+
+
+def _xor(a, b):
+    return _ok(a ^ b)
+
+
+def _eqv(a, b):
+    return _ok(a ^ (~b & MASK64))
+
+
+def _sll(a, b):
+    return _ok(a << (b & 63))
+
+
+def _srl(a, b):
+    return _ok(a >> (b & 63))
+
+
+def _sra(a, b):
+    return _ok(to_signed(a) >> (b & 63))
+
+
+def _mull(a, b):
+    return _ok(sext((a * b) & MASK32, 32))
+
+
+def _mulq(a, b):
+    return _ok(a * b)
+
+
+def _umulh(a, b):
+    return _ok((a * b) >> 64)
+
+
+def _divq(a, b):
+    if b == 0:
+        return 0, Exc.DIV_ZERO
+    sa, sb = to_signed(a), to_signed(b)
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return _ok(quotient)
+
+
+def _remq(a, b):
+    if b == 0:
+        return 0, Exc.DIV_ZERO
+    sa, sb = to_signed(a), to_signed(b)
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return _ok(remainder)
+
+
+_OPERATE_TABLE = {
+    Op.ADDQ: _addq,
+    Op.SUBQ: _subq,
+    Op.ADDL: _addl,
+    Op.SUBL: _subl,
+    Op.CMPEQ: _cmpeq,
+    Op.CMPLT: _cmplt,
+    Op.CMPLE: _cmple,
+    Op.CMPULT: _cmpult,
+    Op.CMPULE: _cmpule,
+    Op.AND: _and,
+    Op.BIC: _bic,
+    Op.BIS: _bis,
+    Op.ORNOT: _ornot,
+    Op.XOR: _xor,
+    Op.EQV: _eqv,
+    Op.SLL: _sll,
+    Op.SRL: _srl,
+    Op.SRA: _sra,
+    Op.MULL: _mull,
+    Op.MULQ: _mulq,
+    Op.UMULH: _umulh,
+    Op.DIVQ: _divq,
+    Op.REMQ: _remq,
+}

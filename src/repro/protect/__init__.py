@@ -1,0 +1,33 @@
+"""Lightweight protection mechanisms (paper Section 4).
+
+Four mechanisms, selected by :class:`repro.uarch.config.ProtectionConfig`
+and woven into the pipeline model:
+
+* **Timeout counter** -- detects 100 retirement-free cycles and forces a
+  pipeline flush to clear deadlocks (``locked`` failures).
+* **Register file ECC** -- SECDED over each physical register entry,
+  generated one cycle after the write (the paper's deliberate
+  vulnerability window), checked/corrected at register read.
+* **Register pointer ECC** -- Hamming check bits accompanying every
+  stored physical-register pointer (RATs, free lists, pipeline pointer
+  fields), generated once and checked/repaired at strategic read points.
+* **Instruction word parity** -- a parity bit accompanying each
+  instruction word from fetch onward, updated as portions of the word
+  are dropped, checked before the instruction can commit; a mismatch
+  forces a recovery flush.
+
+This package provides the codecs and the overhead accounting
+(paper Section 4.3); the mechanism logic itself lives next to the
+structures it protects in :mod:`repro.uarch`.
+"""
+
+from repro.protect.ecc import CodeStatus, HammingCode, REGFILE_CODE, REGPTR_CODE
+from repro.protect.overhead import protection_overhead_report
+
+__all__ = [
+    "CodeStatus",
+    "HammingCode",
+    "REGFILE_CODE",
+    "REGPTR_CODE",
+    "protection_overhead_report",
+]

@@ -1,0 +1,109 @@
+"""Hamming SEC / SECDED error-correcting codes.
+
+The paper's register file ECC adds 8 check bits per 65-bit entry (we
+protect the 64 data bits with Hamming(71,64) plus an overall parity bit:
+single-error correction, double-error detection).  The register-pointer
+ECC adds 4 check bits per 7-bit pointer (Hamming(11,7): single-error
+correction).
+
+The decoder is total: any (data, check) pair yields a defined result --
+a corrupted check word can at worst cause a miscorrection, exactly as in
+hardware.
+"""
+
+import enum
+
+
+class CodeStatus(enum.Enum):
+    """Outcome of an ECC check."""
+
+    CLEAN = "clean"  # syndrome zero: no error observed
+    CORRECTED = "corrected"  # single-bit error repaired
+    DETECTED = "detected"  # uncorrectable error flagged (SECDED only)
+
+
+class HammingCode:
+    """A Hamming code over ``data_bits`` with optional SECDED parity."""
+
+    def __init__(self, data_bits, extra_parity=False):
+        self.data_bits = data_bits
+        self.extra_parity = extra_parity
+        # Number of Hamming check bits r: 2^r >= data + r + 1.
+        r = 1
+        while (1 << r) < data_bits + r + 1:
+            r += 1
+        self.hamming_bits = r
+        self.check_bits = r + (1 if extra_parity else 0)
+        # Codeword positions 1..n; powers of two hold check bits, the rest
+        # hold data bits in order.
+        self._data_positions = []
+        position = 1
+        while len(self._data_positions) < data_bits:
+            if position & (position - 1):  # not a power of two
+                self._data_positions.append(position)
+            position += 1
+        self._check_positions = [1 << i for i in range(r)]
+        # Precompute, for each check bit, the mask of data-bit indices it
+        # covers -- encode is then r popcount-and-reduce steps.
+        self._coverage = []
+        for check_pos in self._check_positions:
+            mask = 0
+            for bit_index, data_pos in enumerate(self._data_positions):
+                if data_pos & check_pos:
+                    mask |= 1 << bit_index
+            self._coverage.append(mask)
+        self._pos_to_bit = {
+            pos: i for i, pos in enumerate(self._data_positions)}
+
+    def encode(self, data):
+        """Compute the check word for ``data``."""
+        data &= (1 << self.data_bits) - 1
+        check = 0
+        for i, mask in enumerate(self._coverage):
+            if bin(data & mask).count("1") & 1:
+                check |= 1 << i
+        if self.extra_parity:
+            total = bin(data).count("1") + bin(check).count("1")
+            if total & 1:
+                check |= 1 << self.hamming_bits
+        return check
+
+    def correct(self, data, check):
+        """Check/correct ``data`` against ``check``.
+
+        Returns ``(corrected_data, status)``.  Total: never raises.
+        """
+        data &= (1 << self.data_bits) - 1
+        check &= (1 << self.check_bits) - 1
+        expected = self.encode(data)
+        syndrome = 0
+        for i in range(self.hamming_bits):
+            if ((check ^ expected) >> i) & 1:
+                syndrome |= self._check_positions[i]
+        # SECDED discriminator: overall parity of the *received* codeword
+        # (data + all check bits, including the parity bit itself).  Any
+        # odd number of bit errors makes it odd; double errors keep it
+        # even while producing a non-zero syndrome.
+        received_parity = (bin(data).count("1") + bin(check).count("1")) & 1
+
+        if syndrome == 0:
+            if self.extra_parity and received_parity:
+                # Error in the overall parity bit itself: data is fine.
+                return data, CodeStatus.CORRECTED
+            return data, CodeStatus.CLEAN
+
+        if self.extra_parity and not received_parity:
+            # Even number of errors: detectable but not correctable.
+            return data, CodeStatus.DETECTED
+
+        bit = self._pos_to_bit.get(syndrome)
+        if bit is not None:
+            return data ^ (1 << bit), CodeStatus.CORRECTED
+        # Syndrome points at a check-bit position (error in the check
+        # word) or at an invalid position: data itself is untouched.
+        return data, CodeStatus.CORRECTED
+
+
+# The two codes the paper's mechanisms use.
+REGFILE_CODE = HammingCode(64, extra_parity=True)  # 8 check bits
+REGPTR_CODE = HammingCode(7, extra_parity=False)  # 4 check bits

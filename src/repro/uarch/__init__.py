@@ -1,0 +1,24 @@
+"""Latch-accurate model of a deeply pipelined out-of-order processor.
+
+This package models the paper's experimental substrate: a 12-stage,
+6-issue, 132-in-flight dynamically scheduled Alpha-subset pipeline in
+which *every architected latch and pipeline-RAM bit is an explicitly
+registered state element* (see :mod:`repro.uarch.statelib`).  All
+behaviour each cycle is computed from those bits, so a single injected
+bit flip propagates -- or is masked -- through the same structural paths
+the paper's Verilog model exercises.
+
+Entry point: :class:`repro.uarch.core.Pipeline`.
+"""
+
+from repro.uarch.config import PipelineConfig
+from repro.uarch.core import Pipeline
+from repro.uarch.statelib import StateCategory, StateSpace, StorageKind
+
+__all__ = [
+    "Pipeline",
+    "PipelineConfig",
+    "StateCategory",
+    "StateSpace",
+    "StorageKind",
+]

@@ -1,0 +1,72 @@
+"""Functional cache models (tags + LRU only).
+
+The paper excludes the i/d-cache RAM arrays and predictor tables from
+fault injection because "these structures are easily protected with
+parity and error correcting codes" (Section 3.1), so the model keeps them
+*functional*: they determine hit/miss timing but hold no injectable state
+and no data (loads and stores are serviced against the backing memory
+image, write-through).  Structures that *support* the caches -- miss
+handling registers, memory data-path latches -- are real state elements
+in :mod:`repro.uarch.memunit`.
+"""
+
+
+class SetAssocCache:
+    """A set-associative tag store with true-LRU replacement."""
+
+    def __init__(self, size_bytes, assoc, line_bytes):
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.num_sets = max(1, size_bytes // (assoc * line_bytes))
+        # Per-set list of tags, most recently used last.
+        self.sets = [[] for _ in range(self.num_sets)]
+
+    def _locate(self, address):
+        line = address // self.line_bytes
+        return line % self.num_sets, line
+
+    def lookup(self, address, touch=True):
+        """True on hit; updates LRU order when ``touch`` is set."""
+        set_index, tag = self._locate(address)
+        ways = self.sets[set_index]
+        if tag in ways:
+            if touch:
+                ways.remove(tag)
+                ways.append(tag)
+            return True
+        return False
+
+    def fill(self, address):
+        """Install the line containing ``address`` (evicting LRU)."""
+        set_index, tag = self._locate(address)
+        ways = self.sets[set_index]
+        if tag in ways:
+            ways.remove(tag)
+        elif len(ways) >= self.assoc:
+            ways.pop(0)
+        ways.append(tag)
+
+    def line_address(self, address):
+        return address - (address % self.line_bytes)
+
+    def save_side(self):
+        return [list(ways) for ways in self.sets]
+
+    def load_side(self, saved):
+        self.sets = [list(ways) for ways in saved]
+
+
+class BankedDCache(SetAssocCache):
+    """The L1 data cache: dual-ported via eight interleaved banks.
+
+    Two accesses proceed per cycle when they target different banks
+    (paper Figure 2); the memory unit arbitrates bank conflicts.
+    """
+
+    def __init__(self, size_bytes, assoc, line_bytes, banks):
+        super().__init__(size_bytes, assoc, line_bytes)
+        self.banks = banks
+
+    def bank_of(self, address):
+        """Bank index: interleaved on 8-byte words."""
+        return (address >> 3) % self.banks

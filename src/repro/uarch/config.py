@@ -1,0 +1,156 @@
+"""Pipeline configuration (paper Figure 2 parameters)."""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ProtectionConfig:
+    """Which of the paper's Section-4 protection mechanisms are enabled.
+
+    * ``timeout``       -- retirement timeout counter forcing a flush.
+    * ``regfile_ecc``   -- SECDED ECC on physical register file entries
+      (generated one cycle after the write, leaving the paper's one-cycle
+      vulnerability window).
+    * ``regptr_ecc``    -- Hamming ECC accompanying every stored physical
+      register pointer (RATs, free lists, pipeline regptr fields).
+    * ``insn_parity``   -- parity accompanying instruction words from
+      fetch to retirement, with a recovery flush on mismatch.
+    """
+
+    timeout: bool = False
+    regfile_ecc: bool = False
+    regptr_ecc: bool = False
+    insn_parity: bool = False
+
+    @classmethod
+    def none(cls):
+        return cls()
+
+    @classmethod
+    def full(cls):
+        """All four mechanisms, as evaluated in paper Section 4.4."""
+        return cls(timeout=True, regfile_ecc=True, regptr_ecc=True,
+                   insn_parity=True)
+
+    @property
+    def any_enabled(self):
+        return (self.timeout or self.regfile_ecc or self.regptr_ecc
+                or self.insn_parity)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Structural parameters of the modelled processor.
+
+    Defaults reproduce the paper's machine (Figure 2): a 12-stage,
+    6-issue pipeline with up to 132 instructions in flight.
+    :meth:`small` returns a scaled-down variant for fast unit tests --
+    same structure, smaller arrays.
+    """
+
+    # Widths
+    fetch_width: int = 8
+    decode_width: int = 4
+    rename_width: int = 4
+    issue_width: int = 6
+    retire_width: int = 8
+
+    # Queues / windows
+    fetchq_entries: int = 32
+    sched_entries: int = 32
+    rob_entries: int = 64
+    lq_entries: int = 16
+    sq_entries: int = 16
+    phys_regs: int = 80
+    mhr_entries: int = 16
+
+    # Function units
+    simple_alus: int = 2
+    complex_alus: int = 1
+    branch_alus: int = 1
+    agus: int = 2
+    complex_depth: int = 5  # deepest complex-ALU latency
+
+    # Caches (modelled functionally; arrays are not injectable, per paper 3.1)
+    icache_bytes: int = 8 * 1024
+    icache_assoc: int = 2
+    icache_line: int = 32
+    dcache_bytes: int = 32 * 1024
+    dcache_assoc: int = 2
+    dcache_line: int = 64
+    dcache_banks: int = 8
+    dcache_latency: int = 2
+    miss_latency: int = 8  # constant L1 miss service (paper Section 2.1)
+
+    # Predictors (modelled functionally; tables are not injectable)
+    btb_entries: int = 1024
+    btb_assoc: int = 4
+    ras_entries: int = 8
+    bimodal_entries: int = 2048
+    local_hist_entries: int = 1024
+    local_hist_bits: int = 10
+    local_pht_entries: int = 1024
+    global_hist_bits: int = 12
+    choice_entries: int = 4096
+
+    # Failure detection
+    deadlock_cycles: int = 100  # paper Section 4.1 ("locked" detection)
+
+    protection: ProtectionConfig = field(default_factory=ProtectionConfig)
+
+    def __post_init__(self):
+        if self.phys_regs < 32 + self.rename_width:
+            raise ConfigError(
+                "phys_regs=%d cannot cover 32 architectural registers plus "
+                "a rename group" % self.phys_regs)
+        for name in ("fetchq_entries", "sched_entries", "rob_entries",
+                     "lq_entries", "sq_entries", "mhr_entries"):
+            if getattr(self, name) <= 0:
+                raise ConfigError("%s must be positive" % name)
+        if self.ras_entries & (self.ras_entries - 1):
+            raise ConfigError("ras_entries must be a power of two")
+
+    @classmethod
+    def paper(cls, protection=None):
+        """The configuration of the paper's machine."""
+        return cls(protection=protection or ProtectionConfig.none())
+
+    @classmethod
+    def small(cls, protection=None):
+        """A structurally identical but smaller machine for fast tests."""
+        return cls(
+            fetch_width=4,
+            fetchq_entries=8,
+            sched_entries=12,
+            rob_entries=16,
+            lq_entries=6,
+            sq_entries=6,
+            phys_regs=48,
+            mhr_entries=4,
+            btb_entries=64,
+            bimodal_entries=128,
+            local_hist_entries=64,
+            local_pht_entries=64,
+            global_hist_bits=6,
+            choice_entries=64,
+            icache_bytes=2 * 1024,
+            dcache_bytes=4 * 1024,
+            protection=protection or ProtectionConfig.none(),
+        )
+
+    @property
+    def free_regs(self):
+        """Free-list capacity: physical minus architectural registers."""
+        return self.phys_regs - 32
+
+    @property
+    def phys_bits(self):
+        """Bits of a physical register pointer (7 for the paper machine)."""
+        return max(1, (self.phys_regs - 1).bit_length())
+
+    @property
+    def rob_bits(self):
+        """Bits of a reorder-buffer tag (6 for the paper machine)."""
+        return max(1, (self.rob_entries - 1).bit_length())

@@ -1,0 +1,422 @@
+"""The pipeline: wiring, the cycle loop, recovery, checkpoints.
+
+:class:`Pipeline` assembles every structure of the modelled processor,
+steps them one clock edge at a time (stages evaluated in reverse pipeline
+order so each consumes the previous cycle's latch contents), applies
+branch/memory-ordering recoveries and protection-mechanism flushes, and
+exposes the observation surface the fault-injection harness uses:
+
+* ``retired_this_cycle`` / ``drains_this_cycle`` -- the retirement and
+  store-drain streams compared against the golden run;
+* ``committed_view()`` -- the architectural register file as software
+  sees it (the paper's per-cycle architectural-state check);
+* ``space.signature()`` -- the full microarchitectural state hash (the
+  paper's μArch Match criterion);
+* ``failure_event`` / ``halted`` -- exceptions, TLB misses, HALT;
+* ``checkpoint()`` / ``restore()`` -- trial start points.
+"""
+
+from repro.arch.memory import Memory, page_of
+from repro.uarch.caches import BankedDCache, SetAssocCache
+from repro.uarch.config import PipelineConfig
+from repro.uarch.dispatch import RenameDispatch
+from repro.uarch.execute import ExecuteUnit
+from repro.uarch.frontend import Frontend
+from repro.uarch.memunit import MemoryUnit
+from repro.uarch.predictors import (
+    BranchTargetBuffer,
+    HybridPredictor,
+    ReturnAddressStack,
+)
+from repro.uarch.regfile import PhysRegFile
+from repro.uarch.rename import FreeList, RatFile
+from repro.uarch.rob import ReorderBuffer, RetireUnit
+from repro.uarch.scheduler import Scheduler
+from repro.uarch.statelib import StateCategory, StateSpace, StorageKind
+from repro.uarch.uop import (
+    CONTROL_IDS,
+    JUMP_IDS,
+    op_from_id,
+    unpack_pc,
+)
+from repro.utils.bits import to_signed
+
+
+class Pipeline:
+    """A latch-accurate out-of-order pipeline executing one program."""
+
+    def __init__(self, program, config=None):
+        self.config = config or PipelineConfig.paper()
+        self.program = program
+        self.space = StateSpace()
+        self.memory = Memory(program.image)
+
+        # Functional structures (excluded from injection per paper 3.1).
+        cfg = self.config
+        self.icache = SetAssocCache(
+            cfg.icache_bytes, cfg.icache_assoc, cfg.icache_line)
+        self.dcache = BankedDCache(
+            cfg.dcache_bytes, cfg.dcache_assoc, cfg.dcache_line,
+            cfg.dcache_banks)
+        self.predictor = HybridPredictor(cfg)
+        self.btb = BranchTargetBuffer(cfg.btb_entries, cfg.btb_assoc)
+        self.ras = ReturnAddressStack(cfg.ras_entries)
+
+        # State-holding structures (the injection surface).
+        space = self.space
+        self.regfile = PhysRegFile(space, cfg)
+        with_ptr_ecc = cfg.protection.regptr_ecc
+        self.spec_rat = RatFile(
+            space, "specrat", StateCategory.SPECRAT, cfg.phys_bits,
+            with_ptr_ecc)
+        self.arch_rat = RatFile(
+            space, "archrat", StateCategory.ARCHRAT, cfg.phys_bits,
+            with_ptr_ecc)
+        self.spec_freelist = FreeList(
+            space, "specfreelist", StateCategory.SPECFREELIST,
+            cfg.free_regs, cfg.phys_bits, with_ptr_ecc)
+        self.arch_freelist = FreeList(
+            space, "archfreelist", StateCategory.ARCHFREELIST,
+            cfg.free_regs, cfg.phys_bits, with_ptr_ecc)
+        self.frontend = Frontend(
+            space, cfg, self.icache, self.predictor, self.btb, self.ras)
+        biq_bits = self.frontend.biq.index_bits
+        self.rename_dispatch = RenameDispatch(
+            space, cfg, self.spec_rat, self.spec_freelist, biq_bits)
+        self.scheduler = Scheduler(space, cfg, biq_bits)
+        self.execute = ExecuteUnit(space, cfg, biq_bits)
+        self.memunit = MemoryUnit(space, cfg, self.dcache)
+        self.rob = ReorderBuffer(space, cfg, biq_bits)
+        self.retire_unit = RetireUnit(space, cfg)
+        space.freeze()
+
+        # Side (non-injectable) bookkeeping.
+        self.storesets = self.memunit.storesets
+        self.stats = {}
+        self.cycle_count = 0
+        self.total_retired = 0
+        self.fetch_seq = 0
+        self.halted = False
+        self.output = []
+        self.syscall_count = 0
+        self.failure_event = None
+        self.track_pages = False
+        self.insn_pages = set()
+        self.data_pages = set()
+        self.tlb_insn_pages = None
+        self.tlb_data_pages = None
+
+        # Per-cycle observation buffers.
+        self.retired_this_cycle = []
+        self.drains_this_cycle = []
+
+        # Deferred recovery/flush requests.
+        self._recovery_requests = []
+        self._flush_requested = False
+        self._flush_reason = None
+
+        self._reset(program.entry)
+
+    # ------------------------------------------------------------------
+    # Reset
+    # ------------------------------------------------------------------
+
+    def _reset(self, entry_pc):
+        identity = list(range(32))
+        self.spec_rat.reset(identity)
+        self.arch_rat.reset(identity)
+        free = list(range(32, self.config.phys_regs))
+        self.spec_freelist.reset(free)
+        self.arch_freelist.reset(free)
+        self.regfile.reset()
+        self.frontend.reset(entry_pc)
+        self.retire_unit.reset(entry_pc)
+        self.rob.flush()
+        self.scheduler.flush()
+        self.execute.flush()
+
+    # ------------------------------------------------------------------
+    # The clock
+    # ------------------------------------------------------------------
+
+    def cycle(self):
+        """Advance one clock edge."""
+        self.retired_this_cycle = []
+        self.drains_this_cycle = []
+        self._recovery_requests = []
+
+        self.retire_unit.retire_stage(self)
+        self.execute.writeback_stage(self)
+        self.regfile.ecc_generate_step()
+        self.memunit.m2_stage(self)
+        self.memunit.mhr_step(self)
+        self.memunit.drain_stage(self)
+        self.memunit.m1_stage(self)
+        self.execute.execute_stage(self)
+        self._apply_recovery()
+        self.execute.regread_stage(self)
+        self.scheduler.select_stage(self)
+        self.rename_dispatch.dispatch_stage(self)
+        self.rename_dispatch.rename_stage(self)
+        self.frontend.decode_stage(self)
+        self.frontend.fetch2_stage(self)
+        self.frontend.fetch1_stage(self)
+
+        if self._flush_requested:
+            self._flush_requested = False
+            self.flush_all()
+        self.cycle_count += 1
+
+    def run(self, cycles, stop_on_halt=True):
+        """Run ``cycles`` clock edges (stopping at HALT by default)."""
+        for _ in range(cycles):
+            if stop_on_halt and self.halted:
+                break
+            self.cycle()
+
+    # ------------------------------------------------------------------
+    # Events raised by the stages
+    # ------------------------------------------------------------------
+
+    def next_seq(self, _pc):
+        self.fetch_seq += 1
+        return self.fetch_seq
+
+    def note_retired(self, seq, pc, op_id, dest, value):
+        self.total_retired += 1
+        self.retired_this_cycle.append((seq, pc, op_id, dest, value))
+
+    def note_store_drain(self, address, value, size):
+        self.drains_this_cycle.append((address, value, size))
+
+    def bump(self, counter, amount=1):
+        """Increment a (side, non-injectable) statistics counter."""
+        self.stats[counter] = self.stats.get(counter, 0) + amount
+
+    def emit_output(self, op_id, value):
+        self.syscall_count += 1
+        op = op_from_id(op_id)
+        if op.name == "PUTC":
+            self.output.append(chr(value & 0xFF))
+        else:
+            self.output.append("%d\n" % to_signed(value))
+
+    def raise_failure(self, kind, **details):
+        """An architectural failure observed at retirement (halts)."""
+        if self.failure_event is None:
+            self.failure_event = (kind, details)
+        self.halted = True
+
+    def note_fetch_pages(self, pc, count):
+        if self.track_pages:
+            for i in range(count):
+                self.insn_pages.add(page_of(pc + 4 * i))
+
+    def note_data_page(self, address):
+        if self.track_pages:
+            self.data_pages.add(page_of(address))
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def request_branch_recovery(self, rob_index, target, biq_index, op_id,
+                                pc, taken):
+        self._recovery_requests.append(
+            ("branch", rob_index, target, biq_index, op_id, pc, taken))
+
+    def request_violation_recovery(self, rob_index, refetch_pc):
+        self._recovery_requests.append(
+            ("violation", rob_index, refetch_pc, None, None, None, None))
+
+    def request_timeout_flush(self):
+        self._flush_requested = True
+        self._flush_reason = "timeout"
+
+    def request_parity_flush(self):
+        self._flush_requested = True
+        self._flush_reason = "parity"
+
+    def _apply_recovery(self):
+        if not self._recovery_requests:
+            return
+        head = self.rob.head.get()
+        n = len(self.rob.entries)
+
+        def age_of(request):
+            return (request[1] - head) % n
+
+        request = min(self._recovery_requests, key=age_of)
+        self._recovery_requests = []
+        kind, rob_index = request[0], request[1]
+        self.bump("branch_mispredicts" if kind == "branch"
+                  else "ordering_violations")
+        age = (rob_index - head) % n
+
+        if kind == "branch":
+            _k, _r, target, biq_index, op_id, pc, taken = request
+            boundary_age = age  # keep the branch itself
+            refetch_pc = target
+        else:
+            _k, _r, refetch_pc = request[0], request[1], request[2]
+            boundary_age = age - 1  # squash the load too
+            biq_index = op_id = pc = taken = None
+
+        self.rename_dispatch.squash(self)  # newest first: undo rename latch
+        squashed = self.rob.squash_younger(self, boundary_age)
+        self.scheduler.squash_younger(head, boundary_age, n)
+        self.execute.squash_younger(head, boundary_age, n)
+        self.memunit.squash_younger(head, boundary_age, n)
+        self.frontend.flush()
+
+        # Prediction-state recovery from the branch-info-queue snapshots.
+        biq = self.frontend.biq
+        if kind == "branch":
+            ras_top, ghr = biq.snapshot_of(biq_index)
+            self.ras.recover(ras_top)
+            self.predictor.global_hist = ghr
+            self._reapply_branch_effect(op_id, pc, taken)
+            biq.rewind_to(biq_index)
+        else:
+            # Violation recovery: rewind past every squashed branch.  The
+            # squash walk visits youngest-first, so the last control op
+            # seen is the oldest squashed branch.
+            oldest_biq = None
+            for _seq, sq_op, sq_biq in squashed:
+                if sq_op in CONTROL_IDS:
+                    oldest_biq = sq_biq
+            if oldest_biq is not None:
+                ras_top, ghr = biq.snapshot_of(oldest_biq)
+                self.ras.recover(ras_top)
+                self.predictor.global_hist = ghr
+                # The oldest squashed branch's own entry is dropped too.
+                biq.rewind_before(oldest_biq)
+
+        self.frontend.redirect(refetch_pc)
+
+    def _reapply_branch_effect(self, op_id, pc, taken):
+        """Redo the resolved branch's own effect on prediction state."""
+        op = op_from_id(op_id)
+        if op.name in ("BSR", "JSR"):
+            self.ras.push((pc + 4) & ((1 << 64) - 1))
+        elif op.name == "RET":
+            self.ras.pop()
+        if op_id in CONTROL_IDS and op_id not in JUMP_IDS and \
+                op.name not in ("BR", "BSR"):
+            self.predictor.speculate(taken)
+
+    def flush_all(self):
+        """Full recovery flush (timeout / parity mechanisms).
+
+        Restores speculative rename state from the architectural copies
+        and restarts fetch at the next-to-retire PC.  Retired stores
+        survive in the store buffer (paper Section 4.1).
+        """
+        self.bump("recovery_flushes")
+        self.spec_rat.copy_from(self.arch_rat)
+        self.spec_freelist.copy_from(self.arch_freelist)
+        self.regfile.mark_all_ready()
+        self.rob.flush()
+        self.scheduler.flush()
+        self.execute.flush()
+        self.memunit.flush_speculative()
+        self.frontend.flush()
+        self.frontend.biq.flush()
+        self.rename_dispatch.flush()
+        self.frontend.redirect(unpack_pc(self.retire_unit.arch_pc.get()))
+
+    # ------------------------------------------------------------------
+    # Observation surface
+    # ------------------------------------------------------------------
+
+    def committed_view(self):
+        """The architectural register file as software sees it."""
+        read = self.regfile.read
+        rat = self.arch_rat
+        view = tuple(read(rat.read(arch)) for arch in range(31))
+        return view
+
+    def committed_view_hash(self):
+        return hash(self.committed_view())
+
+    def arch_pc(self):
+        return unpack_pc(self.retire_unit.arch_pc.get())
+
+    def inflight_seqs(self):
+        """Ghost sequence numbers of all in-flight instructions."""
+        seqs = []
+        for slot in self.frontend.f2:
+            if slot.valid.get():
+                seqs.append(slot.seq.get())
+        for entry in self.frontend.fetchq:
+            if entry.valid.get():
+                seqs.append(entry.seq.get())
+        for slot in self.frontend.decode_slots:
+            if slot.valid.get():
+                seqs.append(slot.seq.get())
+        for slot in self.rename_dispatch.slots:
+            if slot.valid.get():
+                seqs.append(slot.seq.get())
+        for entry in self.rob.entries:
+            if entry.valid.get():
+                seqs.append(entry.seq.get())
+        return seqs
+
+    def output_text(self):
+        return "".join(self.output)
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+
+    def checkpoint(self):
+        """Capture complete simulator state (for trial start points)."""
+        side = {
+            "memory": dict(self.memory.quads),
+            "icache": self.icache.save_side(),
+            "dcache": self.dcache.save_side(),
+            "predictor": self.predictor.save_side(),
+            "btb": self.btb.save_side(),
+            "ras": self.ras.save_side(),
+            "storesets": self.storesets.save_side(),
+            "biq": self.frontend.biq.save_side(),
+            "output": list(self.output),
+            "scalars": (self.cycle_count, self.total_retired,
+                        self.fetch_seq, self.halted, self.syscall_count),
+            "stats": dict(self.stats),
+        }
+        return (self.space.snapshot(), side)
+
+    def restore(self, snapshot):
+        values, side = snapshot
+        self.space.restore(values)
+        self.memory.quads = dict(side["memory"])
+        self.icache.load_side(side["icache"])
+        self.dcache.load_side(side["dcache"])
+        self.predictor.load_side(side["predictor"])
+        self.btb.load_side(side["btb"])
+        self.ras.load_side(side["ras"])
+        self.storesets.load_side(side["storesets"])
+        self.frontend.biq.load_side(side["biq"])
+        self.output = list(side["output"])
+        (self.cycle_count, self.total_retired, self.fetch_seq,
+         self.halted, self.syscall_count) = side["scalars"]
+        self.stats = dict(side["stats"])
+        self.failure_event = None
+        self.retired_this_cycle = []
+        self.drains_this_cycle = []
+        self._recovery_requests = []
+        self._flush_requested = False
+
+    # ------------------------------------------------------------------
+    # Fault injection surface
+    # ------------------------------------------------------------------
+
+    def eligible_bits(self, kinds=(StorageKind.LATCH, StorageKind.RAM)):
+        return self.space.eligible_bits(frozenset(kinds))
+
+    def inject_random_fault(self, rng, kinds=(StorageKind.LATCH,
+                                              StorageKind.RAM)):
+        """Flip one uniformly-chosen bit; returns the element's metadata."""
+        element_index, bit = self.space.choose_bit(rng, frozenset(kinds))
+        return self.space.flip_bit(element_index, bit)

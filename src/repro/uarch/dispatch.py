@@ -1,0 +1,191 @@
+"""Rename and dispatch stages.
+
+Rename (4-wide) maps architectural to physical registers through the
+speculative RAT, allocating destinations from the speculative free list
+and recording the previous mapping (``pold``) for recovery and
+retirement-time freeing.  Dispatch allocates ROB, scheduler and
+load/store-queue entries for a renamed group, all-or-nothing.
+
+Injectable state: the rename output latch (control word plus four
+physical-register pointers per slot -- the ``regptr`` latch population of
+paper Table 1).
+"""
+
+from repro.protect.ecc import REGPTR_CODE
+from repro.uarch.statelib import StateCategory, StorageKind
+from repro.uarch.uop import DISP_BITS, LOAD_IDS, STORE_IDS
+from repro.utils.bits import parity
+
+_SEQ_BITS = 40
+
+
+class _RenameSlot:
+    """Rename output latch slot: control word + physical pointers."""
+
+    __slots__ = ("valid", "op_id", "has_dest", "dest_arch", "use_a", "psrc_a",
+                 "use_b", "psrc_b", "pdst", "pold", "is_lit", "literal",
+                 "disp", "pc", "pred_taken", "biq_index", "seq", "parity",
+                 "ptr_ecc")
+
+    def __init__(self, space, name, phys_bits, with_parity, with_ptr_ecc,
+                 biq_bits):
+        kind = StorageKind.LATCH
+        ctrl = StateCategory.CTRL
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.op_id = space.field(name + ".op_id", 8, ctrl, kind)
+        self.has_dest = space.field(name + ".has_dest", 1, ctrl, kind)
+        self.dest_arch = space.field(name + ".dest_arch", 5, ctrl, kind)
+        self.use_a = space.field(name + ".use_a", 1, ctrl, kind)
+        self.use_b = space.field(name + ".use_b", 1, ctrl, kind)
+        self.psrc_a = space.field(
+            name + ".psrc_a", phys_bits, StateCategory.REGPTR, kind)
+        self.psrc_b = space.field(
+            name + ".psrc_b", phys_bits, StateCategory.REGPTR, kind)
+        self.pdst = space.field(
+            name + ".pdst", phys_bits, StateCategory.REGPTR, kind)
+        self.pold = space.field(
+            name + ".pold", phys_bits, StateCategory.REGPTR, kind)
+        self.is_lit = space.field(name + ".is_lit", 1, StateCategory.INSN, kind)
+        self.literal = space.field(
+            name + ".literal", 8, StateCategory.INSN, kind)
+        self.disp = space.field(
+            name + ".disp", DISP_BITS, StateCategory.INSN, kind)
+        self.pc = space.field(name + ".pc", 62, StateCategory.PC, kind)
+        self.pred_taken = space.field(name + ".pred_taken", 1, ctrl, kind)
+        self.biq_index = space.field(name + ".biq", biq_bits, ctrl, kind)
+        self.seq = space.field(
+            name + ".seq", _SEQ_BITS, StateCategory.GHOST, kind)
+        self.parity = None
+        if with_parity:
+            self.parity = space.field(
+                name + ".parity", 1, StateCategory.PARITY, kind)
+        self.ptr_ecc = None
+        if with_ptr_ecc:
+            # One Hamming check word accompanying pdst through the latch
+            # (sources and pold are re-checked at their storage sites).
+            self.ptr_ecc = space.field(
+                name + ".pdst_ecc", REGPTR_CODE.check_bits,
+                StateCategory.ECC, kind)
+
+
+class RenameDispatch:
+    """The rename output latch plus the rename and dispatch stages."""
+
+    def __init__(self, space, config, spec_rat, spec_freelist, biq_bits):
+        self.config = config
+        self.spec_rat = spec_rat
+        self.spec_freelist = spec_freelist
+        self.slots = [
+            _RenameSlot(space, "rename[%d]" % i, config.phys_bits,
+                        config.protection.insn_parity,
+                        config.protection.regptr_ecc, biq_bits)
+            for i in range(config.rename_width)
+        ]
+
+    def flush(self):
+        for slot in self.slots:
+            slot.valid.set(0)
+
+    def squash(self, pipeline):
+        """Undo renamed-but-undispatched instructions (recovery walk).
+
+        These instructions already popped destinations from the free list
+        and rewrote the speculative RAT, but have no ROB entry yet -- the
+        ROB recovery walk cannot see them, so they are unwound here, in
+        reverse rename order.
+        """
+        for slot in reversed(self.slots):
+            if not slot.valid.get():
+                continue
+            if slot.has_dest.get():
+                self.spec_rat.write(slot.dest_arch.get(), slot.pold.get())
+                self.spec_freelist.push_front(slot.pdst.get())
+                pipeline.regfile.ready[
+                    slot.pdst.get() % pipeline.regfile.num_regs].set(1)
+            slot.valid.set(0)
+
+    # -- Rename stage (decode latch -> rename latch) -------------------------
+
+    def rename_stage(self, pipeline):
+        if any(slot.valid.get() for slot in self.slots):
+            return  # dispatch has not consumed the previous group
+        decode_slots = pipeline.frontend.decode_slots
+        group = [slot for slot in decode_slots if slot.valid.get()]
+        if not group:
+            return
+        dests = sum(1 for slot in group if slot.has_dest.get())
+        if self.spec_freelist.available < dests:
+            return  # not enough physical registers: stall
+
+        for i, din in enumerate(group):
+            if din.parity is not None:
+                # The raw instruction word is dropped here: verify its
+                # parity one last time before only decoded fields remain.
+                if parity(din.insn.get()) != din.parity.get():
+                    pipeline.request_parity_flush()
+                    return
+            out = self.slots[i]
+            out.valid.set(1)
+            out.op_id.set(din.op_id.get())
+            out.has_dest.set(din.has_dest.get())
+            out.dest_arch.set(din.dest_arch.get())
+            out.use_a.set(din.use_a.get())
+            out.use_b.set(din.use_b.get())
+            out.psrc_a.set(self.spec_rat.read(din.src_a.get())
+                           if din.use_a.get() else 0)
+            out.psrc_b.set(self.spec_rat.read(din.src_b.get())
+                           if din.use_b.get() else 0)
+            if din.has_dest.get():
+                dest_arch = din.dest_arch.get()
+                pdst = self.spec_freelist.pop()
+                out.pold.set(self.spec_rat.read(dest_arch))
+                out.pdst.set(pdst)
+                self.spec_rat.write(dest_arch, pdst)
+                pipeline.regfile.mark_not_ready(pdst)
+            else:
+                out.pold.set(0)
+                out.pdst.set(0)
+            out.is_lit.set(din.is_lit.get())
+            out.literal.set(din.literal.get())
+            out.disp.set(din.disp.get())
+            out.pc.set(din.pc.get())
+            out.pred_taken.set(din.pred_taken.get())
+            out.biq_index.set(din.biq_index.get())
+            out.seq.set(din.seq.get())
+            if out.parity is not None:
+                # Word dropped; parity now covers the retained insn fields.
+                out.parity.set(parity(
+                    (din.is_lit.get() << 29) | (din.literal.get() << 21)
+                    | din.disp.get()))
+            if out.ptr_ecc is not None:
+                out.ptr_ecc.set(REGPTR_CODE.encode(out.pdst.get()))
+            din.valid.set(0)
+
+    # -- Dispatch stage (rename latch -> ROB/scheduler/LSQ) -------------------
+
+    def dispatch_stage(self, pipeline):
+        group = [slot for slot in self.slots if slot.valid.get()]
+        if not group:
+            return
+        rob = pipeline.rob
+        sched = pipeline.scheduler
+        mem = pipeline.memunit
+        loads = sum(1 for s in group if s.op_id.get() in LOAD_IDS)
+        stores = sum(1 for s in group if s.op_id.get() in STORE_IDS)
+        if (rob.free_entries() < len(group)
+                or sched.free_entries() < len(group)
+                or mem.lq_free() < loads
+                or mem.sq_free() < stores):
+            return  # structural stall
+
+        for slot in group:
+            op_id = slot.op_id.get()
+            rob_index = rob.alloc(slot)
+            lq_index = sq_index = 0
+            if op_id in LOAD_IDS:
+                lq_index = mem.lq_alloc(slot, rob_index)
+            elif op_id in STORE_IDS:
+                sq_index = mem.sq_alloc(slot, rob_index)
+            rob.set_lsq(rob_index, lq_index, sq_index)
+            sched.insert(pipeline, slot, rob_index, lq_index, sq_index)
+            slot.valid.set(0)

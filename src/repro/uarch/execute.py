@@ -1,0 +1,577 @@
+"""Execution engine: register read, ALUs, branch unit, bypass, writeback.
+
+Stage flow (one cycle per arrow)::
+
+    scheduler --select--> IS latch --regread--> EX latch --execute--> WB
+    latch --writeback--> register file
+
+Operand capture is split exactly as in hardware: register read fetches
+operands that are architecturally ready; operands promised by in-flight
+producers are picked off the bypass network at execute.  A promise that
+fails (load miss, producer replay) causes the consumer to **replay**.
+
+The complex ALU is a single pipelined unit with 2-5 cycle latency and a
+result buffer for register-file port conflicts (paper Figure 2).  All
+operand/result values in flight live in ``data``-category latches -- the
+largest latch population in the paper's Table 1.
+"""
+
+from repro.isa.semantics import Exc, cond_taken, operate
+from repro.uarch.statelib import StateCategory, StorageKind
+from repro.uarch.uop import (
+    COMPLEX_LATENCY_BY_ID,
+    CONTROL_IDS,
+    DISP_BITS,
+    JUMP_IDS,
+    LDA_ID,
+    LDAH_ID,
+    MEM_IDS,
+    PAL_IDS,
+    branch_disp,
+    fu_of,
+    mem_disp,
+    op_from_id,
+    unpack_pc,
+)
+from repro.utils.bits import MASK64
+
+_SEQ_BITS = 40
+
+# ROB exception-field encoding (3 bits, total decode).
+EXC_NONE = 0
+EXC_INVALID = 1
+EXC_DIV0 = 2
+EXC_UNALIGNED = 3
+EXC_DTLB = 4
+
+_EXC_FROM_SEM = {
+    Exc.NONE: EXC_NONE,
+    Exc.INVALID_INSN: EXC_INVALID,
+    Exc.DIV_ZERO: EXC_DIV0,
+    Exc.UNALIGNED: EXC_UNALIGNED,
+}
+
+
+class _IsSlot:
+    __slots__ = ("valid", "sched_index")
+
+    def __init__(self, space, name, sched_bits):
+        self.valid = space.field(
+            name + ".valid", 1, StateCategory.VALID, StorageKind.LATCH)
+        self.sched_index = space.field(
+            name + ".sched", sched_bits, StateCategory.CTRL,
+            StorageKind.LATCH)
+
+
+class _ExSlot:
+    """EX-input latch: full control word + captured operand values."""
+
+    __slots__ = ("valid", "sched_index", "op_id", "use_a", "a_valid",
+                 "a_value", "psrc_a", "use_b", "b_valid", "b_value", "psrc_b",
+                 "has_dest", "pdst", "rob_index", "lq_index", "sq_index",
+                 "is_lit", "literal", "disp", "pc", "pred_taken",
+                 "biq_index", "seq")
+
+    def __init__(self, space, name, config, sched_bits, lsq_bits,
+                 biq_bits):
+        kind = StorageKind.LATCH
+        ctrl = StateCategory.CTRL
+        data = StateCategory.DATA
+        phys_bits = config.phys_bits
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.sched_index = space.field(name + ".sched", sched_bits, ctrl, kind)
+        self.op_id = space.field(name + ".op_id", 8, ctrl, kind)
+        self.use_a = space.field(name + ".use_a", 1, ctrl, kind)
+        self.a_valid = space.field(name + ".a_valid", 1, ctrl, kind)
+        self.a_value = space.field(name + ".a_value", 64, data, kind)
+        self.psrc_a = space.field(
+            name + ".psrc_a", phys_bits, StateCategory.REGPTR, kind)
+        self.use_b = space.field(name + ".use_b", 1, ctrl, kind)
+        self.b_valid = space.field(name + ".b_valid", 1, ctrl, kind)
+        self.b_value = space.field(name + ".b_value", 64, data, kind)
+        self.psrc_b = space.field(
+            name + ".psrc_b", phys_bits, StateCategory.REGPTR, kind)
+        self.has_dest = space.field(name + ".has_dest", 1, ctrl, kind)
+        self.pdst = space.field(
+            name + ".pdst", phys_bits, StateCategory.REGPTR, kind)
+        self.rob_index = space.field(
+            name + ".rob", config.rob_bits, StateCategory.ROBPTR, kind)
+        self.lq_index = space.field(
+            name + ".lq", lsq_bits, StateCategory.QCTRL, kind)
+        self.sq_index = space.field(
+            name + ".sq", lsq_bits, StateCategory.QCTRL, kind)
+        self.is_lit = space.field(name + ".is_lit", 1, StateCategory.INSN, kind)
+        self.literal = space.field(
+            name + ".literal", 8, StateCategory.INSN, kind)
+        self.disp = space.field(
+            name + ".disp", DISP_BITS, StateCategory.INSN, kind)
+        self.pc = space.field(name + ".pc", 62, StateCategory.PC, kind)
+        self.pred_taken = space.field(name + ".pred_taken", 1, ctrl, kind)
+        self.biq_index = space.field(name + ".biq", biq_bits, ctrl, kind)
+        self.seq = space.field(
+            name + ".seq", _SEQ_BITS, StateCategory.GHOST, kind)
+
+
+class _WbSlot:
+    """Writeback latch: a result heading for the register file / ROB."""
+
+    __slots__ = ("valid", "has_dest", "pdst", "value", "sched_index",
+                 "rob_index", "exc", "free_sched", "is_load", "lq_index",
+                 "seq")
+
+    def __init__(self, space, name, config, sched_bits, lsq_bits):
+        kind = StorageKind.LATCH
+        ctrl = StateCategory.CTRL
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.has_dest = space.field(name + ".has_dest", 1, ctrl, kind)
+        self.pdst = space.field(
+            name + ".pdst", config.phys_bits, StateCategory.REGPTR, kind)
+        self.value = space.field(
+            name + ".value", 64, StateCategory.DATA, kind)
+        self.sched_index = space.field(name + ".sched", sched_bits, ctrl, kind)
+        self.rob_index = space.field(
+            name + ".rob", config.rob_bits, StateCategory.ROBPTR, kind)
+        self.exc = space.field(name + ".exc", 3, ctrl, kind)
+        self.free_sched = space.field(name + ".free_sched", 1, ctrl, kind)
+        self.is_load = space.field(name + ".is_load", 1, ctrl, kind)
+        self.lq_index = space.field(name + ".lq", lsq_bits, ctrl, kind)
+        self.seq = space.field(
+            name + ".seq", _SEQ_BITS, StateCategory.GHOST, kind)
+
+
+class _ComplexSlot:
+    """One stage of the pipelined complex ALU (result in flight)."""
+
+    __slots__ = ("valid", "timer", "value", "has_dest", "pdst", "rob_index",
+                 "sched_index", "exc", "seq")
+
+    def __init__(self, space, name, config, sched_bits):
+        kind = StorageKind.LATCH
+        ctrl = StateCategory.CTRL
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.timer = space.field(name + ".timer", 3, ctrl, kind)
+        self.value = space.field(name + ".value", 64, StateCategory.DATA, kind)
+        self.has_dest = space.field(name + ".has_dest", 1, ctrl, kind)
+        self.pdst = space.field(
+            name + ".pdst", config.phys_bits, StateCategory.REGPTR, kind)
+        self.rob_index = space.field(
+            name + ".rob", config.rob_bits, StateCategory.ROBPTR, kind)
+        self.sched_index = space.field(name + ".sched", sched_bits, ctrl, kind)
+        self.exc = space.field(name + ".exc", 3, ctrl, kind)
+        self.seq = space.field(
+            name + ".seq", _SEQ_BITS, StateCategory.GHOST, kind)
+
+
+class _BypassSlot:
+    """Bypass-network latch: a result available to consumers at EX."""
+
+    __slots__ = ("valid", "preg", "value", "age")
+
+    def __init__(self, space, name, config):
+        kind = StorageKind.LATCH
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.preg = space.field(
+            name + ".preg", config.phys_bits, StateCategory.REGPTR, kind)
+        self.value = space.field(name + ".value", 64, StateCategory.DATA, kind)
+        self.age = space.field(name + ".age", 2, StateCategory.CTRL, kind)
+
+
+class ExecuteUnit:
+    """IS/EX/WB latches, function units, bypass network."""
+
+    BYPASS_SLOTS_PER_PORT = 2
+    BYPASS_LIFETIME = 2
+
+    def __init__(self, space, config, biq_bits):
+        self.config = config
+        sched_bits = max(1, (config.sched_entries - 1).bit_length())
+        lsq_bits = max(1, (max(config.lq_entries, config.sq_entries)
+                           - 1).bit_length())
+        self.is_latch = [
+            _IsSlot(space, "is[%d]" % i, sched_bits)
+            for i in range(config.issue_width)
+        ]
+        self.ex_latch = [
+            _ExSlot(space, "ex[%d]" % i, config, sched_bits, lsq_bits,
+                    biq_bits)
+            for i in range(config.issue_width)
+        ]
+        # Worst simultaneous completions: EX (issue width) + 2 dcache
+        # ports + 2 MHR fills + up to 3 complex-ALU latency collisions.
+        wb_ports = config.issue_width + 7
+        self.wb_latch = [
+            _WbSlot(space, "wb[%d]" % i, config, sched_bits, lsq_bits)
+            for i in range(wb_ports)
+        ]
+        self.complex_pipe = [
+            _ComplexSlot(space, "cplx[%d]" % i, config, sched_bits)
+            for i in range(config.complex_depth)
+        ]
+        self.bypass = [
+            _BypassSlot(space, "bypass[%d]" % i, config)
+            for i in range(wb_ports * self.BYPASS_LIFETIME)
+        ]
+
+    # -- Flush -----------------------------------------------------------
+
+    def flush(self):
+        for group in (self.is_latch, self.ex_latch, self.wb_latch,
+                      self.complex_pipe, self.bypass):
+            for slot in group:
+                slot.valid.set(0)
+
+    def squash_younger(self, rob_head, boundary_age, rob_n):
+        """Drop in-flight work younger than the recovery point."""
+        for slot in self.ex_latch:
+            if slot.valid.get():
+                age = (slot.rob_index.get() - rob_head) % rob_n
+                if age > boundary_age:
+                    slot.valid.set(0)
+        for slot in self.wb_latch:
+            if slot.valid.get():
+                age = (slot.rob_index.get() - rob_head) % rob_n
+                if age > boundary_age:
+                    slot.valid.set(0)
+        for slot in self.complex_pipe:
+            if slot.valid.get():
+                age = (slot.rob_index.get() - rob_head) % rob_n
+                if age > boundary_age:
+                    slot.valid.set(0)
+        # IS-latch slots reference scheduler entries; squashed entries are
+        # invalidated there and regread drops dangling references.
+
+    # -- Issue interface ------------------------------------------------------
+
+    def is_latch_empty(self):
+        return not any(slot.valid.get() for slot in self.is_latch)
+
+    def accept_issue(self, sched_index, _entry):
+        for slot in self.is_latch:
+            if not slot.valid.get():
+                slot.valid.set(1)
+                slot.sched_index.set(sched_index)
+                return
+
+    def complex_can_accept(self):
+        return any(not slot.valid.get() for slot in self.complex_pipe)
+
+    # -- Wakeup promises --------------------------------------------------------
+
+    def promises(self, preg):
+        """Will ``preg`` be bypassable in time for a consumer issued now?"""
+        for slot in self.bypass:
+            if slot.valid.get() and slot.preg.get() == preg:
+                return True
+        for slot in self.ex_latch:
+            if (slot.valid.get() and slot.has_dest.get()
+                    and slot.pdst.get() == preg
+                    and fu_of(slot.op_id.get()) == 0):
+                return True
+        for slot in self.complex_pipe:
+            if (slot.valid.get() and slot.has_dest.get()
+                    and slot.pdst.get() == preg and slot.timer.get() <= 1):
+                return True
+        return False
+
+    def bypass_lookup(self, preg):
+        for slot in self.bypass:
+            if slot.valid.get() and slot.preg.get() == preg:
+                return slot.value.get()
+        return None
+
+    def _bypass_insert(self, preg, value):
+        target = None
+        oldest_age = -1
+        for slot in self.bypass:
+            if not slot.valid.get():
+                target = slot
+                break
+            if slot.age.get() > oldest_age:
+                oldest_age = slot.age.get()
+                target = slot
+        target.valid.set(1)
+        target.preg.set(preg)
+        target.value.set(value & MASK64)
+        target.age.set(0)
+
+    def _bypass_age_step(self):
+        for slot in self.bypass:
+            if slot.valid.get():
+                age = slot.age.get() + 1
+                if age > self.BYPASS_LIFETIME:
+                    slot.valid.set(0)
+                else:
+                    slot.age.set(age)
+
+    # -- Result posting (used by EX, complex ALU, memory unit) -----------------
+
+    def post_result(self, pipeline, rob_index, sched_index, has_dest, pdst,
+                    value, exc=EXC_NONE, free_sched=True, is_load=False,
+                    lq_index=0, seq=0):
+        """Insert a completed result into the WB latch.
+
+        Returns False when all WB ports are busy this cycle (the caller
+        retries -- the paper's port-conflict buffering).
+        """
+        for slot in self.wb_latch:
+            if slot.valid.get():
+                continue
+            slot.valid.set(1)
+            slot.has_dest.set(1 if has_dest else 0)
+            slot.pdst.set(pdst)
+            slot.value.set(value & MASK64)
+            slot.sched_index.set(sched_index)
+            slot.rob_index.set(rob_index)
+            slot.exc.set(exc)
+            slot.free_sched.set(1 if free_sched else 0)
+            slot.is_load.set(1 if is_load else 0)
+            slot.lq_index.set(lq_index)
+            slot.seq.set(seq)
+            if has_dest and exc == EXC_NONE:
+                self._bypass_insert(pdst, value)
+            return True
+        return False
+
+    # -- Register-read stage (IS latch -> EX latch) ------------------------------
+
+    def regread_stage(self, pipeline):
+        sched = pipeline.scheduler
+        regfile = pipeline.regfile
+        moved = False
+        for is_slot in self.is_latch:
+            if not is_slot.valid.get():
+                continue
+            is_slot.valid.set(0)
+            index = is_slot.sched_index.get() % len(sched.entries)
+            entry = sched.entries[index]
+            if not entry.valid.get() or not entry.issued.get():
+                continue  # squashed while in the issue latch
+            entry.repair_ptrs()  # regptr ECC check at the payload read
+            ex = self._free_ex_slot()
+            if ex is None:
+                # No EX slot (corrupted valid bits): replay the uop.
+                sched.replay(index)
+                continue
+            self._capture(ex, entry, index, regfile)
+            moved = True
+        return moved
+
+    def _free_ex_slot(self):
+        for slot in self.ex_latch:
+            if not slot.valid.get():
+                return slot
+        return None
+
+    def _capture(self, ex, entry, sched_index, regfile):
+        ex.valid.set(1)
+        ex.sched_index.set(sched_index)
+        ex.op_id.set(entry.op_id.get())
+        ex.use_a.set(entry.use_a.get())
+        ex.psrc_a.set(entry.psrc_a.get())
+        ex.use_b.set(entry.use_b.get())
+        ex.psrc_b.set(entry.psrc_b.get())
+        ex.has_dest.set(entry.has_dest.get())
+        ex.pdst.set(entry.pdst.get())
+        ex.rob_index.set(entry.rob_index.get())
+        ex.lq_index.set(entry.lq_index.get())
+        ex.sq_index.set(entry.sq_index.get())
+        ex.is_lit.set(entry.is_lit.get())
+        ex.literal.set(entry.literal.get())
+        ex.disp.set(entry.disp.get())
+        ex.pc.set(entry.pc.get())
+        ex.pred_taken.set(entry.pred_taken.get())
+        ex.biq_index.set(entry.biq_index.get())
+        ex.seq.set(entry.seq.get())
+        for use, src, val_valid, val in (
+                (ex.use_a, ex.psrc_a, ex.a_valid, ex.a_value),
+                (ex.use_b, ex.psrc_b, ex.b_valid, ex.b_value)):
+            if not use.get():
+                val_valid.set(1)
+                val.set(0)
+                continue
+            preg = src.get()
+            if regfile.is_ready(preg):
+                val_valid.set(1)
+                val.set(regfile.read(preg))
+            else:
+                bypassed = self.bypass_lookup(preg)
+                if bypassed is not None:
+                    val_valid.set(1)
+                    val.set(bypassed)
+                else:
+                    val_valid.set(0)  # promised: resolve at EX
+                    val.set(0)
+
+    # -- Execute stage (EX latch -> WB latch / FUs / memory unit) ----------------
+
+    def execute_stage(self, pipeline):
+        self._bypass_age_step()
+        sched = pipeline.scheduler
+        for ex in self.ex_latch:
+            if not ex.valid.get():
+                continue
+            ex.valid.set(0)
+            if not self._resolve_operands(pipeline, ex):
+                sched.replay(ex.sched_index.get())
+                continue
+            op_id = ex.op_id.get()
+            if op_id in MEM_IDS:
+                pipeline.memunit.execute_mem(pipeline, ex)
+            elif op_id in CONTROL_IDS:
+                self._execute_branch(pipeline, ex)
+            elif op_id in COMPLEX_LATENCY_BY_ID:
+                self._enter_complex(pipeline, ex)
+            else:
+                self._execute_simple(pipeline, ex)
+        self._complex_step(pipeline)
+
+    def _resolve_operands(self, pipeline, ex):
+        regfile = pipeline.regfile
+        for val_valid, src, val in ((ex.a_valid, ex.psrc_a, ex.a_value),
+                                    (ex.b_valid, ex.psrc_b, ex.b_value)):
+            if val_valid.get():
+                continue
+            preg = src.get()
+            bypassed = self.bypass_lookup(preg)
+            if bypassed is not None:
+                val.set(bypassed)
+                val_valid.set(1)
+            elif regfile.is_ready(preg):
+                val.set(regfile.read(preg))
+                val_valid.set(1)
+            else:
+                return False
+        return True
+
+    def _operands(self, ex):
+        a = ex.a_value.get()
+        b = ex.literal.get() if ex.is_lit.get() else ex.b_value.get()
+        return a, b
+
+    def _execute_simple(self, pipeline, ex):
+        op_id = ex.op_id.get()
+        op = op_from_id(op_id)
+        a, b = self._operands(ex)
+        exc = EXC_NONE
+        if op_id in PAL_IDS:
+            value = a  # output PAL ops carry their argument; HALT acts at retire
+        elif op_id == LDA_ID:
+            value = (ex.b_value.get() + mem_disp(ex.disp.get())) & MASK64
+        elif op_id == LDAH_ID:
+            value = (ex.b_value.get()
+                     + mem_disp(ex.disp.get()) * 65536) & MASK64
+        else:
+            value, sem_exc = operate(op, a, b)
+            exc = _EXC_FROM_SEM.get(sem_exc, EXC_INVALID)
+        posted = self.post_result(
+            pipeline, ex.rob_index.get(), ex.sched_index.get(),
+            ex.has_dest.get(), ex.pdst.get(), value, exc=exc,
+            seq=ex.seq.get())
+        if not posted:
+            pipeline.scheduler.replay(ex.sched_index.get())
+
+    def _enter_complex(self, pipeline, ex):
+        slot = None
+        for candidate in self.complex_pipe:
+            if not candidate.valid.get():
+                slot = candidate
+                break
+        if slot is None:
+            pipeline.scheduler.replay(ex.sched_index.get())
+            return
+        op = op_from_id(ex.op_id.get())
+        a, b = self._operands(ex)
+        value, sem_exc = operate(op, a, b)
+        slot.valid.set(1)
+        slot.timer.set(min(7, COMPLEX_LATENCY_BY_ID.get(ex.op_id.get(), 2)))
+        slot.value.set(value)
+        slot.has_dest.set(ex.has_dest.get())
+        slot.pdst.set(ex.pdst.get())
+        slot.rob_index.set(ex.rob_index.get())
+        slot.sched_index.set(ex.sched_index.get())
+        slot.exc.set(_EXC_FROM_SEM.get(sem_exc, EXC_INVALID))
+        slot.seq.set(ex.seq.get())
+
+    def _complex_step(self, pipeline):
+        for slot in self.complex_pipe:
+            if not slot.valid.get():
+                continue
+            timer = slot.timer.get()
+            if timer > 1:
+                slot.timer.set(timer - 1)
+                continue
+            posted = self.post_result(
+                pipeline, slot.rob_index.get(), slot.sched_index.get(),
+                slot.has_dest.get(), slot.pdst.get(), slot.value.get(),
+                exc=slot.exc.get(), seq=slot.seq.get())
+            if posted:
+                slot.valid.set(0)
+            # else: result buffered in the slot until a WB port frees
+            # (the paper's register-file port-conflict buffer).
+
+    def _execute_branch(self, pipeline, ex):
+        op_id = ex.op_id.get()
+        op = op_from_id(op_id)
+        pc = unpack_pc(ex.pc.get())
+        fall_through = (pc + 4) & MASK64
+        if op_id in JUMP_IDS:
+            taken = True
+            target = ex.b_value.get() & ~3 & MASK64
+        else:
+            taken = cond_taken(op, ex.a_value.get())
+            if taken:
+                target = (fall_through
+                          + 4 * branch_disp(ex.disp.get())) & MASK64
+            else:
+                target = fall_through
+        predicted = pipeline.frontend.biq.predicted_next(
+            ex.biq_index.get())
+
+        pipeline.rob.set_branch_outcome(ex.rob_index.get(), taken, target)
+        posted = self.post_result(
+            pipeline, ex.rob_index.get(), ex.sched_index.get(),
+            ex.has_dest.get(), ex.pdst.get(), fall_through,
+            seq=ex.seq.get())
+        if not posted:
+            # WB ports exhausted (possible only under fault corruption of
+            # the valid bits): re-execute the branch; its resolution and
+            # any recovery below are idempotent.
+            pipeline.scheduler.replay(ex.sched_index.get())
+            return
+
+        # Train predictors at resolution, using the fetch-time global
+        # history carried by the branch-info queue.
+        if op_id not in JUMP_IDS and op_id in CONTROL_IDS:
+            is_cond = not (op_from_id(op_id).name in ("BR", "BSR"))
+            if is_cond:
+                _ras_snap, fetch_ghr = pipeline.frontend.biq.snapshot_of(
+                    ex.biq_index.get())
+                pipeline.predictor.update(pc, taken, ghr=fetch_ghr)
+        else:
+            pipeline.btb.update(pc, target)
+
+        if target != predicted:
+            pipeline.request_branch_recovery(
+                rob_index=ex.rob_index.get(), target=target,
+                biq_index=ex.biq_index.get(), op_id=op_id, pc=pc,
+                taken=taken)
+
+    # -- Writeback stage (WB latch -> regfile / ROB / scheduler) -----------------
+
+    def writeback_stage(self, pipeline):
+        sched = pipeline.scheduler
+        rob = pipeline.rob
+        for slot in self.wb_latch:
+            if not slot.valid.get():
+                continue
+            slot.valid.set(0)
+            exc = slot.exc.get()
+            if exc != EXC_NONE:
+                rob.set_exception(slot.rob_index.get(), exc)
+            elif slot.has_dest.get():
+                pipeline.regfile.write(slot.pdst.get(), slot.value.get())
+            rob.mark_done(slot.rob_index.get())
+            if slot.free_sched.get():
+                sched.complete(slot.sched_index.get())
+            if slot.is_load.get():
+                pipeline.memunit.lq_mark_done(slot.lq_index.get())

@@ -1,0 +1,424 @@
+"""Pipeline front end: fetch (2 stages), fetch queue, decode.
+
+Fetch is 8-wide and split-line from the (functional) L1 instruction
+cache, steered by the hybrid direction predictor, BTB and RAS.  Fetched
+words enter the 32-entry fetch queue; decode is 4-wide and produces the
+control-word fields of :mod:`repro.uarch.uop` into the decode output
+latch consumed by rename.
+
+Injectable state: the fetch PC, the instruction-cache miss-handling
+latches, the fetch-stage output latch, the fetch queue (instruction
+words, PCs, prediction bits, valid bits, queue pointers) and the decode
+output latch.  Predictor tables and cache arrays are functional
+(excluded from injection per paper Section 3.1).
+"""
+
+from repro.isa.encoding import decode as isa_decode
+from repro.uarch.statelib import StateCategory, StorageKind
+from repro.uarch.uop import (
+    DISP_BITS,
+    decode_control_word,
+    pack_pc,
+    unpack_pc,
+)
+from repro.utils.bits import parity
+
+_SEQ_BITS = 40
+
+
+class BranchInfoQueue:
+    """Per-in-flight-branch prediction state (a real structure in modern
+    frontends): the predicted next PC plus -- as functional side state,
+    since they only steer prediction -- the RAS-pointer and global-history
+    snapshots used for misprediction recovery.
+
+    Instructions carry a small BIQ index through the pipeline instead of
+    a full 62-bit predicted target, matching the paper's Table 1 ``pc``
+    bit budget.
+    """
+
+    def __init__(self, space, config):
+        self.capacity = max(8, config.fetchq_entries)
+        self.pred_next = space.array(
+            "biq.pred_next", self.capacity, 62, StateCategory.PC,
+            StorageKind.RAM)
+        bits = max(1, (self.capacity - 1).bit_length())
+        self.index_bits = bits
+        self.head = space.field(
+            "biq.head", bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.tail = space.field(
+            "biq.tail", bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.count = space.field(
+            "biq.count", bits + 1, StateCategory.QCTRL, StorageKind.LATCH)
+        # Functional recovery snapshots (predictor state, not injectable).
+        self.ras_snap = [0] * self.capacity
+        self.ghr_snap = [0] * self.capacity
+
+    def full(self):
+        return self.count.get() >= self.capacity
+
+    def alloc(self, predicted_next_pc, ras_snapshot, ghr_snapshot):
+        index = self.tail.get() % self.capacity
+        self.pred_next[index].set(pack_pc(predicted_next_pc))
+        self.ras_snap[index] = ras_snapshot
+        self.ghr_snap[index] = ghr_snapshot
+        self.tail.set((self.tail.get() + 1) % self.capacity)
+        self.count.set(min(self.capacity, self.count.get() + 1))
+        return index
+
+    def predicted_next(self, index):
+        return unpack_pc(self.pred_next[index % self.capacity].get())
+
+    def snapshot_of(self, index):
+        index %= self.capacity
+        return self.ras_snap[index], self.ghr_snap[index]
+
+    def free_head(self):
+        """Pop the oldest entry (its branch retired)."""
+        if self.count.get():
+            self.head.set((self.head.get() + 1) % self.capacity)
+            self.count.set(self.count.get() - 1)
+
+    def rewind_to(self, index):
+        """Recovery: drop entries younger than ``index`` (kept)."""
+        head = self.head.get() % self.capacity
+        keep = ((index - head) % self.capacity) + 1
+        keep = min(keep, self.capacity)
+        self.tail.set((head + keep) % self.capacity)
+        self.count.set(keep)
+
+    def rewind_before(self, index):
+        """Recovery: drop ``index`` and everything younger than it."""
+        head = self.head.get() % self.capacity
+        keep = (index - head) % self.capacity
+        self.tail.set((head + keep) % self.capacity)
+        self.count.set(keep)
+
+    def flush(self):
+        self.head.set(0)
+        self.tail.set(0)
+        self.count.set(0)
+
+    def save_side(self):
+        return (list(self.ras_snap), list(self.ghr_snap))
+
+    def load_side(self, saved):
+        ras_snap, ghr_snap = saved
+        self.ras_snap = list(ras_snap)
+        self.ghr_snap = list(ghr_snap)
+
+
+class _InsnSlot:
+    """State-element bundle for one in-flight pre-decode instruction."""
+
+    __slots__ = ("valid", "insn", "pc", "pred_taken", "biq_index", "seq",
+                 "parity")
+
+    def __init__(self, space, name, kind, with_parity, biq_bits):
+        self.valid = space.field(
+            name + ".valid", 1, StateCategory.VALID, kind)
+        self.insn = space.field(
+            name + ".insn", 32, StateCategory.INSN, kind)
+        self.pc = space.field(name + ".pc", 62, StateCategory.PC, kind)
+        self.pred_taken = space.field(
+            name + ".pred_taken", 1, StateCategory.CTRL, kind)
+        self.biq_index = space.field(
+            name + ".biq", biq_bits, StateCategory.CTRL, kind)
+        self.seq = space.field(
+            name + ".seq", _SEQ_BITS, StateCategory.GHOST, kind)
+        self.parity = None
+        if with_parity:
+            self.parity = space.field(
+                name + ".parity", 1, StateCategory.PARITY, kind)
+
+    def copy_from(self, other):
+        self.valid.set(other.valid.get())
+        self.insn.set(other.insn.get())
+        self.pc.set(other.pc.get())
+        self.pred_taken.set(other.pred_taken.get())
+        self.biq_index.set(other.biq_index.get())
+        self.seq.set(other.seq.get())
+        if self.parity is not None and other.parity is not None:
+            self.parity.set(other.parity.get())
+
+
+class _DecodeSlot:
+    """Decode output latch slot: the full post-decode control word."""
+
+    __slots__ = ("valid", "op_id", "has_dest", "dest_arch", "use_a", "src_a",
+                 "use_b", "src_b", "is_lit", "literal", "disp", "insn", "pc",
+                 "pred_taken", "biq_index", "seq", "parity")
+
+    def __init__(self, space, name, with_parity, biq_bits):
+        kind = StorageKind.LATCH
+        ctrl = StateCategory.CTRL
+        insn_cat = StateCategory.INSN
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.op_id = space.field(name + ".op_id", 8, ctrl, kind)
+        self.has_dest = space.field(name + ".has_dest", 1, ctrl, kind)
+        self.dest_arch = space.field(name + ".dest_arch", 5, ctrl, kind)
+        self.use_a = space.field(name + ".use_a", 1, ctrl, kind)
+        self.src_a = space.field(name + ".src_a", 5, ctrl, kind)
+        self.use_b = space.field(name + ".use_b", 1, ctrl, kind)
+        self.src_b = space.field(name + ".src_b", 5, ctrl, kind)
+        self.is_lit = space.field(name + ".is_lit", 1, insn_cat, kind)
+        self.literal = space.field(name + ".literal", 8, insn_cat, kind)
+        self.disp = space.field(name + ".disp", DISP_BITS, insn_cat, kind)
+        self.insn = space.field(name + ".insn", 32, insn_cat, kind)
+        self.pc = space.field(name + ".pc", 62, StateCategory.PC, kind)
+        self.pred_taken = space.field(name + ".pred_taken", 1, ctrl, kind)
+        self.biq_index = space.field(
+            name + ".biq", biq_bits, ctrl, kind)
+        self.seq = space.field(
+            name + ".seq", _SEQ_BITS, StateCategory.GHOST, kind)
+        self.parity = None
+        if with_parity:
+            self.parity = space.field(
+                name + ".parity", 1, StateCategory.PARITY, kind)
+
+
+class Frontend:
+    """Fetch stages, fetch queue and decode stage."""
+
+    def __init__(self, space, config, icache, predictor, btb, ras):
+        self.config = config
+        self.icache = icache
+        self.predictor = predictor
+        self.btb = btb
+        self.ras = ras
+        with_parity = config.protection.insn_parity
+
+        self.fetch_pc = space.field(
+            "fetch.pc", 62, StateCategory.PC, StorageKind.LATCH)
+        self.imiss_active = space.field(
+            "fetch.imiss.active", 1, StateCategory.CTRL, StorageKind.LATCH)
+        self.imiss_timer = space.field(
+            "fetch.imiss.timer", 4, StateCategory.CTRL, StorageKind.LATCH)
+        self.imiss_line = space.field(
+            "fetch.imiss.line", 58, StateCategory.ADDR, StorageKind.LATCH)
+
+        self.biq = BranchInfoQueue(space, config)
+        biq_bits = self.biq.index_bits
+        self.f2 = [
+            _InsnSlot(space, "fetch.f2[%d]" % i, StorageKind.LATCH,
+                      with_parity, biq_bits)
+            for i in range(config.fetch_width)
+        ]
+        self.fetchq = [
+            _InsnSlot(space, "fetchq[%d]" % i, StorageKind.RAM, with_parity,
+                      biq_bits)
+            for i in range(config.fetchq_entries)
+        ]
+        n = config.fetchq_entries
+        ptr_bits = max(1, (n - 1).bit_length())
+        self.fq_head = space.field(
+            "fetchq.head", ptr_bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.fq_tail = space.field(
+            "fetchq.tail", ptr_bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.fq_count = space.field(
+            "fetchq.count", ptr_bits + 1, StateCategory.QCTRL,
+            StorageKind.LATCH)
+
+        self.decode_slots = [
+            _DecodeSlot(space, "decode[%d]" % i, with_parity, biq_bits)
+            for i in range(config.decode_width)
+        ]
+
+    # -- Reset / flush ------------------------------------------------------
+
+    def reset(self, entry_pc):
+        self.fetch_pc.set(pack_pc(entry_pc))
+        self.flush()
+
+    def flush(self):
+        """Squash everything fetched but not yet renamed."""
+        self.imiss_active.set(0)
+        for slot in self.f2:
+            slot.valid.set(0)
+        self.fq_head.set(0)
+        self.fq_tail.set(0)
+        self.fq_count.set(0)
+        for entry in self.fetchq:
+            entry.valid.set(0)
+        for slot in self.decode_slots:
+            slot.valid.set(0)
+
+    def redirect(self, target_pc):
+        """Steer fetch to ``target_pc`` (recovery or flush restart)."""
+        self.fetch_pc.set(pack_pc(target_pc))
+        self.imiss_active.set(0)
+
+    # -- Decode stage (fetchq -> decode latch) -------------------------------
+
+    def decode_stage(self, pipeline):
+        if any(slot.valid.get() for slot in self.decode_slots):
+            return  # rename has not consumed the previous group
+        count = self.fq_count.get()
+        if count == 0:
+            return
+        n_entries = len(self.fetchq)
+        take = min(self.config.decode_width, count)
+        head = self.fq_head.get()
+        taken = 0
+        for i in range(take):
+            entry = self.fetchq[(head + i) % n_entries]
+            if not entry.valid.get():
+                # Corrupted queue state: stop at the hole.
+                break
+            word = entry.insn.get()
+            if entry.parity is not None and parity(word) != entry.parity.get():
+                pipeline.request_parity_flush()
+                break
+            self._decode_into(self.decode_slots[i], entry, word)
+            entry.valid.set(0)
+            taken += 1
+        if taken:
+            self.fq_head.set((head + taken) % n_entries)
+            self.fq_count.set(max(0, count - taken))
+
+    def _decode_into(self, slot, entry, word):
+        fields = decode_control_word(isa_decode(word))
+        slot.valid.set(1)
+        slot.op_id.set(fields["op_id"])
+        slot.has_dest.set(fields["has_dest"])
+        slot.dest_arch.set(fields["dest_arch"])
+        slot.use_a.set(fields["use_a"])
+        slot.src_a.set(fields["src_a"])
+        slot.use_b.set(fields["use_b"])
+        slot.src_b.set(fields["src_b"])
+        slot.is_lit.set(fields["is_lit"])
+        slot.literal.set(fields["literal"])
+        slot.disp.set(fields["disp"])
+        slot.insn.set(word)
+        slot.pc.set(entry.pc.get())
+        slot.pred_taken.set(entry.pred_taken.get())
+        slot.biq_index.set(entry.biq_index.get())
+        slot.seq.set(entry.seq.get())
+        if slot.parity is not None:
+            # The whole word still travels with the instruction here.
+            slot.parity.set(parity(word))
+
+    # -- Fetch stage 2 (F2 latch -> fetch queue) -------------------------------
+
+    def fetch2_stage(self, pipeline):
+        group = [slot for slot in self.f2 if slot.valid.get()]
+        if not group:
+            return
+        n_entries = len(self.fetchq)
+        if self.fq_count.get() + len(group) > n_entries:
+            return  # back-pressure: hold the group in F2
+        tail = self.fq_tail.get()
+        for i, slot in enumerate(group):
+            entry = self.fetchq[(tail + i) % n_entries]
+            entry.copy_from(slot)
+            if entry.parity is not None:
+                entry.parity.set(parity(slot.insn.get()))
+            slot.valid.set(0)
+        self.fq_tail.set((tail + len(group)) % n_entries)
+        self.fq_count.set(min(n_entries, self.fq_count.get() + len(group)))
+
+    # -- Fetch stage 1 (icache access + prediction -> F2 latch) ----------------
+
+    def fetch1_stage(self, pipeline):
+        if self.imiss_active.get():
+            timer = self.imiss_timer.get()
+            if timer > 1:
+                self.imiss_timer.set(timer - 1)
+                return
+            self.icache.fill(self.imiss_line.get() << 2)
+            self.imiss_active.set(0)
+            return
+        if any(slot.valid.get() for slot in self.f2):
+            return  # F2 not drained (fetch queue full)
+
+        pc = unpack_pc(self.fetch_pc.get())
+        if not self.icache.lookup(pc):
+            pipeline.bump("icache_misses")
+            self._start_imiss(pc)
+            return
+
+        line_bytes = self.icache.line_bytes
+        first_line = self.icache.line_address(pc)
+        crossed_line_ok = None  # lazily checked on first crossing
+        next_pc = pc
+        fetched = 0
+        redirect = None
+        while fetched < self.config.fetch_width:
+            addr = pc + 4 * fetched
+            line = self.icache.line_address(addr)
+            if line != first_line:
+                if crossed_line_ok is None:
+                    crossed_line_ok = self.icache.lookup(addr)
+                if not crossed_line_ok:
+                    break  # stop at the boundary; next cycle handles it
+                if line != first_line + line_bytes:
+                    break  # at most two sequential lines per fetch
+            word = pipeline.memory.fetch_word(addr)
+            insn = isa_decode(word)
+            biq_index = 0
+            if insn.is_control:
+                if self.biq.full():
+                    break  # no branch-info entry: stall at this insn
+                # Snapshot prediction state before this instruction's own
+                # speculative effects, for misprediction recovery.
+                ras_snap = self.ras.snapshot()
+                ghr_snap = self.predictor.global_hist
+                pred_taken, pred_target = self._predict(insn, addr)
+                predicted_next = pred_target if pred_taken else addr + 4
+                biq_index = self.biq.alloc(predicted_next, ras_snap,
+                                           ghr_snap)
+            else:
+                pred_taken, pred_target = False, addr + 4
+            slot = self.f2[fetched]
+            seq = pipeline.next_seq(addr)
+            slot.valid.set(1)
+            slot.insn.set(word)
+            slot.pc.set(pack_pc(addr))
+            slot.pred_taken.set(1 if pred_taken else 0)
+            slot.biq_index.set(biq_index)
+            slot.seq.set(seq)
+            if slot.parity is not None:
+                slot.parity.set(parity(word))
+            fetched += 1
+            if pred_taken:
+                redirect = pred_target
+                break
+            if insn.is_halt:
+                break  # stop fetching past a halt
+        next_pc = redirect if redirect is not None else pc + 4 * fetched
+        if fetched:
+            self.fetch_pc.set(pack_pc(next_pc))
+            pipeline.note_fetch_pages(pc, fetched)
+
+    def _start_imiss(self, pc):
+        self.imiss_active.set(1)
+        self.imiss_timer.set(min(15, self.config.miss_latency))
+        self.imiss_line.set(self.icache.line_address(pc) >> 2)
+
+    def _predict(self, insn, pc):
+        """Fetch-time prediction (predecode + predictor structures).
+
+        Returns ``(taken, target)``.  Also performs the speculative RAS
+        push/pop and global-history shift, recording recovery snapshots
+        in the pipeline's side metadata.
+        """
+        fall_through = pc + 4
+        if insn.is_uncond_branch:  # BR / BSR: direct, always taken
+            if insn.op.name == "BSR":
+                self.ras.push(fall_through)
+            return True, insn.branch_target(pc)
+        if insn.is_cond_branch:
+            taken = self.predictor.predict(pc)
+            self.predictor.speculate(taken)
+            return taken, insn.branch_target(pc)
+        if insn.is_jump:
+            mnem = insn.op.name
+            if mnem == "RET":
+                return True, self.ras.pop()
+            target = self.btb.lookup(pc)
+            if mnem == "JSR":
+                self.ras.push(fall_through)
+            if target is None:
+                return False, fall_through  # will resolve at execute
+            return True, target
+        return False, fall_through

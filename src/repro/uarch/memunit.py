@@ -1,0 +1,660 @@
+"""Memory unit: load/store queues, miss handling, store sets, drain.
+
+* 16-entry load and store queues (paper Figure 2), circular, allocated at
+  dispatch in program order.
+* 2-cycle dual-ported L1 data cache, dual porting via eight interleaved
+  banks; bank conflicts retry.
+* 16 non-coalescing miss-handling registers; an L1 miss is serviced in a
+  constant 8 cycles (paper Section 2.1).
+* Store-to-load forwarding through an explicit forward latch (the
+  "state in the memory unit that records store to load forwarding" the
+  paper calls out as frequently-dead state).
+* Memory-dependence speculation with store sets [Chrysos & Emer]: loads
+  issue past unknown-address stores; a violating store triggers a
+  recovery flush from the load and trains the predictor.
+
+Stores drain to memory in program order after retirement, one per cycle;
+the store buffer keeps its state across pipeline flushes (the paper notes
+this is why a flush cannot clear store-buffer deadlocks).
+"""
+
+from repro.arch.memory import page_of
+from repro.uarch.execute import EXC_DTLB, EXC_NONE, EXC_UNALIGNED
+from repro.uarch.statelib import StateCategory, StorageKind
+from repro.uarch.uop import LDL_ID, LOAD_IDS, STL_ID, mem_disp, unpack_pc
+from repro.utils.bits import MASK64
+
+_SEQ_BITS = 40
+
+# Sentinel: the load must wait (unforwardable older-store conflict).
+_WAIT = object()
+
+
+class _LoadEntry:
+    __slots__ = ("valid", "addr", "addr_ready", "size_l", "executed", "done",
+                 "pdst", "rob_index", "sched_index", "seq", "pdst_ecc")
+
+    def __init__(self, space, name, config, sched_bits):
+        kind = StorageKind.RAM
+        ctrl = StateCategory.CTRL
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.addr = space.field(name + ".addr", 64, StateCategory.ADDR, kind)
+        self.addr_ready = space.field(name + ".addr_ready", 1, ctrl, kind)
+        self.size_l = space.field(name + ".size_l", 1, ctrl, kind)
+        self.executed = space.field(name + ".executed", 1, ctrl, kind)
+        self.done = space.field(name + ".done", 1, ctrl, kind)
+        self.pdst = space.field(
+            name + ".pdst", config.phys_bits, StateCategory.REGPTR, kind)
+        self.rob_index = space.field(
+            name + ".rob", config.rob_bits, StateCategory.ROBPTR, kind)
+        self.sched_index = space.field(name + ".sched", sched_bits, ctrl, kind)
+        self.seq = space.field(
+            name + ".seq", _SEQ_BITS, StateCategory.GHOST, kind)
+        self.pdst_ecc = None
+        if config.protection.regptr_ecc:
+            from repro.protect.ecc import REGPTR_CODE
+            self.pdst_ecc = space.field(
+                name + ".pdst_ecc", REGPTR_CODE.check_bits,
+                StateCategory.ECC, kind)
+
+    def encode_ptr_ecc(self):
+        if self.pdst_ecc is not None:
+            from repro.protect.ecc import REGPTR_CODE
+            self.pdst_ecc.set(REGPTR_CODE.encode(self.pdst.get()))
+
+    def repair_ptrs(self):
+        if self.pdst_ecc is None:
+            return
+        from repro.protect.ecc import REGPTR_CODE
+        value = self.pdst.get()
+        corrected, _status = REGPTR_CODE.correct(value, self.pdst_ecc.get())
+        if corrected != value:
+            self.pdst.set(corrected)
+
+
+class _StoreEntry:
+    __slots__ = ("valid", "addr", "addr_ready", "data", "data_ready",
+                 "size_l", "retired", "rob_index", "seq")
+
+    def __init__(self, space, name, config):
+        kind = StorageKind.RAM
+        ctrl = StateCategory.CTRL
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.addr = space.field(name + ".addr", 64, StateCategory.ADDR, kind)
+        self.addr_ready = space.field(name + ".addr_ready", 1, ctrl, kind)
+        self.data = space.field(name + ".data", 64, StateCategory.DATA, kind)
+        self.data_ready = space.field(name + ".data_ready", 1, ctrl, kind)
+        self.size_l = space.field(name + ".size_l", 1, ctrl, kind)
+        self.retired = space.field(name + ".retired", 1, ctrl, kind)
+        self.rob_index = space.field(
+            name + ".rob", config.rob_bits, StateCategory.ROBPTR, kind)
+        self.seq = space.field(
+            name + ".seq", _SEQ_BITS, StateCategory.GHOST, kind)
+
+
+class _MissRegister:
+    __slots__ = ("valid", "addr", "timer", "size_l", "pdst", "rob_index",
+                 "sched_index", "lq_index", "seq")
+
+    def __init__(self, space, name, config, sched_bits, lq_bits):
+        kind = StorageKind.LATCH
+        ctrl = StateCategory.CTRL
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.addr = space.field(name + ".addr", 64, StateCategory.ADDR, kind)
+        self.timer = space.field(name + ".timer", 4, ctrl, kind)
+        self.size_l = space.field(name + ".size_l", 1, ctrl, kind)
+        self.pdst = space.field(
+            name + ".pdst", config.phys_bits, StateCategory.REGPTR, kind)
+        self.rob_index = space.field(
+            name + ".rob", config.rob_bits, StateCategory.ROBPTR, kind)
+        self.sched_index = space.field(name + ".sched", sched_bits, ctrl, kind)
+        self.lq_index = space.field(name + ".lq", lq_bits, ctrl, kind)
+        self.seq = space.field(
+            name + ".seq", _SEQ_BITS, StateCategory.GHOST, kind)
+
+
+class _AccessSlot:
+    """M1/M2 pipeline latch for an in-flight data-cache access."""
+
+    __slots__ = ("valid", "lq_index", "fwd_valid", "fwd_value")
+
+    def __init__(self, space, name, lq_bits):
+        kind = StorageKind.LATCH
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.lq_index = space.field(
+            name + ".lq", lq_bits, StateCategory.CTRL, kind)
+        # Store-to-load forwarding latch.
+        self.fwd_valid = space.field(
+            name + ".fwd_valid", 1, StateCategory.CTRL, kind)
+        self.fwd_value = space.field(
+            name + ".fwd_value", 64, StateCategory.DATA, kind)
+
+
+class StoreSets:
+    """Functional store-set predictor (SSIT + LFST).
+
+    Prediction tables are timing-only (a wrong prediction is recovered by
+    the violation flush), so they are side state, not injectable.
+    """
+
+    def __init__(self):
+        self.ssit = {}
+        self.next_set = 1
+        self.lfst = {}
+
+    def set_of(self, pc):
+        return self.ssit.get(pc)
+
+    def note_store_dispatch(self, pc, sq_index):
+        set_id = self.ssit.get(pc)
+        if set_id is not None:
+            self.lfst[set_id] = sq_index
+
+    def blocking_store(self, pc):
+        """SQ index the load at ``pc`` should wait for, or None."""
+        set_id = self.ssit.get(pc)
+        if set_id is None:
+            return None
+        return self.lfst.get(set_id)
+
+    def train(self, load_pc, store_pc):
+        """Assign the violating load/store pair to one store set."""
+        set_id = (self.ssit.get(load_pc) or self.ssit.get(store_pc))
+        if set_id is None:
+            set_id = self.next_set
+            self.next_set += 1
+        self.ssit[load_pc] = set_id
+        self.ssit[store_pc] = set_id
+
+    def save_side(self):
+        return (dict(self.ssit), self.next_set, dict(self.lfst))
+
+    def load_side(self, saved):
+        ssit, next_set, lfst = saved
+        self.ssit = dict(ssit)
+        self.next_set = next_set
+        self.lfst = dict(lfst)
+
+
+class MemoryUnit:
+    """LQ, SQ, MHRs and the 2-cycle banked data-cache pipeline."""
+
+    def __init__(self, space, config, dcache):
+        self.config = config
+        self.dcache = dcache
+        self.storesets = StoreSets()
+        sched_bits = max(1, (config.sched_entries - 1).bit_length())
+        lq_bits = max(1, (config.lq_entries - 1).bit_length())
+        sq_bits = max(1, (config.sq_entries - 1).bit_length())
+
+        self.lq = [
+            _LoadEntry(space, "lq[%d]" % i, config, sched_bits)
+            for i in range(config.lq_entries)
+        ]
+        self.lq_head = space.field(
+            "lq.head", lq_bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.lq_tail = space.field(
+            "lq.tail", lq_bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.lq_count = space.field(
+            "lq.count", lq_bits + 1, StateCategory.QCTRL, StorageKind.LATCH)
+
+        self.sq = [
+            _StoreEntry(space, "sq[%d]" % i, config)
+            for i in range(config.sq_entries)
+        ]
+        self.sq_head = space.field(
+            "sq.head", sq_bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.sq_tail = space.field(
+            "sq.tail", sq_bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.sq_count = space.field(
+            "sq.count", sq_bits + 1, StateCategory.QCTRL, StorageKind.LATCH)
+
+        self.mhr = [
+            _MissRegister(space, "mhr[%d]" % i, config, sched_bits, lq_bits)
+            for i in range(config.mhr_entries)
+        ]
+        ports = 2
+        self.m1 = [_AccessSlot(space, "m1[%d]" % i, lq_bits)
+                   for i in range(ports)]
+        self.m2 = [_AccessSlot(space, "m2[%d]" % i, lq_bits)
+                   for i in range(ports)]
+
+    # -- Allocation (dispatch) -------------------------------------------
+
+    def lq_free(self):
+        return len(self.lq) - self.lq_count.get()
+
+    def sq_free(self):
+        return len(self.sq) - self.sq_count.get()
+
+    def lq_alloc(self, slot, rob_index):
+        index = self.lq_tail.get() % len(self.lq)
+        entry = self.lq[index]
+        entry.valid.set(1)
+        entry.addr_ready.set(0)
+        entry.executed.set(0)
+        entry.done.set(0)
+        entry.size_l.set(1 if slot.op_id.get() == LDL_ID else 0)
+        entry.pdst.set(slot.pdst.get())
+        entry.rob_index.set(rob_index)
+        entry.sched_index.set(0)
+        entry.seq.set(slot.seq.get())
+        entry.encode_ptr_ecc()
+        self.lq_tail.set((self.lq_tail.get() + 1) % len(self.lq))
+        self.lq_count.set(min(len(self.lq), self.lq_count.get() + 1))
+        return index
+
+    def sq_alloc(self, slot, rob_index):
+        index = self.sq_tail.get() % len(self.sq)
+        entry = self.sq[index]
+        entry.valid.set(1)
+        entry.addr_ready.set(0)
+        entry.data_ready.set(0)
+        entry.retired.set(0)
+        entry.size_l.set(1 if slot.op_id.get() == STL_ID else 0)
+        entry.rob_index.set(rob_index)
+        entry.seq.set(slot.seq.get())
+        self.sq_tail.set((self.sq_tail.get() + 1) % len(self.sq))
+        self.sq_count.set(min(len(self.sq), self.sq_count.get() + 1))
+        self.storesets.note_store_dispatch(unpack_pc(slot.pc.get()), index)
+        return index
+
+    # -- Scheduler gating ---------------------------------------------------
+
+    def load_may_issue(self, pipeline, entry):
+        """Store-set gating: hold loads predicted to conflict."""
+        blocking = self.storesets.blocking_store(unpack_pc(entry.pc.get()))
+        if blocking is None:
+            return True
+        store = self.sq[blocking % len(self.sq)]
+        if store.valid.get() and not store.data_ready.get():
+            rob_head = pipeline.rob.head.get()
+            rob_n = len(pipeline.rob.entries)
+            store_age = (store.rob_index.get() - rob_head) % rob_n
+            load_age = (entry.rob_index.get() - rob_head) % rob_n
+            if store_age < load_age:
+                return False
+        return True
+
+    # -- Execute-stage entry (address generation) ------------------------------
+
+    def execute_mem(self, pipeline, ex):
+        op_id = ex.op_id.get()
+        address = (ex.b_value.get() + mem_disp(ex.disp.get())) & MASK64
+        size = 4 if op_id in (LDL_ID, STL_ID) else 8
+        exc = EXC_NONE
+        if address % size:
+            exc = EXC_UNALIGNED
+        elif (pipeline.tlb_data_pages is not None
+                and page_of(address) not in pipeline.tlb_data_pages):
+            exc = EXC_DTLB
+        pipeline.note_data_page(address)
+
+        if op_id in LOAD_IDS:
+            self._execute_load(pipeline, ex, address, exc)
+        else:
+            self._execute_store(pipeline, ex, address, exc)
+
+    def _execute_load(self, pipeline, ex, address, exc):
+        entry = self.lq[ex.lq_index.get() % len(self.lq)]
+        if exc != EXC_NONE:
+            entry.done.set(1)
+            if not pipeline.execute.post_result(
+                    pipeline, ex.rob_index.get(), ex.sched_index.get(),
+                    False, 0, 0, exc=exc, seq=ex.seq.get()):
+                entry.done.set(0)
+                pipeline.scheduler.replay(ex.sched_index.get())
+            return
+        entry.addr.set(address)
+        entry.addr_ready.set(1)
+        entry.sched_index.set(ex.sched_index.get())
+        for slot in self.m1:
+            if not slot.valid.get():
+                slot.valid.set(1)
+                slot.lq_index.set(ex.lq_index.get())
+                slot.fwd_valid.set(0)
+                return
+        # Both cache ports' M1 slots busy: replay the load.
+        pipeline.scheduler.replay(ex.sched_index.get())
+
+    def _execute_store(self, pipeline, ex, address, exc):
+        if exc != EXC_NONE:
+            if not pipeline.execute.post_result(
+                    pipeline, ex.rob_index.get(), ex.sched_index.get(),
+                    False, 0, 0, exc=exc, seq=ex.seq.get()):
+                pipeline.scheduler.replay(ex.sched_index.get())
+            return
+        entry = self.sq[ex.sq_index.get() % len(self.sq)]
+        entry.addr.set(address)
+        entry.addr_ready.set(1)
+        entry.data.set(ex.a_value.get())
+        entry.data_ready.set(1)
+        if not pipeline.execute.post_result(
+                pipeline, ex.rob_index.get(), ex.sched_index.get(),
+                False, 0, 0, seq=ex.seq.get()):
+            pipeline.scheduler.replay(ex.sched_index.get())
+            return
+        self._check_violation(pipeline, ex, address, entry)
+
+    def _check_violation(self, pipeline, ex, address, store_entry):
+        """A store found a younger, already-executed, overlapping load."""
+        rob_head = pipeline.rob.head.get()
+        rob_n = len(pipeline.rob.entries)
+        store_age = (store_entry.rob_index.get() - rob_head) % rob_n
+        victim = None
+        victim_age = None
+        quad = address & ~7
+        for load in self.lq:
+            if not (load.valid.get() and load.executed.get()
+                    and load.addr_ready.get()):
+                continue
+            if load.addr.get() & ~7 != quad:
+                continue
+            load_age = (load.rob_index.get() - rob_head) % rob_n
+            if load_age <= store_age:
+                continue
+            if victim_age is None or load_age < victim_age:
+                victim = load
+                victim_age = load_age
+        if victim is None:
+            return
+        load_pc = pipeline.rob.pc_of(victim.rob_index.get())
+        self.storesets.train(load_pc, unpack_pc(ex.pc.get()))
+        pipeline.request_violation_recovery(
+            rob_index=victim.rob_index.get(), refetch_pc=load_pc)
+
+    # -- M1: bank arbitration, forwarding, tag lookup ------------------------------
+
+    def m1_stage(self, pipeline):
+        banks_used = set()
+        accesses = 0
+        for slot in self.m1:
+            if not slot.valid.get():
+                continue
+            entry = self.lq[slot.lq_index.get() % len(self.lq)]
+            if not (entry.valid.get() and entry.addr_ready.get()):
+                slot.valid.set(0)  # squashed underneath us
+                continue
+            address = entry.addr.get()
+            bank = self.dcache.bank_of(address)
+            if accesses >= 2 or bank in banks_used:
+                continue  # bank/port conflict: retry next cycle
+            m2_slot = self._free_m2()
+            if m2_slot is None:
+                continue
+            forwarded = self._forward_lookup(pipeline, entry)
+            if forwarded is _WAIT:
+                continue  # older store's data not ready: retry next cycle
+            if forwarded is None:
+                pipeline.bump("dcache_accesses")
+                if not self.dcache.lookup(address):
+                    pipeline.bump("dcache_misses")
+                    if self._start_miss(entry, slot.lq_index.get()):
+                        entry.executed.set(1)
+                        slot.valid.set(0)
+                    continue  # no MHR free: retry
+            else:
+                pipeline.bump("store_forwards")
+            banks_used.add(bank)
+            accesses += 1
+            entry.executed.set(1)
+            m2_slot.valid.set(1)
+            m2_slot.lq_index.set(slot.lq_index.get())
+            if forwarded is not None:
+                m2_slot.fwd_valid.set(1)
+                m2_slot.fwd_value.set(forwarded)
+            else:
+                m2_slot.fwd_valid.set(0)
+                m2_slot.fwd_value.set(0)
+            slot.valid.set(0)
+
+    def _free_m2(self):
+        for slot in self.m2:
+            if not slot.valid.get():
+                return slot
+        return None
+
+    def _forward_lookup(self, pipeline, load_entry):
+        """Youngest older store with matching address and ready data."""
+        rob_head = pipeline.rob.head.get()
+        rob_n = len(pipeline.rob.entries)
+        load_age = (load_entry.rob_index.get() - rob_head) % rob_n
+        address = load_entry.addr.get()
+        best = None
+        best_age = -1
+        for store in self.sq:
+            if not (store.valid.get() and store.addr_ready.get()):
+                continue
+            store_age = (store.rob_index.get() - rob_head) % rob_n
+            if store.retired.get():
+                store_age = -1  # retired stores are older than everything
+            elif store_age >= load_age:
+                continue  # younger store: not visible to this load
+            if store.addr.get() != address:
+                if store.addr.get() & ~7 == address & ~7:
+                    # Partial overlap in the same quadword: conservatively
+                    # unforwardable; the load retries until the store drains.
+                    return _WAIT
+                continue
+            if store.size_l.get() != load_entry.size_l.get():
+                return _WAIT
+            if not store.data_ready.get():
+                return _WAIT  # older matching store without data yet
+            if store_age >= best_age:
+                best_age = store_age
+                best = store.data.get()
+        return best
+
+    def _start_miss(self, entry, lq_index):
+        for mhr in self.mhr:
+            if mhr.valid.get():
+                continue
+            mhr.valid.set(1)
+            mhr.addr.set(entry.addr.get())
+            mhr.timer.set(min(15, self.config.miss_latency))
+            mhr.size_l.set(entry.size_l.get())
+            mhr.pdst.set(entry.pdst.get())
+            mhr.rob_index.set(entry.rob_index.get())
+            mhr.sched_index.set(entry.sched_index.get())
+            mhr.lq_index.set(lq_index)
+            mhr.seq.set(entry.seq.get())
+            return True
+        return False
+
+    # -- M2: data return ------------------------------------------------------------
+
+    def m2_stage(self, pipeline):
+        for slot in self.m2:
+            if not slot.valid.get():
+                continue
+            entry = self.lq[slot.lq_index.get() % len(self.lq)]
+            if not entry.valid.get():
+                slot.valid.set(0)  # squashed
+                continue
+            if slot.fwd_valid.get():
+                value = slot.fwd_value.get()
+            else:
+                value = self._read_memory(pipeline, entry)
+            entry.repair_ptrs()
+            posted = pipeline.execute.post_result(
+                pipeline, entry.rob_index.get(), entry.sched_index.get(),
+                True, entry.pdst.get(), value, free_sched=True,
+                is_load=True, lq_index=slot.lq_index.get(),
+                seq=entry.seq.get())
+            if posted:
+                slot.valid.set(0)
+            # else retry next cycle (WB port conflict)
+
+    def _read_memory(self, pipeline, entry):
+        address = entry.addr.get()
+        if entry.size_l.get():
+            return pipeline.memory.load_long(address)
+        return pipeline.memory.load_quad(address)
+
+    # -- Miss handling -----------------------------------------------------------------
+
+    def mhr_step(self, pipeline):
+        for mhr in self.mhr:
+            if not mhr.valid.get():
+                continue
+            timer = mhr.timer.get()
+            if timer > 1:
+                mhr.timer.set(timer - 1)
+                continue
+            self.dcache.fill(mhr.addr.get())
+            entry = self.lq[mhr.lq_index.get() % len(self.lq)]
+            if not entry.valid.get() or entry.rob_index.get() != \
+                    mhr.rob_index.get():
+                mhr.valid.set(0)  # load was squashed; fill was timing-only
+                continue
+            if entry.size_l.get():
+                value = pipeline.memory.load_long(mhr.addr.get())
+            else:
+                value = pipeline.memory.load_quad(mhr.addr.get())
+            posted = pipeline.execute.post_result(
+                pipeline, mhr.rob_index.get(), mhr.sched_index.get(),
+                True, mhr.pdst.get(), value, free_sched=True, is_load=True,
+                lq_index=mhr.lq_index.get(), seq=mhr.seq.get())
+            if posted:
+                mhr.valid.set(0)
+
+    # -- Store drain --------------------------------------------------------------------
+
+    def drain_stage(self, pipeline):
+        head = self.sq_head.get() % len(self.sq)
+        entry = self.sq[head]
+        if not (entry.valid.get() and entry.retired.get()
+                and entry.addr_ready.get()):
+            return
+        address = entry.addr.get()
+        value = entry.data.get()
+        size = 4 if entry.size_l.get() else 8
+        if entry.size_l.get():
+            pipeline.memory.store_long(address, value)
+        else:
+            pipeline.memory.store_quad(address, value)
+        pipeline.note_store_drain(address, value, size)
+        entry.valid.set(0)
+        entry.retired.set(0)
+        self.sq_head.set((self.sq_head.get() + 1) % len(self.sq))
+        count = self.sq_count.get()
+        if count:
+            self.sq_count.set(count - 1)
+
+    # -- Completion / retirement hooks ----------------------------------------------------
+
+    def lq_mark_done(self, lq_index):
+        entry = self.lq[lq_index % len(self.lq)]
+        if entry.valid.get():
+            entry.done.set(1)
+
+    def lq_retire(self, lq_index):
+        """Free a load entry at retirement (kept until then for ordering)."""
+        entry = self.lq[lq_index % len(self.lq)]
+        entry.valid.set(0)
+        head = self.lq_head.get()
+        if lq_index % len(self.lq) == head % len(self.lq):
+            self.lq_head.set((head + 1) % len(self.lq))
+            count = self.lq_count.get()
+            if count:
+                self.lq_count.set(count - 1)
+
+    def sq_mark_retired(self, sq_index):
+        entry = self.sq[sq_index % len(self.sq)]
+        if entry.valid.get():
+            entry.retired.set(1)
+
+    # -- Recovery ----------------------------------------------------------------------------
+
+    def squash_younger(self, rob_head, boundary_age, rob_n):
+        """Rewind LQ/SQ tails past squashed entries; drop their accesses."""
+        for _ in range(len(self.lq)):
+            tail = (self.lq_tail.get() - 1) % len(self.lq)
+            entry = self.lq[tail]
+            if not entry.valid.get():
+                break
+            age = (entry.rob_index.get() - rob_head) % rob_n
+            if age <= boundary_age:
+                break
+            entry.valid.set(0)
+            self.lq_tail.set(tail)
+            count = self.lq_count.get()
+            if count:
+                self.lq_count.set(count - 1)
+        for _ in range(len(self.sq)):
+            tail = (self.sq_tail.get() - 1) % len(self.sq)
+            entry = self.sq[tail]
+            if not entry.valid.get() or entry.retired.get():
+                break
+            age = (entry.rob_index.get() - rob_head) % rob_n
+            if age <= boundary_age:
+                break
+            entry.valid.set(0)
+            self.sq_tail.set(tail)
+            count = self.sq_count.get()
+            if count:
+                self.sq_count.set(count - 1)
+        # Drop in-flight cache accesses and pending fills whose loads were
+        # just squashed.  This must happen *now*: the squashed LQ/ROB
+        # slots will be re-allocated to the refetched instructions with
+        # the same indices, and a stale access delivering into the new
+        # incarnation would complete it with pre-recovery data.
+        for slot in self.m1:
+            if slot.valid.get() and not self.lq[
+                    slot.lq_index.get() % len(self.lq)].valid.get():
+                slot.valid.set(0)
+        for slot in self.m2:
+            if slot.valid.get() and not self.lq[
+                    slot.lq_index.get() % len(self.lq)].valid.get():
+                slot.valid.set(0)
+        for mhr in self.mhr:
+            if not mhr.valid.get():
+                continue
+            age = (mhr.rob_index.get() - rob_head) % rob_n
+            entry = self.lq[mhr.lq_index.get() % len(self.lq)]
+            if age > boundary_age or not entry.valid.get():
+                mhr.valid.set(0)  # the fill becomes a silent prefetch
+
+    def flush_speculative(self):
+        """Full flush: drop everything except retired stores."""
+        for entry in self.lq:
+            entry.valid.set(0)
+        self.lq_head.set(0)
+        self.lq_tail.set(0)
+        self.lq_count.set(0)
+        for slot in self.m1:
+            slot.valid.set(0)
+        for slot in self.m2:
+            slot.valid.set(0)
+        for mhr in self.mhr:
+            mhr.valid.set(0)
+        # Compact the store queue down to retired entries.
+        retained = []
+        head = self.sq_head.get() % len(self.sq)
+        for offset in range(len(self.sq)):
+            entry = self.sq[(head + offset) % len(self.sq)]
+            if entry.valid.get() and entry.retired.get():
+                retained.append((
+                    entry.addr.get(), entry.addr_ready.get(),
+                    entry.data.get(), entry.data_ready.get(),
+                    entry.size_l.get(), entry.rob_index.get(),
+                    entry.seq.get()))
+        for entry in self.sq:
+            entry.valid.set(0)
+            entry.retired.set(0)
+        for offset, fields in enumerate(retained):
+            entry = self.sq[offset % len(self.sq)]
+            (addr, addr_ready, data, data_ready, size_l, rob_index,
+             seq) = fields
+            entry.valid.set(1)
+            entry.retired.set(1)
+            entry.addr.set(addr)
+            entry.addr_ready.set(addr_ready)
+            entry.data.set(data)
+            entry.data_ready.set(data_ready)
+            entry.size_l.set(size_l)
+            entry.rob_index.set(rob_index)
+            entry.seq.set(seq)
+        self.sq_head.set(0)
+        self.sq_tail.set(len(retained) % len(self.sq))
+        self.sq_count.set(len(retained))

@@ -1,0 +1,172 @@
+"""Functional branch prediction: hybrid direction predictor, BTB, RAS.
+
+Prediction structures "only affect timing" (paper Section 3.1) and are
+excluded from fault injection, so they are modelled functionally.  Their
+*influence* on the experiment is nonetheless essential: speculation down
+wrong paths is one of the major sources of microarchitectural masking
+the paper credits for its higher-than-historical masking rates.
+
+The direction predictor follows McFarling's combining scheme cited by
+the paper: bimodal + local + global components with a choice table.
+"""
+
+
+def _counter_update(value, taken, maximum=3):
+    if taken:
+        return min(maximum, value + 1)
+    return max(0, value - 1)
+
+
+class HybridPredictor:
+    """Tournament direction predictor (bimodal/local/global + chooser).
+
+    Follows the McFarling combining scheme the paper cites: a local
+    (per-branch history) component and a global (gshare) component,
+    selected by a chooser trained toward whichever was right, with the
+    bimodal table as the cold-start fallback either component can fall
+    back to.  Prediction and training must use the *fetch-time* global
+    history (recovery rewinds it), so every query takes an optional
+    ``ghr``; the branch-info queue carries the fetch-time snapshot to
+    the resolution point.
+    """
+
+    def __init__(self, config):
+        self.bimodal = [1] * config.bimodal_entries
+        self.local_hist = [0] * config.local_hist_entries
+        self.local_pht = [1] * config.local_pht_entries
+        self.local_hist_bits = config.local_hist_bits
+        self.global_hist = 0
+        self.global_bits = config.global_hist_bits
+        self.global_pht = [1] * (1 << config.global_hist_bits)
+        # Chooser: >= 2 selects the global component.
+        self.choice = [1] * config.choice_entries
+
+    def _indices(self, pc, ghr):
+        line = pc >> 2
+        bim = line % len(self.bimodal)
+        lh = line % len(self.local_hist)
+        lp = (self.local_hist[lh] ^ line) % len(self.local_pht)
+        gp = (line ^ ghr) % len(self.global_pht)
+        ch = line % len(self.choice)
+        return bim, lh, lp, gp, ch
+
+    def predict(self, pc, ghr=None):
+        """Predicted direction using the given (fetch-time) history."""
+        ghr = self.global_hist if ghr is None else ghr
+        bim, _lh, lp, gp, ch = self._indices(pc, ghr)
+        local_taken = self.local_pht[lp] >= 2
+        global_taken = self.global_pht[gp] >= 2
+        if self.choice[ch] >= 2:
+            return global_taken
+        return local_taken
+
+    def speculate(self, taken):
+        """Shift the speculative global history at prediction time."""
+        mask = (1 << self.global_bits) - 1
+        self.global_hist = ((self.global_hist << 1)
+                            | (1 if taken else 0)) & mask
+
+    def update(self, pc, taken, ghr=None):
+        """Train on the resolved direction, with fetch-time history."""
+        ghr = self.global_hist if ghr is None else ghr
+        bim, lh, lp, gp, ch = self._indices(pc, ghr)
+        local_taken = self.local_pht[lp] >= 2
+        global_taken = self.global_pht[gp] >= 2
+        if local_taken != global_taken:
+            self.choice[ch] = _counter_update(
+                self.choice[ch], global_taken == taken)
+        self.bimodal[bim] = _counter_update(self.bimodal[bim], taken)
+        self.local_pht[lp] = _counter_update(self.local_pht[lp], taken)
+        self.global_pht[gp] = _counter_update(self.global_pht[gp], taken)
+        hist_mask = (1 << self.local_hist_bits) - 1
+        self.local_hist[lh] = ((self.local_hist[lh] << 1)
+                               | (1 if taken else 0)) & hist_mask
+
+    def save_side(self):
+        return (list(self.bimodal), list(self.local_hist),
+                list(self.local_pht), self.global_hist,
+                list(self.global_pht), list(self.choice))
+
+    def load_side(self, saved):
+        (bimodal, local_hist, local_pht, global_hist,
+         global_pht, choice) = saved
+        self.bimodal = list(bimodal)
+        self.local_hist = list(local_hist)
+        self.local_pht = list(local_pht)
+        self.global_hist = global_hist
+        self.global_pht = list(global_pht)
+        self.choice = list(choice)
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB for indirect-jump targets."""
+
+    def __init__(self, entries, assoc):
+        self.num_sets = max(1, entries // assoc)
+        self.assoc = assoc
+        self.sets = [dict() for _ in range(self.num_sets)]
+        self.order = [[] for _ in range(self.num_sets)]
+
+    def _set_of(self, pc):
+        return (pc >> 2) % self.num_sets
+
+    def lookup(self, pc):
+        """Predicted target for the control instruction at ``pc``, or None."""
+        return self.sets[self._set_of(pc)].get(pc)
+
+    def update(self, pc, target):
+        set_index = self._set_of(pc)
+        ways = self.sets[set_index]
+        order = self.order[set_index]
+        if pc in ways:
+            order.remove(pc)
+        elif len(ways) >= self.assoc:
+            victim = order.pop(0)
+            del ways[victim]
+        ways[pc] = target
+        order.append(pc)
+
+    def save_side(self):
+        return ([dict(s) for s in self.sets], [list(o) for o in self.order])
+
+    def load_side(self, saved):
+        sets, order = saved
+        self.sets = [dict(s) for s in sets]
+        self.order = [list(o) for o in order]
+
+
+class ReturnAddressStack:
+    """8-entry circular return-address stack with pointer recovery.
+
+    The stack and its top pointer are prediction state (timing-only),
+    modelled functionally; each in-flight branch snapshots the pointer so
+    misprediction recovery can restore it (paper Figure 2: "8-entry
+    return address stack with pointer recovery").
+    """
+
+    def __init__(self, entries):
+        self.entries = [0] * entries
+        self.top = 0
+
+    def push(self, address):
+        self.top = (self.top + 1) % len(self.entries)
+        self.entries[self.top] = address
+
+    def pop(self):
+        value = self.entries[self.top]
+        self.top = (self.top - 1) % len(self.entries)
+        return value
+
+    def snapshot(self):
+        return self.top
+
+    def recover(self, snapshot):
+        self.top = snapshot % len(self.entries)
+
+    def save_side(self):
+        return (list(self.entries), self.top)
+
+    def load_side(self, saved):
+        entries, top = saved
+        self.entries = list(entries)
+        self.top = top

@@ -1,0 +1,115 @@
+"""Physical register file with scoreboard and optional SECDED ECC.
+
+80 x 65-bit RAM entries plus 80 scoreboard latches, matching the paper's
+Table 1 ``regfile`` row (5200 RAM bits + 80 latch bits).  Bit 64 of each
+entry is the spare/annex bit present in the modelled implementation; it
+is injectable but feeds no logic, which slightly raises measured masking
+exactly as dead implementation bits do in real designs.
+
+With register-file ECC enabled (paper Section 4.2), each entry gains 8
+SECDED check bits.  Check bits are generated **one cycle after** the data
+write -- the paper's deliberate trade of a one-cycle vulnerability window
+for cycle-time headroom -- and reads verify/correct single-bit errors.
+"""
+
+from repro.protect.ecc import REGFILE_CODE
+from repro.utils.bits import MASK64
+from repro.uarch.statelib import StateCategory, StorageKind
+
+
+class PhysRegFile:
+    """The physical register file, scoreboard, and ECC pipeline."""
+
+    def __init__(self, space, config):
+        self.num_regs = config.phys_regs
+        self.data = space.array(
+            "regfile.data", self.num_regs, 65,
+            StateCategory.REGFILE, StorageKind.RAM)
+        self.ready = space.array(
+            "regfile.ready", self.num_regs, 1,
+            StateCategory.REGFILE, StorageKind.LATCH)
+        self.with_ecc = config.protection.regfile_ecc
+        self.ecc = None
+        self._pending = None
+        if self.with_ecc:
+            self.ecc = space.array(
+                "regfile.ecc", self.num_regs, REGFILE_CODE.check_bits,
+                StateCategory.ECC, StorageKind.RAM)
+            # Writes whose check bits are generated next cycle: one slot
+            # per write port (issue width results + memory fills).
+            ports = config.issue_width + 2
+            self._pending = [
+                (
+                    space.field("regfile.eccgen[%d].valid" % i, 1,
+                                StateCategory.ECC, StorageKind.LATCH),
+                    space.field("regfile.eccgen[%d].preg" % i,
+                                config.phys_bits,
+                                StateCategory.ECC, StorageKind.LATCH),
+                )
+                for i in range(ports)
+            ]
+
+    def reset(self):
+        for ready in self.ready:
+            ready.set(1)
+        if self.with_ecc:
+            for index in range(self.num_regs):
+                self.ecc[index].set(
+                    REGFILE_CODE.encode(self.data[index].get() & MASK64))
+
+    # -- Data access -----------------------------------------------------
+
+    def read(self, preg):
+        """Read the 64-bit value, applying ECC check/correct when enabled."""
+        preg %= self.num_regs
+        value = self.data[preg].get() & MASK64
+        if self.with_ecc:
+            corrected, _status = REGFILE_CODE.correct(
+                value, self.ecc[preg].get())
+            if corrected != value:
+                annex = self.data[preg].get() & ~MASK64
+                self.data[preg].set(annex | corrected)
+                value = corrected
+        return value
+
+    def write(self, preg, value):
+        """Write a result and mark it ready; ECC generation is deferred."""
+        preg %= self.num_regs
+        self.data[preg].set(value & MASK64)
+        self.ready[preg].set(1)
+        if self.with_ecc:
+            self._schedule_ecc(preg)
+
+    def _schedule_ecc(self, preg):
+        for valid, reg in self._pending:
+            if not valid.get():
+                valid.set(1)
+                reg.set(preg)
+                return
+        # All generation slots busy: generate immediately (hardware would
+        # stall the port; the window merely closes early).
+        self.ecc[preg].set(REGFILE_CODE.encode(self.data[preg].get() & MASK64))
+
+    def ecc_generate_step(self):
+        """Run the one-cycle-delayed ECC generation (call once per cycle)."""
+        if not self.with_ecc:
+            return
+        for valid, reg in self._pending:
+            if valid.get():
+                preg = reg.get() % self.num_regs
+                self.ecc[preg].set(
+                    REGFILE_CODE.encode(self.data[preg].get() & MASK64))
+                valid.set(0)
+
+    # -- Scoreboard ------------------------------------------------------------
+
+    def is_ready(self, preg):
+        return bool(self.ready[preg % self.num_regs].get())
+
+    def mark_not_ready(self, preg):
+        self.ready[preg % self.num_regs].set(0)
+
+    def mark_all_ready(self):
+        """Full-flush recovery: no writers remain in flight."""
+        for ready in self.ready:
+            ready.set(1)

@@ -1,0 +1,161 @@
+"""Register renaming structures: alias tables and free lists.
+
+Speculative and architectural register alias tables (32 x 7-bit RAM each,
+the paper's ``specrat``/``archrat`` categories) plus speculative and
+architectural free lists (48 x 7-bit RAM, ``specfreelist`` /
+``archfreelist``), with queue pointers in the ``qctrl`` latch category.
+
+With register-pointer ECC enabled (paper Section 4.2), each stored
+pointer carries 4 Hamming check bits that are verified and repaired at
+read time.
+"""
+
+from repro.protect.ecc import REGPTR_CODE
+from repro.uarch.statelib import StateCategory, StorageKind
+
+
+class RatFile:
+    """A 32-entry register alias table (speculative or architectural)."""
+
+    def __init__(self, space, name, category, phys_bits, with_ecc):
+        self.entries = space.array(
+            name, 32, phys_bits, category, StorageKind.RAM)
+        self.ecc = None
+        if with_ecc:
+            self.ecc = space.array(
+                name + ".ecc", 32, REGPTR_CODE.check_bits,
+                StateCategory.ECC, StorageKind.RAM)
+
+    def reset(self, mapping):
+        """Install an initial architectural mapping (reg a -> phys a)."""
+        for arch, phys in enumerate(mapping):
+            self.write(arch, phys)
+
+    def read(self, arch):
+        """Mapped physical register; repairs single-bit errors when ECC'd."""
+        arch &= 31
+        value = self.entries[arch].get()
+        if self.ecc is not None:
+            corrected, _status = REGPTR_CODE.correct(
+                value, self.ecc[arch].get())
+            if corrected != value:
+                self.entries[arch].set(corrected)
+                value = corrected
+        return value
+
+    def read_raw(self, arch):
+        """Read without ECC repair (used by state capture, not behaviour)."""
+        return self.entries[arch & 31].get()
+
+    def write(self, arch, phys):
+        arch &= 31
+        self.entries[arch].set(phys)
+        if self.ecc is not None:
+            self.ecc[arch].set(REGPTR_CODE.encode(self.entries[arch].get()))
+
+    def copy_from(self, other):
+        """Bulk copy (speculative map recovery on a full flush)."""
+        for arch in range(32):
+            self.entries[arch].set(other.entries[arch].get())
+            if self.ecc is not None and other.ecc is not None:
+                self.ecc[arch].set(other.ecc[arch].get())
+            elif self.ecc is not None:
+                self.ecc[arch].set(
+                    REGPTR_CODE.encode(self.entries[arch].get()))
+
+
+class FreeList:
+    """A circular queue of free physical register pointers.
+
+    The speculative list is popped at rename and repaired on recovery;
+    the architectural list advances only at retirement.  Because rename
+    allocates in FIFO order and instructions retire in rename order, the
+    architectural list is exactly the speculative list delayed -- the
+    property that lets both be plain queues (and lets a flush restore the
+    speculative list by copying the architectural one).
+    """
+
+    def __init__(self, space, name, category, capacity, phys_bits, with_ecc):
+        self.capacity = capacity
+        self.entries = space.array(
+            name, capacity, phys_bits, category, StorageKind.RAM)
+        ptr_bits = max(1, (capacity - 1).bit_length())
+        self.head = space.field(
+            name + ".head", ptr_bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.tail = space.field(
+            name + ".tail", ptr_bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.count = space.field(
+            name + ".count", ptr_bits + 1, StateCategory.QCTRL,
+            StorageKind.LATCH)
+        self.ecc = None
+        if with_ecc:
+            self.ecc = space.array(
+                name + ".ecc", capacity, REGPTR_CODE.check_bits,
+                StateCategory.ECC, StorageKind.RAM)
+
+    def reset(self, registers):
+        """Fill the list with ``registers`` (pipeline initialisation)."""
+        for slot, register in enumerate(registers):
+            self.entries[slot].set(register)
+            if self.ecc is not None:
+                self.ecc[slot].set(
+                    REGPTR_CODE.encode(self.entries[slot].get()))
+        self.head.set(0)
+        self.tail.set(len(registers) % self.capacity)
+        self.count.set(len(registers))
+
+    @property
+    def available(self):
+        return self.count.get()
+
+    def pop(self):
+        """Allocate the pointer at the head (ECC-repaired when enabled).
+
+        Under fault corruption the count may claim availability the queue
+        does not have; the read is still well-defined (any slot value) --
+        the corruption propagates architecturally rather than crashing.
+        """
+        slot = self.head.get() % self.capacity
+        value = self.entries[slot].get()
+        if self.ecc is not None:
+            corrected, _status = REGPTR_CODE.correct(
+                value, self.ecc[slot].get())
+            if corrected != value:
+                self.entries[slot].set(corrected)
+                value = corrected
+        self.head.set((self.head.get() + 1) % self.capacity)
+        count = self.count.get()
+        if count:
+            self.count.set(count - 1)
+        return value
+
+    def push(self, register):
+        """Return a freed pointer at the tail (retirement)."""
+        slot = self.tail.get() % self.capacity
+        self.entries[slot].set(register)
+        if self.ecc is not None:
+            self.ecc[slot].set(REGPTR_CODE.encode(self.entries[slot].get()))
+        self.tail.set((self.tail.get() + 1) % self.capacity)
+        self.count.set(min(self.capacity, self.count.get() + 1))
+
+    def push_front(self, register):
+        """Undo an allocation (branch-recovery walk)."""
+        slot = (self.head.get() - 1) % self.capacity
+        self.entries[slot].set(register)
+        if self.ecc is not None:
+            self.ecc[slot].set(REGPTR_CODE.encode(self.entries[slot].get()))
+        self.head.set(slot)
+        self.count.set(min(self.capacity, self.count.get() + 1))
+
+    def copy_from(self, other):
+        """Restore from the architectural list (full-flush recovery)."""
+        for slot in range(self.capacity):
+            self.entries[slot].set(other.entries[slot].get())
+            if self.ecc is not None and other.ecc is not None:
+                self.ecc[slot].set(other.ecc[slot].get())
+            elif self.ecc is not None:
+                self.ecc[slot].set(
+                    REGPTR_CODE.encode(self.entries[slot].get()))
+        self.head.set(other.head.get())
+        self.tail.set(other.tail.get())
+        self.count.set(other.count.get())

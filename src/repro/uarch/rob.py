@@ -1,0 +1,320 @@
+"""Reorder buffer and the retirement stage.
+
+64 entries, 8-wide retirement (paper Figure 2).  Retirement updates the
+architectural RAT and free list, releases load-queue entries, marks
+stores eligible to drain, performs the PAL output effects, raises
+architectural exceptions and TLB-miss failures, and -- when the timeout
+protection mechanism is configured -- counts retirement-free cycles and
+forces a recovery flush at the deadlock threshold (paper Section 4.2).
+"""
+
+from repro.arch.memory import page_of
+from repro.isa.instruction import PAL_ARG_REG
+from repro.uarch.execute import EXC_DTLB, EXC_NONE
+from repro.uarch.statelib import StateCategory, StorageKind
+from repro.uarch.uop import (
+    CONTROL_IDS,
+    HALT_ID,
+    LOAD_IDS,
+    OUTPUT_IDS,
+    PAL_IDS,
+    STORE_IDS,
+    pack_pc,
+    unpack_pc,
+)
+from repro.utils.bits import to_signed
+
+_SEQ_BITS = 40
+
+
+class _RobEntry:
+    __slots__ = ("valid", "done", "op_id", "has_dest", "dest_arch", "pdst",
+                 "pold", "pc", "target", "taken", "exc", "lq_index",
+                 "sq_index", "biq_index", "seq", "ptr_ecc")
+
+    def __init__(self, space, name, config, lsq_bits, biq_bits):
+        kind = StorageKind.RAM
+        ctrl = StateCategory.CTRL
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.done = space.field(name + ".done", 1, ctrl, kind)
+        self.op_id = space.field(name + ".op_id", 8, ctrl, kind)
+        self.has_dest = space.field(name + ".has_dest", 1, ctrl, kind)
+        self.dest_arch = space.field(name + ".dest_arch", 5, ctrl, kind)
+        self.pdst = space.field(
+            name + ".pdst", config.phys_bits, StateCategory.REGPTR, kind)
+        self.pold = space.field(
+            name + ".pold", config.phys_bits, StateCategory.REGPTR, kind)
+        self.pc = space.field(name + ".pc", 62, StateCategory.PC, kind)
+        self.target = space.field(name + ".target", 62, StateCategory.PC, kind)
+        self.taken = space.field(name + ".taken", 1, ctrl, kind)
+        self.exc = space.field(name + ".exc", 3, ctrl, kind)
+        self.lq_index = space.field(name + ".lq", lsq_bits, ctrl, kind)
+        self.sq_index = space.field(name + ".sq", lsq_bits, ctrl, kind)
+        self.biq_index = space.field(name + ".biq", biq_bits, ctrl, kind)
+        self.seq = space.field(
+            name + ".seq", _SEQ_BITS, StateCategory.GHOST, kind)
+        self.ptr_ecc = None
+        if config.protection.regptr_ecc:
+            from repro.protect.ecc import REGPTR_CODE
+            self.ptr_ecc = [
+                space.field(name + ".ecc_%s" % field_name,
+                            REGPTR_CODE.check_bits, StateCategory.ECC, kind)
+                for field_name in ("pdst", "pold")
+            ]
+
+    def encode_ptr_ecc(self):
+        if self.ptr_ecc is None:
+            return
+        from repro.protect.ecc import REGPTR_CODE
+        for check, ptr in zip(self.ptr_ecc, (self.pdst, self.pold)):
+            check.set(REGPTR_CODE.encode(ptr.get()))
+
+    def repair_ptrs(self):
+        """ECC check/repair of pdst/pold (retirement / recovery reads)."""
+        if self.ptr_ecc is None:
+            return
+        from repro.protect.ecc import REGPTR_CODE
+        for check, ptr in zip(self.ptr_ecc, (self.pdst, self.pold)):
+            value = ptr.get()
+            corrected, _status = REGPTR_CODE.correct(value, check.get())
+            if corrected != value:
+                ptr.set(corrected)
+
+
+class ReorderBuffer:
+    """The 64-entry circular reorder buffer."""
+
+    def __init__(self, space, config, biq_bits):
+        lsq_bits = max(1, (max(config.lq_entries, config.sq_entries)
+                           - 1).bit_length())
+        self.entries = [
+            _RobEntry(space, "rob[%d]" % i, config, lsq_bits, biq_bits)
+            for i in range(config.rob_entries)
+        ]
+        bits = config.rob_bits
+        self.head = space.field(
+            "rob.head", bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.tail = space.field(
+            "rob.tail", bits, StateCategory.QCTRL, StorageKind.LATCH)
+        self.count = space.field(
+            "rob.count", bits + 1, StateCategory.QCTRL, StorageKind.LATCH)
+
+    def flush(self):
+        for entry in self.entries:
+            entry.valid.set(0)
+            entry.done.set(0)
+        self.head.set(0)
+        self.tail.set(0)
+        self.count.set(0)
+
+    def free_entries(self):
+        return len(self.entries) - self.count.get()
+
+    def alloc(self, slot):
+        index = self.tail.get() % len(self.entries)
+        entry = self.entries[index]
+        entry.valid.set(1)
+        entry.done.set(0)
+        entry.op_id.set(slot.op_id.get())
+        entry.has_dest.set(slot.has_dest.get())
+        entry.dest_arch.set(slot.dest_arch.get())
+        entry.pdst.set(slot.pdst.get())
+        entry.pold.set(slot.pold.get())
+        entry.pc.set(slot.pc.get())
+        entry.target.set(0)
+        entry.taken.set(0)
+        entry.exc.set(EXC_NONE)
+        entry.lq_index.set(0)
+        entry.sq_index.set(0)
+        entry.biq_index.set(slot.biq_index.get())
+        entry.seq.set(slot.seq.get())
+        entry.encode_ptr_ecc()
+        self.tail.set((self.tail.get() + 1) % len(self.entries))
+        self.count.set(min(len(self.entries), self.count.get() + 1))
+        return index
+
+    def set_lsq(self, rob_index, lq_index, sq_index):
+        entry = self.entries[rob_index % len(self.entries)]
+        entry.lq_index.set(lq_index)
+        entry.sq_index.set(sq_index)
+
+    def mark_done(self, rob_index):
+        entry = self.entries[rob_index % len(self.entries)]
+        if entry.valid.get():
+            entry.done.set(1)
+
+    def set_exception(self, rob_index, exc):
+        entry = self.entries[rob_index % len(self.entries)]
+        if entry.valid.get():
+            entry.exc.set(exc)
+
+    def set_branch_outcome(self, rob_index, taken, target):
+        entry = self.entries[rob_index % len(self.entries)]
+        if entry.valid.get():
+            entry.taken.set(1 if taken else 0)
+            entry.target.set(pack_pc(target))
+
+    def pc_of(self, rob_index):
+        return unpack_pc(self.entries[rob_index % len(self.entries)].pc.get())
+
+    def squash_younger(self, pipeline, boundary_age):
+        """Walk from the tail towards the recovery point, undoing rename.
+
+        For each squashed instruction with a destination, the speculative
+        RAT is restored to the previous mapping (``pold``) and the
+        allocated register is returned to the head of the speculative free
+        list.  Returns the list of squashed (seq, op_id) pairs for
+        prediction-state recovery.
+        """
+        squashed = []
+        n = len(self.entries)
+        head = self.head.get()
+        count = self.count.get()
+        for _ in range(count):
+            tail = (self.tail.get() - 1) % n
+            entry = self.entries[tail]
+            if not entry.valid.get():
+                break
+            age = (tail - head) % n
+            if age <= boundary_age:
+                break
+            squashed.append((entry.seq.get(), entry.op_id.get(),
+                             entry.biq_index.get()))
+            if entry.has_dest.get():
+                entry.repair_ptrs()
+                pipeline.spec_rat.write(entry.dest_arch.get(),
+                                        entry.pold.get())
+                pipeline.spec_freelist.push_front(entry.pdst.get())
+                pipeline.regfile.ready[
+                    entry.pdst.get() % pipeline.regfile.num_regs].set(1)
+            entry.valid.set(0)
+            entry.done.set(0)
+            self.tail.set(tail)
+            remaining = self.count.get()
+            if remaining:
+                self.count.set(remaining - 1)
+        return squashed
+
+
+class RetireUnit:
+    """8-wide in-order retirement plus the timeout protection counter."""
+
+    def __init__(self, space, config):
+        self.config = config
+        self.arch_pc = space.field(
+            "retire.arch_pc", 62, StateCategory.PC, StorageKind.LATCH)
+        self.timeout_counter = None
+        if config.protection.timeout:
+            self.timeout_counter = space.field(
+                "retire.timeout", 7, StateCategory.CTRL, StorageKind.LATCH)
+
+    def reset(self, entry_pc):
+        self.arch_pc.set(pack_pc(entry_pc))
+        if self.timeout_counter is not None:
+            self.timeout_counter.set(0)
+
+    def retire_stage(self, pipeline):
+        rob = pipeline.rob
+        retired = 0
+        n = len(rob.entries)
+        while retired < self.config.retire_width and not pipeline.halted:
+            if rob.count.get() == 0:
+                break
+            head = rob.head.get() % n
+            entry = rob.entries[head]
+            if not entry.valid.get() or not entry.done.get():
+                break
+            if not self._retire_one(pipeline, entry):
+                break
+            entry.valid.set(0)
+            entry.done.set(0)
+            rob.head.set((head + 1) % n)
+            count = rob.count.get()
+            if count:
+                rob.count.set(count - 1)
+            retired += 1
+        self._timeout_step(pipeline, retired)
+        return retired
+
+    def _retire_one(self, pipeline, entry):
+        """Retire the head instruction; False aborts this cycle's group.
+
+        The architectural program counter is *chained* (incremented, or
+        redirected by a taken control transfer) rather than read from the
+        entry's stored PC field -- as in real retirement logic.  The
+        per-entry PC fields serve exception reporting and recovery only,
+        which is why the paper's large unencoded ROB PC arrays are mostly
+        dead state (its Section 6 remark).
+        """
+        pc = unpack_pc(self.arch_pc.get())
+        op_id = entry.op_id.get()
+
+        # ITLB: committed control flow reached an unmapped page.
+        if (pipeline.tlb_insn_pages is not None
+                and page_of(pc) not in pipeline.tlb_insn_pages):
+            pipeline.raise_failure("itlb", pc=pc)
+            return False
+        exc = entry.exc.get()
+        if exc != EXC_NONE:
+            kind = "dtlb" if exc == EXC_DTLB else "except"
+            pipeline.raise_failure(kind, pc=pc, code=exc)
+            return False
+
+        value = None
+        dest = None
+        if op_id in PAL_IDS:
+            if op_id == HALT_ID:
+                pipeline.halted = True
+            elif op_id in OUTPUT_IDS:
+                value = self._read_arch_reg(pipeline, PAL_ARG_REG)
+                pipeline.emit_output(op_id, value)
+        elif entry.has_dest.get():
+            entry.repair_ptrs()
+            dest = entry.dest_arch.get()
+            pdst = entry.pdst.get()
+            value = pipeline.regfile.read(pdst)
+            pipeline.arch_rat.write(dest, pdst)
+            pold = entry.pold.get()
+            pipeline.arch_freelist.pop()  # FIFO invariant: this is pdst
+            pipeline.arch_freelist.push(pold)
+            # The old register is free for re-allocation from now on.
+            pipeline.spec_freelist.push(pold)
+
+        if op_id in STORE_IDS:
+            pipeline.memunit.sq_mark_retired(entry.sq_index.get())
+        elif op_id in LOAD_IDS:
+            pipeline.memunit.lq_retire(entry.lq_index.get())
+
+        if op_id in CONTROL_IDS:
+            pipeline.frontend.biq.free_head()
+            if entry.taken.get():
+                next_pc = unpack_pc(entry.target.get())
+            else:
+                next_pc = (pc + 4) & ((1 << 64) - 1)
+        else:
+            next_pc = (pc + 4) & ((1 << 64) - 1)
+        self.arch_pc.set(pack_pc(next_pc))
+
+        pipeline.note_retired(entry.seq.get(), pc, op_id, dest, value)
+        return True
+
+    def _read_arch_reg(self, pipeline, arch_reg):
+        """Architecturally-correct register read at retirement time."""
+        preg = pipeline.arch_rat.read(arch_reg)
+        return pipeline.regfile.read(preg)
+
+    def _timeout_step(self, pipeline, retired):
+        if self.timeout_counter is None:
+            return
+        if retired or pipeline.halted:
+            self.timeout_counter.set(0)
+            return
+        count = self.timeout_counter.get() + 1
+        if count >= self.config.deadlock_cycles:
+            self.timeout_counter.set(0)
+            pipeline.request_timeout_flush()
+        else:
+            self.timeout_counter.set(min(127, count))
+
+    def committed_value_signed(self, value):
+        return to_signed(value)

@@ -1,0 +1,241 @@
+"""The dynamic scheduler: 32 entries, speculative wakeup, replay.
+
+Issue is *speculative*: an instruction is selected when its operands are
+ready in the register file, available in the bypass network, or promised
+by an in-flight producer (including loads assumed to hit).  If a promise
+fails -- a load missed, a producer replayed -- the consumer discovers the
+missing operand at execute and **replays**: its scheduler entry reverts
+to waiting.  Entries are freed only at writeback, when completion is
+certain (paper Section 3.3 cites exactly this retention policy as a
+source of dead state).
+
+Selection is oldest-first (by ROB age) under the machine's function-unit
+constraints: 2 simple ALUs, 1 complex ALU, 1 branch ALU, 2 AGUs, and a
+total issue width of 6.
+"""
+
+from repro.uarch.statelib import StateCategory, StorageKind
+from repro.uarch.uop import DISP_BITS, LOAD_IDS, fu_of
+from repro.utils.bits import parity
+
+_SEQ_BITS = 40
+
+
+class _SchedEntry:
+    __slots__ = ("valid", "issued", "op_id", "use_a", "psrc_a", "use_b",
+                 "psrc_b", "has_dest", "pdst", "rob_index", "lq_index",
+                 "sq_index", "is_lit", "literal", "disp", "pc", "pred_taken",
+                 "biq_index", "seq", "parity", "ptr_ecc")
+
+    def __init__(self, space, name, config, biq_bits):
+        kind = StorageKind.RAM
+        ctrl = StateCategory.CTRL
+        phys_bits = config.phys_bits
+        lsq_bits = max(1, (max(config.lq_entries, config.sq_entries)
+                           - 1).bit_length())
+        self.valid = space.field(name + ".valid", 1, StateCategory.VALID, kind)
+        self.issued = space.field(name + ".issued", 1, ctrl, kind)
+        self.op_id = space.field(name + ".op_id", 8, ctrl, kind)
+        self.use_a = space.field(name + ".use_a", 1, ctrl, kind)
+        self.use_b = space.field(name + ".use_b", 1, ctrl, kind)
+        self.psrc_a = space.field(
+            name + ".psrc_a", phys_bits, StateCategory.REGPTR, kind)
+        self.psrc_b = space.field(
+            name + ".psrc_b", phys_bits, StateCategory.REGPTR, kind)
+        self.has_dest = space.field(name + ".has_dest", 1, ctrl, kind)
+        self.pdst = space.field(
+            name + ".pdst", phys_bits, StateCategory.REGPTR, kind)
+        self.rob_index = space.field(
+            name + ".rob", config.rob_bits, StateCategory.ROBPTR, kind)
+        self.lq_index = space.field(
+            name + ".lq", lsq_bits, StateCategory.QCTRL, kind)
+        self.sq_index = space.field(
+            name + ".sq", lsq_bits, StateCategory.QCTRL, kind)
+        self.is_lit = space.field(name + ".is_lit", 1, StateCategory.INSN, kind)
+        self.literal = space.field(
+            name + ".literal", 8, StateCategory.INSN, kind)
+        self.disp = space.field(
+            name + ".disp", DISP_BITS, StateCategory.INSN, kind)
+        self.pc = space.field(name + ".pc", 62, StateCategory.PC, kind)
+        self.pred_taken = space.field(name + ".pred_taken", 1, ctrl, kind)
+        self.biq_index = space.field(
+            name + ".biq", biq_bits, ctrl, kind)
+        self.seq = space.field(
+            name + ".seq", _SEQ_BITS, StateCategory.GHOST, kind)
+        self.parity = None
+        if config.protection.insn_parity:
+            self.parity = space.field(
+                name + ".parity", 1, StateCategory.PARITY, kind)
+        self.ptr_ecc = None
+        if config.protection.regptr_ecc:
+            from repro.protect.ecc import REGPTR_CODE
+            self.ptr_ecc = [
+                space.field(name + ".ecc_%s" % field_name,
+                            REGPTR_CODE.check_bits, StateCategory.ECC, kind)
+                for field_name in ("psrc_a", "psrc_b", "pdst")
+            ]
+
+    def encode_ptr_ecc(self):
+        if self.ptr_ecc is None:
+            return
+        from repro.protect.ecc import REGPTR_CODE
+        for check, ptr in zip(self.ptr_ecc,
+                              (self.psrc_a, self.psrc_b, self.pdst)):
+            check.set(REGPTR_CODE.encode(ptr.get()))
+
+    def repair_ptrs(self):
+        """ECC check/repair of the stored pointers (at issue read)."""
+        if self.ptr_ecc is None:
+            return
+        from repro.protect.ecc import REGPTR_CODE
+        for check, ptr in zip(self.ptr_ecc,
+                              (self.psrc_a, self.psrc_b, self.pdst)):
+            value = ptr.get()
+            corrected, _status = REGPTR_CODE.correct(value, check.get())
+            if corrected != value:
+                ptr.set(corrected)
+
+    def insn_parity_value(self):
+        """Parity over the insn-word fields this entry retains."""
+        return parity((self.is_lit.get() << 29) | (self.literal.get() << 21)
+                      | self.disp.get())
+
+
+class Scheduler:
+    """32-entry unified scheduler."""
+
+    def __init__(self, space, config, biq_bits):
+        self.config = config
+        self.entries = [
+            _SchedEntry(space, "sched[%d]" % i, config, biq_bits)
+            for i in range(config.sched_entries)
+        ]
+
+    def flush(self):
+        for entry in self.entries:
+            entry.valid.set(0)
+            entry.issued.set(0)
+
+    def free_entries(self):
+        return sum(1 for e in self.entries if not e.valid.get())
+
+    def insert(self, pipeline, slot, rob_index, lq_index, sq_index):
+        """Dispatch one renamed instruction into a free entry."""
+        for entry in self.entries:
+            if entry.valid.get():
+                continue
+            entry.valid.set(1)
+            entry.issued.set(0)
+            entry.op_id.set(slot.op_id.get())
+            entry.use_a.set(slot.use_a.get())
+            entry.psrc_a.set(slot.psrc_a.get())
+            entry.use_b.set(slot.use_b.get())
+            entry.psrc_b.set(slot.psrc_b.get())
+            entry.has_dest.set(slot.has_dest.get())
+            entry.pdst.set(slot.pdst.get())
+            entry.rob_index.set(rob_index)
+            entry.lq_index.set(lq_index)
+            entry.sq_index.set(sq_index)
+            entry.is_lit.set(slot.is_lit.get())
+            entry.literal.set(slot.literal.get())
+            entry.disp.set(slot.disp.get())
+            entry.pc.set(slot.pc.get())
+            entry.pred_taken.set(slot.pred_taken.get())
+            entry.biq_index.set(slot.biq_index.get())
+            entry.seq.set(slot.seq.get())
+            if entry.parity is not None:
+                entry.parity.set(entry.insn_parity_value())
+            entry.encode_ptr_ecc()
+            return
+        # Dispatch checked free_entries(); under fault corruption the
+        # count may lie -- the instruction is silently dropped, which is a
+        # real (deadlock-producing) failure mode, not a simulator error.
+
+    # -- Select stage -----------------------------------------------------
+
+    def select_stage(self, pipeline):
+        execute = pipeline.execute
+        if not execute.is_latch_empty():
+            return  # register-read did not drain the issue latch
+        candidates = []
+        rob_head = pipeline.rob.head.get()
+        rob_n = len(pipeline.rob.entries)
+        for index, entry in enumerate(self.entries):
+            if entry.valid.get() and not entry.issued.get():
+                age = (entry.rob_index.get() - rob_head) % rob_n
+                candidates.append((age, index))
+        if not candidates:
+            return
+        candidates.sort()
+
+        fu_budget = {
+            0: self.config.simple_alus,
+            1: self.config.complex_alus,
+            2: self.config.branch_alus,
+            3: self.config.agus,
+            4: self.config.simple_alus,  # PAL ops borrow a simple ALU slot
+        }
+        issued = 0
+        for _age, index in candidates:
+            if issued >= self.config.issue_width:
+                break
+            entry = self.entries[index]
+            op_id = entry.op_id.get()
+            fu = fu_of(op_id)
+            budget_key = 0 if fu == 4 else fu
+            if fu_budget[budget_key] <= 0:
+                continue
+            if not self._operands_promised(pipeline, entry):
+                continue
+            if op_id in LOAD_IDS and not pipeline.memunit.load_may_issue(
+                    pipeline, entry):
+                continue
+            if fu == 1 and not execute.complex_can_accept():
+                continue
+            if entry.parity is not None and (
+                    entry.insn_parity_value() != entry.parity.get()):
+                pipeline.request_parity_flush()
+                continue
+            fu_budget[budget_key] -= 1
+            entry.issued.set(1)
+            execute.accept_issue(index, entry)
+            issued += 1
+
+    def _operands_promised(self, pipeline, entry):
+        """True when both operands are ready or promised by a producer."""
+        execute = pipeline.execute
+        regfile = pipeline.regfile
+        for use, src in ((entry.use_a, entry.psrc_a),
+                         (entry.use_b, entry.psrc_b)):
+            if not use.get():
+                continue
+            preg = src.get()
+            if regfile.is_ready(preg):
+                continue
+            if not execute.promises(preg):
+                return False
+        return True
+
+    # -- Replay / completion -------------------------------------------------
+
+    def replay(self, sched_index):
+        """Return an issued entry to the waiting state (failed promise)."""
+        entry = self.entries[sched_index % len(self.entries)]
+        if entry.valid.get():
+            entry.issued.set(0)
+
+    def complete(self, sched_index):
+        """Free an entry whose instruction is certain to complete."""
+        entry = self.entries[sched_index % len(self.entries)]
+        entry.valid.set(0)
+        entry.issued.set(0)
+
+    def squash_younger(self, rob_head, boundary_age, rob_n):
+        """Invalidate entries younger than ``boundary_age`` (recovery)."""
+        for entry in self.entries:
+            if not entry.valid.get():
+                continue
+            age = (entry.rob_index.get() - rob_head) % rob_n
+            if age > boundary_age:
+                entry.valid.set(0)
+                entry.issued.set(0)

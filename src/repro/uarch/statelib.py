@@ -1,0 +1,246 @@
+"""State-element registry: the substrate of latch-accurate fault injection.
+
+Every architected bit of pipeline state -- edge-triggered latches and
+pipeline RAM cells alike -- is allocated from a :class:`StateSpace`.
+Each element carries:
+
+* a ``width`` in bits,
+* a :class:`StorageKind` (``LATCH`` or ``RAM``) matching the paper's
+  division of injection campaigns into latch+RAM and latch-only,
+* a :class:`StateCategory` matching the paper's Table 1 functional
+  taxonomy (``addr``, ``archrat``, ``data``, ``regfile``, ...),
+* an ``injectable`` flag.  Ghost elements (``injectable=False``) carry
+  simulator bookkeeping (sequence numbers) that exists for analysis only;
+  they are excluded from injection, from the Table 1 inventory, and from
+  the microarchitectural-state signature, and no pipeline *behaviour* may
+  depend on them.
+
+Values live in one flat list so snapshot/restore/signature are single
+C-speed operations, keeping trial turnaround fast enough for
+thousand-trial campaigns.
+"""
+
+import bisect
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+class StorageKind(enum.Enum):
+    """Physical storage style of a state element (paper Section 2.2)."""
+
+    LATCH = "latch"
+    RAM = "ram"
+
+
+class StateCategory(enum.Enum):
+    """Functional category of a state element (paper Table 1).
+
+    ``ECC`` and ``PARITY`` appear only when protection mechanisms are
+    configured (paper Figure 9 adds them as injectable categories).
+    ``GHOST`` marks analysis-only bookkeeping.
+    """
+
+    ADDR = "addr"
+    ARCHFREELIST = "archfreelist"
+    ARCHRAT = "archrat"
+    CTRL = "ctrl"
+    DATA = "data"
+    INSN = "insn"
+    PC = "pc"
+    QCTRL = "qctrl"
+    REGFILE = "regfile"
+    REGPTR = "regptr"
+    ROBPTR = "robptr"
+    SPECFREELIST = "specfreelist"
+    SPECRAT = "specrat"
+    VALID = "valid"
+    ECC = "ecc"
+    PARITY = "parity"
+    GHOST = "ghost"
+
+
+# The categories reported in the paper's Table 1 (baseline machine).
+TABLE1_CATEGORIES = (
+    StateCategory.ADDR,
+    StateCategory.ARCHFREELIST,
+    StateCategory.ARCHRAT,
+    StateCategory.CTRL,
+    StateCategory.DATA,
+    StateCategory.INSN,
+    StateCategory.PC,
+    StateCategory.QCTRL,
+    StateCategory.REGFILE,
+    StateCategory.REGPTR,
+    StateCategory.ROBPTR,
+    StateCategory.SPECFREELIST,
+    StateCategory.SPECRAT,
+    StateCategory.VALID,
+)
+
+
+@dataclass(frozen=True)
+class ElementMeta:
+    """Immutable description of one state element."""
+
+    index: int
+    name: str
+    width: int
+    category: StateCategory
+    kind: StorageKind
+    injectable: bool
+
+
+class Field:
+    """Handle to one state element's value.
+
+    Reads and writes are width-masked, so a corrupted value can never
+    exceed its hardware width -- the defensive-simulation ground rule.
+    """
+
+    __slots__ = ("_values", "index", "width", "_mask")
+
+    def __init__(self, space, index, width):
+        self._values = space.values
+        self.index = index
+        self.width = width
+        self._mask = (1 << width) - 1
+
+    def get(self):
+        return self._values[self.index]
+
+    def set(self, value):
+        self._values[self.index] = value & self._mask
+
+    def flip(self, bit):
+        """Invert one bit (the single-event-upset fault model)."""
+        self._values[self.index] ^= 1 << (bit % self.width)
+
+    def __repr__(self):
+        return "Field(#%d, %d bits, value=%d)" % (
+            self.index, self.width, self.get())
+
+
+class StateSpace:
+    """Allocator and registry for all state elements of one pipeline."""
+
+    def __init__(self):
+        self.values = []
+        self.elements = []
+        self._frozen = False
+        self._signature_indices = None
+        self._injection_tables = {}
+
+    # -- Allocation -------------------------------------------------------
+
+    def field(self, name, width, category, kind, injectable=True, reset=0):
+        """Allocate one state element and return its :class:`Field`."""
+        if self._frozen:
+            raise SimulationError(
+                "cannot allocate %r: state space is frozen" % name)
+        if width <= 0:
+            raise SimulationError("field %r must have positive width" % name)
+        if category == StateCategory.GHOST:
+            injectable = False
+        index = len(self.values)
+        self.values.append(reset & ((1 << width) - 1))
+        self.elements.append(
+            ElementMeta(index, name, width, category, kind, injectable))
+        field = Field(self, index, width)
+        return field
+
+    def array(self, name, count, width, category, kind, injectable=True):
+        """Allocate ``count`` homogeneous elements (a RAM array or latch bank)."""
+        return [
+            self.field("%s[%d]" % (name, i), width, category, kind, injectable)
+            for i in range(count)
+        ]
+
+    def freeze(self):
+        """Finish allocation; precompute signature and injection tables."""
+        self._frozen = True
+        self._signature_indices = tuple(
+            meta.index for meta in self.elements
+            if meta.category != StateCategory.GHOST
+        )
+
+    # -- Inventory ----------------------------------------------------------
+
+    def total_bits(self, kind=None, category=None, injectable_only=True):
+        """Total bits matching the filters (the Table 1 accounting)."""
+        total = 0
+        for meta in self.elements:
+            if injectable_only and not meta.injectable:
+                continue
+            if kind is not None and meta.kind != kind:
+                continue
+            if category is not None and meta.category != category:
+                continue
+            total += meta.width
+        return total
+
+    def inventory(self):
+        """Mapping category -> {latch_bits, ram_bits} over injectable state."""
+        table = {}
+        for meta in self.elements:
+            if not meta.injectable:
+                continue
+            row = table.setdefault(
+                meta.category, {StorageKind.LATCH: 0, StorageKind.RAM: 0})
+            row[meta.kind] += meta.width
+        return table
+
+    # -- Fault injection -------------------------------------------------------
+
+    def _table_for(self, kinds):
+        key = tuple(sorted(k.value for k in kinds))
+        cached = self._injection_tables.get(key)
+        if cached is not None:
+            return cached
+        indices = []
+        cumulative = []
+        total = 0
+        for meta in self.elements:
+            if meta.injectable and meta.kind in kinds:
+                indices.append(meta.index)
+                total += meta.width
+                cumulative.append(total)
+        table = (indices, cumulative, total)
+        self._injection_tables[key] = table
+        return table
+
+    def eligible_bits(self, kinds):
+        """Number of injectable bits across the given storage kinds."""
+        return self._table_for(frozenset(kinds))[2]
+
+    def choose_bit(self, rng, kinds):
+        """Pick a (element_index, bit) uniformly over eligible bits."""
+        indices, cumulative, total = self._table_for(frozenset(kinds))
+        if total == 0:
+            raise SimulationError("no injectable state for kinds %r" % (kinds,))
+        offset = rng.randrange(total)
+        position = bisect.bisect_right(cumulative, offset)
+        element_index = indices[position]
+        prior = cumulative[position - 1] if position else 0
+        return element_index, offset - prior
+
+    def flip_bit(self, element_index, bit):
+        """Apply a single-bit upset to an element chosen by index."""
+        meta = self.elements[element_index]
+        self.values[element_index] ^= 1 << (bit % meta.width)
+        return meta
+
+    # -- Snapshot / compare ------------------------------------------------------
+
+    def snapshot(self):
+        """Copy of all element values (ghosts included, for exact restore)."""
+        return list(self.values)
+
+    def restore(self, snap):
+        self.values[:] = snap
+
+    def signature(self):
+        """Hash of all non-ghost state (the microarchitectural-match check)."""
+        values = self.values
+        return hash(tuple(values[i] for i in self._signature_indices))

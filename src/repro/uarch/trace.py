@@ -1,0 +1,153 @@
+"""Pipeline introspection and debug tracing.
+
+Research on a cycle-level model lives and dies by visibility; this
+module provides a per-cycle "pipeview"-style trace (which instructions
+occupy which structures), occupancy timelines, and retirement logs --
+used by the examples, by debugging sessions, and by tests that need to
+assert on internal timing.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.isa.disassembler import disassemble
+from repro.uarch.uop import op_from_id, unpack_pc
+
+
+def structure_snapshot(pipeline):
+    """One-line-per-structure occupancy summary for the current cycle."""
+    frontend = pipeline.frontend
+    mem = pipeline.memunit
+    parts = [
+        "cyc=%d" % pipeline.cycle_count,
+        "ret=%d" % pipeline.total_retired,
+        "fq=%d/%d" % (frontend.fq_count.get(), len(frontend.fetchq)),
+        "rob=%d/%d" % (pipeline.rob.count.get(), len(pipeline.rob.entries)),
+        "sched=%d/%d" % (
+            sum(1 for e in pipeline.scheduler.entries if e.valid.get()),
+            len(pipeline.scheduler.entries)),
+        "lq=%d" % mem.lq_count.get(),
+        "sq=%d" % mem.sq_count.get(),
+        "mhr=%d" % sum(1 for m in mem.mhr if m.valid.get()),
+    ]
+    return " ".join(parts)
+
+
+def rob_window(pipeline, limit=16):
+    """Human-readable dump of the oldest ROB entries."""
+    rob = pipeline.rob
+    n = len(rob.entries)
+    head = rob.head.get() % n
+    count = min(rob.count.get(), limit)
+    lines = []
+    for offset in range(count):
+        entry = rob.entries[(head + offset) % n]
+        if not entry.valid.get():
+            break
+        word = pipeline.memory.fetch_word(unpack_pc(entry.pc.get()))
+        lines.append("rob[%2d] %s pc=0x%x %-24s %s" % (
+            (head + offset) % n,
+            "done" if entry.done.get() else "....",
+            unpack_pc(entry.pc.get()),
+            disassemble(word, unpack_pc(entry.pc.get())),
+            op_from_id(entry.op_id.get()).name,
+        ))
+    return "\n".join(lines) if lines else "(rob empty)"
+
+
+@dataclass
+class PipelineTracer:
+    """Records per-cycle structure occupancy and retirement events.
+
+    >>> tracer = PipelineTracer()
+    >>> tracer.attach(pipeline)
+    >>> pipeline.run(100)
+    >>> print(tracer.occupancy_timeline())
+    """
+
+    sample_every: int = 1
+    occupancy: List[dict] = field(default_factory=list)
+    retirements: List[tuple] = field(default_factory=list)
+    _pipeline: object = None
+    _original_cycle: object = None
+
+    def attach(self, pipeline):
+        """Wrap ``pipeline.cycle`` to record a trace; call detach() when
+        done (or let the tracer die with the pipeline)."""
+        self._pipeline = pipeline
+        self._original_cycle = pipeline.cycle
+
+        def traced_cycle():
+            self._original_cycle()
+            if pipeline.cycle_count % self.sample_every == 0:
+                self._sample(pipeline)
+            for record in pipeline.retired_this_cycle:
+                self.retirements.append((pipeline.cycle_count,) + record)
+
+        pipeline.cycle = traced_cycle
+        return self
+
+    def detach(self):
+        if self._pipeline is not None and self._original_cycle is not None:
+            self._pipeline.cycle = self._original_cycle
+        self._pipeline = None
+
+    def _sample(self, pipeline):
+        mem = pipeline.memunit
+        self.occupancy.append({
+            "cycle": pipeline.cycle_count,
+            "rob": pipeline.rob.count.get(),
+            "sched": sum(1 for e in pipeline.scheduler.entries
+                         if e.valid.get()),
+            "fetchq": pipeline.frontend.fq_count.get(),
+            "lq": mem.lq_count.get(),
+            "sq": mem.sq_count.get(),
+        })
+
+    def occupancy_timeline(self, structure="rob", width=60):
+        """An ASCII sparkline of one structure's occupancy over time."""
+        if not self.occupancy:
+            return "(no samples)"
+        values = [sample[structure] for sample in self.occupancy]
+        peak = max(max(values), 1)
+        glyphs = " .:-=+*#%@"
+        step = max(1, len(values) // width)
+        cells = []
+        for index in range(0, len(values), step):
+            window = values[index:index + step]
+            level = sum(window) / len(window) / peak
+            cells.append(glyphs[min(len(glyphs) - 1,
+                                    int(level * (len(glyphs) - 1)))])
+        return "%s occupancy (peak %d): [%s]" % (
+            structure, peak, "".join(cells))
+
+    def ipc(self):
+        if not self.occupancy:
+            return 0.0
+        cycles = self.occupancy[-1]["cycle"] - self.occupancy[0]["cycle"]
+        if cycles <= 0:
+            return 0.0
+        in_window = [r for r in self.retirements
+                     if self.occupancy[0]["cycle"] < r[0]
+                     <= self.occupancy[-1]["cycle"]]
+        return len(in_window) / cycles
+
+
+def retirement_log(pipeline, cycles, limit=50):
+    """Run ``cycles`` and return formatted retirement records."""
+    lines = []
+    for _ in range(cycles):
+        if pipeline.halted or len(lines) >= limit:
+            break
+        pipeline.cycle()
+        for seq, pc, op_id, dest, value in pipeline.retired_this_cycle:
+            word = pipeline.memory.fetch_word(pc)
+            text = "c%05d  0x%04x  %-26s" % (
+                pipeline.cycle_count, pc, disassemble(word, pc))
+            if dest is not None:
+                text += "  r%d=%d" % (dest, value if value is not None
+                                      else 0)
+            lines.append(text)
+            if len(lines) >= limit:
+                break
+    return "\n".join(lines)

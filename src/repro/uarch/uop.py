@@ -1,0 +1,161 @@
+"""Control-word encoding: how decoded instructions live in pipeline bits.
+
+After decode, an instruction travels the pipeline as a bundle of numeric
+fields stored in state elements (the paper's ``ctrl`` / ``insn`` / ``pc``
+categories).  *All* downstream behaviour is computed from these stored
+bits, never from shadow Python objects -- so a bit flip in a latched
+control word genuinely re-steers execution (possibly to a different but
+valid operation: the paper's ``ctrl`` failure mode).
+
+Field inventory per in-flight instruction:
+
+=============  =====  ==========  =========================================
+field          bits   category    meaning
+=============  =====  ==========  =========================================
+op_id          8      ctrl        :class:`~repro.isa.opcodes.Op` value
+has_dest       1      ctrl        writes a register
+dest_arch      5      ctrl        architectural destination
+use_a/use_b    1+1    ctrl        source-operand valid bits
+src_a/src_b    5+5    ctrl        architectural sources (ra / rb role)
+is_lit         1      insn        operate-format literal flag
+literal        8      insn        operate-format literal
+disp           21     insn        branch (21b) / memory (low 16b) disp
+insn_word      32     insn        raw word (fetch queue / decode latch)
+pc             62     pc          pc >> 2
+pred_taken     1      ctrl        fetch-time direction prediction
+biq_index      5      ctrl        branch-info-queue slot (predicted
+                                  next-PC + recovery snapshots live there)
+=============  =====  ==========  =========================================
+"""
+
+from repro.isa.instruction import PAL_ARG_REG
+from repro.isa.opcodes import (
+    COMPLEX_LATENCY,
+    COMPLEX_OPS,
+    COND_BRANCH_OPS,
+    CONTROL_OPS,
+    JUMP_OPS,
+    LOAD_OPS,
+    OUTPUT_OPS,
+    PAL_OPS,
+    REG_ZERO,
+    STORE_OPS,
+    UNCOND_BRANCH_OPS,
+    Op,
+)
+from repro.utils.bits import sext
+
+PC_BITS = 62  # the paper stores 62-bit PC fields (pc >> 2)
+OP_BITS = 8
+DISP_BITS = 21
+
+_OP_BY_ID = {int(op): op for op in Op}
+
+# Fast integer-keyed classification sets (hot path: called per uop per cycle).
+LOAD_IDS = frozenset(int(op) for op in LOAD_OPS)
+STORE_IDS = frozenset(int(op) for op in STORE_OPS)
+MEM_IDS = LOAD_IDS | STORE_IDS
+COND_IDS = frozenset(int(op) for op in COND_BRANCH_OPS)
+UNCOND_IDS = frozenset(int(op) for op in UNCOND_BRANCH_OPS)
+JUMP_IDS = frozenset(int(op) for op in JUMP_OPS)
+CONTROL_IDS = frozenset(int(op) for op in CONTROL_OPS)
+PAL_IDS = frozenset(int(op) for op in PAL_OPS)
+OUTPUT_IDS = frozenset(int(op) for op in OUTPUT_OPS)
+COMPLEX_IDS = frozenset(int(op) for op in COMPLEX_OPS)
+HALT_ID = int(Op.HALT)
+LDA_ID = int(Op.LDA)
+LDAH_ID = int(Op.LDAH)
+LDL_ID = int(Op.LDL)
+STL_ID = int(Op.STL)
+
+COMPLEX_LATENCY_BY_ID = {int(op): lat for op, lat in COMPLEX_LATENCY.items()}
+
+
+def op_from_id(op_id):
+    """Total mapping from a stored 8-bit op field to an ``Op``."""
+    return _OP_BY_ID.get(op_id & 0xFF, Op.INVALID)
+
+
+def pack_pc(pc):
+    """Store a byte PC in a 62-bit field (word-aligned, as the paper does)."""
+    return (pc >> 2) & ((1 << PC_BITS) - 1)
+
+
+def unpack_pc(field_value):
+    """Recover the byte PC from a stored 62-bit field."""
+    return (field_value << 2) & ((1 << 64) - 1)
+
+
+def mem_disp(disp_field):
+    """Memory-format displacement from the stored 21-bit field."""
+    return sext(disp_field & 0xFFFF, 16)
+
+
+def branch_disp(disp_field):
+    """Branch-format displacement from the stored 21-bit field."""
+    return sext(disp_field, DISP_BITS)
+
+
+def decode_control_word(insn):
+    """Decode an :class:`~repro.isa.instruction.Instruction` into the
+    numeric control-word fields dispatched into pipeline state.
+
+    Returns a dict with keys matching the field inventory above
+    (except pc/prediction, which fetch supplies).
+    """
+    op = insn.op
+    op_id = int(op)
+    dest = insn.dest
+    use_a = use_b = 0
+    src_a = src_b = REG_ZERO
+
+    if op in LOAD_OPS or op in (Op.LDA, Op.LDAH):
+        use_b, src_b = 1, insn.rb
+    elif op in STORE_OPS:
+        use_a, src_a = 1, insn.ra
+        use_b, src_b = 1, insn.rb
+    elif op in COND_BRANCH_OPS:
+        use_a, src_a = 1, insn.ra
+    elif op in JUMP_OPS:
+        use_b, src_b = 1, insn.rb
+    elif op in OUTPUT_OPS:
+        use_a, src_a = 1, PAL_ARG_REG
+    elif op in PAL_OPS or op in UNCOND_BRANCH_OPS or op == Op.INVALID:
+        pass
+    else:  # operate format
+        use_a, src_a = 1, insn.ra
+        if not insn.is_literal:
+            use_b, src_b = 1, insn.rb
+
+    # Reads of r31 are constant zero: no dependence to track.
+    if src_a == REG_ZERO:
+        use_a = 0
+    if src_b == REG_ZERO:
+        use_b = 0
+
+    return {
+        "op_id": op_id,
+        "has_dest": 1 if dest is not None else 0,
+        "dest_arch": dest if dest is not None else 0,
+        "use_a": use_a,
+        "src_a": src_a,
+        "use_b": use_b,
+        "src_b": src_b,
+        "is_lit": 1 if insn.is_literal else 0,
+        "literal": insn.literal & 0xFF,
+        "disp": insn.disp & ((1 << DISP_BITS) - 1),
+    }
+
+
+def fu_of(op_id):
+    """Function-unit class for a stored op field: 0 simple, 1 complex,
+    2 branch, 3 agen, 4 none."""
+    if op_id in COMPLEX_IDS:
+        return 1
+    if op_id in CONTROL_IDS:
+        return 2
+    if op_id in MEM_IDS:
+        return 3
+    if op_id in PAL_IDS:
+        return 4
+    return 0

@@ -1,0 +1,27 @@
+"""Shared low-level helpers: bit manipulation, RNG streams, ASCII tables."""
+
+from repro.utils.bits import (
+    MASK32,
+    MASK64,
+    bit_count,
+    extract,
+    mask,
+    sext,
+    to_signed,
+    to_unsigned,
+)
+from repro.utils.rng import SplitRng
+from repro.utils.tables import format_table
+
+__all__ = [
+    "MASK32",
+    "MASK64",
+    "bit_count",
+    "extract",
+    "mask",
+    "sext",
+    "to_signed",
+    "to_unsigned",
+    "SplitRng",
+    "format_table",
+]

@@ -1,0 +1,45 @@
+"""Bit-manipulation helpers used throughout the ISA and pipeline models.
+
+All machine values are stored as non-negative Python ints masked to their
+declared width; signedness is applied at the point of interpretation.
+"""
+
+MASK32 = (1 << 32) - 1
+MASK64 = (1 << 64) - 1
+
+
+def mask(width):
+    """Return the all-ones mask for ``width`` bits."""
+    return (1 << width) - 1
+
+
+def extract(value, lo, width):
+    """Extract ``width`` bits of ``value`` starting at bit ``lo``."""
+    return (value >> lo) & mask(width)
+
+
+def sext(value, width):
+    """Sign-extend the low ``width`` bits of ``value`` to a Python int."""
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_signed(value, width=64):
+    """Interpret an unsigned ``width``-bit value as signed."""
+    return sext(value, width)
+
+
+def to_unsigned(value, width=64):
+    """Wrap a possibly-negative Python int into ``width`` unsigned bits."""
+    return value & mask(width)
+
+
+def bit_count(value):
+    """Population count (number of set bits) of a non-negative int."""
+    return bin(value).count("1")
+
+
+def parity(value):
+    """Even parity bit of ``value`` (1 if an odd number of bits are set)."""
+    return bit_count(value) & 1

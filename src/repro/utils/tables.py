@@ -1,0 +1,56 @@
+"""Plain-text table rendering for benchmark harness output.
+
+The benchmark harness prints the same rows the paper's tables and figures
+report; this module renders them as aligned ASCII tables so the output is
+directly comparable against the paper.
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Render ``rows`` (sequences of cells) under ``headers`` as ASCII.
+
+    Numeric cells are right-aligned, text cells left-aligned.  Floats are
+    rendered with sensible precision.  Returns a single string.
+    """
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    header_cells = [str(h) for h in headers]
+    widths = [len(h) for h in header_cells]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    numeric = [True] * len(widths)
+    for row_raw, row in zip(rows, rendered):
+        for i, cell in enumerate(row_raw):
+            if not isinstance(cell, (int, float)):
+                numeric[i] = False
+
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header_cells, widths)))
+    lines.append(sep)
+    for row in rendered:
+        cells = []
+        for i, w in enumerate(widths):
+            cell = row[i] if i < len(row) else ""
+            cells.append(cell.rjust(w) if numeric[i] else cell.ljust(w))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def _render_cell(cell):
+    if isinstance(cell, float):
+        return "%.2f" % cell
+    return str(cell)
+
+
+def format_percent(numerator, denominator):
+    """Render a share as ``xx.x%``, safely handling a zero denominator."""
+    if denominator == 0:
+        return "n/a"
+    return "%.1f%%" % (100.0 * numerator / denominator)

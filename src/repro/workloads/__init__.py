@@ -1,0 +1,23 @@
+"""Synthetic SPEC2000-integer-like workloads.
+
+The paper drives its fault-injection campaigns with SPEC2000 integer
+benchmarks.  SPEC sources and reference inputs are proprietary, so this
+package provides ten synthetic kernels named after their SPEC
+counterparts, each engineered to mimic the salient microarchitectural
+signature the paper attributes to that benchmark (IPC, branch
+predictability, cache behaviour) -- the properties Section 3.1 says drive
+per-benchmark masking differences.
+
+Every kernel is assembly text (see :mod:`repro.isa.assembler`) that
+initialises its own data with a deterministic LCG, runs a compute loop,
+emits running checksums through the PAL output calls, and halts.
+"""
+
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    Workload,
+    get_workload,
+    iter_workloads,
+)
+
+__all__ = ["WORKLOAD_NAMES", "Workload", "get_workload", "iter_workloads"]

@@ -1,0 +1,80 @@
+"""Workload characterisation (paper Section 3.1's benchmark remarks).
+
+The paper explains per-benchmark masking differences through
+microarchitectural signatures: gzip has the highest IPC, bzip2 high IPC
+and branch prediction plus the best data-cache hit rate, mcf is
+miss-bound.  This module measures those signatures on the pipeline model
+so the claims are checkable against our synthetic kernels.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.uarch.core import Pipeline
+from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+
+
+@dataclass
+class WorkloadProfile:
+    """Steady-state signature of one kernel on the pipeline model."""
+
+    name: str
+    ipc: float
+    branch_mpki: float  # mispredictions per kilo-instruction
+    dcache_hit_rate: float
+    icache_mpki: float
+    store_forward_rate: float  # forwards per dcache access
+    ordering_violations: int
+
+    def as_row(self):
+        return [self.name, self.ipc, self.branch_mpki,
+                100.0 * self.dcache_hit_rate, self.icache_mpki,
+                self.store_forward_rate, self.ordering_violations]
+
+
+def characterize(name, warmup_cycles=23000, window_cycles=8000,
+                 pipeline_config=None):
+    """Measure one kernel's steady-state signature."""
+    workload = get_workload(name, scale="small")
+    pipeline = Pipeline(workload.program, pipeline_config)
+    pipeline.run(warmup_cycles)
+    start_retired = pipeline.total_retired
+    start_stats = dict(pipeline.stats)
+    pipeline.run(window_cycles)
+    cycles = pipeline.cycle_count - warmup_cycles
+    retired = pipeline.total_retired - start_retired
+
+    def delta(counter):
+        return pipeline.stats.get(counter, 0) - start_stats.get(counter, 0)
+
+    accesses = delta("dcache_accesses")
+    misses = delta("dcache_misses")
+    kilo = max(1, retired) / 1000.0
+    return WorkloadProfile(
+        name=name,
+        ipc=retired / max(1, cycles),
+        branch_mpki=delta("branch_mispredicts") / kilo,
+        dcache_hit_rate=(accesses - misses) / accesses if accesses else 1.0,
+        icache_mpki=delta("icache_misses") / kilo,
+        store_forward_rate=(delta("store_forwards")
+                            / max(1, accesses + delta("store_forwards"))),
+        ordering_violations=delta("ordering_violations"),
+    )
+
+
+def characterize_all(names=None, **kwargs) -> Dict[str, WorkloadProfile]:
+    """Profiles for several kernels (default: all ten)."""
+    return {name: characterize(name, **kwargs)
+            for name in (names or WORKLOAD_NAMES)}
+
+
+def render_profiles(profiles, title="Workload characterisation"):
+    """Render profiles as a paper-style characterisation table."""
+    from repro.utils.tables import format_table
+
+    rows = [profile.as_row() for profile in
+            sorted(profiles.values(), key=lambda p: -p.ipc)]
+    return format_table(
+        ["kernel", "ipc", "br_mpki", "dcache_hit%", "ic_mpki",
+         "fwd_rate", "violations"],
+        rows, title=title)

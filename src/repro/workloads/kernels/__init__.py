@@ -1,0 +1,8 @@
+"""Synthetic kernel modules, one per SPEC2000 integer benchmark.
+
+Each module exports ``NAME``, ``DESCRIPTION``, ``PROFILE`` and a
+``source(iters)`` function returning assembly text.  Common register
+conventions across kernels: ``s0`` outer-loop counter, ``s1``/``s4``
+buffer bases, ``s2`` element counts, ``s3`` running checksum, ``a0`` the
+PAL output argument.
+"""

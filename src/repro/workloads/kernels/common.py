@@ -1,0 +1,33 @@
+"""Shared assembly fragments for the synthetic kernels."""
+
+# 64-bit LCG (Knuth MMIX constants); all kernels derive their data from it
+# so every workload is fully deterministic and self-contained.
+LCG_CONSTANTS = """
+.org 0x3000
+lcg_a:  .quad 6364136223846793005
+lcg_c:  .quad 1442695040888963407
+seed:   .quad 88172645463325252
+"""
+
+# Advance the LCG state held in register t0 (clobbers t11).
+LCG_STEP = """
+    ldq   t11, lcg_a(zero)
+    mulq  t0, t11, t0
+    ldq   t11, lcg_c(zero)
+    addq  t0, t11, t0
+"""
+
+
+def fill_buffer(base_reg, count_reg, label):
+    """Fill ``count`` quads at ``base`` with LCG values (uses t0-t2, t11)."""
+    return """
+    clr   t2
+{label}:
+{lcg}
+    sll   t2, #3, t1
+    addq  {base}, t1, t1
+    stq   t0, 0(t1)
+    addq  t2, #1, t2
+    cmplt t2, {count}, t1
+    bne   t1, {label}
+""".format(label=label, lcg=LCG_STEP, base=base_reg, count=count_reg)

@@ -1,0 +1,99 @@
+"""crafty-like kernel: bitboard manipulation.
+
+SPEC crafty (chess) lives on 64-bit bitboard logic: shifts, masks,
+population counts and bit scans, with high instruction-level
+parallelism.  This kernel generates attack-set style masks, folds them
+with wide logical operations, and runs a bit-scan loop per board.
+
+A board's attack mask is evaluated only through its population count (a
+6-bit quantity -- the evaluation score), and only the *best* score of a
+batch survives, as in alpha-beta search -- so the wide intermediate
+masks, and most scores, are transitively dead.
+"""
+
+from repro.workloads.kernels.common import LCG_CONSTANTS, LCG_STEP
+
+NAME = "crafty"
+DESCRIPTION = "bitboard attack-set generation + population counts"
+PROFILE = "64-bit logical ops; high ILP; short data-dependent scan loops"
+
+_BOARDS = 48
+
+
+def source(iters):
+    """Assembly text for this kernel at the given iteration count."""
+    return """
+.org 0x1000
+start:
+    li    s0, %(iters)d
+    clr   s3
+    ldq   t0, seed(zero)
+    ldq   s5, mask55(zero)     ; 0x5555... popcount masks
+    ldq   s6, mask33(zero)
+outer:
+    li    t9, %(boards)d
+    clr   s2                   ; best score of the batch
+board:
+%(lcg)s
+    mov   t0, t1               ; the "board"
+    sll   t1, #8, t2           ; shifted attack rays
+    srl   t1, #8, t3
+    bis   t2, t3, t2
+    sll   t1, #1, t4
+    srl   t1, #1, t5
+    bis   t4, t5, t4
+    bis   t2, t4, t2           ; combined attacks
+    bic   t2, t1, t2           ; exclude occupied squares
+    ; SWAR popcount (two rounds, then fold)
+    srl   t2, #1, t4
+    and   t4, s5, t4
+    subq  t2, t4, t2           ; pairs
+    srl   t2, #2, t4
+    and   t4, s6, t4
+    and   t2, s6, t2
+    addq  t2, t4, t2           ; nibbles
+    srl   t2, #4, t4
+    addq  t2, t4, t2
+    ldq   t4, mask0f(zero)
+    and   t2, t4, t2
+    ldq   t4, mul01(zero)
+    mulq  t2, t4, t2
+    srl   t2, #56, t2          ; popcount in t2 (6 bits live)
+    ; scan low set bits of the board (data-dependent trip count)
+    and   t1, #255, t5
+scan:
+    beq   t5, scandone
+    subq  t5, #1, t6
+    and   t5, t6, t5           ; clear lowest set bit
+    addq  t2, #1, t2           ; mobility bonus
+    br    scan
+scandone:
+    cmplt s2, t2, t6           ; alpha-beta style: keep only the best
+    beq   t6, notbest
+    mov   t2, s2
+notbest:
+    subq  t9, #1, t9
+    bgt   t9, board
+    addq  s3, s2, s3
+    and   s0, #3, t8
+    bne   t8, noprint
+    mov   s2, a0               ; best score this batch
+    putq
+noprint:
+    subq  s0, #1, s0
+    bgt   s0, outer
+    mov   s3, a0
+    putq
+    halt
+.org 0x3100
+mask55: .quad 0x5555555555555555
+mask33: .quad 0x3333333333333333
+mask0f: .quad 0x0f0f0f0f0f0f0f0f
+mul01:  .quad 0x0101010101010101
+%(consts)s
+""" % {
+        "iters": iters,
+        "boards": _BOARDS,
+        "lcg": LCG_STEP,
+        "consts": LCG_CONSTANTS,
+    }

@@ -1,0 +1,92 @@
+"""gcc-like kernel: branchy expression evaluation with a state machine.
+
+SPEC gcc is control-flow heavy with moderately predictable branches.
+This kernel walks a stream of pseudo-random "tokens" through a chain of
+data-dependent decisions and a four-state machine, with an occasional
+integer division (the complex ALU's longest operation).
+
+Only 3-bit token classes steer the machine (the other 61 bits of each
+token are dead), per-pass evaluation state is discarded after its
+punctuation-count summary, and the expression value is kept in 32 bits
+-- the value-width profile of real compiler data structures.
+"""
+
+from repro.workloads.kernels.common import LCG_CONSTANTS, fill_buffer
+
+NAME = "gcc"
+DESCRIPTION = "token-stream state machine (expression evaluation)"
+PROFILE = "branchy; moderate prediction accuracy; occasional division"
+
+_TOKENS = 160
+
+
+def source(iters):
+    """Assembly text for this kernel at the given iteration count."""
+    return """
+.org 0x1000
+start:
+    li    s0, %(iters)d
+    li    s1, 0x4000           ; token stream
+    li    s2, %(tokens)d
+    clr   s3
+    ldq   t0, seed(zero)
+%(fill)s
+outer:
+    clr   t1                   ; token index
+    clr   t2                   ; machine state (0..3)
+    clr   t3                   ; 32-bit expression accumulator
+    clr   t9                   ; punctuation count (per pass)
+scan:
+    sll   t1, #3, t4
+    addq  s1, t4, t4
+    ldq   t5, 0(t4)
+    and   t5, #7, t6           ; token class: low 3 bits only
+    cmpult t6, #3, t7          ; class 0-2: "operator"
+    bne   t7, operator
+    cmpult t6, #6, t7          ; class 3-5: "operand"
+    bne   t7, operand
+    ; class 6-7: "punctuation" -> state reset + division fold
+    srl   t5, #8, t8
+    and   t8, #255, t8
+    bis   t8, #1, t8           ; never zero
+    divq  t3, t8, t8
+    addl  t3, t8, t3
+    addq  t9, #1, t9
+    clr   t2
+    br    next
+operator:
+    addq  t2, #1, t2           ; advance state
+    and   t2, #3, t2
+    xor   t3, t6, t3           ; only the class bits touch the value
+    br    next
+operand:
+    and   t5, #255, t8         ; operands contribute one byte
+    beq   t2, even_state
+    addl  t3, t8, t3
+    br    next
+even_state:
+    subl  t3, t8, t3
+next:
+    addq  t1, #1, t1
+    cmplt t1, s2, t8
+    bne   t8, scan
+    and   t3, #255, t4         ; value summary: low byte + state
+    addq  t4, t2, t4
+    addq  s3, t4, s3
+    and   s0, #3, t8
+    bne   t8, noprint
+    mov   t9, a0               ; punctuation tokens this pass
+    putq
+noprint:
+    subq  s0, #1, s0
+    bgt   s0, outer
+    mov   s3, a0
+    putq
+    halt
+%(consts)s
+""" % {
+        "iters": iters,
+        "tokens": _TOKENS,
+        "fill": fill_buffer("s1", "s2", "fillbuf"),
+        "consts": LCG_CONSTANTS,
+    }

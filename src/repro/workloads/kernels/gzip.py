@@ -1,0 +1,85 @@
+"""gzip-like kernel: LZ-style scan over a byte buffer.
+
+The paper singles out gzip as the benchmark with the highest IPC.  This
+kernel is a tight rolling-hash / match-count scan: almost all simple ALU
+operations, highly predictable loop branches, and a working set that
+fits easily in the L1 data cache -- keeping the pipeline full of valid
+instructions (and therefore, per Section 3.3, maximally vulnerable).
+
+Like the real compressor, most computed values are *narrow* and
+short-lived: the 32-bit rolling hash is consulted only through its low
+byte, per-iteration state is reset after each block, and the transformed
+output block is written but never re-read (only one word is sampled at
+the end) -- the dead and transitively-dead values behind the paper's
+Section 5 software masking.
+"""
+
+from repro.workloads.kernels.common import LCG_CONSTANTS, fill_buffer
+
+NAME = "gzip"
+DESCRIPTION = "LZ-style rolling-hash scan (compression inner loop)"
+PROFILE = "highest IPC; predictable branches; L1-resident working set"
+
+_BUFFER_QUADS = 192
+
+
+def source(iters):
+    """Assembly text for this kernel at the given iteration count."""
+    return """
+.org 0x1000
+start:
+    li    s0, %(iters)d        ; outer iterations
+    li    s1, 0x4000           ; source buffer
+    li    s4, 0x6000           ; output buffer (write-only)
+    li    s2, %(size)d         ; quads per buffer
+    clr   s3                   ; folded summary (internal)
+    ldq   t0, seed(zero)
+%(fill)s
+outer:
+    clr   t1                   ; index
+    clr   t2                   ; match count (per block)
+    clr   t3                   ; 32-bit rolling hash (per block)
+inner:
+    sll   t1, #3, t4
+    addq  s1, t4, t4
+    ldq   t5, 0(t4)
+    sll   t3, #5, t6           ; hash = (hash*33 ^ word) mod 2^32
+    addq  t6, t3, t3
+    xor   t3, t5, t3
+    addl  t3, #0, t3           ; hash lives in 32 bits
+    and   t5, #255, t6         ; "match" when low byte is small
+    cmpult t6, #16, t7
+    beq   t7, nomatch
+    addq  t2, #1, t2
+nomatch:
+    srl   t5, #7, t6           ; emit a transformed copy (never re-read)
+    xor   t5, t6, t6
+    sll   t1, #3, t7
+    addq  s4, t7, t7
+    stq   t6, 0(t7)
+    addq  t1, #1, t1
+    cmplt t1, s2, t8
+    bne   t8, inner
+    and   t3, #255, t4         ; only the hash's low byte is consulted
+    cmpult t4, #8, t4          ; rare-threshold signal (mostly 0)
+    addq  t2, t4, t2           ; block summary: matches + 1-bit hash signal
+    addq  s3, t2, s3
+    and   s0, #3, t9           ; report every 4th block
+    bne   t9, noprint
+    mov   t2, a0
+    putq
+noprint:
+    subq  s0, #1, s0
+    bgt   s0, outer
+    mov   s3, a0               ; final totals
+    putq
+    ldq   a0, 64(s4)           ; sample one transformed word
+    putq
+    halt
+%(consts)s
+""" % {
+        "iters": iters,
+        "size": _BUFFER_QUADS,
+        "fill": fill_buffer("s1", "s2", "fillbuf"),
+        "consts": LCG_CONSTANTS,
+    }

@@ -1,0 +1,85 @@
+"""mcf-like kernel: dependent pointer chasing over a large footprint.
+
+SPEC mcf is the canonical low-IPC, memory-latency-bound benchmark.  This
+kernel walks a 4096-node linked list (64KB footprint, twice the 32KB L1)
+whose next-pointers stride through memory, so every hop is a dependent
+load and roughly half of them miss -- leaving the pipeline mostly empty
+of valid instructions (low vulnerability per Section 3.3).
+
+The traversal accumulates a 32-bit cost whose low half-word is the only
+part reported per pass (mcf reports objective-function summaries, not
+raw sums); chase state is re-seeded from the list head every pass.
+"""
+
+from repro.workloads.kernels.common import LCG_CONSTANTS, LCG_STEP
+
+NAME = "mcf"
+DESCRIPTION = "dependent linked-list traversal (network-simplex core)"
+PROFILE = "lowest IPC; L1-thrashing dependent loads"
+
+_NODES = 4096  # 16 bytes each -> 64KB, 2x the L1 data cache
+_STRIDE = 1539  # hops the traversal makes through node indices
+_HOPS = 384  # list hops per outer iteration
+
+
+def source(iters):
+    """Assembly text for this kernel at the given iteration count."""
+    return """
+.org 0x1000
+start:
+    li    s0, %(iters)d
+    li    s1, 0x10000          ; node array base (16B nodes)
+    li    s2, %(nodes)d
+    li    s5, %(stride)d
+    clr   s3
+    ldq   t0, seed(zero)
+    ; Build node i: [next_ptr, payload] where next = (i + stride) mod nodes.
+    clr   t2
+build:
+    addq  t2, s5, t3           ; next index
+    cmplt t3, s2, t4
+    bne   t4, inrange
+    subq  t3, s2, t3
+inrange:
+    sll   t3, #4, t3           ; 16 bytes per node
+    addq  s1, t3, t3
+    sll   t2, #4, t4
+    addq  s1, t4, t4
+    stq   t3, 0(t4)            ; next pointer
+%(lcg)s
+    stq   t0, 8(t4)            ; payload
+    addq  t2, #1, t2
+    cmplt t2, s2, t5
+    bne   t5, build
+outer:
+    mov   s1, t1               ; chase from node 0 (fresh per pass)
+    li    t2, %(hops)d
+    clr   t3                   ; 32-bit cost accumulator (per pass)
+chase:
+    ldq   t4, 8(t1)            ; payload (independent of the chase)
+    addl  t3, t4, t3           ; cost arithmetic is 32-bit
+    ldq   t1, 0(t1)            ; dependent next-pointer load
+    subq  t2, #1, t2
+    bgt   t2, chase
+    sll   t3, #48, t4          ; report only the cost's low half-word
+    srl   t4, #48, t4
+    addq  s3, t4, s3
+    and   s0, #3, t9
+    bne   t9, noprint
+    mov   t4, a0
+    putq
+noprint:
+    subq  s0, #1, s0
+    bgt   s0, outer
+    mov   s3, a0
+    putq
+    halt
+%(consts)s
+""" % {
+        "iters": iters,
+        "nodes": _NODES,
+        "stride": _STRIDE,
+        "hops": _HOPS,
+        "lcg": LCG_STEP,
+        "consts": LCG_CONSTANTS,
+    }

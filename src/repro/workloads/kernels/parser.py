@@ -1,0 +1,86 @@
+"""parser-like kernel: byte-at-a-time tokenisation.
+
+SPEC parser classifies characters with data-dependent branches.  This
+kernel extracts individual bytes from quadwords with variable shifts and
+branches on character classes derived from pseudo-random data, giving
+hard-to-predict short branches.
+
+Character classification consumes only the extracted byte (the rest of
+each loaded quad is dead), token hashes live for one token, and the
+program reports token counts -- individual token hashes influence the
+output only through a one-byte fold, like a real dictionary lookup.
+"""
+
+from repro.workloads.kernels.common import LCG_CONSTANTS, fill_buffer
+
+NAME = "parser"
+DESCRIPTION = "byte-wise tokeniser with per-character class branches"
+PROFILE = "data-dependent unpredictable branches; variable shifts"
+
+_TEXT_QUADS = 96
+
+
+def source(iters):
+    """Assembly text for this kernel at the given iteration count."""
+    return """
+.org 0x1000
+start:
+    li    s0, %(iters)d
+    li    s1, 0x4000           ; "text"
+    li    s2, %(quads)d
+    li    s5, %(bytes)d        ; total bytes
+    clr   s3
+    ldq   t0, seed(zero)
+%(fill)s
+outer:
+    clr   t1                   ; byte index
+    clr   t2                   ; token count (per pass)
+    clr   t3                   ; current token hash (dies per token)
+    clr   t9                   ; dictionary fold (one byte per token)
+scan:
+    srl   t1, #3, t4           ; quad index
+    sll   t4, #3, t4
+    addq  s1, t4, t4
+    ldq   t5, 0(t4)
+    and   t1, #7, t6           ; byte-in-quad
+    sll   t6, #3, t6           ; *8 -> shift amount
+    srl   t5, t6, t5
+    and   t5, #255, t5         ; the character (rest of the quad is dead)
+    cmpult t5, #64, t7         ; "whitespace"?
+    bne   t7, delimiter
+    sll   t3, #4, t8           ; extend token hash (32-bit)
+    xor   t8, t5, t3
+    addl  t3, #0, t3
+    blbc  t5, next             ; odd chars tweak the hash again
+    addq  t3, #3, t3
+    br    next
+delimiter:
+    beq   t3, next             ; empty token
+    addq  t2, #1, t2
+    and   t3, #255, t8         ; dictionary fold: token hash's low byte
+    xor   t9, t8, t9
+    clr   t3
+next:
+    addq  t1, #1, t1
+    cmplt t1, s5, t8
+    bne   t8, scan
+    addq  s3, t2, s3
+    addq  s3, t9, s3
+    and   s0, #3, t8
+    bne   t8, noprint
+    mov   t2, a0               ; tokens this pass
+    putq
+noprint:
+    subq  s0, #1, s0
+    bgt   s0, outer
+    mov   s3, a0
+    putq
+    halt
+%(consts)s
+""" % {
+        "iters": iters,
+        "quads": _TEXT_QUADS,
+        "bytes": _TEXT_QUADS * 8,
+        "fill": fill_buffer("s1", "s2", "fillbuf"),
+        "consts": LCG_CONSTANTS,
+    }

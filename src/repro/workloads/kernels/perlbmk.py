@@ -1,0 +1,107 @@
+"""perlbmk-like kernel: bytecode interpreter with indirect dispatch.
+
+SPEC perlbmk is an interpreter: its signature behaviour is indirect
+jumps through a handler table plus call/return pairs.  This kernel
+dispatches pseudo-random "opcodes" through a jump table (stressing the
+BTB) and calls a helper subroutine per step (stressing the return
+address stack).
+
+The virtual accumulator is 32-bit, lives for one dispatch burst, and
+escapes only through its low byte -- interpreter temporaries are the
+classic transitively-dead values of paper Section 5.
+"""
+
+from repro.workloads.kernels.common import LCG_CONSTANTS, LCG_STEP
+
+NAME = "perlbmk"
+DESCRIPTION = "bytecode interpreter: jump-table dispatch + calls"
+PROFILE = "indirect jumps (BTB pressure); call/return (RAS pressure)"
+
+_STEPS = 80
+
+
+def source(iters):
+    """Assembly text for this kernel at the given iteration count."""
+    return """
+.org 0x1000
+start:
+    li    s0, %(iters)d
+    li    s4, jumptable
+    clr   s3
+    ldq   t0, seed(zero)
+outer:
+    li    t9, %(steps)d
+    clr   t3                   ; virtual accumulator (per burst)
+dispatch:
+%(lcg)s
+    srl   t0, #24, t1          ; pseudo-random opcode 0..7
+    and   t1, #7, t1
+    sll   t1, #3, t2
+    addq  s4, t2, t2
+    ldq   t4, 0(t2)            ; handler address
+    jsr   ra, (t4)             ; indirect call into handler
+    addl  t3, #0, t3           ; virtual values are 32-bit
+    subq  t9, #1, t9
+    bgt   t9, dispatch
+    and   t3, #255, t4         ; only the accumulator's low byte escapes
+    addq  s3, t4, s3
+    and   s0, #3, t5
+    bne   t5, noprint
+    mov   t4, a0
+    putq
+noprint:
+    subq  s0, #1, s0
+    bgt   s0, outer
+    mov   s3, a0
+    putq
+    halt
+
+; --- handlers: each mutates t3 from t0 and returns --------------------
+op_add:
+    and   t0, #255, t5
+    addl  t3, t5, t3
+    ret   (ra)
+op_xor:
+    xor   t3, t0, t3
+    ret   (ra)
+op_shl:
+    sll   t3, #1, t3
+    ret   (ra)
+op_shr:
+    srl   t3, #3, t3
+    ret   (ra)
+op_sub:
+    and   t0, #255, t5
+    subl  t3, t5, t3
+    ret   (ra)
+op_mul:
+    mull  t3, #5, t3
+    ret   (ra)
+op_neg:
+    subl  zero, t3, t3
+    ret   (ra)
+op_mix:
+    bsr   s6, helper           ; nested call linking through s6
+    ret   (ra)
+helper:
+    srl   t3, #9, t5
+    xor   t3, t5, t3
+    jmp   zero, (s6)
+
+.align 8
+jumptable:
+    .quad op_add
+    .quad op_xor
+    .quad op_shl
+    .quad op_shr
+    .quad op_sub
+    .quad op_mul
+    .quad op_neg
+    .quad op_mix
+%(consts)s
+""" % {
+        "iters": iters,
+        "steps": _STEPS,
+        "lcg": LCG_STEP,
+        "consts": LCG_CONSTANTS,
+    }

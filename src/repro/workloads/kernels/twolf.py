@@ -1,0 +1,81 @@
+"""twolf-like kernel: standard-cell placement cost evaluation.
+
+SPEC twolf spends its time in wire-length cost computation with index
+arithmetic and multiplies.  This kernel evaluates Manhattan-style costs
+between paired cells with multiply-heavy address and cost math, plus a
+biased improvement branch.
+
+Coordinates are 8-bit fields unpacked from each cell word (the other
+bits are dead); the squared-distance values feed only an improvement
+*test* plus an 8-bit cost fold, and per-pass cost state is discarded
+after its summary -- matching the real placer's bounded cost terms.
+"""
+
+from repro.workloads.kernels.common import LCG_CONSTANTS, fill_buffer
+
+NAME = "twolf"
+DESCRIPTION = "wire-length cost evaluation with multiply-heavy math"
+PROFILE = "complex-ALU pressure (multiplies); biased branches"
+
+_CELLS = 160
+
+
+def source(iters):
+    """Assembly text for this kernel at the given iteration count."""
+    return """
+.org 0x1000
+start:
+    li    s0, %(iters)d
+    li    s1, 0x4000           ; cell coordinates (packed x|y)
+    li    s2, %(cells)d
+    clr   s3
+    ldq   t0, seed(zero)
+%(fill)s
+outer:
+    clr   t1                   ; cell index
+    clr   t3                   ; improvement count (per pass)
+    clr   t9                   ; 8-bit cost fold (per pass)
+cost:
+    sll   t1, #3, t2
+    addq  s1, t2, t2
+    ldq   t4, 0(t2)            ; cell A
+    ldq   t5, 8(t2)            ; cell B (next slot)
+    and   t4, #255, t6         ; ax (only byte fields are coordinates)
+    and   t5, #255, t7
+    subl  t6, t7, t6           ; dx
+    mull  t6, t6, t6           ; dx^2
+    srl   t4, #8, t8
+    and   t8, #255, t8         ; ay
+    srl   t5, #8, t4
+    and   t4, #255, t4         ; by
+    subl  t8, t4, t8
+    mull  t8, t8, t8           ; dy^2
+    addl  t6, t8, t6           ; squared distance (32-bit)
+    cmpult t6, #64, t8         ; "improvement" test
+    beq   t8, noimp
+    addq  t3, #1, t3
+noimp:
+    and   t6, #255, t8         ; bounded cost fold
+    xor   t9, t8, t9
+    addq  t1, #2, t1           ; stride over the pair
+    cmplt t1, s2, t8
+    bne   t8, cost
+    addq  s3, t3, s3
+    addq  s3, t9, s3
+    and   s0, #3, t8
+    bne   t8, noprint
+    mov   t3, a0               ; improvements this pass
+    putq
+noprint:
+    subq  s0, #1, s0
+    bgt   s0, outer
+    mov   s3, a0
+    putq
+    halt
+%(consts)s
+""" % {
+        "iters": iters,
+        "cells": _CELLS,
+        "fill": fill_buffer("s1", "s2", "fillbuf"),
+        "consts": LCG_CONSTANTS,
+    }

@@ -1,0 +1,89 @@
+"""vortex-like kernel: object database insert/copy traffic.
+
+SPEC vortex is an OO database with heavy object copying.  This kernel
+copies variable-length "records" between two regions, updating header
+fields as it goes -- store-queue and store-to-load-forwarding pressure.
+
+The destination region is write-mostly (only each record's header is
+read back for a version check), and payload copies are dirty-checked:
+after the first pass the data is unchanged, so the copy branches skip
+redundant stores -- flipping such a branch stores the same bytes again,
+the classic convergent (Y-) branch of real object managers.
+"""
+
+from repro.workloads.kernels.common import LCG_CONSTANTS, fill_buffer
+
+NAME = "vortex"
+DESCRIPTION = "record copy/update between object regions"
+PROFILE = "store-heavy; store-to-load forwarding; medium IPC"
+
+_RECORDS = 24
+_RECORD_QUADS = 8  # header + 7 payload quads
+
+
+def source(iters):
+    """Assembly text for this kernel at the given iteration count."""
+    return """
+.org 0x1000
+start:
+    li    s0, %(iters)d
+    li    s1, 0x4000           ; source region
+    li    s4, 0x6000           ; destination region
+    li    s2, %(total)d        ; total quads
+    clr   s3
+    ldq   t0, seed(zero)
+%(fill)s
+outer:
+    clr   t1                   ; record index
+    clr   t9                   ; version-check count (per pass)
+record:
+    sll   t1, #6, t2           ; record offset (8 quads = 64 bytes)
+    addq  s1, t2, t3           ; src record
+    addq  s4, t2, t4           ; dst record
+    ldq   t5, 0(t3)            ; header
+    addq  t5, #1, t5           ; bump version field
+    stq   t5, 0(t4)
+    ldq   t6, 0(t4)            ; immediate readback (forwarding)
+    and   t6, #255, t6         ; version check uses the low byte only
+    and   t5, #255, t7
+    cmpeq t6, t7, t6
+    addq  t9, t6, t9
+    ; dirty-checked copy of 7 payload quads (convergent branches)
+    clr   t2                   ; payload quad offset
+payload:
+    addq  t2, #8, t2
+    addq  t3, t2, t6
+    ldq   t6, 0(t6)            ; source quad
+    addq  t4, t2, t7
+    ldq   t8, 0(t7)            ; destination quad
+    cmpeq t6, t8, t8
+    bne   t8, clean            ; unchanged: skip the store
+    stq   t6, 0(t7)
+clean:
+    cmpult t2, #56, t8
+    bne   t8, payload
+    stq   t5, 0(t3)            ; write the bumped header back to source
+    addq  t1, #1, t1
+    cmplt t1, #%(records)d, t8
+    bne   t8, record
+    addq  s3, t9, s3
+    and   s0, #3, t8
+    bne   t8, noprint
+    mov   t9, a0               ; successful version checks this pass
+    putq
+noprint:
+    subq  s0, #1, s0
+    bgt   s0, outer
+    mov   s3, a0
+    putq
+    ldq   a0, 8(s4)            ; sample one copied payload word
+    putq
+    halt
+%(consts)s
+""" % {
+        "iters": iters,
+        "records": _RECORDS,
+        "total": _RECORDS * _RECORD_QUADS,
+        "fill": fill_buffer("s1", "s2", "fillbuf"),
+        "consts": LCG_CONSTANTS,
+    }

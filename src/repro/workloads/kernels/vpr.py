@@ -1,0 +1,83 @@
+"""vpr-like kernel: simulated-annealing placement moves.
+
+SPEC vpr (place & route) evaluates random swaps and accepts or rejects
+them against a threshold -- an inherently unpredictable branch.  This
+kernel proposes element swaps, computes a cost delta, and conditionally
+commits, mixing loads, stores, multiplies and a 50/50 accept branch.
+
+Cost math is 32-bit and only the accept/reject *decision* escapes each
+move (the delta value itself is dead once the branch resolves); the
+placement array is mutated but only summarised through two sampled
+cells at the end, like the real placer's final bounding-box cost.
+"""
+
+from repro.workloads.kernels.common import LCG_CONSTANTS, LCG_STEP, fill_buffer
+
+NAME = "vpr"
+DESCRIPTION = "annealing swap loop: propose, cost, accept/reject"
+PROFILE = "unpredictable accept branch; read-modify-write swaps"
+
+_CELLS = 128
+_MOVES = 64
+
+
+def source(iters):
+    """Assembly text for this kernel at the given iteration count."""
+    return """
+.org 0x1000
+start:
+    li    s0, %(iters)d
+    li    s1, 0x4000           ; placement array
+    li    s2, %(cells)d
+    clr   s3
+    ldq   t0, seed(zero)
+%(fill)s
+outer:
+    li    t9, %(moves)d
+    clr   t3                   ; accepted-move count (per pass)
+move:
+%(lcg)s
+    srl   t0, #16, t1          ; pick slot a
+    and   t1, #127, t1
+    srl   t0, #32, t2          ; pick slot b
+    and   t2, #127, t2
+    sll   t1, #3, t1
+    addq  s1, t1, t1
+    sll   t2, #3, t2
+    addq  s1, t2, t2
+    ldq   t5, 0(t1)
+    ldq   t6, 0(t2)
+    subl  t5, t6, t7           ; 32-bit cost delta
+    mull  t7, t7, t7           ; quadratic cost term (dead past the test)
+    and   t0, #1, t8           ; pseudo-random accept bit
+    beq   t8, reject
+    stq   t6, 0(t1)            ; commit the swap
+    stq   t5, 0(t2)
+    addq  t3, #1, t3
+reject:
+    subq  t9, #1, t9
+    bgt   t9, move
+    addq  s3, t3, s3
+    and   s0, #3, t8
+    bne   t8, noprint
+    mov   t3, a0               ; accepted moves this pass
+    putq
+noprint:
+    subq  s0, #1, s0
+    bgt   s0, outer
+    mov   s3, a0
+    putq
+    ldq   t5, 0(s1)            ; sample the final placement
+    ldq   t6, 8(s1)
+    xor   t5, t6, a0
+    putq
+    halt
+%(consts)s
+""" % {
+        "iters": iters,
+        "cells": _CELLS,
+        "moves": _MOVES,
+        "fill": fill_buffer("s1", "s2", "fillbuf"),
+        "lcg": LCG_STEP,
+        "consts": LCG_CONSTANTS,
+    }

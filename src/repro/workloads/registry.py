@@ -1,0 +1,89 @@
+"""Workload registry: one entry per synthetic SPEC2000int kernel."""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.isa.assembler import Program, assemble
+from repro.workloads.kernels import (
+    bzip2,
+    crafty,
+    gcc,
+    gzip,
+    mcf,
+    parser,
+    perlbmk,
+    twolf,
+    vortex,
+    vpr,
+)
+
+_KERNELS = {
+    module.NAME: module
+    for module in (
+        gzip,
+        vpr,
+        gcc,
+        mcf,
+        crafty,
+        parser,
+        perlbmk,
+        vortex,
+        bzip2,
+        twolf,
+    )
+}
+
+WORKLOAD_NAMES = tuple(sorted(_KERNELS))
+
+# Iteration scaling presets.  "tiny" keeps unit tests fast; "small" is the
+# default for injection campaigns (programs run far longer than any trial
+# horizon); "large" approaches the runtimes used for software-level
+# campaigns at paper scale.
+_SCALES = {"tiny": 4, "small": 48, "large": 512}
+
+
+@dataclass
+class Workload:
+    """A ready-to-run workload: source text plus its assembled program."""
+
+    name: str
+    description: str
+    profile: str
+    source: str
+    scale: str
+    _program: Program = field(default=None, repr=False)
+
+    @property
+    def program(self):
+        if self._program is None:
+            self._program = assemble(self.source)
+        return self._program
+
+
+def get_workload(name, scale="small"):
+    """Build a named workload at the given iteration scale.
+
+    ``name`` is one of :data:`WORKLOAD_NAMES`; ``scale`` is ``tiny``,
+    ``small`` or ``large``.
+    """
+    if name not in _KERNELS:
+        raise ConfigError(
+            "unknown workload %r (have: %s)" % (name, ", ".join(WORKLOAD_NAMES))
+        )
+    if scale not in _SCALES:
+        raise ConfigError("unknown scale %r" % scale)
+    module = _KERNELS[name]
+    source = module.source(iters=_SCALES[scale])
+    return Workload(
+        name=name,
+        description=module.DESCRIPTION,
+        profile=module.PROFILE,
+        source=source,
+        scale=scale,
+    )
+
+
+def iter_workloads(scale="small", names=None):
+    """Yield workloads for ``names`` (default: all ten kernels)."""
+    for name in names or WORKLOAD_NAMES:
+        yield get_workload(name, scale=scale)

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.uarch.config import PipelineConfig, ProtectionConfig
+from repro.uarch.core import Pipeline
+
+SUM_LOOP = """
+    li    a0, 10
+    clr   t0
+    clr   t1
+loop:
+    addq  t0, t1, t0
+    addq  t1, #1, t1
+    cmplt t1, a0, t2
+    bne   t2, loop
+    mov   t0, a0
+    putq
+    halt
+"""
+
+MEMORY_LOOP = """
+    li    s1, 0x4000
+    li    s0, 6
+loop:
+    ldq   t1, 0(s1)
+    addq  t1, #3, t1
+    stq   t1, 0(s1)
+    subq  s0, #1, s0
+    bgt   s0, loop
+    ldq   a0, 0(s1)
+    putq
+    halt
+.org 0x4000
+buf: .quad 100
+"""
+
+
+@pytest.fixture
+def sum_program():
+    return assemble(SUM_LOOP)
+
+
+@pytest.fixture
+def memory_program():
+    return assemble(MEMORY_LOOP)
+
+
+@pytest.fixture
+def small_config():
+    return PipelineConfig.small()
+
+
+@pytest.fixture
+def paper_config():
+    return PipelineConfig.paper()
+
+
+@pytest.fixture
+def protected_config():
+    return PipelineConfig.paper(ProtectionConfig.full())
+
+
+def run_pipeline(program, config=None, max_cycles=100_000):
+    pipeline = Pipeline(program, config or PipelineConfig.paper())
+    pipeline.run(max_cycles)
+    return pipeline

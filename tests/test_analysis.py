@@ -1,0 +1,177 @@
+"""Statistics and aggregation tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.aggregate import (
+    failure_contributions,
+    failure_mode_totals,
+    failure_modes_by_category,
+    masked_fraction,
+    outcomes_by_category,
+    outcomes_by_workload,
+    utilization_bins,
+)
+from repro.analysis.stats import (
+    confidence_interval,
+    least_squares,
+    proportion_ci,
+)
+from repro.inject.outcome import FailureMode, TrialOutcome, TrialResult
+
+
+def make_trial(outcome, mode=None, workload="w", category="data",
+               valid=10):
+    return TrialResult(
+        outcome=outcome, failure_mode=mode, workload=workload,
+        element_name="e", category=category, kind="latch", bit=0,
+        start_point=0, inject_cycle=0, cycles_run=1,
+        valid_inflight=valid, total_inflight=valid + 2)
+
+
+TRIALS = [
+    make_trial(TrialOutcome.MICRO_MATCH, category="data", valid=5),
+    make_trial(TrialOutcome.MICRO_MATCH, category="pc", valid=60),
+    make_trial(TrialOutcome.GRAY, category="pc", valid=60),
+    make_trial(TrialOutcome.SDC, FailureMode.REGFILE, category="regfile",
+               valid=100),
+    make_trial(TrialOutcome.SDC, FailureMode.MEM, category="addr",
+               valid=100),
+    make_trial(TrialOutcome.TERMINATED, FailureMode.LOCKED,
+               category="qctrl", valid=100),
+]
+
+
+def test_outcomes_by_category():
+    table = outcomes_by_category(TRIALS)
+    assert table["pc"][TrialOutcome.MICRO_MATCH] == 1
+    assert table["pc"][TrialOutcome.GRAY] == 1
+    assert table["regfile"][TrialOutcome.SDC] == 1
+
+
+def test_outcomes_by_workload():
+    table = outcomes_by_workload(TRIALS)
+    assert sum(table["w"].values()) == len(TRIALS)
+
+
+def test_failure_modes_by_category():
+    table = failure_modes_by_category(TRIALS)
+    assert table["qctrl"][FailureMode.LOCKED] == 1
+    assert "pc" not in table
+
+
+def test_failure_contributions_sum_to_one():
+    shares = failure_contributions(TRIALS)
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert shares["regfile"] == pytest.approx(1 / 3)
+
+
+def test_failure_contributions_empty():
+    assert failure_contributions([TRIALS[0]]) == {}
+
+
+def test_failure_mode_totals():
+    totals = failure_mode_totals(TRIALS)
+    assert totals[FailureMode.REGFILE] == 1
+    assert sum(totals.values()) == 3
+
+
+def test_masked_fraction():
+    assert masked_fraction(TRIALS) == pytest.approx(2 / 6)
+    assert masked_fraction(TRIALS, include_gray=True) == pytest.approx(3 / 6)
+    assert masked_fraction([]) == 0.0
+
+
+def test_utilization_bins():
+    points, raw = utilization_bins(TRIALS, bin_width=64)
+    assert len(raw) == len(TRIALS)
+    low_bin = [p for p in points if p[0] == 32][0]
+    assert low_bin[1] == 1.0  # all three low-occupancy trials benign
+    assert low_bin[2] == 3
+    high_bin = [p for p in points if p[0] == 96][0]
+    assert high_bin[1] == 0.0  # all three high-occupancy trials failed
+    assert high_bin[2] == 3
+
+
+# -- stats -----------------------------------------------------------------------
+
+
+def test_proportion_ci_basic():
+    p, low, high = proportion_ci(50, 100)
+    assert p == 0.5
+    assert low < 0.5 < high
+    assert high - low < 0.25
+
+
+def test_proportion_ci_extremes():
+    _, low, high = proportion_ci(0, 20)
+    assert low == 0.0
+    assert high > 0.0
+    _, low, high = proportion_ci(20, 20)
+    assert high == 1.0
+
+
+def test_proportion_ci_empty():
+    assert proportion_ci(0, 0) == (0.0, 0.0, 1.0)
+
+
+def test_confidence_interval_matches_paper_claim():
+    """25-30k trials -> CI < 0.7% at 95% (paper Section 2.3)."""
+    assert confidence_interval(int(0.12 * 27_000), 27_000) < 0.007
+    # ~100 trials -> CI about 10% (the paper's qctrl caveat).
+    assert 0.05 < confidence_interval(50, 100) < 0.12
+
+
+def test_least_squares_exact_line():
+    points = [(x, 2.0 * x + 1.0) for x in range(10)]
+    slope, intercept, r = least_squares(points)
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(1.0)
+    assert r == pytest.approx(1.0)
+
+
+def test_least_squares_negative_correlation():
+    points = [(x, 100.0 - 3.0 * x) for x in range(20)]
+    slope, _intercept, r = least_squares(points)
+    assert slope == pytest.approx(-3.0)
+    assert r == pytest.approx(-1.0)
+
+
+def test_least_squares_degenerate():
+    assert least_squares([]) == (0.0, 0.0, 0.0)
+    assert least_squares([(1, 5)])[1] == 5
+    slope, intercept, r = least_squares([(2, 7), (2, 9)])
+    assert slope == 0.0
+
+
+@given(st.lists(st.tuples(
+    st.floats(min_value=-100, max_value=100),
+    st.floats(min_value=-100, max_value=100)), min_size=3, max_size=30))
+def test_least_squares_minimises_residual(points):
+    slope, intercept, _r = least_squares(points)
+    if math.isnan(slope) or math.isinf(slope):
+        return
+
+    def sse(m, b):
+        return sum((y - (m * x + b)) ** 2 for x, y in points)
+
+    best = sse(slope, intercept)
+    for dm in (-0.01, 0.01):
+        for db in (-0.01, 0.01):
+            assert best <= sse(slope + dm, intercept + db) + 1e-6
+
+
+def test_render_helpers_run():
+    from repro.analysis.report import (
+        render_category_outcomes,
+        render_contributions,
+        render_failure_modes,
+        render_workload_outcomes,
+    )
+    assert "AGGREGATE" in render_workload_outcomes(TRIALS, "t")
+    assert "regfile" in render_category_outcomes(TRIALS, "t")
+    assert "locked" in render_failure_modes(TRIALS, "t")
+    assert "%" in render_contributions(TRIALS, "t")

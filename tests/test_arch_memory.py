@@ -1,0 +1,112 @@
+"""Memory model tests, including property-based load/store roundtrips."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.memory import Memory, page_of
+from repro.utils.bits import MASK64
+
+ADDR = st.integers(min_value=0, max_value=(1 << 20)).map(lambda a: a & ~7)
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def test_initial_reads_zero():
+    memory = Memory()
+    assert memory.load_quad(0x1000) == 0
+    assert memory.load_long(0x1004) == 0
+
+
+def test_store_load_quad():
+    memory = Memory()
+    memory.store_quad(0x2000, 0xDEADBEEF12345678)
+    assert memory.load_quad(0x2000) == 0xDEADBEEF12345678
+
+
+def test_unaligned_quad_access_aligns_down():
+    memory = Memory()
+    memory.store_quad(0x2003, 7)
+    assert memory.load_quad(0x2000) == 7
+
+
+def test_long_halves_are_independent():
+    memory = Memory()
+    memory.store_long(0x3000, 0x11111111)
+    memory.store_long(0x3004, 0x22222222)
+    assert memory.load_quad(0x3000) == 0x2222222211111111
+
+
+def test_long_sign_extension():
+    memory = Memory()
+    memory.store_long(0x3000, 0x80000000)
+    assert memory.load_long(0x3000) == 0xFFFFFFFF80000000
+
+
+def test_fetch_word():
+    memory = Memory()
+    memory.store_quad(0x1000, (0xBBBBBBBB << 32) | 0xAAAAAAAA)
+    assert memory.fetch_word(0x1000) == 0xAAAAAAAA
+    assert memory.fetch_word(0x1004) == 0xBBBBBBBB
+
+
+def test_page_tracking():
+    memory = Memory(track_pages=True)
+    memory.load_quad(0x1000)
+    memory.store_quad(0x5000, 1)
+    assert page_of(0x1000) in memory.touched_pages
+    assert page_of(0x5000) in memory.touched_pages
+
+
+def test_copy_is_independent():
+    memory = Memory()
+    memory.store_quad(0x100, 42)
+    clone = memory.copy()
+    clone.store_quad(0x100, 43)
+    assert memory.load_quad(0x100) == 42
+
+
+def test_content_signature_changes_on_write():
+    memory = Memory()
+    before = memory.content_signature()
+    memory.store_quad(0x800, 9)
+    assert memory.content_signature() != before
+
+
+def test_content_signature_ignores_zero_writes():
+    memory = Memory()
+    before = memory.content_signature()
+    memory.store_quad(0x800, 0)
+    assert memory.content_signature() == before
+
+
+def test_differs_from():
+    a = Memory()
+    b = Memory()
+    assert not a.differs_from(b)
+    a.store_quad(0x10, 5)
+    assert a.differs_from(b)
+    assert b.differs_from(a)
+    b.store_quad(0x10, 5)
+    assert not a.differs_from(b)
+
+
+@given(ADDR, U64)
+def test_quad_roundtrip(address, value):
+    memory = Memory()
+    memory.store_quad(address, value)
+    assert memory.load_quad(address) == value
+
+
+@given(ADDR, st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_long_roundtrip_low(address, value):
+    from repro.utils.bits import sext
+    memory = Memory()
+    memory.store_long(address, value)
+    assert memory.load_long(address) == sext(value, 32) & MASK64
+
+
+@given(ADDR, U64, st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_long_store_preserves_other_half(address, quad, value):
+    memory = Memory()
+    memory.store_quad(address, quad)
+    memory.store_long(address + 4, value)
+    assert memory.load_quad(address) & 0xFFFFFFFF == quad & 0xFFFFFFFF

@@ -1,0 +1,182 @@
+"""Assembler unit tests."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import Program, assemble
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Op
+
+
+def test_simple_program_entry():
+    program = assemble("    addq r1, r2, r3\n    halt")
+    assert program.entry == 0x1000
+    insn = decode(program.word_at(program.entry))
+    assert insn.op == Op.ADDQ
+
+
+def test_org_directive():
+    program = assemble(".org 0x2000\n    halt")
+    assert program.entry == 0x2000
+
+
+def test_labels_and_branches():
+    program = assemble("""
+start:
+    nop
+loop:
+    br loop
+    halt
+""")
+    assert program.labels["start"] == 0x1000
+    assert program.labels["loop"] == 0x1004
+    insn = decode(program.word_at(0x1004))
+    assert insn.op == Op.BR
+    assert insn.branch_target(0x1004) == 0x1004
+
+
+def test_register_aliases():
+    program = assemble("    mov sp, ra\n    halt")
+    insn = decode(program.word_at(program.entry))
+    assert insn.ra == 30  # sp
+    assert insn.rc == 26  # ra
+
+
+def test_literal_operand():
+    program = assemble("    addq r1, #255, r2\n    halt")
+    insn = decode(program.word_at(program.entry))
+    assert insn.is_literal
+    assert insn.literal == 255
+
+
+def test_literal_out_of_range():
+    with pytest.raises(AssemblerError):
+        assemble("    addq r1, #256, r2")
+
+
+def test_memory_operand_forms():
+    program = assemble("""
+    ldq r1, 8(r2)
+    ldq r3, (r4)
+    stq r5, -16(sp)
+    halt
+""")
+    first = decode(program.word_at(0x1000))
+    assert (first.rb, first.disp) == (2, 8)
+    second = decode(program.word_at(0x1004))
+    assert (second.rb, second.disp) == (4, 0)
+    third = decode(program.word_at(0x1008))
+    assert (third.rb, third.disp) == (30, -16)
+
+
+def test_data_directives():
+    program = assemble("""
+    halt
+.org 0x4000
+value: .quad 0x123456789abcdef0
+pair:  .long 17
+       .long 18
+""")
+    assert program.image[0x4000] == 0x123456789ABCDEF0
+    assert program.image[0x4008] == (18 << 32) | 17
+
+
+def test_space_directive():
+    program = assemble("""
+    halt
+.org 0x4000
+buf: .space 32
+after: .quad 1
+""")
+    assert program.labels["after"] == 0x4020
+
+
+def test_align_directive():
+    program = assemble("""
+    halt
+.org 0x4001
+.align 8
+here: .quad 5
+""")
+    assert program.labels["here"] == 0x4008
+
+
+def test_li_pseudo_positive():
+    program = assemble("    li r1, 123456\n    mov r1, a0\n    putq\n    halt")
+    from repro.arch.functional import FunctionalSimulator
+    sim = FunctionalSimulator(program)
+    sim.run(100)
+    assert sim.output_text() == "123456\n"
+
+
+def test_li_pseudo_negative():
+    program = assemble("    li r1, -98765\n    mov r1, a0\n    putq\n    halt")
+    from repro.arch.functional import FunctionalSimulator
+    sim = FunctionalSimulator(program)
+    sim.run(100)
+    assert sim.output_text() == "-98765\n"
+
+
+@pytest.mark.parametrize("value", [0, 1, -1, 32767, -32768, 65536,
+                                   0x7FFF7FFF, -0x80000000])
+def test_li_pseudo_range(value):
+    from repro.arch.functional import FunctionalSimulator
+    program = assemble("    li a0, %d\n    putq\n    halt" % value)
+    sim = FunctionalSimulator(program)
+    sim.run(100)
+    assert sim.output_text() == "%d\n" % value
+
+
+def test_ret_default_register():
+    program = assemble("    ret\n    halt")
+    insn = decode(program.word_at(0x1000))
+    assert insn.op == Op.RET
+    assert insn.rb == 26
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("x:\n    nop\nx:\n    halt")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError) as err:
+        assemble("    frobnicate r1, r2, r3")
+    assert "frobnicate" in str(err.value)
+
+
+def test_unresolved_symbol_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("    br nowhere")
+
+
+def test_bad_register_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("    addq r1, r42, r3")
+
+
+def test_error_carries_line_number():
+    with pytest.raises(AssemblerError) as err:
+        assemble("    nop\n    nop\n    bogus r1")
+    assert err.value.line == 3
+
+
+def test_comments_stripped():
+    program = assemble("    nop ; trailing comment\n    halt")
+    assert decode(program.word_at(0x1000)).op == Op.BIS
+
+
+def test_word_at_unmapped_is_zero():
+    program = assemble("    halt")
+    assert program.word_at(0x9000) == 0
+
+
+def test_multiple_labels_same_line():
+    program = assemble("a: b:    halt")
+    assert program.labels["a"] == program.labels["b"] == 0x1000
+
+
+def test_li_unrepresentable_rejected():
+    with pytest.raises(AssemblerError) as err:
+        assemble("    li r1, 0x7fffffff")
+    assert "ldah+lda" in str(err.value)

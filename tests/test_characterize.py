@@ -1,0 +1,63 @@
+"""Workload-signature tests: the paper's Section 3.1 claims hold here."""
+
+import pytest
+
+from repro.workloads.characterize import (
+    characterize,
+    characterize_all,
+    render_profiles,
+)
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return characterize_all(
+        names=("gzip", "bzip2", "mcf", "gcc", "perlbmk", "vpr"),
+        warmup_cycles=23000, window_cycles=8000)
+
+
+def test_gzip_highest_ipc(profiles):
+    """Paper 3.1: 'gzip has the highest rate of instructions committed
+    per cycle'."""
+    ipcs = {name: profile.ipc for name, profile in profiles.items()}
+    assert max(ipcs, key=ipcs.get) in ("gzip", "bzip2")
+    assert ipcs["gzip"] > 1.5
+
+
+def test_bzip2_best_dcache_hit_rate(profiles):
+    """Paper 3.1: bzip2 has 'the highest data cache hit rate'."""
+    rates = {name: profile.dcache_hit_rate
+             for name, profile in profiles.items()}
+    assert rates["bzip2"] >= max(rates.values()) - 0.02
+    assert rates["bzip2"] > 0.95
+
+
+def test_mcf_miss_bound(profiles):
+    assert profiles["mcf"].dcache_hit_rate < \
+        profiles["bzip2"].dcache_hit_rate
+    assert profiles["mcf"].ipc < profiles["gzip"].ipc
+
+
+def test_vpr_mispredicts_more_than_gzip(profiles):
+    """vpr's random accept/reject branch defeats the predictor."""
+    assert profiles["vpr"].branch_mpki > profiles["gzip"].branch_mpki
+
+
+def test_fields_sane(profiles):
+    for profile in profiles.values():
+        assert 0.0 <= profile.ipc <= 6.0
+        assert 0.0 <= profile.dcache_hit_rate <= 1.0
+        assert profile.branch_mpki >= 0.0
+
+
+def test_render_profiles(profiles):
+    text = render_profiles(profiles)
+    assert "kernel" in text
+    assert "gzip" in text
+
+
+def test_single_characterize():
+    profile = characterize("crafty", warmup_cycles=8000,
+                           window_cycles=4000)
+    assert profile.name == "crafty"
+    assert profile.ipc > 0.5

@@ -1,0 +1,93 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 1
+    assert "repro-faults" in capsys.readouterr().out
+
+
+def test_inventory(capsys):
+    assert main(["inventory"]) == 0
+    out = capsys.readouterr().out
+    assert "archrat" in out
+    assert "total injectable bits" in out
+
+
+def test_inventory_protected(capsys):
+    assert main(["inventory", "--protected"]) == 0
+    out = capsys.readouterr().out
+    assert "ecc" in out
+    assert "parity" in out
+
+
+def test_run_workload(capsys):
+    assert main(["run", "gzip", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "halted   : True" in out
+
+
+def test_campaign_small(capsys):
+    assert main(["campaign", "--workloads", "gzip", "--scale", "tiny",
+                 "--trials", "4", "--start-points", "1",
+                 "--horizon", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "AGGREGATE" in out
+
+
+def test_software_small(capsys):
+    assert main(["software", "--workloads", "gzip", "--trials", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 11" in out
+    assert "state_ok" in out
+
+
+def test_overhead(capsys):
+    assert main(["overhead"]) == 0
+    out = capsys.readouterr().out
+    assert "added_total_bits" in out
+    assert "fault_rate_surcharge" in out
+
+
+def test_bad_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nonexistent"])
+
+
+def test_trace(capsys):
+    assert main(["trace", "gzip", "--cycles", "600", "--log", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "rob occupancy" in out
+    assert "window IPC" in out
+    assert "next retirements" in out
+
+
+def test_avf(capsys):
+    assert main(["avf", "--workloads", "gzip", "--cycles", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "occupancy proxy" in out
+    assert "scheduler" in out
+
+
+def test_campaign_save_and_parallel(tmp_path, capsys):
+    out_path = str(tmp_path / "result.json")
+    assert main(["campaign", "--workloads", "gzip", "gcc",
+                 "--scale", "tiny", "--trials", "2",
+                 "--start-points", "1", "--horizon", "250",
+                 "--parallel", "2", "--save", out_path]) == 0
+    from repro.inject.store import load_result
+    result = load_result(out_path)
+    assert len(result.trials) == 4
+
+
+def test_software_save(tmp_path, capsys):
+    out_path = str(tmp_path / "sw.json")
+    assert main(["software", "--workloads", "gzip", "--trials", "1",
+                 "--save", out_path]) == 0
+    from repro.inject.store import load_result
+    assert load_result(out_path).trials

@@ -1,0 +1,78 @@
+"""Whole-machine determinism: identical machines stay bit-identical.
+
+Determinism underpins the entire experimental method (golden traces,
+trial replay, parallel sharding), so it gets its own direct test: two
+pipelines built from the same program must agree on every state
+signature, every cycle, forever -- and so must a checkpoint/restore
+replay interleaved with unrelated work.
+"""
+
+import pytest
+
+from repro.uarch.core import Pipeline
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+
+@pytest.mark.parametrize("name", ("gzip", "perlbmk", "vpr"))
+def test_twin_pipelines_stay_identical(name):
+    program = get_workload(name, scale="tiny").program
+    first = Pipeline(program)
+    second = Pipeline(program)
+    for _ in range(1200):
+        first.cycle()
+        second.cycle()
+        assert first.space.signature() == second.space.signature()
+    assert first.output_text() == second.output_text()
+    assert first.stats == second.stats
+
+
+def test_checkpoint_replay_interleaved_with_other_work():
+    """Restoring a checkpoint must be unaffected by whatever the
+    pipeline did in between (no hidden global state)."""
+    program = get_workload("gcc", scale="tiny").program
+    pipeline = Pipeline(program)
+    pipeline.run(500)
+    checkpoint = pipeline.checkpoint()
+
+    pipeline.run(700)
+    first = [pipeline.space.signature()]
+    for _ in range(100):
+        pipeline.cycle()
+        first.append(pipeline.space.signature())
+
+    # Unrelated detour: flush, run elsewhere, mutate stats.
+    pipeline.flush_all()
+    pipeline.run(333)
+
+    pipeline.restore(checkpoint)
+    pipeline.run(700)
+    second = [pipeline.space.signature()]
+    for _ in range(100):
+        pipeline.cycle()
+        second.append(pipeline.space.signature())
+    assert first == second
+
+
+def test_retired_stream_equals_functional_for_random_programs():
+    from repro.arch.functional import FunctionalSimulator
+    from repro.workloads.generator import random_program
+
+    for seed in (7, 21, 42):
+        program = random_program(seed, body_blocks=10, loop_iters=4)
+        reference = FunctionalSimulator(program)
+        reference_pcs = []
+        while not reference.halted and reference.instret < 3000:
+            reference_pcs.append(reference.state.pc)
+            reference.step()
+
+        pipeline = Pipeline(program)
+        pipeline_pcs = []
+        for _ in range(60_000):
+            if pipeline.halted or len(pipeline_pcs) >= len(reference_pcs):
+                break
+            pipeline.cycle()
+            pipeline_pcs.extend(
+                record[1] for record in pipeline.retired_this_cycle)
+        length = min(len(reference_pcs), len(pipeline_pcs))
+        assert length > 80  # small generated programs
+        assert pipeline_pcs[:length] == reference_pcs[:length], seed

@@ -1,0 +1,54 @@
+"""Disassembler tests."""
+
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+def test_operate_register_form():
+    text = disassemble(encode(Instruction(op=Op.ADDQ, ra=1, rb=2, rc=3)))
+    assert text.split() == ["addq", "r1,", "r2,", "r3"]
+
+
+def test_operate_literal_form():
+    text = disassemble(encode(Instruction(op=Op.SUBQ, ra=1, rc=3,
+                                          is_literal=True, literal=9)))
+    assert "#9" in text
+
+
+def test_memory_form():
+    text = disassemble(encode(Instruction(op=Op.LDQ, ra=4, rb=5, disp=-8)))
+    assert "ldq" in text and "-8(r5)" in text
+
+
+def test_branch_with_pc():
+    word = encode(Instruction(op=Op.BEQ, ra=2, disp=3))
+    text = disassemble(word, pc=0x1000)
+    assert "0x1010" in text
+
+
+def test_branch_without_pc():
+    word = encode(Instruction(op=Op.BEQ, ra=2, disp=3))
+    assert ".+12" in disassemble(word)
+
+
+def test_jump_form():
+    text = disassemble(encode(Instruction(op=Op.JSR, ra=26, rb=4)))
+    assert "jsr" in text and "(r4)" in text
+
+
+def test_pal_form():
+    assert disassemble(encode(Instruction(op=Op.HALT))) == "halt"
+
+
+def test_invalid_word():
+    # Opcode 0x04 is unassigned in the subset.
+    assert ".invalid" in disassemble(0x04 << 26)
+    # CALL_PAL with an unknown function code.
+    assert ".invalid" in disassemble(0x03FFFFFF)
+
+
+def test_accepts_instruction_object():
+    insn = Instruction(op=Op.XOR, ra=1, rb=2, rc=3)
+    assert "xor" in disassemble(insn)

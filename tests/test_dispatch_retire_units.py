@@ -1,0 +1,118 @@
+"""Dispatch and retirement edge cases."""
+
+from repro.isa.assembler import assemble
+from repro.uarch.config import PipelineConfig, ProtectionConfig
+from repro.uarch.core import Pipeline
+
+
+def run(source, config=None, max_cycles=80_000):
+    pipeline = Pipeline(assemble(source), config or PipelineConfig.paper())
+    pipeline.run(max_cycles)
+    return pipeline
+
+
+def test_dispatch_stalls_on_full_rob_then_drains():
+    """More in-flight work than the ROB holds: back-pressure, no loss."""
+    # A long dependent chain fills the window; everything must retire.
+    chain = "\n".join("    addq t0, #1, t0" for _ in range(300))
+    pipe = run("    clr t0\n%s\n    mov t0, a0\n    putq\n    halt" % chain)
+    assert pipe.halted
+    assert pipe.output_text() == "300\n"
+
+
+def test_dispatch_stalls_on_full_lsq():
+    """More stores than SQ entries in flight: back-pressure, no loss."""
+    stores = "\n".join("    stq t0, %d(s1)" % (8 * i) for i in range(40))
+    loads = "\n".join("    ldq t%d, %d(s1)\n    addq t9, t%d, t9"
+                      % (1 + i % 3, 8 * (i % 40), 1 + i % 3)
+                      for i in range(8))
+    pipe = run("    li s1, 0x4000\n    li t0, 5\n%s\n%s\n"
+               "    mov t9, a0\n    putq\n    halt" % (stores, loads))
+    assert pipe.halted
+    assert pipe.output_text() == "40\n"
+
+
+def test_retire_width_limits_per_cycle():
+    pipe = Pipeline(assemble("    halt"))
+    width = pipe.config.retire_width
+    # Structural check: the retire loop can never exceed the width.
+    assert width == 8
+
+
+def test_rename_stalls_without_free_registers():
+    """A machine with minimal free registers still completes (stalls,
+    does not deadlock or misrename)."""
+    config = PipelineConfig.small()
+    assert config.free_regs >= config.rename_width
+    body = "\n".join("    addq t%d, #1, t%d" % (i % 8, (i + 1) % 8)
+                     for i in range(64))
+    pipe = run("    clr t0\n%s\n    mov t0, a0\n    putq\n    halt" % body,
+               config=config)
+    assert pipe.halted
+    assert pipe.failure_event is None
+
+
+def test_timeout_counter_resets_on_retirement():
+    config = PipelineConfig.paper(ProtectionConfig(timeout=True))
+    pipe = Pipeline(assemble("""
+    li   s0, 50
+loop:
+    subq s0, #1, s0
+    bgt  s0, loop
+    li   a0, 9
+    putq
+    halt
+"""), config)
+    pipe.run(50_000)
+    assert pipe.halted
+    assert pipe.output_text() == "9\n"
+    assert pipe.retire_unit.timeout_counter.get() == 0
+
+
+def test_arch_pc_tracks_control_flow():
+    pipe = Pipeline(assemble("""
+    br   skip
+    halt
+skip:
+    li   a0, 2
+    putq
+    halt
+"""))
+    pipe.run(20_000)
+    assert pipe.halted
+    assert pipe.output_text() == "2\n"
+
+
+def test_output_value_read_through_arch_rat():
+    """putq must print the architecturally latest a0, even with several
+    renames of a0 in flight."""
+    pipe = run("""
+    li   a0, 1
+    addq a0, #1, a0
+    addq a0, #1, a0
+    addq a0, #1, a0
+    putq
+    addq a0, #1, a0
+    putq
+    halt
+""")
+    assert pipe.output_text() == "4\n5\n"
+
+
+def test_two_outputs_same_cycle_ordering():
+    pipe = run("""
+    li   a0, 7
+    putq
+    putq
+    halt
+""")
+    assert pipe.output_text() == "7\n7\n"
+
+
+def test_halt_stops_retirement_not_simulator():
+    pipe = Pipeline(assemble("    halt"))
+    pipe.run(1000)
+    assert pipe.halted
+    retired = pipe.total_retired
+    pipe.cycle()  # stepping a halted machine is a defined no-op-ish
+    assert pipe.total_retired == retired

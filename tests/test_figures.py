@@ -1,0 +1,59 @@
+"""ASCII figure rendering tests."""
+
+from repro.analysis.figures import (
+    outcome_bars,
+    scatter_plot,
+    stacked_bar_chart,
+)
+from repro.inject.outcome import TrialOutcome, TrialResult
+
+
+def test_stacked_bar_basic():
+    table = {"gzip": {"sdc": 1, "uarch_match": 3},
+             "mcf": {"uarch_match": 4}}
+    text = stacked_bar_chart(table, ["sdc", "uarch_match"], width=20)
+    assert "gzip" in text and "mcf" in text
+    assert "n=4" in text
+    assert "legend" in text
+    gzip_line = [l for l in text.splitlines() if l.startswith("gzip")][0]
+    assert gzip_line.count("#") == 5  # 1/4 of 20 cells
+
+
+def test_stacked_bar_skips_empty_rows():
+    table = {"empty": {}, "full": {"sdc": 2}}
+    text = stacked_bar_chart(table, ["sdc"], width=10)
+    assert "empty" not in text
+
+
+def test_scatter_plot_renders_points():
+    points = [(0, 0), (10, 10), (5, 5)]
+    text = scatter_plot(points, width=20, height=8, title="t",
+                        x_label="occ", y_label="benign")
+    assert "t" in text
+    assert text.count("o") >= 3
+    assert "occ" in text
+
+
+def test_scatter_plot_empty():
+    assert "(no data)" in scatter_plot([])
+
+
+def test_scatter_plot_degenerate_axis():
+    text = scatter_plot([(1, 5), (1, 5)], width=10, height=4)
+    assert "o" in text or "*" in text
+
+
+def test_outcome_bars():
+    def trial(workload, outcome):
+        return TrialResult(
+            outcome=outcome, failure_mode=None, workload=workload,
+            element_name="e", category="ctrl", kind="ram", bit=0,
+            start_point=0, inject_cycle=0, cycles_run=1,
+            valid_inflight=0, total_inflight=0)
+
+    trials = [trial("a", TrialOutcome.MICRO_MATCH),
+              trial("a", TrialOutcome.SDC),
+              trial("b", TrialOutcome.GRAY)]
+    text = outcome_bars(trials, key=lambda t: t.workload, title="by wl")
+    assert "by wl" in text
+    assert "a" in text and "b" in text

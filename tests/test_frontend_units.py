@@ -1,0 +1,117 @@
+"""Frontend unit behaviours: BIQ, fetch redirects, icache stalls, parity."""
+
+from repro.isa.assembler import assemble
+from repro.uarch.config import PipelineConfig, ProtectionConfig
+from repro.uarch.core import Pipeline
+from repro.uarch.frontend import BranchInfoQueue
+from repro.uarch.statelib import StateSpace
+
+
+def make_biq():
+    space = StateSpace()
+    biq = BranchInfoQueue(space, PipelineConfig.small())
+    space.freeze()
+    return biq
+
+
+def test_biq_alloc_and_lookup():
+    biq = make_biq()
+    index = biq.alloc(0x2000, ras_snapshot=3, ghr_snapshot=0b1010)
+    assert biq.predicted_next(index) == 0x2000
+    assert biq.snapshot_of(index) == (3, 0b1010)
+
+
+def test_biq_fifo_free():
+    biq = make_biq()
+    first = biq.alloc(0x100, 0, 0)
+    biq.alloc(0x200, 0, 0)
+    assert biq.count.get() == 2
+    biq.free_head()
+    assert biq.count.get() == 1
+    assert biq.head.get() % biq.capacity == (first + 1) % biq.capacity
+
+
+def test_biq_rewind_to_keeps_branch():
+    biq = make_biq()
+    a = biq.alloc(0x100, 0, 0)
+    biq.alloc(0x200, 0, 0)
+    biq.alloc(0x300, 0, 0)
+    biq.rewind_to(a)
+    assert biq.count.get() == 1
+    # The next allocation reuses the slot after `a`.
+    b = biq.alloc(0x400, 0, 0)
+    assert b == (a + 1) % biq.capacity
+
+
+def test_biq_rewind_before_drops_branch():
+    biq = make_biq()
+    a = biq.alloc(0x100, 0, 0)
+    biq.alloc(0x200, 0, 0)
+    biq.rewind_before(a)
+    assert biq.count.get() == 0
+
+
+def test_biq_full():
+    biq = make_biq()
+    for i in range(biq.capacity):
+        biq.alloc(0x100 + 4 * i, 0, 0)
+    assert biq.full()
+
+
+def test_biq_full_stalls_fetch_not_crash():
+    """A branch-per-instruction program exceeds BIQ capacity; fetch must
+    throttle and the program still completes."""
+    lines = ["    li   s0, 200", "    clr  t0"]
+    lines.append("loop:")
+    for i in range(6):
+        lines.append("    beq  zero, l%d" % i)  # always taken
+        lines.append("l%d:" % i)
+    lines += [
+        "    addq t0, #1, t0",
+        "    subq s0, #1, s0",
+        "    bgt  s0, loop",
+        "    mov  t0, a0",
+        "    putq",
+        "    halt",
+    ]
+    pipeline = Pipeline(assemble("\n".join(lines)))
+    pipeline.run(100_000)
+    assert pipeline.halted
+    assert pipeline.output_text() == "200\n"
+
+
+def test_icache_cold_start_stalls():
+    """The very first fetch misses the icache and pays the miss latency."""
+    pipeline = Pipeline(assemble("    li a0, 1\n    putq\n    halt"))
+    config = pipeline.config
+    for _ in range(config.miss_latency - 1):
+        pipeline.cycle()
+        assert pipeline.total_retired == 0
+    pipeline.run(2000)
+    assert pipeline.output_text() == "1\n"
+
+
+def test_fetch_spans_icache_lines():
+    """Straight-line code crossing line boundaries fetches correctly."""
+    body = "\n".join("    addq t0, #1, t0" for _ in range(40))
+    pipeline = Pipeline(assemble("    clr t0\n%s\n    mov t0, a0\n"
+                                 "    putq\n    halt" % body))
+    pipeline.run(10_000)
+    assert pipeline.output_text() == "40\n"
+
+
+def test_decode_width_respected():
+    pipeline = Pipeline(assemble("    halt"))
+    assert len(pipeline.frontend.decode_slots) == \
+        pipeline.config.decode_width
+
+
+def test_parity_fields_track_insn_words():
+    config = PipelineConfig.paper(ProtectionConfig(insn_parity=True))
+    pipeline = Pipeline(assemble("    li a0, 5\n    putq\n    halt"), config)
+    pipeline.run(2000)
+    assert pipeline.output_text() == "5\n"
+    from repro.utils.bits import parity
+    for entry in pipeline.frontend.fetchq:
+        if entry.valid.get():
+            assert entry.parity.get() == parity(entry.insn.get())

@@ -1,0 +1,263 @@
+"""Functional-simulator tests: semantics, control flow, faults, events."""
+
+import pytest
+
+from repro.arch.functional import (
+    FunctionalSimulator,
+    SoftwareFault,
+    SoftwareFaultKind,
+)
+from repro.isa.assembler import assemble
+from repro.isa.semantics import Exc
+
+
+def run(source, max_instructions=100_000):
+    sim = FunctionalSimulator(assemble(source))
+    sim.run(max_instructions)
+    return sim
+
+
+def test_arithmetic_and_output():
+    sim = run("""
+    li   a0, 40
+    addq a0, #2, a0
+    putq
+    halt
+""")
+    assert sim.output_text() == "42\n"
+    assert sim.halted and sim.exception == Exc.NONE
+
+
+def test_putc():
+    sim = run("""
+    li   a0, 72
+    putc
+    li   a0, 105
+    putc
+    halt
+""")
+    assert sim.output_text() == "Hi"
+
+
+def test_r31_reads_zero_and_discards_writes():
+    sim = run("""
+    li    r1, 7
+    addq  r1, #1, r31
+    mov   r31, a0
+    putq
+    halt
+""")
+    assert sim.output_text() == "0\n"
+
+
+def test_loop_sum(sum_program=None):
+    sim = run("""
+    li    a0, 10
+    clr   t0
+    clr   t1
+loop:
+    addq  t0, t1, t0
+    addq  t1, #1, t1
+    cmplt t1, a0, t2
+    bne   t2, loop
+    mov   t0, a0
+    putq
+    halt
+""")
+    assert sim.output_text() == "45\n"
+
+
+def test_memory_roundtrip():
+    sim = run("""
+    li   s1, 0x4000
+    li   t0, 999
+    stq  t0, 0(s1)
+    ldq  a0, 0(s1)
+    putq
+    stl  t0, 8(s1)
+    ldl  a0, 8(s1)
+    putq
+    halt
+""")
+    assert sim.output_text() == "999\n999\n"
+
+
+def test_call_return():
+    sim = run("""
+    bsr  ra, double
+    putq
+    halt
+double:
+    li   a0, 21
+    addq a0, a0, a0
+    ret  (ra)
+""")
+    assert sim.output_text() == "42\n"
+
+
+def test_jump_table():
+    sim = run("""
+    li   t0, table
+    ldq  t1, 8(t0)
+    jmp  zero, (t1)
+    halt
+second:
+    li   a0, 2
+    putq
+    halt
+first:
+    li   a0, 1
+    putq
+    halt
+.align 8
+table:
+    .quad first
+    .quad second
+""")
+    assert sim.output_text() == "2\n"
+
+
+def test_unaligned_access_raises():
+    sim = run("""
+    li   s1, 0x4001
+    ldq  t0, 0(s1)
+    halt
+""")
+    assert sim.exception == Exc.UNALIGNED
+    assert sim.halted
+
+
+def test_divide_by_zero_raises():
+    sim = run("""
+    clr  t0
+    divq t0, t0, t1
+    halt
+""")
+    assert sim.exception == Exc.DIV_ZERO
+
+
+def test_invalid_instruction_raises():
+    # Opcode 0x04 is unassigned; place it directly at the entry point.
+    from repro.isa.assembler import Program
+    program = Program(entry=0x1000, image={0x1000: 0x10000000})
+    sim = FunctionalSimulator(program)
+    sim.run(10)
+    assert sim.exception == Exc.INVALID_INSN
+
+
+def test_run_limit():
+    sim = FunctionalSimulator(assemble("spin:\n    br spin"))
+    executed = sim.run(500)
+    assert executed == 500
+    assert not sim.halted
+
+
+def test_step_after_halt_is_noop():
+    sim = run("    halt")
+    before = sim.instret
+    sim.step()
+    assert sim.instret == before
+
+
+def test_page_tracking():
+    sim = FunctionalSimulator(assemble("""
+    li  s1, 0x4000
+    ldq t0, 0(s1)
+    halt
+.org 0x4000
+d: .quad 5
+"""), track_pages=True)
+    sim.run(100)
+    assert 0x1000 >> 12 in sim.insn_pages
+    assert 0x4000 >> 12 in sim.memory.touched_pages
+
+
+# -- Software fault hooks -----------------------------------------------------
+
+
+def _fault_program():
+    return assemble("""
+    li   t0, 4
+    addq t0, #1, t1     ; the faulted instruction (index 2)
+    mov  t1, a0
+    putq
+    halt
+""")
+
+
+def _run_with_fault(fault, index=2):
+    sim = FunctionalSimulator(_fault_program())
+    while not sim.halted:
+        sim.step(fault if sim.instret == index else None)
+    return sim
+
+
+def test_fault_result_bit32():
+    fault = SoftwareFault(SoftwareFaultKind.RESULT_BIT32, bit=1)
+    sim = _run_with_fault(fault)
+    assert sim.output_text() == "7\n"  # 5 ^ 2
+
+
+def test_fault_result_bit64():
+    fault = SoftwareFault(SoftwareFaultKind.RESULT_BIT64, bit=63)
+    sim = _run_with_fault(fault)
+    assert int(sim.output_text()) == 5 - (1 << 63)
+
+
+def test_fault_result_random():
+    fault = SoftwareFault(SoftwareFaultKind.RESULT_RANDOM, random_value=1234)
+    sim = _run_with_fault(fault)
+    assert sim.output_text() == "1234\n"
+
+
+def test_fault_to_nop():
+    fault = SoftwareFault(SoftwareFaultKind.TO_NOP)
+    sim = _run_with_fault(fault)
+    assert sim.output_text() == "0\n"  # t1 never written
+
+
+def test_fault_insn_bit():
+    # Flip the literal field's low bit: addq t0, #1 -> addq t0, #0 or #3
+    fault = SoftwareFault(SoftwareFaultKind.INSN_BIT, bit=13)
+    sim = _run_with_fault(fault)
+    assert sim.output_text() in ("4\n", "7\n")
+
+
+def test_fault_flip_branch():
+    source = """
+    clr  t0
+    beq  t0, yes         ; taken normally (index 1)
+    li   a0, 111
+    putq
+    halt
+yes:
+    li   a0, 222
+    putq
+    halt
+"""
+    sim = FunctionalSimulator(assemble(source))
+    fault = SoftwareFault(SoftwareFaultKind.FLIP_BRANCH)
+    while not sim.halted:
+        sim.step(fault if sim.instret == 1 else None)
+    assert sim.output_text() == "111\n"
+
+
+def test_fault_only_applies_once():
+    """The fault directive corrupts exactly one dynamic instruction."""
+    source = """
+    li    s0, 3
+    clr   t0
+loop:
+    addq  t0, #1, t0
+    subq  s0, #1, s0
+    bgt   s0, loop
+    mov   t0, a0
+    putq
+    halt
+"""
+    sim = FunctionalSimulator(assemble(source))
+    fault = SoftwareFault(SoftwareFaultKind.RESULT_BIT64, bit=4)
+    while not sim.halted:
+        sim.step(fault if sim.instret == 2 else None)
+    # One iteration's increment was corrupted (+16), later ones were not.
+    assert sim.output_text() == "19\n"

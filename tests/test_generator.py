@@ -1,0 +1,37 @@
+"""Random-program generator tests."""
+
+import pytest
+
+from repro.arch.functional import FunctionalSimulator
+from repro.isa.semantics import Exc
+from repro.workloads.generator import random_program
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_generated_programs_are_exception_free(seed):
+    sim = FunctionalSimulator(random_program(seed))
+    sim.run(300_000)
+    assert sim.halted
+    assert sim.exception == Exc.NONE
+
+
+def test_generator_is_deterministic():
+    a = random_program(123)
+    b = random_program(123)
+    assert a.image == b.image
+
+
+def test_different_seeds_differ():
+    assert random_program(1).image != random_program(2).image
+
+
+def test_programs_produce_output():
+    sim = FunctionalSimulator(random_program(5))
+    sim.run(300_000)
+    assert sim.output_text().endswith("\n")
+
+
+def test_body_blocks_scale_program_size():
+    small = random_program(9, body_blocks=4)
+    large = random_program(9, body_blocks=30)
+    assert len(large.image) > len(small.image)

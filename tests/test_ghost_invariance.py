@@ -1,0 +1,64 @@
+"""Ghost-state invariance: bookkeeping must never steer the machine.
+
+DESIGN.md's ghost rule: sequence numbers exist for analysis only.  If
+any stage logic read them, fault-free behaviour would depend on
+simulator bookkeeping and the latch-accuracy claim would be void.  This
+test corrupts every ghost field mid-execution and requires bit-exact
+architectural behaviour afterwards.
+"""
+
+from repro.uarch.core import Pipeline
+from repro.uarch.statelib import StateCategory
+from repro.utils.rng import SplitRng
+from repro.workloads import get_workload
+
+
+def collect_outputs(pipeline, cycles):
+    retired = []
+    for _ in range(cycles):
+        if pipeline.halted:
+            break
+        pipeline.cycle()
+        retired.extend((pc, op, dest, value)
+                       for _seq, pc, op, dest, value
+                       in pipeline.retired_this_cycle)
+    return retired, pipeline.output_text()
+
+
+def test_ghost_corruption_is_behaviour_free():
+    program = get_workload("gcc", scale="tiny").program
+
+    reference = Pipeline(program)
+    reference.run(700)
+    reference_trace, reference_output = collect_outputs(reference, 800)
+
+    victim = Pipeline(program)
+    victim.run(700)
+    rng = SplitRng(99)
+    ghosts = [meta for meta in victim.space.elements
+              if meta.category == StateCategory.GHOST]
+    assert ghosts, "no ghost fields found"
+    for meta in ghosts:
+        victim.space.values[meta.index] = rng.getrandbits(meta.width)
+    victim_trace, victim_output = collect_outputs(victim, 800)
+
+    assert victim_trace == reference_trace
+    assert victim_output == reference_output
+
+
+def test_ghost_corruption_does_not_change_signature_stream():
+    program = get_workload("gzip", scale="tiny").program
+    reference = Pipeline(program)
+    victim = Pipeline(program)
+    reference.run(400)
+    victim.run(400)
+
+    rng = SplitRng(5)
+    for meta in victim.space.elements:
+        if meta.category == StateCategory.GHOST:
+            victim.space.values[meta.index] = rng.getrandbits(meta.width)
+
+    for _ in range(300):
+        reference.cycle()
+        victim.cycle()
+        assert victim.space.signature() == reference.space.signature()

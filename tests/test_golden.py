@@ -1,0 +1,74 @@
+"""Golden-trace recording tests."""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.inject.golden import (
+    record_golden,
+    workload_page_sets,
+)
+from repro.uarch.core import Pipeline
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def rig():
+    workload = get_workload("gcc", scale="tiny")
+    pages = workload_page_sets(workload.program)
+    pipeline = Pipeline(workload.program)
+    pipeline.run(600)
+    checkpoint = pipeline.checkpoint()
+    return workload, pages, pipeline, checkpoint
+
+
+def test_page_sets_cover_program(rig):
+    workload, (insn_pages, data_pages), _pipeline, _cp = rig
+    assert workload.program.entry >> 12 in insn_pages
+    assert 0x4000 >> 12 in data_pages  # the token stream buffer
+
+
+def test_trace_lengths(rig):
+    _wl, pages, pipeline, checkpoint = rig
+    golden = record_golden(pipeline, checkpoint, 300, 100, *pages)
+    assert len(golden.sigs) == 400
+    assert golden.retired
+    assert golden.retired_seqs == {r[0] for r in golden.retired}
+    assert 0 in golden.view_by_k
+
+
+def test_trace_is_deterministic(rig):
+    _wl, pages, pipeline, checkpoint = rig
+    first = record_golden(pipeline, checkpoint, 200, 50, *pages)
+    second = record_golden(pipeline, checkpoint, 200, 50, *pages)
+    assert first.sigs == second.sigs
+    assert first.retired == second.retired
+    assert first.drains == second.drains
+    assert first.view_by_k == second.view_by_k
+
+
+def test_view_hashes_monotone_keys(rig):
+    _wl, pages, pipeline, checkpoint = rig
+    golden = record_golden(pipeline, checkpoint, 200, 50, *pages)
+    keys = sorted(golden.view_by_k)
+    assert keys[0] == 0
+    assert keys[-1] == len(golden.retired)
+
+
+def test_golden_rejects_halting_window():
+    workload = get_workload("gzip", scale="tiny")
+    pages = workload_page_sets(workload.program)
+    pipeline = Pipeline(workload.program)
+    pipeline.run(10_000_000)  # run to completion
+    # Rewind is impossible; a fresh pipeline about to halt:
+    pipeline = Pipeline(workload.program)
+    pipeline.run(200)
+    checkpoint = pipeline.checkpoint()
+    with pytest.raises(CampaignError):
+        record_golden(pipeline, checkpoint, 100_000, 10_000, *pages)
+
+
+def test_golden_leaves_tlb_disabled(rig):
+    _wl, pages, pipeline, checkpoint = rig
+    record_golden(pipeline, checkpoint, 100, 50, *pages)
+    assert pipeline.tlb_insn_pages is None
+    assert pipeline.tlb_data_pages is None

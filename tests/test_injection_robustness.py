@@ -1,0 +1,107 @@
+"""Defensive-simulation tests: injected faults must never crash Python.
+
+The ground rule of the model (DESIGN.md): a flipped bit may corrupt
+architectural results, deadlock the machine, or be masked -- but the
+simulator itself must keep stepping.  These tests hammer the pipeline
+with random and adversarial flips.
+"""
+
+import pytest
+
+from repro.uarch.config import PipelineConfig, ProtectionConfig
+from repro.uarch.core import Pipeline
+from repro.uarch.statelib import StorageKind
+from repro.utils.rng import SplitRng
+from repro.workloads import get_workload
+
+
+def make_ready_pipeline(protection=None):
+    config = PipelineConfig.paper(protection)
+    pipeline = Pipeline(get_workload("gzip", scale="tiny").program, config)
+    pipeline.run(600)
+    return pipeline
+
+
+def test_random_flips_never_crash():
+    pipeline = make_ready_pipeline()
+    checkpoint = pipeline.checkpoint()
+    rng = SplitRng(11)
+    for _ in range(120):
+        pipeline.restore(checkpoint)
+        pipeline.inject_random_fault(
+            rng, frozenset({StorageKind.LATCH, StorageKind.RAM}))
+        pipeline.run(100, stop_on_halt=True)
+
+
+def test_random_flips_never_crash_protected():
+    pipeline = make_ready_pipeline(ProtectionConfig.full())
+    checkpoint = pipeline.checkpoint()
+    rng = SplitRng(13)
+    for _ in range(120):
+        pipeline.restore(checkpoint)
+        pipeline.inject_random_fault(
+            rng, frozenset({StorageKind.LATCH, StorageKind.RAM}))
+        pipeline.run(100, stop_on_halt=True)
+
+
+def test_multi_flip_storm():
+    """Even many simultaneous flips (beyond the paper's fault model)
+    must only produce wrong behaviour, not simulator errors."""
+    pipeline = make_ready_pipeline()
+    checkpoint = pipeline.checkpoint()
+    rng = SplitRng(17)
+    for _trial in range(20):
+        pipeline.restore(checkpoint)
+        for _ in range(10):
+            pipeline.inject_random_fault(
+                rng, frozenset({StorageKind.LATCH, StorageKind.RAM}))
+        pipeline.run(150, stop_on_halt=True)
+
+
+@pytest.mark.parametrize("pattern", ["ones", "zeros"])
+def test_adversarial_whole_field_corruption(pattern):
+    """Saturating whole control fields (queue pointers, counts) is the
+    worst case for defensive indexing."""
+    pipeline = make_ready_pipeline()
+    checkpoint = pipeline.checkpoint()
+    targets = [
+        meta for meta in pipeline.space.elements
+        if meta.injectable and meta.width <= 8
+    ][:160]
+    for meta in targets:
+        pipeline.restore(checkpoint)
+        value = (1 << meta.width) - 1 if pattern == "ones" else 0
+        pipeline.space.values[meta.index] = value
+        pipeline.run(40, stop_on_halt=True)
+
+
+def test_every_category_injectable():
+    pipeline = make_ready_pipeline()
+    rng = SplitRng(23)
+    seen = set()
+    for _ in range(3000):
+        index, _bit = pipeline.space.choose_bit(
+            rng, frozenset({StorageKind.LATCH, StorageKind.RAM}))
+        seen.add(pipeline.space.elements[index].category)
+    from repro.uarch.statelib import TABLE1_CATEGORIES
+    for category in TABLE1_CATEGORIES:
+        assert category in seen, category
+
+
+def test_latch_only_filter():
+    pipeline = make_ready_pipeline()
+    rng = SplitRng(29)
+    for _ in range(400):
+        index, _bit = pipeline.space.choose_bit(
+            rng, frozenset({StorageKind.LATCH}))
+        assert pipeline.space.elements[index].kind == StorageKind.LATCH
+
+
+def test_ghost_bits_not_injectable():
+    pipeline = make_ready_pipeline()
+    rng = SplitRng(31)
+    from repro.uarch.statelib import StateCategory
+    for _ in range(2000):
+        index, _bit = pipeline.space.choose_bit(
+            rng, frozenset({StorageKind.LATCH, StorageKind.RAM}))
+        assert pipeline.space.elements[index].category != StateCategory.GHOST

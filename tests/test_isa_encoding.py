@@ -1,0 +1,169 @@
+"""Encode/decode tests for the ISA, including totality properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.encoding import NOP_WORD, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    MEMORY_OPCODES,
+    OPERATE_FUNCS,
+    PAL_FUNCS,
+    Op,
+)
+
+
+def test_decode_is_total_over_random_words():
+    for word in (0, 0xFFFFFFFF, 0xDEADBEEF, 0x12345678):
+        insn = decode(word)
+        assert isinstance(insn, Instruction)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_decode_total_property(word):
+    insn = decode(word)
+    assert 0 <= insn.ra < 32
+    assert 0 <= insn.rb < 32
+    assert 0 <= insn.rc < 32
+
+
+def test_nop_is_bis_identity():
+    insn = decode(NOP_WORD)
+    assert insn.op == Op.BIS
+    assert insn.ra == insn.rb == insn.rc == 31
+    assert insn.dest is None
+    assert insn.srcs == []
+
+
+def test_memory_format_roundtrip():
+    insn = Instruction(op=Op.LDQ, ra=5, rb=9, disp=-8)
+    decoded = decode(encode(insn))
+    assert decoded.op == Op.LDQ
+    assert decoded.ra == 5
+    assert decoded.rb == 9
+    assert decoded.disp == -8
+
+
+def test_branch_format_roundtrip():
+    insn = Instruction(op=Op.BNE, ra=3, disp=-100)
+    decoded = decode(encode(insn))
+    assert decoded.op == Op.BNE
+    assert decoded.ra == 3
+    assert decoded.disp == -100
+
+
+def test_operate_register_roundtrip():
+    insn = Instruction(op=Op.ADDQ, ra=1, rb=2, rc=3)
+    decoded = decode(encode(insn))
+    assert (decoded.op, decoded.ra, decoded.rb, decoded.rc) == \
+        (Op.ADDQ, 1, 2, 3)
+    assert not decoded.is_literal
+
+
+def test_operate_literal_roundtrip():
+    insn = Instruction(op=Op.SUBQ, ra=1, rc=3, is_literal=True, literal=200)
+    decoded = decode(encode(insn))
+    assert decoded.is_literal
+    assert decoded.literal == 200
+
+
+def test_jump_roundtrip():
+    for op in (Op.JMP, Op.JSR, Op.RET):
+        insn = Instruction(op=op, ra=26, rb=4)
+        decoded = decode(encode(insn))
+        assert decoded.op == op
+        assert decoded.ra == 26
+        assert decoded.rb == 4
+
+
+def test_pal_roundtrip():
+    for op in (Op.HALT, Op.PUTC, Op.PUTQ, Op.PAL_NOP):
+        decoded = decode(encode(Instruction(op=op)))
+        assert decoded.op == op
+
+
+def test_encode_range_checks():
+    with pytest.raises(EncodingError):
+        encode(Instruction(op=Op.LDQ, ra=1, rb=2, disp=1 << 20))
+    with pytest.raises(EncodingError):
+        encode(Instruction(op=Op.ADDQ, ra=1, rc=2, is_literal=True,
+                           literal=300))
+
+
+def _all_encodable():
+    ops = set(MEMORY_OPCODES.values()) | set(BRANCH_OPCODES.values())
+    ops |= {op for funcs in OPERATE_FUNCS.values() for op in funcs.values()}
+    ops |= set(PAL_FUNCS.values())
+    ops |= {Op.JMP, Op.JSR, Op.RET}
+    return sorted(ops)
+
+
+@pytest.mark.parametrize("op", _all_encodable())
+def test_every_operation_roundtrips(op):
+    from repro.isa.opcodes import (
+        COND_BRANCH_OPS,
+        JUMP_OPS,
+        MEM_OPS,
+        PAL_OPS,
+        UNCOND_BRANCH_OPS,
+    )
+    if op in PAL_OPS:
+        insn = Instruction(op=op)
+    elif op in MEM_OPS or op in (Op.LDA, Op.LDAH):
+        insn = Instruction(op=op, ra=7, rb=8, disp=16)
+    elif op in JUMP_OPS:
+        insn = Instruction(op=op, ra=26, rb=9)
+    elif op in COND_BRANCH_OPS or op in UNCOND_BRANCH_OPS:
+        insn = Instruction(op=op, ra=7, disp=12)
+    else:
+        insn = Instruction(op=op, ra=1, rb=2, rc=3)
+    assert decode(encode(insn)).op == op
+
+
+@given(st.sampled_from(_all_encodable()),
+       st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=31))
+def test_register_fields_roundtrip(op, ra, rb, rc):
+    from repro.isa.opcodes import OPERATE_FUNCS
+    operate_ops = {o for funcs in OPERATE_FUNCS.values()
+                   for o in funcs.values()}
+    if op not in operate_ops:
+        return
+    insn = Instruction(op=op, ra=ra, rb=rb, rc=rc)
+    decoded = decode(encode(insn))
+    assert (decoded.ra, decoded.rb, decoded.rc) == (ra, rb, rc)
+
+
+def test_instruction_classification():
+    assert decode(encode(Instruction(op=Op.LDQ, ra=1, rb=2))).is_load
+    assert decode(encode(Instruction(op=Op.STQ, ra=1, rb=2))).is_store
+    assert decode(encode(Instruction(op=Op.BEQ, ra=1))).is_cond_branch
+    assert decode(encode(Instruction(op=Op.BR, ra=31))).is_uncond_branch
+    assert decode(encode(Instruction(op=Op.RET, rb=26))).is_jump
+    assert decode(encode(Instruction(op=Op.HALT))).is_halt
+
+
+def test_srcs_and_dest():
+    store = Instruction(op=Op.STQ, ra=3, rb=4)
+    assert store.dest is None
+    assert store.srcs == [3, 4]
+    load = Instruction(op=Op.LDQ, ra=3, rb=4)
+    assert load.dest == 3
+    assert load.srcs == [4]
+    op = Instruction(op=Op.ADDQ, ra=1, rb=2, rc=5)
+    assert op.dest == 5
+    assert op.srcs == [1, 2]
+    # r31 writes have no architectural destination.
+    sink = Instruction(op=Op.ADDQ, ra=1, rb=2, rc=31)
+    assert sink.dest is None
+
+
+def test_branch_target():
+    insn = Instruction(op=Op.BR, ra=31, disp=3)
+    assert insn.branch_target(0x1000) == 0x1000 + 4 + 12
+    back = Instruction(op=Op.BNE, ra=1, disp=-2)
+    assert back.branch_target(0x1000) == 0x1000 + 4 - 8

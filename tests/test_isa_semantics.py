@@ -1,0 +1,155 @@
+"""Semantics tests: every operation against a Python reference model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import Op
+from repro.isa.semantics import (
+    Exc,
+    check_alignment,
+    cond_taken,
+    effective_address,
+    operate,
+)
+from repro.utils.bits import MASK32, MASK64, sext, to_signed
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def test_addq_wraps():
+    value, exc = operate(Op.ADDQ, MASK64, 1)
+    assert value == 0
+    assert exc == Exc.NONE
+
+
+def test_subq_wraps():
+    value, _ = operate(Op.SUBQ, 0, 1)
+    assert value == MASK64
+
+
+def test_addl_sign_extends():
+    value, _ = operate(Op.ADDL, 0x7FFFFFFF, 1)
+    assert to_signed(value) == -(1 << 31)
+
+
+def test_compares():
+    assert operate(Op.CMPEQ, 5, 5)[0] == 1
+    assert operate(Op.CMPEQ, 5, 6)[0] == 0
+    assert operate(Op.CMPLT, MASK64, 0)[0] == 1  # -1 < 0 signed
+    assert operate(Op.CMPULT, MASK64, 0)[0] == 0  # unsigned
+    assert operate(Op.CMPLE, 3, 3)[0] == 1
+    assert operate(Op.CMPULE, 4, 3)[0] == 0
+
+
+def test_logical_ops():
+    assert operate(Op.AND, 0b1100, 0b1010)[0] == 0b1000
+    assert operate(Op.BIS, 0b1100, 0b1010)[0] == 0b1110
+    assert operate(Op.XOR, 0b1100, 0b1010)[0] == 0b0110
+    assert operate(Op.BIC, 0b1100, 0b1010)[0] == 0b0100
+    assert operate(Op.ORNOT, 0, 0)[0] == MASK64
+    assert operate(Op.EQV, 5, 5)[0] == MASK64
+
+
+def test_shifts():
+    assert operate(Op.SLL, 1, 63)[0] == 1 << 63
+    assert operate(Op.SRL, 1 << 63, 63)[0] == 1
+    assert operate(Op.SRA, 1 << 63, 63)[0] == MASK64  # arithmetic
+    # Shift amounts use only the low 6 bits.
+    assert operate(Op.SLL, 1, 64)[0] == 1
+
+
+def test_multiplies():
+    assert operate(Op.MULQ, 3, 5)[0] == 15
+    assert operate(Op.MULL, 1 << 31, 2)[0] == 0  # 32-bit wrap
+    assert operate(Op.UMULH, 1 << 63, 4)[0] == 2
+
+
+def test_divide():
+    assert operate(Op.DIVQ, 7, 2)[0] == 3
+    value, _ = operate(Op.DIVQ, to_signed(MASK64) & MASK64, 2)  # -1 / 2
+    assert to_signed(value) == 0
+    value, _ = operate(Op.DIVQ, (-7) & MASK64, 2)
+    assert to_signed(value) == -3  # truncation toward zero
+
+
+def test_remainder():
+    assert operate(Op.REMQ, 7, 3)[0] == 1
+    value, _ = operate(Op.REMQ, (-7) & MASK64, 3)
+    assert to_signed(value) == -1
+
+
+def test_divide_by_zero():
+    assert operate(Op.DIVQ, 1, 0)[1] == Exc.DIV_ZERO
+    assert operate(Op.REMQ, 1, 0)[1] == Exc.DIV_ZERO
+
+
+def test_unknown_op_is_invalid():
+    assert operate(Op.HALT, 0, 0)[1] == Exc.INVALID_INSN
+    assert operate(Op.BEQ, 0, 0)[1] == Exc.INVALID_INSN
+
+
+@pytest.mark.parametrize("op,a,expected", [
+    (Op.BEQ, 0, True),
+    (Op.BEQ, 1, False),
+    (Op.BNE, 1, True),
+    (Op.BLT, MASK64, True),
+    (Op.BLT, 1, False),
+    (Op.BGE, 0, True),
+    (Op.BLE, 0, True),
+    (Op.BGT, 1, True),
+    (Op.BGT, MASK64, False),
+    (Op.BLBC, 2, True),
+    (Op.BLBS, 3, True),
+])
+def test_cond_taken(op, a, expected):
+    assert cond_taken(op, a) is expected
+
+
+def test_cond_taken_total():
+    assert cond_taken(Op.ADDQ, 123) is False
+    assert cond_taken(Op.BR, 0) is True
+    assert cond_taken(Op.RET, 0) is True
+
+
+def test_effective_address_wraps():
+    assert effective_address(MASK64, 8) == 7
+
+
+def test_alignment():
+    assert check_alignment(8, 8) == Exc.NONE
+    assert check_alignment(4, 8) == Exc.UNALIGNED
+    assert check_alignment(4, 4) == Exc.NONE
+    assert check_alignment(2, 4) == Exc.UNALIGNED
+
+
+@given(U64, U64)
+def test_addq_matches_reference(a, b):
+    assert operate(Op.ADDQ, a, b)[0] == (a + b) & MASK64
+
+
+@given(U64, U64)
+def test_mulq_matches_reference(a, b):
+    assert operate(Op.MULQ, a, b)[0] == (a * b) & MASK64
+
+
+@given(U64, U64)
+def test_umulh_matches_reference(a, b):
+    assert operate(Op.UMULH, a, b)[0] == ((a * b) >> 64) & MASK64
+
+
+@given(U64, st.integers(min_value=1, max_value=MASK64))
+def test_div_rem_identity(a, b):
+    """(a / b) * b + (a % b) == a in signed 64-bit arithmetic."""
+    quotient, _ = operate(Op.DIVQ, a, b)
+    remainder, _ = operate(Op.REMQ, a, b)
+    sq, sr = to_signed(quotient), to_signed(remainder)
+    assert (sq * to_signed(b) + sr) & MASK64 == a
+
+
+@given(U64, U64)
+def test_every_operate_masks_to_64_bits(a, b):
+    for op in (Op.ADDQ, Op.SUBQ, Op.SLL, Op.MULQ, Op.XOR, Op.ORNOT,
+               Op.ADDL, Op.SUBL, Op.SRA):
+        value, _ = operate(op, a, b)
+        assert 0 <= value <= MASK64

@@ -1,0 +1,160 @@
+"""Directed memory-unit behaviours: forwarding, violations, drain order."""
+
+from repro.isa.assembler import assemble
+from repro.uarch.config import PipelineConfig
+from repro.uarch.core import Pipeline
+
+
+def run(source, max_cycles=60_000):
+    pipeline = Pipeline(assemble(source), PipelineConfig.paper())
+    pipeline.run(max_cycles)
+    assert pipeline.halted
+    assert pipeline.failure_event is None
+    return pipeline
+
+
+def test_forwarding_exact_match():
+    pipe = run("""
+    li   s1, 0x4000
+    li   t0, 1234
+    stq  t0, 0(s1)
+    ldq  a0, 0(s1)
+    putq
+    halt
+""")
+    assert pipe.output_text() == "1234\n"
+
+
+def test_forwarding_youngest_older_store_wins():
+    pipe = run("""
+    li   s1, 0x4000
+    li   t0, 1
+    stq  t0, 0(s1)
+    li   t0, 2
+    stq  t0, 0(s1)
+    ldq  a0, 0(s1)
+    putq
+    halt
+""")
+    assert pipe.output_text() == "2\n"
+
+
+def test_size_mismatch_waits_for_drain():
+    """A 4-byte load over an 8-byte store cannot forward; it must wait."""
+    pipe = run("""
+    li   s1, 0x4000
+    li   t0, -1
+    stq  t0, 0(s1)
+    ldl  a0, 0(s1)
+    putq
+    halt
+""")
+    assert pipe.output_text() == "-1\n"
+
+
+def test_partial_overlap_same_quad():
+    pipe = run("""
+    li   s1, 0x4000
+    li   t0, 7
+    stl  t0, 0(s1)
+    li   t1, 9
+    stl  t1, 4(s1)
+    ldq  a0, 0(s1)
+    putq
+    halt
+""")
+    assert pipe.output_text() == "%d\n" % ((9 << 32) | 7)
+
+
+def test_store_drain_order():
+    """Stores reach memory in program order after retirement."""
+    pipe = run("""
+    li   s1, 0x4000
+    li   t0, 10
+    stq  t0, 0(s1)
+    li   t0, 20
+    stq  t0, 8(s1)
+    li   t0, 30
+    stq  t0, 0(s1)
+    ldq  t1, 0(s1)
+    ldq  t2, 8(s1)
+    addq t1, t2, a0
+    putq
+    halt
+""")
+    assert pipe.output_text() == "50\n"
+    assert pipe.memory.load_quad(0x4000) == 30
+
+
+def test_loads_bypass_unrelated_stores():
+    """A load independent of preceding stores can complete early and
+    still be correct (no false dependences)."""
+    pipe = run("""
+    li   s1, 0x4000
+    li   s4, 0x6000
+    li   t5, 42
+    stq  t5, 0(s4)
+    li   s0, 10
+loop:
+    stq  s0, 0(s1)      ; address computed from loop state
+    ldq  t0, 0(s4)      ; unrelated constant location
+    addq t1, t0, t1
+    subq s0, #1, s0
+    bgt  s0, loop
+    mov  t1, a0
+    putq
+    halt
+""")
+    assert pipe.output_text() == "420\n"
+
+
+def test_violation_recovery_trains_store_sets():
+    """Repeated store->load conflicts must converge via the predictor
+    instead of replaying forever."""
+    pipe = run("""
+    li   s1, 0x4000
+    li   s0, 60
+    clr  t1
+loop:
+    addq s0, #100, t0
+    stq  t0, 0(s1)
+    ldq  t2, 0(s1)      ; always conflicts with the store above
+    addq t1, t2, t1
+    subq s0, #1, s0
+    bgt  s0, loop
+    mov  t1, a0
+    putq
+    halt
+""")
+    expected = sum(s + 100 for s in range(1, 61))
+    assert pipe.output_text() == "%d\n" % expected
+    # The predictor should have learned the conflicting pair.
+    assert pipe.storesets.ssit, "store sets never trained"
+
+
+def test_mhr_fills_unblock_dependents():
+    """Misses spread over many lines: every dependent must eventually
+    receive its fill (no lost wakeups)."""
+    pipe = run("""
+    li   s1, 0x20000
+    li   s0, 48
+init:
+    sll  s0, #9, t0     ; 512B stride: distinct lines
+    addq s1, t0, t0
+    stq  s0, 0(t0)
+    subq s0, #1, s0
+    bgt  s0, init
+    li   s0, 48
+    clr  t2
+sum:
+    sll  s0, #9, t0
+    addq s1, t0, t0
+    ldq  t1, 0(t0)
+    addq t2, t1, t2
+    subq s0, #1, s0
+    bgt  s0, sum
+    mov  t2, a0
+    putq
+    halt
+""")
+    assert pipe.output_text() == "%d\n" % sum(range(1, 49))

@@ -1,0 +1,38 @@
+"""Parallel campaign runner tests."""
+
+import pytest
+
+from repro.inject.campaign import Campaign, CampaignConfig
+from repro.inject.parallel import run_parallel
+
+
+def make_config():
+    return CampaignConfig(
+        workloads=("gzip", "gcc"), scale="tiny",
+        trials_per_start_point=5, start_points_per_workload=1,
+        warmup_cycles=400, spacing_cycles=150, horizon=300, margin=150)
+
+
+def test_parallel_matches_serial():
+    config = make_config()
+    serial = Campaign(config).run()
+    parallel = run_parallel(config, workers=2)
+    assert len(parallel.trials) == len(serial.trials)
+    assert [(t.workload, t.element_name, t.outcome) for t in parallel.trials] \
+        == [(t.workload, t.element_name, t.outcome) for t in serial.trials]
+    assert parallel.eligible_bits == serial.eligible_bits
+
+
+def test_parallel_single_worker_falls_back():
+    config = make_config()
+    result = run_parallel(config, workers=1)
+    assert len(result.trials) == config.total_trials
+
+
+def test_parallel_single_workload_falls_back():
+    config = CampaignConfig(
+        workloads=("gzip",), scale="tiny", trials_per_start_point=4,
+        start_points_per_workload=1, warmup_cycles=400,
+        spacing_cycles=150, horizon=300, margin=150)
+    result = run_parallel(config, workers=4)
+    assert len(result.trials) == 4

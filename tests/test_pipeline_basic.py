@@ -1,0 +1,290 @@
+"""Directed pipeline tests: each mechanism exercised by a small program."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.uarch.config import PipelineConfig
+from repro.uarch.core import Pipeline
+
+
+def run(source, config=None, max_cycles=50_000):
+    pipeline = Pipeline(assemble(source), config or PipelineConfig.paper())
+    pipeline.run(max_cycles)
+    return pipeline
+
+
+def test_straightline_arithmetic():
+    pipe = run("""
+    li   a0, 6
+    mulq a0, #7, a0
+    putq
+    halt
+""")
+    assert pipe.halted
+    assert pipe.output_text() == "42\n"
+
+
+def test_dependent_chain():
+    pipe = run("""
+    li   t0, 1
+    addq t0, t0, t0
+    addq t0, t0, t0
+    addq t0, t0, t0
+    addq t0, t0, t0
+    mov  t0, a0
+    putq
+    halt
+""")
+    assert pipe.output_text() == "16\n"
+
+
+def test_branch_taken_and_not_taken():
+    pipe = run("""
+    clr  t0
+    beq  t0, over       ; taken
+    li   a0, 1
+    putq
+over:
+    li   t1, 1
+    beq  t1, bad        ; not taken
+    li   a0, 2
+    putq
+    halt
+bad:
+    li   a0, 3
+    putq
+    halt
+""")
+    assert pipe.output_text() == "2\n"
+
+
+def test_tight_loop_branch_prediction_warms():
+    pipe = run("""
+    li   s0, 200
+    clr  t0
+loop:
+    addq t0, #1, t0
+    subq s0, #1, s0
+    bgt  s0, loop
+    mov  t0, a0
+    putq
+    halt
+""")
+    assert pipe.output_text() == "200\n"
+    # Predicted loop should sustain near-peak throughput.
+    assert pipe.total_retired / pipe.cycle_count > 1.0
+
+
+def test_load_store_forwarding():
+    pipe = run("""
+    li   s1, 0x4000
+    li   t0, 77
+    stq  t0, 0(s1)
+    ldq  t1, 0(s1)      ; forwarded from the store queue
+    mov  t1, a0
+    putq
+    halt
+""")
+    assert pipe.output_text() == "77\n"
+
+
+def test_longword_memory():
+    pipe = run("""
+    li   s1, 0x4000
+    li   t0, -5
+    stl  t0, 4(s1)
+    ldl  a0, 4(s1)
+    putq
+    halt
+""")
+    assert pipe.output_text() == "-5\n"
+
+
+def test_cache_miss_path():
+    """Loads spread over > L1 capacity must still be correct."""
+    pipe = run("""
+    li   s1, 0x10000
+    li   s0, 64
+    clr  t2
+init:
+    sll  s0, #10, t0     ; 1KB stride: many lines, some misses
+    addq s1, t0, t0
+    stq  s0, 0(t0)
+    subq s0, #1, s0
+    bgt  s0, init
+    li   s0, 64
+sum:
+    sll  s0, #10, t0
+    addq s1, t0, t0
+    ldq  t1, 0(t0)
+    addq t2, t1, t2
+    subq s0, #1, s0
+    bgt  s0, sum
+    mov  t2, a0
+    putq
+    halt
+""")
+    assert pipe.output_text() == "%d\n" % sum(range(1, 65))
+
+
+def test_call_return_ras():
+    pipe = run("""
+    li   s0, 5
+    clr  s2
+loop:
+    bsr  ra, bump
+    subq s0, #1, s0
+    bgt  s0, loop
+    mov  s2, a0
+    putq
+    halt
+bump:
+    addq s2, #10, s2
+    ret  (ra)
+""")
+    assert pipe.output_text() == "50\n"
+
+
+def test_indirect_jump_btb():
+    pipe = run("""
+    li   s0, 6
+    li   s1, target
+    clr  s2
+loop:
+    jmp  zero, (s1)
+back:
+    subq s0, #1, s0
+    bgt  s0, loop
+    mov  s2, a0
+    putq
+    halt
+target:
+    addq s2, #1, s2
+    br   back
+""")
+    assert pipe.output_text() == "6\n"
+
+
+def test_complex_alu_latency_pipeline():
+    pipe = run("""
+    li   t0, 3
+    li   t1, 5
+    mulq t0, t1, t2     ; complex
+    divq t2, t0, t3     ; complex, dependent
+    addq t2, t3, a0
+    putq
+    halt
+""")
+    assert pipe.output_text() == "20\n"
+
+
+def test_store_to_load_same_cycle_window():
+    """Store-set violation recovery: a load that raced ahead replays."""
+    pipe = run("""
+    li   s1, 0x4000
+    li   s0, 20
+loop:
+    stq  s0, 0(s1)
+    ldq  t0, 0(s1)      ; must observe the store above it
+    addq t1, t0, t1
+    subq s0, #1, s0
+    bgt  s0, loop
+    mov  t1, a0
+    putq
+    halt
+""")
+    assert pipe.output_text() == "%d\n" % sum(range(1, 21))
+
+
+def test_exception_divide_by_zero():
+    pipe = run("""
+    clr  t0
+    divq t0, t0, t1
+    halt
+""")
+    assert pipe.halted
+    assert pipe.failure_event is not None
+    assert pipe.failure_event[0] == "except"
+
+
+def test_exception_unaligned():
+    pipe = run("""
+    li   s1, 0x4001
+    ldq  t0, 0(s1)
+    halt
+""")
+    assert pipe.failure_event[0] == "except"
+
+
+def test_exception_is_precise():
+    """Output before a faulting instruction is emitted; after is not."""
+    pipe = run("""
+    li   a0, 1
+    putq
+    clr  t0
+    divq t0, t0, t1
+    li   a0, 2
+    putq
+    halt
+""")
+    assert pipe.output_text() == "1\n"
+    assert pipe.failure_event[0] == "except"
+
+
+def test_wrong_path_exception_squashed():
+    """An exception on a mispredicted path must not be raised."""
+    pipe = run("""
+    li   s0, 50
+    clr  t3
+loop:
+    subq s0, #1, s0
+    bgt  s0, loop       ; final not-taken resolution squashes wrong path
+    br   done           ; ensure divide is only on the wrong path
+    clr  t0
+    divq t0, t0, t1     ; wrong-path divide-by-zero
+done:
+    li   a0, 7
+    putq
+    halt
+""")
+    assert pipe.output_text() == "7\n"
+    assert pipe.failure_event is None
+
+
+def test_small_config_runs():
+    pipe = run("""
+    li   s0, 30
+    clr  t0
+loop:
+    addq t0, s0, t0
+    subq s0, #1, s0
+    bgt  s0, loop
+    mov  t0, a0
+    putq
+    halt
+""", config=PipelineConfig.small())
+    assert pipe.output_text() == "%d\n" % sum(range(1, 31))
+
+
+def test_in_flight_capacity_counts():
+    """The paper machine exposes ~132 in-flight slots."""
+    config = PipelineConfig.paper()
+    capacity = (config.fetchq_entries + config.fetch_width
+                + config.decode_width + config.rename_width
+                + config.rob_entries)
+    assert 100 <= capacity <= 140
+
+
+def test_state_inventory_magnitude():
+    """Total injectable state is in the paper's ~45K-bit range."""
+    pipe = Pipeline(assemble("    halt"), PipelineConfig.paper())
+    total = pipe.eligible_bits()
+    assert 30_000 <= total <= 55_000
+
+
+def test_inventory_has_all_table1_categories():
+    from repro.uarch.statelib import TABLE1_CATEGORIES
+    pipe = Pipeline(assemble("    halt"), PipelineConfig.paper())
+    inventory = pipe.space.inventory()
+    for category in TABLE1_CATEGORIES:
+        assert category in inventory, category

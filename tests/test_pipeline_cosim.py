@@ -1,0 +1,88 @@
+"""Co-simulation: the pipeline must agree with the functional simulator.
+
+This is the load-bearing integration test of the whole model: every
+workload kernel and a population of random programs must produce
+identical outputs and halt cleanly on both simulators, for both the
+paper configuration and the small test configuration, with and without
+protection mechanisms.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.functional import FunctionalSimulator
+from repro.uarch.config import PipelineConfig, ProtectionConfig
+from repro.uarch.core import Pipeline
+from repro.workloads import WORKLOAD_NAMES, get_workload
+from repro.workloads.generator import random_program
+
+
+def cosim(program, config=None, max_cycles=500_000):
+    reference = FunctionalSimulator(program)
+    reference.run(5_000_000)
+    assert reference.halted
+
+    pipeline = Pipeline(program, config or PipelineConfig.paper())
+    pipeline.run(max_cycles)
+    assert pipeline.halted, "pipeline did not finish"
+    assert pipeline.failure_event is None
+    assert pipeline.output_text() == reference.output_text()
+    assert pipeline.total_retired == reference.instret
+    return pipeline
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_cosim(name):
+    cosim(get_workload(name, scale="tiny").program)
+
+
+@pytest.mark.parametrize("name", ("gzip", "mcf", "perlbmk"))
+def test_workload_cosim_small_config(name):
+    cosim(get_workload(name, scale="tiny").program,
+          config=PipelineConfig.small(), max_cycles=800_000)
+
+
+@pytest.mark.parametrize("name", ("gzip", "vortex", "gcc"))
+def test_workload_cosim_protected(name):
+    cosim(get_workload(name, scale="tiny").program,
+          config=PipelineConfig.paper(ProtectionConfig.full()))
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_program_cosim(seed):
+    cosim(random_program(seed, body_blocks=12, loop_iters=5))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_program_cosim_small_config(seed):
+    cosim(random_program(100 + seed, body_blocks=10, loop_iters=4),
+          config=PipelineConfig.small())
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=1000, max_value=100_000))
+def test_random_program_cosim_property(seed):
+    cosim(random_program(seed, body_blocks=8, loop_iters=3))
+
+
+def test_retired_stream_matches_functional_trace():
+    """Beyond output equality: the committed PC stream must match."""
+    program = get_workload("gcc", scale="tiny").program
+
+    reference = FunctionalSimulator(program)
+    reference_pcs = []
+    while not reference.halted and reference.instret < 4000:
+        reference_pcs.append(reference.state.pc)
+        reference.step()
+
+    pipeline = Pipeline(program)
+    pipeline_pcs = []
+    while not pipeline.halted and len(pipeline_pcs) < 4000:
+        pipeline.cycle()
+        for record in pipeline.retired_this_cycle:
+            pipeline_pcs.append(record[1])
+    length = min(len(reference_pcs), len(pipeline_pcs))
+    assert length > 1000
+    assert pipeline_pcs[:length] == reference_pcs[:length]

@@ -1,0 +1,152 @@
+"""Recovery invariants: rename state must be exactly restored.
+
+After any sequence of mispredictions and flushes in a fault-free run,
+the machine's rename invariants must hold whenever the pipeline is
+drained: the speculative RAT equals the architectural RAT, both free
+lists hold exactly ``phys_regs - 32`` registers, and the union of
+mapped + free physical registers is a partition.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.uarch.config import PipelineConfig
+from repro.uarch.core import Pipeline
+from repro.workloads import get_workload
+from repro.workloads.generator import random_program
+
+
+def check_rename_invariants(pipeline, spec_side=True):
+    """Architectural rename invariants; with ``spec_side`` also checks
+    the speculative state (requires a fully drained/flushed machine --
+    after a natural HALT, wrong-path leftovers legitimately occupy the
+    ROB and speculative rename state)."""
+    config = pipeline.config
+    arch_map = [pipeline.arch_rat.read(a) for a in range(32)]
+    assert pipeline.arch_freelist.available == config.free_regs
+
+    free = []
+    head = pipeline.arch_freelist.head.get()
+    for offset in range(config.free_regs):
+        slot = (head + offset) % pipeline.arch_freelist.capacity
+        free.append(pipeline.arch_freelist.entries[slot].get())
+    mapped = set(arch_map)
+    assert len(mapped) == 32, "architectural mapping must be injective"
+    assert mapped.isdisjoint(free)
+    assert mapped | set(free) == set(range(config.phys_regs))
+
+    if spec_side:
+        spec_map = [pipeline.spec_rat.read(a) for a in range(32)]
+        assert spec_map == arch_map
+        assert pipeline.spec_freelist.available == config.free_regs
+
+
+def drain(pipeline, max_cycles=3000):
+    for _ in range(max_cycles):
+        if pipeline.rob.count.get() == 0 and \
+                not any(s.valid.get() for s in pipeline.frontend.decode_slots):
+            break
+        pipeline.cycle()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_invariants_after_random_program(seed):
+    pipeline = Pipeline(random_program(seed, body_blocks=10, loop_iters=4))
+    pipeline.run(200_000)
+    assert pipeline.halted
+    check_rename_invariants(pipeline, spec_side=False)
+    pipeline.flush_all()
+    check_rename_invariants(pipeline)
+
+
+def test_invariants_after_mispredict_storm():
+    """Data-dependent branches force constant mispredict recoveries."""
+    workload = get_workload("vpr", scale="tiny")  # random accept branch
+    pipeline = Pipeline(workload.program)
+    pipeline.run(400_000)
+    assert pipeline.halted
+    check_rename_invariants(pipeline, spec_side=False)
+    pipeline.flush_all()
+    check_rename_invariants(pipeline)
+
+
+def test_invariants_after_full_flush():
+    source = """
+    li   s0, 40
+    clr  t0
+loop:
+    addq t0, #1, t0
+    subq s0, #1, s0
+    bgt  s0, loop
+    mov  t0, a0
+    putq
+    halt
+"""
+    pipeline = Pipeline(assemble(source))
+    pipeline.run(30)  # mid-loop
+    pipeline.flush_all()
+    drain(pipeline)
+    check_rename_invariants(pipeline)
+    # Execution must continue correctly after the flush.
+    pipeline.run(50_000)
+    assert pipeline.halted
+    assert pipeline.output_text() == "40\n"
+
+
+def test_flush_preserves_retired_stores():
+    """Retired-but-undrained stores survive a recovery flush (paper 4.1)."""
+    source = """
+    li   s1, 0x4000
+    li   t0, 55
+    stq  t0, 0(s1)
+    li   s0, 30
+loop:
+    subq s0, #1, s0
+    bgt  s0, loop
+    ldq  a0, 0(s1)
+    putq
+    halt
+"""
+    pipeline = Pipeline(assemble(source))
+    # Run until the store retires but possibly before it drains.
+    for _ in range(200):
+        pipeline.cycle()
+        if any(e.valid.get() and e.retired.get()
+               for e in pipeline.memunit.sq):
+            break
+    pipeline.flush_all()
+    pipeline.run(50_000)
+    assert pipeline.halted
+    assert pipeline.output_text() == "55\n"
+
+
+def test_repeated_flushes_make_forward_progress():
+    source = """
+    li   s0, 25
+    clr  t0
+loop:
+    addq t0, #2, t0
+    subq s0, #1, s0
+    bgt  s0, loop
+    mov  t0, a0
+    putq
+    halt
+"""
+    pipeline = Pipeline(assemble(source))
+    for _ in range(400):
+        pipeline.cycle()
+        if pipeline.halted:
+            break
+        if pipeline.cycle_count % 7 == 0:
+            pipeline.flush_all()
+    pipeline.run(100_000)
+    assert pipeline.halted
+    assert pipeline.output_text() == "50\n"
+
+
+def test_biq_drains_with_pipeline():
+    pipeline = Pipeline(get_workload("gcc", scale="tiny").program)
+    pipeline.run(400_000)
+    assert pipeline.halted
+    # All in-flight branch-info entries released at retirement/recovery.
+    assert pipeline.frontend.biq.count.get() <= 2  # wrong-path leftovers

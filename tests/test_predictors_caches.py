@@ -1,0 +1,153 @@
+"""Tests for the functional predictor and cache models."""
+
+from repro.uarch.caches import BankedDCache, SetAssocCache
+from repro.uarch.config import PipelineConfig
+from repro.uarch.predictors import (
+    BranchTargetBuffer,
+    HybridPredictor,
+    ReturnAddressStack,
+)
+
+
+# -- Caches -------------------------------------------------------------------
+
+
+def test_cache_miss_then_hit():
+    cache = SetAssocCache(1024, 2, 32)
+    assert not cache.lookup(0x1000)
+    cache.fill(0x1000)
+    assert cache.lookup(0x1000)
+    assert cache.lookup(0x101C)  # same 32-byte line
+    assert not cache.lookup(0x1020)  # next line
+
+
+def test_cache_lru_eviction():
+    cache = SetAssocCache(64, 2, 32)  # 1 set, 2 ways
+    cache.fill(0x0)
+    cache.fill(0x1000)
+    cache.lookup(0x0)  # touch: 0x0 becomes MRU
+    cache.fill(0x2000)  # evicts 0x1000
+    assert cache.lookup(0x0)
+    assert not cache.lookup(0x1000)
+    assert cache.lookup(0x2000)
+
+
+def test_cache_save_load_side():
+    cache = SetAssocCache(1024, 2, 32)
+    cache.fill(0x40)
+    saved = cache.save_side()
+    cache.fill(0x4000)
+    cache.load_side(saved)
+    assert cache.lookup(0x40)
+
+
+def test_dcache_banking():
+    dcache = BankedDCache(32 * 1024, 2, 64, 8)
+    assert dcache.bank_of(0x0) == 0
+    assert dcache.bank_of(0x8) == 1
+    assert dcache.bank_of(0x38) == 7
+    assert dcache.bank_of(0x40) == 0
+
+
+def test_line_address():
+    cache = SetAssocCache(1024, 2, 64)
+    assert cache.line_address(0x12345) == 0x12340
+
+
+# -- Direction predictor --------------------------------------------------------
+
+
+def make_predictor():
+    return HybridPredictor(PipelineConfig.small())
+
+
+def test_predictor_learns_always_taken():
+    predictor = make_predictor()
+    pc = 0x1000
+    for _ in range(8):
+        predictor.update(pc, True)
+    assert predictor.predict(pc) is True
+
+
+def test_predictor_learns_never_taken():
+    predictor = make_predictor()
+    pc = 0x1000
+    for _ in range(8):
+        predictor.update(pc, False)
+    assert predictor.predict(pc) is False
+
+
+def test_predictor_save_load():
+    predictor = make_predictor()
+    for _ in range(8):
+        predictor.update(0x1000, True)
+    saved = predictor.save_side()
+    for _ in range(16):
+        predictor.update(0x1000, False)
+    predictor.load_side(saved)
+    assert predictor.predict(0x1000) is True
+
+
+def test_speculate_shifts_history():
+    predictor = make_predictor()
+    predictor.speculate(True)
+    assert predictor.global_hist & 1 == 1
+    predictor.speculate(False)
+    assert predictor.global_hist & 1 == 0
+
+
+# -- BTB ------------------------------------------------------------------------
+
+
+def test_btb_miss_then_hit():
+    btb = BranchTargetBuffer(64, 4)
+    assert btb.lookup(0x1000) is None
+    btb.update(0x1000, 0x2000)
+    assert btb.lookup(0x1000) == 0x2000
+
+
+def test_btb_replacement_within_set():
+    btb = BranchTargetBuffer(4, 2)  # 2 sets x 2 ways
+    set_stride = 4 * btb.num_sets
+    pcs = [0x1000 + i * set_stride for i in range(3)]  # all same set
+    for i, pc in enumerate(pcs):
+        btb.update(pc, 0x100 * i)
+    assert btb.lookup(pcs[0]) is None  # LRU evicted
+    assert btb.lookup(pcs[2]) == 0x200
+
+
+def test_btb_save_load():
+    btb = BranchTargetBuffer(64, 4)
+    btb.update(0x1000, 0x2000)
+    saved = btb.save_side()
+    btb.update(0x1000, 0x3000)
+    btb.load_side(saved)
+    assert btb.lookup(0x1000) == 0x2000
+
+
+# -- RAS -------------------------------------------------------------------------
+
+
+def test_ras_push_pop():
+    ras = ReturnAddressStack(8)
+    ras.push(0x100)
+    ras.push(0x200)
+    assert ras.pop() == 0x200
+    assert ras.pop() == 0x100
+
+
+def test_ras_wraps():
+    ras = ReturnAddressStack(4)
+    for i in range(6):
+        ras.push(0x100 * i)
+    assert ras.pop() == 0x500
+    assert ras.pop() == 0x400
+
+
+def test_ras_pointer_recovery():
+    ras = ReturnAddressStack(8)
+    ras.push(0x100)
+    snapshot = ras.snapshot()
+    ras.push(0x200)  # wrong-path push
+    ras.recover(snapshot)
+    assert ras.pop() == 0x100

@@ -1,0 +1,87 @@
+"""ECC codec tests: Hamming SEC and SECDED properties."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protect.ecc import (
+    REGFILE_CODE,
+    REGPTR_CODE,
+    CodeStatus,
+    HammingCode,
+)
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+U7 = st.integers(min_value=0, max_value=127)
+
+
+def test_check_bit_counts_match_paper():
+    assert REGFILE_CODE.check_bits == 8  # paper: 8 bits per regfile entry
+    assert REGPTR_CODE.check_bits == 4  # paper: 4 bits per 7-bit pointer
+
+
+def test_clean_data_reports_clean():
+    data = 0xDEADBEEF
+    check = REGFILE_CODE.encode(data)
+    corrected, status = REGFILE_CODE.correct(data, check)
+    assert corrected == data
+    assert status == CodeStatus.CLEAN
+
+
+@given(U7, st.integers(min_value=0, max_value=6))
+def test_regptr_corrects_any_single_data_bit(data, bit):
+    check = REGPTR_CODE.encode(data)
+    corrupted = data ^ (1 << bit)
+    corrected, status = REGPTR_CODE.correct(corrupted, check)
+    assert corrected == data
+    assert status == CodeStatus.CORRECTED
+
+
+@given(U64, st.integers(min_value=0, max_value=63))
+def test_regfile_corrects_any_single_data_bit(data, bit):
+    check = REGFILE_CODE.encode(data)
+    corrupted = data ^ (1 << bit)
+    corrected, status = REGFILE_CODE.correct(corrupted, check)
+    assert corrected == data
+    assert status == CodeStatus.CORRECTED
+
+
+@given(U64, st.integers(min_value=0, max_value=7))
+def test_regfile_check_bit_error_leaves_data_intact(data, bit):
+    check = REGFILE_CODE.encode(data) ^ (1 << bit)
+    corrected, status = REGFILE_CODE.correct(data, check)
+    assert corrected == data
+    assert status == CodeStatus.CORRECTED
+
+
+@given(U64,
+       st.integers(min_value=0, max_value=63),
+       st.integers(min_value=0, max_value=63))
+def test_regfile_detects_double_errors(data, bit_a, bit_b):
+    if bit_a == bit_b:
+        return
+    check = REGFILE_CODE.encode(data)
+    corrupted = data ^ (1 << bit_a) ^ (1 << bit_b)
+    _corrected, status = REGFILE_CODE.correct(corrupted, check)
+    assert status == CodeStatus.DETECTED
+
+
+@given(U7, st.integers(min_value=0, max_value=15))
+def test_correct_is_total_for_any_check_word(data, check):
+    corrected, status = REGPTR_CODE.correct(data, check)
+    assert 0 <= corrected <= 127
+    assert status in (CodeStatus.CLEAN, CodeStatus.CORRECTED,
+                      CodeStatus.DETECTED)
+
+
+def test_custom_code_sizes():
+    code = HammingCode(16)
+    assert code.check_bits == 5  # 2^5 >= 16 + 5 + 1
+    code = HammingCode(16, extra_parity=True)
+    assert code.check_bits == 6
+
+
+@given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_custom_code_roundtrip(data):
+    code = HammingCode(16)
+    check = code.encode(data)
+    assert code.correct(data, check) == (data, CodeStatus.CLEAN)

@@ -1,0 +1,177 @@
+"""End-to-end tests of the four protection mechanisms (paper Section 4).
+
+Each mechanism is exercised with directed faults: the protected machine
+must mask (or recover from) corruption that fails on the baseline.
+"""
+
+import pytest
+
+from repro.inject.golden import record_golden, workload_page_sets
+from repro.inject.outcome import FailureMode, TrialOutcome
+from repro.inject.trial import run_trial
+from repro.protect import protection_overhead_report
+from repro.uarch.config import PipelineConfig, ProtectionConfig
+from repro.uarch.core import Pipeline
+from repro.uarch.statelib import StateCategory, StorageKind
+from repro.workloads import get_workload
+
+KINDS = frozenset({StorageKind.LATCH, StorageKind.RAM})
+HORIZON = 600
+
+
+def make_rig(protection):
+    workload = get_workload("gzip", scale="tiny")
+    insn_pages, data_pages = workload_page_sets(workload.program)
+    pipeline = Pipeline(workload.program, PipelineConfig.paper(protection))
+    pipeline.run(700)
+    checkpoint = pipeline.checkpoint()
+    golden = record_golden(pipeline, checkpoint, HORIZON, 250,
+                           insn_pages, data_pages)
+    return pipeline, checkpoint, golden
+
+
+def directed_trial(pipeline, checkpoint, golden, element_name, bit):
+    index = next(meta.index for meta in pipeline.space.elements
+                 if meta.name == element_name)
+
+    class _Rng:
+        def randrange(self, total):
+            indices, cumulative, _t = pipeline.space._table_for(KINDS)
+            position = indices.index(index)
+            prior = cumulative[position - 1] if position else 0
+            return prior + bit
+
+    return run_trial(pipeline, checkpoint, golden, _Rng(), KINDS,
+                     "gzip", 0, horizon=HORIZON)
+
+
+# -- Register file ECC ---------------------------------------------------------
+
+
+def test_regfile_ecc_masks_committed_state_hit():
+    """The baseline fails on a mapped-register flip; ECC corrects it."""
+    base = make_rig(ProtectionConfig.none())
+    base[0].restore(base[1])
+    preg = base[0].arch_rat.read(9)
+    unprotected = directed_trial(*base, "regfile.data[%d]" % preg, 7)
+    assert unprotected.outcome == TrialOutcome.SDC
+
+    prot = make_rig(ProtectionConfig(regfile_ecc=True))
+    prot[0].restore(prot[1])
+    preg = prot[0].arch_rat.read(9)
+    protected = directed_trial(*prot, "regfile.data[%d]" % preg, 7)
+    assert protected.outcome.is_benign
+
+
+def test_regfile_ecc_bits_are_themselves_safe():
+    """A flip in the ECC check bits must not corrupt execution."""
+    rig = make_rig(ProtectionConfig(regfile_ecc=True))
+    rig[0].restore(rig[1])
+    preg = rig[0].arch_rat.read(9)
+    result = directed_trial(*rig, "regfile.ecc[%d]" % preg, 3)
+    assert result.outcome.is_benign
+
+
+# -- Register pointer ECC --------------------------------------------------------
+
+
+def test_regptr_ecc_masks_archrat_hit():
+    base = make_rig(ProtectionConfig.none())
+    unprotected = directed_trial(*base, "archrat[9]", 2)
+    assert unprotected.outcome.is_failure
+
+    prot = make_rig(ProtectionConfig(regptr_ecc=True))
+    protected = directed_trial(*prot, "archrat[9]", 2)
+    assert protected.outcome.is_benign
+
+
+def test_regptr_ecc_masks_freelist_hit():
+    prot = make_rig(ProtectionConfig(regptr_ecc=True))
+    pipeline = prot[0]
+    pipeline.restore(prot[1])
+    slot = pipeline.spec_freelist.head.get()
+    result = directed_trial(*prot, "specfreelist[%d]" % slot, 3)
+    assert result.outcome.is_benign
+
+
+# -- Timeout counter ---------------------------------------------------------------
+
+
+def test_timeout_clears_rob_count_deadlock():
+    """The locked failure from an inflated ROB count becomes benign-ish:
+    the timeout flush restarts the pipeline (Gray Area in the paper)."""
+    base = make_rig(ProtectionConfig.none())
+    unprotected = directed_trial(*base, "rob.count", 6)
+    assert unprotected.failure_mode == FailureMode.LOCKED
+
+    prot = make_rig(ProtectionConfig(timeout=True))
+    protected = directed_trial(*prot, "rob.count", 6)
+    assert protected.outcome in (TrialOutcome.GRAY, TrialOutcome.MICRO_MATCH)
+
+
+def test_timeout_counter_bits_are_injectable():
+    rig = make_rig(ProtectionConfig(timeout=True))
+    result = directed_trial(*rig, "retire.timeout", 3)
+    # A corrupted timeout counter at worst causes a premature flush.
+    assert result.outcome.is_benign
+
+
+# -- Instruction word parity ----------------------------------------------------------
+
+
+def test_insn_parity_recovers_fetchq_corruption():
+    """A corrupted fetch-queue instruction word is caught by parity and
+    refetched instead of executing a wrong instruction."""
+    prot = make_rig(ProtectionConfig(insn_parity=True))
+    pipeline = prot[0]
+    pipeline.restore(prot[1])
+    # Find an occupied fetch-queue slot.
+    head = pipeline.frontend.fq_head.get()
+    count = pipeline.frontend.fq_count.get()
+    assert count > 0
+    slot = head % len(pipeline.frontend.fetchq)
+    result = directed_trial(*prot, "fetchq[%d].insn" % slot, 5)
+    assert not result.outcome.is_failure or \
+        result.failure_mode != FailureMode.CTRL
+
+
+def test_parity_bits_are_naturally_redundant():
+    """Flipping a parity bit itself forces at most a spurious flush."""
+    prot = make_rig(ProtectionConfig(insn_parity=True))
+    pipeline = prot[0]
+    pipeline.restore(prot[1])
+    head = pipeline.frontend.fq_head.get()
+    slot = head % len(pipeline.frontend.fetchq)
+    result = directed_trial(*prot, "fetchq[%d].parity" % slot, 0)
+    assert result.outcome.is_benign
+
+
+# -- Overheads (paper Section 4.3) ------------------------------------------------------
+
+
+def test_overhead_report_magnitude():
+    workload = get_workload("gzip", scale="tiny")
+    pipeline = Pipeline(workload.program,
+                        PipelineConfig.paper(ProtectionConfig.full()))
+    report = protection_overhead_report(pipeline)
+    # Paper: 3061 extra bits on ~45K; our machine: same order.
+    assert 1500 <= report["added_total_bits"] <= 4000
+    assert 0.03 <= report["fault_rate_surcharge"] <= 0.10
+    assert report["ram_fraction_of_added"] > 0.5  # mostly RAM, as in paper
+    assert report["timeout_counter_bits"] == 7
+
+
+def test_no_protection_no_overhead():
+    workload = get_workload("gzip", scale="tiny")
+    pipeline = Pipeline(workload.program, PipelineConfig.paper())
+    report = protection_overhead_report(pipeline)
+    assert report["added_total_bits"] == 0
+
+
+def test_protected_categories_present():
+    workload = get_workload("gzip", scale="tiny")
+    pipeline = Pipeline(workload.program,
+                        PipelineConfig.paper(ProtectionConfig.full()))
+    inventory = pipeline.space.inventory()
+    assert StateCategory.ECC in inventory
+    assert StateCategory.PARITY in inventory

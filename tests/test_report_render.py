@@ -1,0 +1,34 @@
+"""Report-rendering output checks (paper-style tables)."""
+
+from repro.analysis.report import render_inventory, render_outcomes
+from repro.inject.outcome import TrialOutcome
+from repro.uarch.statelib import StateCategory, StorageKind
+
+
+def test_render_inventory_totals():
+    inventory = {
+        StateCategory.REGFILE: {StorageKind.LATCH: 80,
+                                StorageKind.RAM: 5200},
+        StateCategory.QCTRL: {StorageKind.LATCH: 176, StorageKind.RAM: 0},
+    }
+    text = render_inventory(inventory, "T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert any("regfile" in line and "5200" in line for line in lines)
+    total = [line for line in lines if line.startswith("TOTAL")][0]
+    assert "256" in total and "5200" in total
+
+
+def test_render_outcomes_percentages():
+    table = {
+        "x": {TrialOutcome.MICRO_MATCH: 3, TrialOutcome.SDC: 1},
+    }
+    text = render_outcomes(table, "title", "key")
+    assert "75.00" in text
+    assert "25.00" in text
+    assert "AGGREGATE" in text
+
+
+def test_render_outcomes_empty_rowset():
+    text = render_outcomes({}, "t", "k")
+    assert "k" in text

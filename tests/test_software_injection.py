@@ -1,0 +1,175 @@
+"""Software-level (Section 5) injection tests."""
+
+import pytest
+
+from repro.arch.functional import SoftwareFaultKind
+from repro.inject.software import (
+    ALL_FAULT_MODELS,
+    SoftwareCampaign,
+    SoftwareCampaignConfig,
+    SoftwareOutcome,
+    record_software_golden,
+    run_software_trial,
+)
+from repro.isa.assembler import assemble
+from repro.utils.rng import SplitRng
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def gzip_golden():
+    workload = get_workload("gzip", scale="tiny")
+    return workload.program, record_software_golden(workload.program)
+
+
+def test_golden_records_structure(gzip_golden):
+    program, golden = gzip_golden
+    assert golden.instret == len(golden.pcs)
+    assert golden.output
+    assert golden.syscall_sigs
+    assert golden.reg_write_indices
+    assert golden.branch_indices
+    assert max(golden.reg_write_indices) < golden.instret
+
+
+def test_trial_outcomes_are_classified(gzip_golden):
+    program, golden = gzip_golden
+    rng = SplitRng(1)
+    for model in ALL_FAULT_MODELS:
+        result = run_software_trial(program, golden, model, rng, "gzip")
+        assert isinstance(result.outcome, SoftwareOutcome)
+        assert result.model == model
+        assert 0 <= result.inject_index < golden.instret
+
+
+def test_trial_determinism(gzip_golden):
+    program, golden = gzip_golden
+    first = run_software_trial(program, golden,
+                               SoftwareFaultKind.RESULT_BIT64,
+                               SplitRng(9), "gzip")
+    second = run_software_trial(program, golden,
+                                SoftwareFaultKind.RESULT_BIT64,
+                                SplitRng(9), "gzip")
+    assert (first.outcome, first.inject_index) == \
+        (second.outcome, second.inject_index)
+
+
+def test_dead_value_fault_is_state_ok():
+    """Corrupting a value that is overwritten before use must converge."""
+    source = """
+    li   s0, 20
+loop:
+    li   t0, 1111       ; dead: always overwritten below (index known)
+    li   t0, 7
+    addq t0, t0, t1
+    mov  t1, a0
+    putq
+    subq s0, #1, s0
+    bgt  s0, loop
+    halt
+"""
+    program = assemble(source)
+    golden = record_software_golden(program)
+
+    class _PickDead:
+        """Force injection on a dynamic instance of the dead li."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def choice(self, pool):
+            # Indices of 'li t0, 1111' second word (the lda of the pair)
+            for index in pool:
+                if 10 < index < golden.instret - 10 and \
+                        golden.pcs[index] == program.labels["loop"] + 4:
+                    return index
+            return pool[len(pool) // 2]
+
+        def randrange(self, n):
+            return 5
+
+        def getrandbits(self, _):
+            return 0xFFFF
+
+    result = run_software_trial(
+        program, golden, SoftwareFaultKind.RESULT_RANDOM, _PickDead(),
+        "dead")
+    assert result.outcome == SoftwareOutcome.STATE_OK
+
+
+def test_live_output_fault_is_output_bad():
+    """Corrupting the value feeding putq must show in the output."""
+    source = """
+    li   s0, 10
+loop:
+    li   a0, 7
+    putq
+    subq s0, #1, s0
+    bgt  s0, loop
+    halt
+"""
+    program = assemble(source)
+    golden = record_software_golden(program)
+
+    class _PickOutputFeed:
+        def choice(self, pool):
+            for index in pool:
+                if 5 < index and \
+                        golden.pcs[index] == program.labels["loop"] + 4:
+                    return index
+            return pool[0]
+
+        def randrange(self, n):
+            return 2  # flip bit 2: 7 -> 3
+
+        def getrandbits(self, _):
+            return 0
+
+    result = run_software_trial(
+        program, golden, SoftwareFaultKind.RESULT_BIT32, _PickOutputFeed(),
+        "live")
+    assert result.outcome == SoftwareOutcome.OUTPUT_BAD
+
+
+def test_campaign_runs_all_models():
+    config = SoftwareCampaignConfig.test(trials_per_model_per_workload=3)
+    result = SoftwareCampaign(config).run()
+    assert len(result.trials) == config.total_trials
+    models = {t.model for t in result.trials}
+    assert models == set(ALL_FAULT_MODELS)
+
+
+def test_campaign_outcome_counts_partition():
+    config = SoftwareCampaignConfig.test(trials_per_model_per_workload=3)
+    result = SoftwareCampaign(config).run()
+    counts = result.outcome_counts()
+    assert sum(counts.values()) == len(result.trials)
+    per_model_total = sum(
+        sum(result.outcome_counts(model).values())
+        for model in ALL_FAULT_MODELS)
+    assert per_model_total == len(result.trials)
+
+
+def test_campaign_determinism():
+    config = SoftwareCampaignConfig.test(trials_per_model_per_workload=2,
+                                         seed=77)
+    first = SoftwareCampaign(config).run()
+    second = SoftwareCampaign(config).run()
+    assert [t.outcome for t in first.trials] == \
+        [t.outcome for t in second.trials]
+
+
+def test_branch_flip_targets_branches(gzip_golden):
+    program, golden = gzip_golden
+    rng = SplitRng(3)
+    for _ in range(5):
+        result = run_software_trial(
+            program, golden, SoftwareFaultKind.FLIP_BRANCH, rng, "gzip")
+        assert result.inject_index in set(golden.branch_indices)
+
+
+def test_divergence_rate_helper():
+    config = SoftwareCampaignConfig.test(trials_per_model_per_workload=4)
+    result = SoftwareCampaign(config).run()
+    rate = result.state_ok_divergence_rate()
+    assert 0.0 <= rate <= 1.0

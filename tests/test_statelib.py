@@ -1,0 +1,163 @@
+"""State-space tests: allocation, inventory, injection, snapshots."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.uarch.statelib import (
+    StateCategory,
+    StateSpace,
+    StorageKind,
+)
+from repro.utils.rng import SplitRng
+
+
+def make_space():
+    space = StateSpace()
+    a = space.field("a", 8, StateCategory.CTRL, StorageKind.LATCH)
+    b = space.field("b", 64, StateCategory.DATA, StorageKind.RAM)
+    c = space.field("c", 1, StateCategory.VALID, StorageKind.LATCH)
+    g = space.field("g", 16, StateCategory.GHOST, StorageKind.LATCH)
+    space.freeze()
+    return space, a, b, c, g
+
+
+def test_field_width_masking():
+    space, a, b, c, _g = make_space()
+    a.set(0x1FF)
+    assert a.get() == 0xFF
+    c.set(2)
+    assert c.get() == 0
+
+
+def test_flip():
+    space, a, _b, _c, _g = make_space()
+    a.set(0)
+    a.flip(3)
+    assert a.get() == 8
+    a.flip(3)
+    assert a.get() == 0
+
+
+def test_flip_wraps_bit_index():
+    space, a, _b, _c, _g = make_space()
+    a.set(0)
+    a.flip(8)  # 8 % 8 == 0
+    assert a.get() == 1
+
+
+def test_total_bits_filters():
+    space, *_ = make_space()
+    assert space.total_bits() == 8 + 64 + 1  # ghosts excluded
+    assert space.total_bits(kind=StorageKind.LATCH) == 9
+    assert space.total_bits(kind=StorageKind.RAM) == 64
+    assert space.total_bits(category=StateCategory.DATA) == 64
+
+
+def test_inventory_excludes_ghosts():
+    space, *_ = make_space()
+    inventory = space.inventory()
+    assert StateCategory.GHOST not in inventory
+    assert inventory[StateCategory.CTRL][StorageKind.LATCH] == 8
+
+
+def test_allocation_after_freeze_rejected():
+    space, *_ = make_space()
+    with pytest.raises(SimulationError):
+        space.field("late", 1, StateCategory.CTRL, StorageKind.LATCH)
+
+
+def test_snapshot_restore():
+    space, a, b, _c, g = make_space()
+    a.set(5)
+    b.set(123456)
+    g.set(99)
+    snap = space.snapshot()
+    a.set(6)
+    b.set(0)
+    g.set(100)
+    space.restore(snap)
+    assert a.get() == 5
+    assert b.get() == 123456
+    assert g.get() == 99  # ghosts restored too (exact re-execution)
+
+
+def test_signature_ignores_ghosts():
+    space, a, _b, _c, g = make_space()
+    a.set(1)
+    before = space.signature()
+    g.set(12345)
+    assert space.signature() == before
+    a.set(2)
+    assert space.signature() != before
+
+
+def test_choose_bit_uniform_over_widths():
+    """Bit selection must weight elements by their width."""
+    space, a, b, c, _g = make_space()
+    rng = SplitRng(7)
+    counts = {"a": 0, "b": 0, "c": 0}
+    n = 8000
+    for _ in range(n):
+        index, _bit = space.choose_bit(
+            rng, frozenset({StorageKind.LATCH, StorageKind.RAM}))
+        counts[space.elements[index].name] += 1
+    total_bits = 73
+    assert counts["b"] / n == pytest.approx(64 / total_bits, abs=0.03)
+    assert counts["a"] / n == pytest.approx(8 / total_bits, abs=0.02)
+    assert counts["c"] > 0
+
+
+def test_choose_bit_respects_kind_filter():
+    space, a, b, _c, _g = make_space()
+    rng = SplitRng(3)
+    for _ in range(200):
+        index, _bit = space.choose_bit(rng, frozenset({StorageKind.LATCH}))
+        assert space.elements[index].kind == StorageKind.LATCH
+
+
+def test_choose_bit_no_eligible_state():
+    space = StateSpace()
+    space.field("g", 4, StateCategory.GHOST, StorageKind.LATCH)
+    space.freeze()
+    with pytest.raises(SimulationError):
+        space.choose_bit(SplitRng(1), frozenset({StorageKind.RAM}))
+
+
+def test_flip_bit_returns_metadata():
+    space, a, *_ = make_space()
+    meta = space.flip_bit(a.index, 0)
+    assert meta.name == "a"
+    assert meta.category == StateCategory.CTRL
+    assert a.get() == 1
+
+
+def test_array_allocation():
+    space = StateSpace()
+    regs = space.array("r", 4, 7, StateCategory.REGPTR, StorageKind.RAM)
+    space.freeze()
+    assert len(regs) == 4
+    regs[2].set(99)
+    assert regs[2].get() == 99
+    assert space.total_bits() == 28
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=20))
+def test_snapshot_roundtrip_property(values):
+    space = StateSpace()
+    fields = [
+        space.field("f%d" % i, 8, StateCategory.CTRL, StorageKind.LATCH)
+        for i in range(len(values))
+    ]
+    space.freeze()
+    for field, value in zip(fields, values):
+        field.set(value)
+    snap = space.snapshot()
+    signature = space.signature()
+    for field in fields:
+        field.set(0)
+    space.restore(snap)
+    assert [f.get() for f in fields] == values
+    assert space.signature() == signature

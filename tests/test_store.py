@@ -1,0 +1,81 @@
+"""Result-persistence tests (JSON round-trips)."""
+
+import pytest
+
+from repro.inject.campaign import Campaign, CampaignConfig
+from repro.inject.software import SoftwareCampaign, SoftwareCampaignConfig
+from repro.inject.store import (
+    campaign_from_dict,
+    campaign_to_dict,
+    load_result,
+    merge_campaigns,
+    save_result,
+    software_from_dict,
+    software_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def uarch_result():
+    config = CampaignConfig.test(trials_per_start_point=5,
+                                 start_points_per_workload=1)
+    return Campaign(config).run()
+
+
+@pytest.fixture(scope="module")
+def software_result():
+    config = SoftwareCampaignConfig.test(trials_per_model_per_workload=2)
+    return SoftwareCampaign(config).run()
+
+
+def test_uarch_roundtrip(uarch_result):
+    loaded = campaign_from_dict(campaign_to_dict(uarch_result))
+    assert loaded.config == uarch_result.config
+    assert loaded.eligible_bits == uarch_result.eligible_bits
+    assert loaded.inventory == uarch_result.inventory
+    assert [(t.element_name, t.outcome, t.failure_mode)
+            for t in loaded.trials] == \
+        [(t.element_name, t.outcome, t.failure_mode)
+         for t in uarch_result.trials]
+    assert loaded.failure_rate() == uarch_result.failure_rate()
+
+
+def test_software_roundtrip(software_result):
+    loaded = software_from_dict(software_to_dict(software_result))
+    assert loaded.config == software_result.config
+    assert [(t.model, t.outcome, t.inject_index) for t in loaded.trials] \
+        == [(t.model, t.outcome, t.inject_index)
+            for t in software_result.trials]
+
+
+def test_file_roundtrip(tmp_path, uarch_result, software_result):
+    uarch_path = tmp_path / "uarch.json"
+    software_path = tmp_path / "software.json"
+    save_result(uarch_result, uarch_path)
+    save_result(software_result, software_path)
+    assert load_result(uarch_path).eligible_bits == \
+        uarch_result.eligible_bits
+    assert len(load_result(software_path).trials) == \
+        len(software_result.trials)
+
+
+def test_kind_mismatch_rejected(uarch_result):
+    document = campaign_to_dict(uarch_result)
+    with pytest.raises(ValueError):
+        software_from_dict(document)
+    document["kind"] = "garbage"
+    with pytest.raises(ValueError):
+        campaign_from_dict(document)
+
+
+def test_save_rejects_unknown_type(tmp_path):
+    with pytest.raises(TypeError):
+        save_result(object(), tmp_path / "x.json")
+
+
+def test_merge_campaigns(uarch_result):
+    merged = merge_campaigns([uarch_result, uarch_result])
+    assert len(merged.trials) == 2 * len(uarch_result.trials)
+    assert merged.eligible_bits == uarch_result.eligible_bits
+    with pytest.raises(ValueError):
+        merge_campaigns([])

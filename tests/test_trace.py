@@ -1,0 +1,67 @@
+"""Pipeline tracing/introspection tests."""
+
+from repro.isa.assembler import assemble
+from repro.uarch.core import Pipeline
+from repro.uarch.trace import (
+    PipelineTracer,
+    retirement_log,
+    rob_window,
+    structure_snapshot,
+)
+from repro.workloads import get_workload
+
+
+def test_structure_snapshot_format():
+    pipeline = Pipeline(get_workload("gzip", scale="tiny").program)
+    pipeline.run(300)
+    snapshot = structure_snapshot(pipeline)
+    for token in ("cyc=", "rob=", "sched=", "lq=", "sq="):
+        assert token in snapshot
+
+
+def test_rob_window_shows_oldest():
+    pipeline = Pipeline(get_workload("gzip", scale="tiny").program)
+    pipeline.run(300)
+    window = rob_window(pipeline, limit=4)
+    assert "rob[" in window
+    assert "pc=0x" in window
+
+
+def test_rob_window_empty():
+    pipeline = Pipeline(assemble("    halt"))
+    assert rob_window(pipeline) == "(rob empty)"
+
+
+def test_tracer_records_and_detaches():
+    pipeline = Pipeline(get_workload("gzip", scale="tiny").program)
+    tracer = PipelineTracer(sample_every=2).attach(pipeline)
+    pipeline.run(200)
+    tracer.detach()
+    assert tracer.occupancy
+    assert tracer.retirements
+    assert 0.0 <= tracer.ipc() <= 8.0
+    timeline = tracer.occupancy_timeline("rob")
+    assert "rob occupancy" in timeline
+    # After detach, cycling no longer records.
+    samples = len(tracer.occupancy)
+    pipeline.run(50)
+    assert len(tracer.occupancy) == samples
+
+
+def test_tracer_empty_timeline():
+    tracer = PipelineTracer()
+    assert tracer.occupancy_timeline() == "(no samples)"
+    assert tracer.ipc() == 0.0
+
+
+def test_retirement_log():
+    pipeline = Pipeline(assemble("""
+    li   a0, 3
+    addq a0, #4, a0
+    putq
+    halt
+"""))
+    log = retirement_log(pipeline, 500, limit=10)
+    assert "lda" in log or "ldah" in log
+    assert "addq" in log
+    assert "r16=7" in log

@@ -1,0 +1,109 @@
+"""Control-word encoding tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.uarch.uop import (
+    COMPLEX_LATENCY_BY_ID,
+    CONTROL_IDS,
+    LOAD_IDS,
+    MEM_IDS,
+    PAL_IDS,
+    STORE_IDS,
+    branch_disp,
+    decode_control_word,
+    fu_of,
+    mem_disp,
+    op_from_id,
+    pack_pc,
+    unpack_pc,
+)
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_op_from_id_total(op_id):
+    op = op_from_id(op_id)
+    assert isinstance(op, Op)
+
+
+def test_op_from_id_roundtrip():
+    for op in Op:
+        assert op_from_id(int(op)) == op
+
+
+@given(st.integers(min_value=0, max_value=(1 << 62) - 1).map(lambda v: v * 4))
+def test_pack_unpack_pc(pc):
+    assert unpack_pc(pack_pc(pc)) == pc & ((1 << 64) - 1)
+
+
+def test_mem_disp_sign_extension():
+    assert mem_disp(0xFFFF) == -1
+    assert mem_disp(8) == 8
+    # Branch-format high bits are ignored by memory ops.
+    assert mem_disp(0x1F0008) == 8
+
+
+def test_branch_disp_sign_extension():
+    assert branch_disp((1 << 21) - 1) == -1
+    assert branch_disp(100) == 100
+
+
+def test_decode_control_word_operate():
+    insn = decode(encode(Instruction(op=Op.ADDQ, ra=1, rb=2, rc=3)))
+    fields = decode_control_word(insn)
+    assert fields["op_id"] == int(Op.ADDQ)
+    assert fields["has_dest"] == 1 and fields["dest_arch"] == 3
+    assert fields["use_a"] == 1 and fields["src_a"] == 1
+    assert fields["use_b"] == 1 and fields["src_b"] == 2
+
+
+def test_decode_control_word_literal():
+    insn = decode(encode(Instruction(op=Op.SUBQ, ra=4, rc=5,
+                                     is_literal=True, literal=7)))
+    fields = decode_control_word(insn)
+    assert fields["is_lit"] == 1 and fields["literal"] == 7
+    assert fields["use_b"] == 0
+
+
+def test_decode_control_word_store():
+    insn = decode(encode(Instruction(op=Op.STQ, ra=3, rb=4, disp=8)))
+    fields = decode_control_word(insn)
+    assert fields["has_dest"] == 0
+    assert fields["use_a"] == 1 and fields["src_a"] == 3  # data
+    assert fields["use_b"] == 1 and fields["src_b"] == 4  # base
+
+
+def test_decode_control_word_r31_sources_dropped():
+    insn = decode(encode(Instruction(op=Op.ADDQ, ra=31, rb=2, rc=3)))
+    fields = decode_control_word(insn)
+    assert fields["use_a"] == 0  # r31 reads as constant zero
+
+
+def test_decode_control_word_output_pal():
+    insn = decode(encode(Instruction(op=Op.PUTQ)))
+    fields = decode_control_word(insn)
+    assert fields["use_a"] == 1 and fields["src_a"] == 16  # a0
+
+
+def test_fu_classification():
+    assert fu_of(int(Op.ADDQ)) == 0
+    assert fu_of(int(Op.MULQ)) == 1
+    assert fu_of(int(Op.BEQ)) == 2
+    assert fu_of(int(Op.LDQ)) == 3
+    assert fu_of(int(Op.HALT)) == 4
+
+
+def test_id_sets_disjoint():
+    assert not (LOAD_IDS & STORE_IDS)
+    assert LOAD_IDS | STORE_IDS == MEM_IDS
+    assert not (MEM_IDS & CONTROL_IDS)
+    assert not (PAL_IDS & CONTROL_IDS)
+
+
+def test_complex_latencies_in_paper_range():
+    for latency in COMPLEX_LATENCY_BY_ID.values():
+        assert 2 <= latency <= 5  # paper: "1 complex ALU (2-5 cycles)"

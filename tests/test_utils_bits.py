@@ -1,0 +1,85 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    MASK32,
+    MASK64,
+    bit_count,
+    extract,
+    mask,
+    parity,
+    sext,
+    to_signed,
+    to_unsigned,
+)
+
+
+def test_masks():
+    assert MASK32 == 0xFFFFFFFF
+    assert MASK64 == 0xFFFFFFFFFFFFFFFF
+    assert mask(1) == 1
+    assert mask(7) == 127
+    assert mask(64) == MASK64
+
+
+def test_extract():
+    assert extract(0b101100, 2, 3) == 0b011
+    assert extract(0xDEADBEEF, 16, 16) == 0xDEAD
+    assert extract(0xFF, 8, 8) == 0
+
+
+def test_sext_positive():
+    assert sext(0x7F, 8) == 127
+    assert sext(5, 16) == 5
+
+
+def test_sext_negative():
+    assert sext(0x80, 8) == -128
+    assert sext(0xFFFF, 16) == -1
+    assert sext(0xFFFFFFFF, 32) == -1
+
+
+def test_sext_masks_input():
+    # High bits beyond the field are ignored.
+    assert sext(0x1FF, 8) == -1
+
+
+def test_to_signed_roundtrip():
+    assert to_signed(MASK64) == -1
+    assert to_unsigned(-1) == MASK64
+    assert to_signed(to_unsigned(-12345)) == -12345
+
+
+def test_bit_count():
+    assert bit_count(0) == 0
+    assert bit_count(0b1011) == 3
+    assert bit_count(MASK64) == 64
+
+
+def test_parity():
+    assert parity(0) == 0
+    assert parity(1) == 1
+    assert parity(0b11) == 0
+    assert parity(0b111) == 1
+
+
+@given(st.integers(min_value=0, max_value=MASK64))
+def test_parity_flip_property(value):
+    """Flipping any one bit flips the parity."""
+    bit = value % 64
+    assert parity(value) != parity(value ^ (1 << bit))
+
+
+@given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+def test_signed_unsigned_roundtrip(value):
+    assert to_signed(to_unsigned(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=MASK64),
+       st.integers(min_value=1, max_value=63))
+def test_sext_idempotent(value, width):
+    once = sext(value, width)
+    assert sext(once & mask(width), width) == once

@@ -1,0 +1,50 @@
+"""Tests for the deterministic split RNG."""
+
+from repro.utils.rng import SplitRng
+
+
+def test_same_seed_same_stream():
+    a = SplitRng(7)
+    b = SplitRng(7)
+    assert [a.randrange(1000) for _ in range(20)] == \
+        [b.randrange(1000) for _ in range(20)]
+
+
+def test_split_streams_are_independent_of_order():
+    parent1 = SplitRng(42)
+    first = parent1.split("alpha")
+    second = parent1.split("beta")
+
+    parent2 = SplitRng(42)
+    second_again = parent2.split("beta")
+    first_again = parent2.split("alpha")
+
+    assert [first.randrange(10 ** 9) for _ in range(5)] == \
+        [first_again.randrange(10 ** 9) for _ in range(5)]
+    assert [second.randrange(10 ** 9) for _ in range(5)] == \
+        [second_again.randrange(10 ** 9) for _ in range(5)]
+
+
+def test_split_names_give_distinct_streams():
+    parent = SplitRng(1)
+    a = parent.split("x")
+    b = parent.split("y")
+    assert [a.randrange(1 << 30) for _ in range(8)] != \
+        [b.randrange(1 << 30) for _ in range(8)]
+
+
+def test_nested_split():
+    a = SplitRng(5).split("w").split("t")
+    b = SplitRng(5).split("w").split("t")
+    assert a.getrandbits(64) == b.getrandbits(64)
+
+
+def test_api_surface():
+    rng = SplitRng(3)
+    assert 0 <= rng.random() < 1
+    assert rng.randint(1, 1) == 1
+    assert rng.choice([9]) == 9
+    assert sorted(rng.sample(range(10), 3))[0] >= 0
+    seq = [1, 2, 3]
+    rng.shuffle(seq)
+    assert sorted(seq) == [1, 2, 3]

@@ -1,0 +1,33 @@
+"""Tests for ASCII table rendering."""
+
+from repro.utils.tables import format_percent, format_table
+
+
+def test_basic_table():
+    text = format_table(["name", "n"], [["alpha", 3], ["b", 10]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0] and "n" in lines[0]
+    assert "alpha" in lines[2]
+
+
+def test_title_line():
+    text = format_table(["x"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_numeric_right_alignment():
+    text = format_table(["k", "value"], [["a", 5], ["b", 12345]])
+    rows = text.splitlines()[2:]
+    # Numeric column right-aligned: shorter number is padded on the left.
+    assert rows[0].endswith("    5")
+
+
+def test_float_formatting():
+    text = format_table(["v"], [[3.14159]])
+    assert "3.14" in text
+
+
+def test_format_percent():
+    assert format_percent(1, 4) == "25.0%"
+    assert format_percent(0, 0) == "n/a"

@@ -1,0 +1,118 @@
+"""Workload kernel tests: correctness, determinism, characterisation."""
+
+import pytest
+
+from repro.arch.functional import FunctionalSimulator
+from repro.errors import ConfigError
+from repro.isa.semantics import Exc
+from repro.workloads import WORKLOAD_NAMES, get_workload, iter_workloads
+
+
+def test_registry_has_ten_spec_kernels():
+    assert len(WORKLOAD_NAMES) == 10
+    assert set(WORKLOAD_NAMES) == {
+        "bzip2", "crafty", "gcc", "gzip", "mcf", "parser", "perlbmk",
+        "twolf", "vortex", "vpr"}
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ConfigError):
+        get_workload("specjbb")
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ConfigError):
+        get_workload("gzip", scale="huge")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_kernel_runs_clean(name):
+    workload = get_workload(name, scale="tiny")
+    sim = FunctionalSimulator(workload.program)
+    sim.run(3_000_000)
+    assert sim.halted, "%s did not terminate" % name
+    assert sim.exception == Exc.NONE
+    assert sim.output_text(), "%s produced no output" % name
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_kernel_deterministic(name):
+    first = FunctionalSimulator(get_workload(name, scale="tiny").program)
+    first.run(3_000_000)
+    second = FunctionalSimulator(get_workload(name, scale="tiny").program)
+    second.run(3_000_000)
+    assert first.output_text() == second.output_text()
+    assert first.instret == second.instret
+
+
+def test_scale_controls_length():
+    tiny = FunctionalSimulator(get_workload("gzip", scale="tiny").program)
+    tiny.run(10_000_000)
+    small = FunctionalSimulator(get_workload("gzip", scale="small").program)
+    small.run(10_000_000)
+    assert small.instret > 4 * tiny.instret
+
+
+def test_iter_workloads_subset():
+    names = [w.name for w in iter_workloads(names=("mcf", "gzip"))]
+    assert names == ["mcf", "gzip"]
+
+
+def test_workload_metadata():
+    workload = get_workload("mcf")
+    assert "pointer" in workload.description or "list" in workload.description
+    assert workload.profile
+    assert workload.scale == "small"
+
+
+def test_gzip_mirror():
+    """gzip kernel's outputs match an exact Python mirror."""
+    workload = get_workload("gzip", scale="tiny")
+    sim = FunctionalSimulator(workload.program)
+    sim.run(3_000_000)
+
+    mask64 = (1 << 64) - 1
+    lcg_a, lcg_c, seed = (6364136223846793005, 1442695040888963407,
+                          88172645463325252)
+    size = 192
+    buf = []
+    x = seed
+    for _ in range(size):
+        x = (x * lcg_a + lcg_c) & mask64
+        buf.append(x)
+
+    iters = 4  # tiny scale
+    total = 0
+    outputs = []
+    for p in range(iters):
+        hash32 = 0
+        matches = 0
+        for word in buf:
+            hash32 = ((hash32 * 33) ^ word) & 0xFFFFFFFF
+            if word & 255 < 16:
+                matches += 1
+        signal = 1 if hash32 & 255 < 8 else 0
+        block = matches + signal
+        total += block
+        if (iters - p) % 4 == 0:  # the kernel prints every 4th block
+            outputs.append("%d\n" % block)
+    outputs.append("%d\n" % total)
+    sample = buf[8] ^ (buf[8] >> 7)  # transformed word at offset 64
+    signed = sample - (1 << 64) if sample >> 63 else sample
+    outputs.append("%d\n" % signed)
+    assert sim.output_text() == "".join(outputs)
+
+
+def test_mcf_low_ipc_vs_gzip():
+    """mcf (dependent misses) must run at lower IPC than gzip (paper 3.1)."""
+    from repro.uarch import Pipeline
+    ipcs = {}
+    windows = {"gzip": 3000, "mcf": 23_000}  # past each init phase
+    for name in ("gzip", "mcf"):
+        workload = get_workload(name, scale="small")
+        pipe = Pipeline(workload.program)
+        pipe.run(windows[name])
+        start = pipe.total_retired
+        pipe.run(5000)
+        ipcs[name] = (pipe.total_retired - start) / 5000.0
+    assert ipcs["gzip"] > ipcs["mcf"]

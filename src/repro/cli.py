@@ -8,6 +8,8 @@ Subcommands:
   print Figure 3/4-style outcome tables.
 * ``software``   -- run a Section-5 software-level campaign (Figure 11).
 * ``overhead``   -- print the protection-mechanism storage overheads.
+* ``lint``       -- static analysis of the model itself (injectability,
+  determinism, ghost isolation; see docs/LINTING.md).
 """
 
 import argparse
@@ -30,6 +32,13 @@ from repro.workloads import WORKLOAD_NAMES, get_workload
 
 def main(argv=None):
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forwarded verbatim: argparse's REMAINDER cannot pass through
+        # leading option tokens (e.g. ``lint --list-rules``).
+        from repro.lint.cli import main as lint_main
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
@@ -107,6 +116,14 @@ def build_parser():
     p.add_argument("--workloads", nargs="*", default=["gzip", "mcf"])
     p.add_argument("--cycles", type=int, default=2000)
     p.set_defaults(handler=cmd_avf)
+
+    p = sub.add_parser("lint", add_help=False,
+                       help="static analysis: injectability, determinism, "
+                            "ghost isolation (REP001-REP004)")
+    p.add_argument("lint_args", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to repro.lint "
+                        "(see 'repro-faults lint --help')")
+    p.set_defaults(handler=cmd_lint)
     return parser
 
 
@@ -264,6 +281,12 @@ def cmd_avf(args):
     print(format_table(["workload", "structure", "occupancy proxy"], rows,
                        title="AVF occupancy proxy (cf. paper Section 3.3)"))
     return 0
+
+
+def cmd_lint(args):
+    """Run the repro.lint static-analysis pass over the tree."""
+    from repro.lint.cli import main as lint_main
+    return lint_main(args.lint_args)
 
 
 def _progress(done, total):

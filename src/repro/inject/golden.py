@@ -37,6 +37,7 @@ class GoldenTrace:
     retired_seqs: Set[int] = field(default_factory=set)
     insn_pages: Set[int] = field(default_factory=set)
     data_pages: Set[int] = field(default_factory=set)
+    final_snapshot: List[int] = field(default_factory=list)
 
 
 def workload_page_sets(program, max_instructions=20_000_000):
@@ -51,8 +52,17 @@ def workload_page_sets(program, max_instructions=20_000_000):
 
 
 def record_golden(pipeline, checkpoint, horizon, margin, insn_pages,
-                  data_pages):
-    """Run the fault-free pipeline from ``checkpoint`` and record it."""
+                  data_pages, verify_replay=False):
+    """Run the fault-free pipeline from ``checkpoint`` and record it.
+
+    With ``verify_replay=True`` the fault-free window is run a second
+    time and cross-checked against the recording
+    (:func:`verify_golden_replay`): the whole outcome taxonomy assumes
+    the golden run is bit-exactly reproducible, so any hidden
+    nondeterminism (unregistered shadow state, unseeded randomness,
+    iteration-order dependence) is caught here instead of surfacing as
+    phantom μArch-Match failures deep inside a campaign.
+    """
     pipeline.restore(checkpoint)
     pipeline.tlb_insn_pages = None
     pipeline.tlb_data_pages = None
@@ -84,4 +94,55 @@ def record_golden(pipeline, checkpoint, horizon, margin, insn_pages,
             raise CampaignError(
                 "golden run halted inside the trace window; use a longer "
                 "workload scale for injection campaigns")
+    trace.final_snapshot = space.snapshot()
+    if verify_replay:
+        verify_golden_replay(pipeline, checkpoint, trace)
     return trace
+
+
+def verify_golden_replay(pipeline, checkpoint, trace):
+    """Re-run the golden window and assert it is bit-exactly identical.
+
+    Raises :class:`SimulationError` naming the first divergent state
+    element (and the first divergent cycle, when the per-cycle
+    signatures differ) if the two fault-free runs do not match.
+    """
+    pipeline.restore(checkpoint)
+    pipeline.tlb_insn_pages = None
+    pipeline.tlb_data_pages = None
+
+    space = pipeline.space
+    first_bad_cycle = None
+    for step in range(trace.horizon + trace.margin):
+        pipeline.cycle()
+        if first_bad_cycle is None \
+                and space.signature() != trace.sigs[step]:
+            # Keep running to the end of the window: the final snapshot
+            # is compared element-wise below, which names the culprit
+            # instead of just pointing at a hash mismatch.
+            first_bad_cycle = trace.start_cycle + step + 1
+    replay_snapshot = space.snapshot()
+
+    divergent = None
+    for index, (recorded, replayed) in enumerate(
+            zip(trace.final_snapshot, replay_snapshot)):
+        if recorded != replayed:
+            divergent = space.elements[index]
+            break
+
+    if divergent is not None:
+        raise SimulationError(
+            "golden run is not deterministic: element %r differs between "
+            "two fault-free runs of the same window (recorded %d, replay "
+            "%d%s); hidden shadow state or unseeded randomness in the "
+            "model" % (
+                divergent.name,
+                trace.final_snapshot[divergent.index],
+                replay_snapshot[divergent.index],
+                "" if first_bad_cycle is None
+                else ", first divergent cycle %d" % first_bad_cycle))
+    if first_bad_cycle is not None:
+        raise SimulationError(
+            "golden run is not deterministic: state signature diverged at "
+            "cycle %d but the runs reconverged by the end of the window; "
+            "transient hidden state in the model" % first_bad_cycle)

@@ -265,6 +265,8 @@ class SoftwareCampaign:
         config = self.config
         rng_root = SplitRng(config.seed)
         trials = []
+        # repro-lint: allow=REP002 (wall-clock is reporting metadata only;
+        # it never feeds trial state or outcome classification)
         started = time.time()
         done = 0
         for workload_name in config.workloads:
@@ -286,4 +288,5 @@ class SoftwareCampaign:
                         progress(done, config.total_trials)
         return SoftwareCampaignResult(
             config=config, trials=trials,
+            # repro-lint: allow=REP002 (reporting metadata, see above)
             elapsed_seconds=time.time() - started)

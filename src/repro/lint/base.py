@@ -1,0 +1,100 @@
+"""Checker framework: findings, the visitor protocol, the registry.
+
+A *checker* owns one rule id and yields :class:`Finding` objects for
+one module at a time.  Checkers are registered with :func:`register`
+and discovered through :func:`all_checkers`; the runner instantiates
+each enabled checker once per lint invocation and feeds it every
+scanned module together with the cross-file :class:`ProjectModel`.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file position.
+
+    ``scope_line`` is the line of the enclosing ``def`` (when known):
+    a ``# repro-lint: allow=...`` pragma on either the finding line or
+    the enclosing ``def`` line suppresses the finding.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = SEVERITY_ERROR
+    scope_line: Optional[int] = None
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self):
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self):
+        return "%s:%d:%d: %s %s: %s" % (
+            self.path, self.line, self.col, self.rule, self.severity,
+            self.message)
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Subclasses set ``rule_id``/``description`` and implement
+    :meth:`check`, yielding :class:`Finding` objects.  One instance is
+    created per lint run, so checkers may cache cross-module state on
+    ``self`` (the project model is also rebuilt per run).
+    """
+
+    rule_id = None
+    description = ""
+
+    def check(self, module, project):
+        """Yield findings for ``module`` (a :class:`ModuleInfo`)."""
+        raise NotImplementedError
+
+    def finding(self, module, node, message, scope_line=None):
+        """Build a :class:`Finding` anchored at an AST node."""
+        return Finding(
+            rule=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            scope_line=scope_line
+            if scope_line is not None else module.scope_line_of(node),
+        )
+
+
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator adding a :class:`Checker` to the registry."""
+    if not cls.rule_id:
+        raise ValueError("checker %r has no rule_id" % cls)
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_checkers():
+    """Mapping rule id -> checker class (registration order preserved).
+
+    Importing :mod:`repro.lint.rules` populates the registry; done here
+    so ``all_checkers`` is self-sufficient.
+    """
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+    return dict(_REGISTRY)

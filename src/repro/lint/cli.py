@@ -1,0 +1,98 @@
+"""Command line for ``python -m repro.lint`` / ``repro-faults lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage or configuration errors.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.lint.base import all_checkers
+from repro.lint.config import LintConfig, load_config
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import run_lint
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Static analysis of the fault-injection harness: "
+                    "injectability (REP001), determinism (REP002), ghost "
+                    "isolation (REP003) and category inventory (REP004).")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: [tool.repro.lint] "
+             "paths, then src/repro, then .)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--rules", metavar="REP001,REP002,...",
+        help="comma-separated rule ids to run (overrides configuration)")
+    parser.add_argument(
+        "--config", metavar="PYPROJECT",
+        help="explicit pyproject.toml to read [tool.repro.lint] from")
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore pyproject.toml; run with built-in defaults")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    return parser
+
+
+def _default_paths(config):
+    if config.paths:
+        return [path for path in config.paths if os.path.exists(path)] \
+            or list(config.paths)
+    if os.path.isdir(os.path.join("src", "repro")):
+        return [os.path.join("src", "repro")]
+    return ["."]
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    checkers = all_checkers()
+    if args.list_rules:
+        for rule_id, cls in checkers.items():
+            print("%s  %s" % (rule_id, cls.description))
+        return 0
+
+    if args.no_config:
+        config = LintConfig()
+    else:
+        try:
+            config = load_config(pyproject_path=args.config)
+        except Exception as error:
+            sys.stderr.write("repro.lint: bad configuration: %s\n" % error)
+            return 2
+
+    if args.rules:
+        requested = tuple(
+            rule.strip() for rule in args.rules.split(",") if rule.strip())
+        unknown = [rule for rule in requested if rule not in checkers]
+        if unknown:
+            sys.stderr.write("repro.lint: unknown rule(s): %s\n"
+                             % ", ".join(unknown))
+            return 2
+        config = LintConfig(
+            paths=config.paths, enable=requested, exclude=config.exclude,
+            per_path_ignores=config.per_path_ignores)
+
+    paths = args.paths or _default_paths(config)
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        sys.stderr.write("repro.lint: no such path: %s\n"
+                         % ", ".join(missing))
+        return 2
+
+    result = run_lint(paths, config)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

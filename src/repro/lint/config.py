@@ -1,0 +1,115 @@
+"""Lint configuration: the ``[tool.repro.lint]`` pyproject section.
+
+Recognised keys::
+
+    [tool.repro.lint]
+    paths   = ["src/repro"]          # default CLI targets
+    enable  = ["REP001", ...]        # run only these rules
+    disable = ["REP004"]             # or: run all but these
+    exclude = ["*/generated/*"]      # file-collection glob excludes
+
+    [tool.repro.lint.per-path-ignores]
+    "src/repro/uarch/trace.py" = ["REP003"]
+
+``enable`` wins over ``disable`` when both are present.  Path patterns
+are ``fnmatch`` globs matched against ``/``-normalised paths; a bare
+pattern also matches as a path suffix, so ``"uarch/trace.py"`` works
+from any checkout root.
+"""
+
+import fnmatch
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+DEFAULT_EXCLUDES = (
+    "*/__pycache__/*",
+    "*/.*/*",
+    "*.egg-info/*",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved lint configuration (defaults = everything enabled)."""
+
+    paths: Tuple[str, ...] = ()
+    enable: Tuple[str, ...] = ()
+    disable: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+    per_path_ignores: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def enabled_rules(self, known_rules):
+        """The rule ids to run, given every registered rule id."""
+        rules = [rule for rule in known_rules if rule in self.enable] \
+            if self.enable else list(known_rules)
+        return [rule for rule in rules if rule not in self.disable]
+
+    def excludes_file(self, path):
+        normalised = _normalise(path)
+        for pattern in tuple(DEFAULT_EXCLUDES) + tuple(self.exclude):
+            if _match(normalised, pattern):
+                return True
+        return False
+
+    def ignored_rules_for(self, path):
+        """Rules suppressed for ``path`` by per-path ignores."""
+        normalised = _normalise(path)
+        ignored = set()
+        for pattern, rules in self.per_path_ignores.items():
+            if _match(normalised, pattern):
+                ignored.update(rules)
+        return ignored
+
+
+def _normalise(path):
+    return path.replace(os.sep, "/")
+
+
+def _match(path, pattern):
+    pattern = _normalise(pattern)
+    return fnmatch.fnmatch(path, pattern) \
+        or fnmatch.fnmatch(path, "*/" + pattern)
+
+
+def find_pyproject(start_dir="."):
+    """Walk upward from ``start_dir`` to the nearest pyproject.toml."""
+    directory = os.path.abspath(start_dir)
+    while True:
+        candidate = os.path.join(directory, "pyproject.toml")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            return None
+        directory = parent
+
+
+def load_config(pyproject_path=None, start_dir="."):
+    """Build a :class:`LintConfig` from ``[tool.repro.lint]``.
+
+    Missing file or section (or a Python without :mod:`tomllib`) yields
+    the all-defaults configuration.
+    """
+    if pyproject_path is None:
+        pyproject_path = find_pyproject(start_dir)
+    if pyproject_path is None or not os.path.isfile(pyproject_path):
+        return LintConfig()
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: run with built-in defaults
+        return LintConfig()
+    with open(pyproject_path, "rb") as handle:
+        data = tomllib.load(handle)
+    section = data.get("tool", {}).get("repro", {}).get("lint", {})
+    ignores = {
+        str(pattern): tuple(rules)
+        for pattern, rules in section.get("per-path-ignores", {}).items()
+    }
+    return LintConfig(
+        paths=tuple(section.get("paths", ())),
+        enable=tuple(section.get("enable", ())),
+        disable=tuple(section.get("disable", ())),
+        exclude=tuple(section.get("exclude", ())),
+        per_path_ignores=ignores,
+    )

@@ -1,0 +1,342 @@
+"""Cross-file project model shared by all checkers.
+
+Built in one pass over every scanned module before rules run, the model
+answers the questions the rules need global knowledge for:
+
+* which classes are **stage classes** (they allocate state from a
+  ``StateSpace``, so REP001/REP003 apply to them);
+* which attribute names hold **ghost elements** (allocated with
+  ``StateCategory.GHOST`` anywhere in the project);
+* which **categories** exist and which of them the analysis layer
+  aggregates (``TABLE1_CATEGORIES``/``PROTECTION_CATEGORIES`` plus
+  ``GHOST``), parsed from the module defining ``StateCategory`` -- or,
+  when that module is not among the scanned files, imported from
+  :mod:`repro.uarch.statelib` as a fallback.
+"""
+
+import ast
+import re
+
+PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*allow=([A-Z0-9,]+)")
+
+# Method names that mutate a container in place (the REP001 surface).
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "popleft", "remove", "setdefault",
+    "sort", "update",
+})
+
+# Constructors of mutable containers (REP001 flags these in __init__).
+MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "Counter", "OrderedDict",
+})
+
+
+def parse_pragmas(source):
+    """Mapping line number -> set of rule ids allowed on that line.
+
+    A pragma on a comment-only line carries over to the next code line
+    (so multi-line justification comments work); an inline pragma
+    applies to its own line.  Pragmas on a ``def`` line cover the whole
+    function body (see :meth:`ModuleInfo.allows`).
+    """
+    pragmas = {}
+    pending = set()
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = PRAGMA_RE.search(line)
+        rules = set()
+        if match:
+            rules = {r.strip() for r in match.group(1).split(",")
+                     if r.strip()}
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            pending |= rules
+            continue
+        if not stripped:
+            continue  # blank lines keep a pending pragma alive
+        combined = rules | pending
+        pending = set()
+        if combined:
+            pragmas[number] = combined
+    return pragmas
+
+
+def attr_chain(node):
+    """``a.b.c`` -> ``["a", "b", "c"]``; None for non-name-rooted chains."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _mentions_space(node):
+    """True when ``node`` is the name ``space`` or an attribute ``*.space``."""
+    if isinstance(node, ast.Name) and node.id == "space":
+        return True
+    if isinstance(node, ast.Attribute) and node.attr == "space":
+        return True
+    return False
+
+
+def is_state_alloc(node):
+    """True when an expression allocates state from a ``StateSpace``.
+
+    Recognised shapes (recursively, through lists/comprehensions and
+    conditional expressions):
+
+    * ``<space>.field(...)`` / ``<space>.array(...)`` where the
+      receiver is not ``self`` (a stage class allocating on behalf of
+      itself, not the space's own internals);
+    * ``SubStructure(space, ...)`` -- constructing another structure
+      with the space threaded through;
+    * a list/tuple literal or comprehension whose elements allocate.
+    """
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in ("field", "array"):
+            receiver = func.value
+            if not (isinstance(receiver, ast.Name) and receiver.id == "self"):
+                return True
+        if isinstance(func, ast.Name):
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            if any(_mentions_space(argument) for argument in arguments):
+                return True
+        return False
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return any(is_state_alloc(element) for element in node.elts)
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+        return is_state_alloc(node.elt)
+    if isinstance(node, ast.IfExp):
+        return is_state_alloc(node.body) or is_state_alloc(node.orelse)
+    return False
+
+
+def is_mutable_container(node):
+    """True for expressions that build a mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in MUTABLE_FACTORIES:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        return isinstance(node.left, ast.List) \
+            or isinstance(node.right, ast.List)
+    return False
+
+
+def _alloc_is_ghost(node):
+    """True when a state allocation passes ``StateCategory.GHOST``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "GHOST":
+            chain = attr_chain(sub)
+            if chain and chain[-2:] == ["StateCategory", "GHOST"]:
+                return True
+    return False
+
+
+class ClassModel:
+    """Static facts about one class definition."""
+
+    def __init__(self, node, module_path):
+        self.node = node
+        self.name = node.name
+        self.lineno = node.lineno
+        self.module_path = module_path
+        self.is_stage = self._detect_stage(node)
+        self.derived = self._collect_derived(node)
+        self.space_attrs = set()
+        self.ghost_attrs = set()
+        self._collect_allocations(node)
+
+    @staticmethod
+    def _detect_stage(node):
+        """A stage class allocates from a StateSpace (or creates one)."""
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Name) and func.id == "StateSpace":
+                return True
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in ("field", "array"):
+                receiver = func.value
+                if not (isinstance(receiver, ast.Name)
+                        and receiver.id == "self"):
+                    return True
+        return False
+
+    @staticmethod
+    def _collect_derived(node):
+        """The class-level ``_DERIVED`` whitelist of attribute names."""
+        derived = set()
+        for statement in node.body:
+            if not isinstance(statement, ast.Assign):
+                continue
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "_DERIVED":
+                    value = statement.value
+                    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                        for element in value.elts:
+                            if isinstance(element, ast.Constant) \
+                                    and isinstance(element.value, str):
+                                derived.add(element.value)
+        return frozenset(derived)
+
+    def _collect_allocations(self, node):
+        """Attributes assigned from state allocations inside __init__."""
+        init = None
+        for statement in node.body:
+            if isinstance(statement, ast.FunctionDef) \
+                    and statement.name == "__init__":
+                init = statement
+                break
+        if init is None:
+            return
+        for sub in ast.walk(init):
+            if not isinstance(sub, ast.Assign):
+                continue
+            if not is_state_alloc(sub.value):
+                continue
+            for target in sub.targets:
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    self.space_attrs.add(target.attr)
+                    if _alloc_is_ghost(sub.value):
+                        self.ghost_attrs.add(target.attr)
+
+
+class ModuleInfo:
+    """One parsed source file plus its pragma and scope indexes."""
+
+    def __init__(self, path, source, tree):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.pragmas = parse_pragmas(source)
+        self.classes = [
+            ClassModel(statement, path)
+            for statement in ast.walk(tree)
+            if isinstance(statement, ast.ClassDef)
+        ]
+        self._scope_lines = {}
+        self._index_scopes(tree, None)
+
+    # repro-lint: allow=REP002 (the id()-keyed index is intra-process
+    # only: the nodes stay alive via self.tree and the mapping is never
+    # iterated, serialised, or used to order anything)
+    def _index_scopes(self, node, current_def_line):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scope_lines[id(child)] = current_def_line
+                self._index_scopes(child, child.lineno)
+            else:
+                self._scope_lines[id(child)] = current_def_line
+                self._index_scopes(child, current_def_line)
+
+    # repro-lint: allow=REP002 (lookup in the intra-process id() index)
+    def scope_line_of(self, node):
+        """Line of the ``def`` enclosing ``node`` (None at module level)."""
+        return self._scope_lines.get(id(node))
+
+    def has_stage_class(self):
+        return any(cls.is_stage for cls in self.classes)
+
+    def allows(self, rule, line, scope_line=None):
+        """True when a pragma suppresses ``rule`` at ``line``/scope."""
+        if rule in self.pragmas.get(line, ()):
+            return True
+        if scope_line is not None \
+                and rule in self.pragmas.get(scope_line, ()):
+            return True
+        return False
+
+
+class CategoryAuthority:
+    """What categories exist and which the analysis layer aggregates."""
+
+    def __init__(self):
+        self.members = {}           # name -> (path, line) or (None, None)
+        self.table1 = set()
+        self.protection = set()
+        self.defining_path = None
+
+    @property
+    def known(self):
+        return set(self.members)
+
+    @property
+    def reported(self):
+        return self.table1 | self.protection | {"GHOST"}
+
+    def loaded(self):
+        return bool(self.members)
+
+
+def _scan_category_module(authority, module):
+    """Harvest StateCategory members + the reported tuples from an AST."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and node.name == "StateCategory":
+            authority.defining_path = module.path
+            for statement in node.body:
+                if isinstance(statement, ast.Assign):
+                    for target in statement.targets:
+                        if isinstance(target, ast.Name) \
+                                and not target.id.startswith("_"):
+                            authority.members[target.id] = (
+                                module.path, statement.lineno)
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                bucket = None
+                if target.id == "TABLE1_CATEGORIES":
+                    bucket = authority.table1
+                elif target.id == "PROTECTION_CATEGORIES":
+                    bucket = authority.protection
+                if bucket is None:
+                    continue
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Attribute):
+                        chain = attr_chain(sub)
+                        if chain and chain[0] == "StateCategory" \
+                                and len(chain) == 2:
+                            bucket.add(chain[1])
+
+
+def _import_category_fallback(authority):
+    """Fall back to the live statelib when it was not scanned."""
+    try:
+        from repro.uarch import statelib
+    except Exception:  # pragma: no cover - statelib is part of this package
+        return
+    for member in statelib.StateCategory:
+        authority.members.setdefault(member.name, (None, None))
+    authority.table1.update(
+        member.name for member in statelib.TABLE1_CATEGORIES)
+    authority.protection.update(
+        member.name
+        for member in getattr(statelib, "PROTECTION_CATEGORIES", ()))
+
+
+class ProjectModel:
+    """Everything the rules need to know across module boundaries."""
+
+    def __init__(self, modules):
+        self.modules = modules
+        self.ghost_attrs = set()
+        for module in modules:
+            for cls in module.classes:
+                self.ghost_attrs.update(cls.ghost_attrs)
+        self.categories = CategoryAuthority()
+        for module in modules:
+            _scan_category_module(self.categories, module)
+        if not self.categories.loaded():
+            _import_category_fallback(self.categories)

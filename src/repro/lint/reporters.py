@@ -1,0 +1,30 @@
+"""Text and JSON renderings of a :class:`LintResult`."""
+
+import json
+
+
+def render_text(result):
+    """Human-readable report: one ``path:line:col`` line per finding."""
+    lines = [finding.render() for finding in result.findings]
+    counts = result.counts_by_rule()
+    if counts:
+        summary = ", ".join(
+            "%s x%d" % (rule, counts[rule]) for rule in sorted(counts))
+        lines.append("%d finding(s) in %d file(s) scanned [%s]" % (
+            len(result.findings), len(result.files), summary))
+    else:
+        lines.append("clean: 0 findings in %d file(s) scanned"
+                     % len(result.files))
+    return "\n".join(lines)
+
+
+def render_json(result):
+    """Machine-readable report consumed by the CI gate test."""
+    payload = {
+        "version": 1,
+        "files_scanned": len(result.files),
+        "rules": list(result.rules),
+        "counts": result.counts_by_rule(),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

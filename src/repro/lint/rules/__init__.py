@@ -1,0 +1,8 @@
+"""Rule modules; importing this package registers every checker."""
+
+from repro.lint.rules import (  # noqa: F401  (registration side effects)
+    rep001_shadow_state,
+    rep002_determinism,
+    rep003_ghost_isolation,
+    rep004_categories,
+)

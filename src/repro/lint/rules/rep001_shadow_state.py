@@ -1,0 +1,162 @@
+"""REP001: shadow-state detector.
+
+The Table 1 inventory is the injector's sampling frame -- the campaign
+flips a uniformly-chosen bit of :class:`StateSpace`.  Any mutable state
+a stage class keeps *outside* the space is invisible to injection (and
+to the signature/snapshot machinery), silently deflating the fault
+surface and biasing the masking/SDC splits of Figures 3-8.
+
+For every **stage class** (a class that allocates state from a
+``StateSpace``), REP001 flags:
+
+* ``__init__`` attributes bound to mutable containers (``[]``, ``{}``,
+  ``set()``, ``[0] * n``, ...) that are not state allocations;
+* attribute assignments/augmented assignments outside ``__init__``;
+* in-place container mutation (``self.x.append(...)``,
+  ``self.x[i] = ...``) outside ``__init__``;
+* *any* rebinding or mutation of a ``StateSpace``-allocated attribute
+  outside ``__init__`` -- element handles must stay stable or restores
+  and injections act on dead objects.
+
+Escape hatch: deliberate derived/functional side state (predictor
+snapshots, statistics, observation buffers) is declared per class in a
+``_DERIVED`` tuple of attribute names, making every exemption explicit
+and reviewable.  Purely functional classes (caches, predictors) hold no
+space state and are exempt by construction.
+"""
+
+import ast
+
+from repro.lint.base import Checker, register
+from repro.lint.project import (
+    MUTATOR_METHODS,
+    is_mutable_container,
+    is_state_alloc,
+)
+
+
+def _self_attr(node):
+    """``self.x`` -> ``"x"``; None otherwise (deeper chains excluded)."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _flatten_targets(target):
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    else:
+        yield target
+
+
+@register
+class ShadowStateChecker(Checker):
+    """Stage-class attributes must live in the StateSpace or _DERIVED."""
+
+    rule_id = "REP001"
+    description = ("mutable stage-class state must be allocated from "
+                   "StateSpace or whitelisted in _DERIVED")
+
+    def check(self, module, project):
+        for cls in module.classes:
+            if not cls.is_stage:
+                continue
+            yield from self._check_class(module, cls)
+
+    # ------------------------------------------------------------------
+
+    def _check_class(self, module, cls):
+        for statement in cls.node.body:
+            if not isinstance(statement, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                continue
+            if statement.name == "__init__":
+                yield from self._check_init(module, cls, statement)
+            else:
+                yield from self._check_method(module, cls, statement)
+
+    def _check_init(self, module, cls, init):
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign):
+                continue
+            if is_state_alloc(node.value) \
+                    or not is_mutable_container(node.value):
+                continue
+            for target in node.targets:
+                for element in _flatten_targets(target):
+                    attr = _self_attr(element)
+                    if attr is None or attr in cls.derived:
+                        continue
+                    yield self.finding(
+                        module, node,
+                        "%s.%s holds a mutable container outside the "
+                        "StateSpace; allocate it with space.field()/"
+                        "space.array() or declare it in %s._DERIVED"
+                        % (cls.name, attr, cls.name),
+                        scope_line=init.lineno)
+
+    def _check_method(self, module, cls, method):
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for element in _flatten_targets(target):
+                        yield from self._check_store(
+                            module, cls, method, node, element)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                yield from self._check_store(
+                    module, cls, method, node, node.target)
+            elif isinstance(node, ast.Call):
+                yield from self._check_mutator_call(
+                    module, cls, method, node)
+
+    def _check_store(self, module, cls, method, statement, target):
+        attr = _self_attr(target)
+        kind = "assigns"
+        if attr is None and isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)
+            kind = "stores into"
+        if attr is None:
+            return
+        if attr in cls.space_attrs:
+            yield self.finding(
+                module, statement,
+                "%s.%s %s a StateSpace-allocated element outside "
+                "__init__; element handles must stay stable -- use "
+                ".set() on the Field instead" % (cls.name, attr, kind),
+                scope_line=method.lineno)
+        elif attr not in cls.derived:
+            yield self.finding(
+                module, statement,
+                "%s.%s is mutable shadow state outside the StateSpace "
+                "(%s in %s()); fault injection cannot reach it -- "
+                "allocate it from the space or declare it in "
+                "%s._DERIVED" % (cls.name, attr, kind, method.name,
+                                 cls.name),
+                scope_line=method.lineno)
+
+    def _check_mutator_call(self, module, cls, method, call):
+        func = call.func
+        if not isinstance(func, ast.Attribute) \
+                or func.attr not in MUTATOR_METHODS:
+            return
+        attr = _self_attr(func.value)
+        if attr is None:
+            return
+        if attr in cls.space_attrs:
+            yield self.finding(
+                module, call,
+                "%s.%s.%s() mutates a StateSpace-allocated structure "
+                "in place; state arrays are fixed at freeze time"
+                % (cls.name, attr, func.attr),
+                scope_line=method.lineno)
+        elif attr not in cls.derived:
+            yield self.finding(
+                module, call,
+                "%s.%s.%s() mutates shadow state outside the "
+                "StateSpace in %s(); fault injection cannot reach it "
+                "-- allocate it from the space or declare it in "
+                "%s._DERIVED" % (cls.name, attr, func.attr,
+                                 method.name, cls.name),
+                scope_line=method.lineno)

@@ -1,0 +1,195 @@
+"""REP002: determinism lint.
+
+Trial classification is *comparison against a recorded golden run*:
+per-cycle state signatures, the retirement stream, the store-drain
+stream.  Any nondeterminism in the simulator or the injection loop
+makes golden and faulty runs diverge for reasons that are not the
+injected fault, which corrupts every outcome rate in Figures 3-11.
+
+Flagged anywhere on simulation paths:
+
+* ``random.*`` module-level calls (the process-global, unseeded
+  stream) -- ``random.Random(seed)`` with an explicit seed is the
+  sanctioned construction, threaded through call sites (see
+  :class:`repro.utils.rng.SplitRng`);
+* ``from random import shuffle``-style imports of unseeded helpers;
+* wall-clock reads (``time.time()``, ``time.monotonic()``, ...);
+* ``os.urandom`` -- kernel entropy is unreplayable by definition;
+* iteration over bare ``set`` values -- order depends on
+  ``PYTHONHASHSEED`` for str/tuple members (sort first instead);
+* ``id(...)`` -- CPython addresses differ across runs, so id-keyed
+  logic or ordering is unreplayable.
+
+Wall-clock metadata that never feeds simulation (e.g. the campaign's
+``elapsed_seconds``) is suppressed inline with
+``# repro-lint: allow=REP002 (reason)``.
+"""
+
+import ast
+
+from repro.lint.base import Checker, register
+
+_RANDOM_SAFE = frozenset({"Random", "SystemRandom"})
+
+
+def _is_set_expr(node, set_names):
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    return False
+
+
+@register
+class DeterminismChecker(Checker):
+    """Forbid unreplayable constructs on simulation paths."""
+
+    rule_id = "REP002"
+    description = ("no unseeded random, wall-clock time, os.urandom, "
+                   "bare-set iteration or id()-keyed logic")
+
+    def check(self, module, project):
+        aliases = self._module_aliases(module.tree)
+        yield from self._check_imports(module)
+        yield from self._check_calls(module, aliases)
+        yield from self._check_set_iteration(module)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _module_aliases(tree):
+        """Local names bound to the random/time/os modules."""
+        aliases = {"random": set(), "time": set(), "os": set()}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in aliases:
+                        aliases[root].add(alias.asname or root)
+        return aliases
+
+    def _check_imports(self, module):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ImportFrom) or node.level:
+                continue
+            if node.module == "random":
+                bad = [alias.name for alias in node.names
+                       if alias.name not in _RANDOM_SAFE]
+                if bad:
+                    yield self.finding(
+                        module, node,
+                        "importing %s from random binds the process-"
+                        "global unseeded stream; construct a seeded "
+                        "random.Random and thread it through call "
+                        "sites" % ", ".join(sorted(bad)))
+            elif node.module == "time":
+                yield self.finding(
+                    module, node,
+                    "importing wall-clock helpers from time breaks "
+                    "bit-exact golden-run replay")
+            elif node.module == "os":
+                if any(alias.name == "urandom" for alias in node.names):
+                    yield self.finding(
+                        module, node,
+                        "os.urandom draws kernel entropy and can never "
+                        "be replayed from a seed")
+
+    def _check_calls(self, module, aliases):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id == "id":
+                    yield self.finding(
+                        module, node,
+                        "id() values are CPython addresses and differ "
+                        "across runs; key on a stable identity (name, "
+                        "index, sequence number) instead")
+                elif func.id == "Random" and not node.args \
+                        and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        "Random() without a seed falls back to OS "
+                        "entropy; pass an explicit seed")
+                continue
+            if not isinstance(func, ast.Attribute) \
+                    or not isinstance(func.value, ast.Name):
+                continue
+            owner = func.value.id
+            if owner in aliases["random"]:
+                if func.attr in _RANDOM_SAFE and (node.args or node.keywords):
+                    continue
+                if func.attr in _RANDOM_SAFE:
+                    message = ("random.%s() without a seed falls back to "
+                               "OS entropy; pass an explicit seed"
+                               % func.attr)
+                else:
+                    message = ("random.%s() draws from the process-global "
+                               "unseeded stream; thread a seeded "
+                               "random.Random (or SplitRng) through the "
+                               "call sites" % func.attr)
+                yield self.finding(module, node, message)
+            elif owner in aliases["time"]:
+                yield self.finding(
+                    module, node,
+                    "time.%s() reads the wall clock; golden-run "
+                    "comparison requires bit-exact replay independent "
+                    "of host timing" % func.attr)
+            elif owner in aliases["os"] and func.attr == "urandom":
+                yield self.finding(
+                    module, node,
+                    "os.urandom draws kernel entropy and can never be "
+                    "replayed from a seed")
+
+    # ------------------------------------------------------------------
+
+    def _check_set_iteration(self, module):
+        """Flag ``for ... in <bare set>`` per function (and module) scope."""
+        scopes = [module.tree]
+        scopes.extend(
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)))
+        for scope in scopes:
+            yield from self._check_scope_sets(module, scope)
+
+    def _check_scope_sets(self, module, scope):
+        body_nodes = list(self._scope_nodes(scope))
+        set_names = set()
+        for node in body_nodes:
+            if isinstance(node, ast.Assign):
+                value_is_set = _is_set_expr(node.value, set_names)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if value_is_set:
+                            set_names.add(target.id)
+                        else:
+                            set_names.discard(target.id)
+        for node in body_nodes:
+            iterations = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterations.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iterations.extend(
+                    generator.iter for generator in node.generators)
+            for iteration in iterations:
+                if _is_set_expr(iteration, set_names):
+                    yield self.finding(
+                        module, iteration,
+                        "iterating a bare set: element order depends on "
+                        "PYTHONHASHSEED for hashed members; iterate "
+                        "sorted(...) for a replay-stable order")
+
+    @staticmethod
+    def _scope_nodes(scope):
+        """Nodes of ``scope`` excluding nested function bodies."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop(0)
+            yield node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.extend(ast.iter_child_nodes(node))

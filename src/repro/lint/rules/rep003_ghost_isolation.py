@@ -1,0 +1,96 @@
+"""REP003: ghost-state isolation.
+
+Ghost elements (``injectable=False``, ``StateCategory.GHOST``) carry
+simulator bookkeeping -- sequence numbers -- that exists purely so the
+*analysis* can match retirements against the golden trace.  They are
+excluded from injection, from the Table 1 inventory and from the
+microarchitectural signature, so statelib documents (but until now
+never enforced) that **no pipeline behaviour may depend on them**: a
+behavioural ghost read would make the model's execution differ from
+the machine being modelled, and would dodge every injected fault.
+
+Within modules that contain stage classes, REP003 flags every read of
+a ghost attribute (``<x>.seq.get()``) except:
+
+* **propagation** -- the read is an argument of a ghost ``.set(...)``
+  call (``out.seq.set(in_.seq.get())``), or the value of a keyword
+  argument with a ghost attribute's name (``seq=ex.seq.get()``), which
+  helpers like ``post_result`` forward verbatim into another ghost
+  element;
+* reads inside functions/lines marked analysis-only with
+  ``# repro-lint: allow=REP003 (reason)`` -- the observation surface
+  (``inflight_seqs``, the retirement records) reads ghosts *for* the
+  harness, never for the pipeline.
+"""
+
+import ast
+
+from repro.lint.base import Checker, register
+
+
+@register
+class GhostIsolationChecker(Checker):
+    """Behavioral code must not read injectable=False elements."""
+
+    rule_id = "REP003"
+    description = ("no behavioral path may read a ghost "
+                   "(injectable=False) state element")
+
+    # repro-lint: allow=REP002 (id() marks AST nodes kept alive by
+    # module.tree for the duration of the pass; never ordered/serialised)
+    def check(self, module, project):
+        if not project.ghost_attrs or not module.has_stage_class():
+            return
+        ghost = project.ghost_attrs
+        allowed = self._allowed_nodes(module.tree, ghost)
+        for node in ast.walk(module.tree):
+            read = self._ghost_read(node, ghost)
+            if read is None or id(node) in allowed:
+                continue
+            yield self.finding(
+                module, node,
+                "reads ghost element '%s' on a behavioral path; ghost "
+                "state (injectable=False) may only feed other ghost "
+                "elements -- move the logic onto injectable state, or "
+                "mark the enclosing analysis-only function with "
+                "'# repro-lint: allow=REP003 (reason)'" % read)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _ghost_read(node, ghost):
+        """``<x>.<ghost>.get()`` -> the ghost attribute name."""
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "get":
+            target = node.func.value
+            if isinstance(target, ast.Attribute) and target.attr in ghost:
+                return target.attr
+        return None
+
+    @staticmethod
+    # repro-lint: allow=REP002 (same id()-marking as check above)
+    def _allowed_nodes(tree, ghost):
+        """ids of nodes inside sanctioned ghost-propagation contexts."""
+        allowed = set()
+
+        # repro-lint: allow=REP002 (same id()-marking as check above)
+        def allow(node):
+            for sub in ast.walk(node):
+                allowed.add(id(sub))
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "set" \
+                    and isinstance(func.value, ast.Attribute) \
+                    and func.value.attr in ghost:
+                for argument in node.args:
+                    allow(argument)
+                for keyword in node.keywords:
+                    allow(keyword.value)
+            for keyword in node.keywords:
+                if keyword.arg in ghost:
+                    allow(keyword.value)
+        return allowed

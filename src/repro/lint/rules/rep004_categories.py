@@ -1,0 +1,82 @@
+"""REP004: category-inventory check.
+
+Table 1 and Figures 4/5/7-10 slice every result by ``StateCategory``.
+The aggregation itself is dynamic (any category that shows up in a
+trial is counted), so a category added to the *machine* but not to the
+*reporting contract* -- ``TABLE1_CATEGORIES`` + ``PROTECTION_CATEGORIES``
++ ``GHOST`` in :mod:`repro.uarch.statelib` -- would flow through
+campaigns unlabelled and could be silently dropped from any report
+that iterates the contract.  Statelib also enforces this contract at
+allocation time; REP004 is the static half, catching it at lint time
+without constructing a pipeline:
+
+* every ``StateCategory`` member must belong to the reported set
+  (flagged at its definition);
+* every ``StateCategory.X`` reference in scanned code must name an
+  existing, reported member (flagged at the use site).
+
+The authority is parsed from the scanned module defining
+``StateCategory``; when statelib itself is not among the scanned
+files, the live :mod:`repro.uarch.statelib` is imported instead.
+"""
+
+import ast
+
+from repro.lint.base import Checker, register
+from repro.lint.project import attr_chain
+
+
+@register
+class CategoryInventoryChecker(Checker):
+    """Every allocated StateCategory must be aggregated by analysis."""
+
+    rule_id = "REP004"
+    description = ("every StateCategory is part of the reported set "
+                   "(TABLE1 + PROTECTION + GHOST)")
+
+    def check(self, module, project):
+        authority = project.categories
+        if not authority.loaded():
+            return
+        reported = authority.reported
+        if module.path == authority.defining_path:
+            for name, (path, line) in sorted(authority.members.items()):
+                if name in reported or line is None:
+                    continue
+                anchor = _Anchor(line)
+                yield self.finding(
+                    module, anchor,
+                    "StateCategory.%s is not aggregated by the analysis "
+                    "layer; add it to TABLE1_CATEGORIES or "
+                    "PROTECTION_CATEGORIES (or allocate it as GHOST) so "
+                    "Table 1 / Figure 5 reports cannot drop it" % name,
+                    scope_line=line)
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            chain = attr_chain(node)
+            if not chain or len(chain) != 2 \
+                    or chain[0] != "StateCategory":
+                continue
+            name = chain[1]
+            if name not in authority.known:
+                yield self.finding(
+                    module, node,
+                    "StateCategory.%s does not exist; known categories: "
+                    "%s" % (name, ", ".join(sorted(authority.known))))
+            elif name not in reported:
+                yield self.finding(
+                    module, node,
+                    "StateCategory.%s is allocated but not aggregated "
+                    "by the analysis layer (not in TABLE1_CATEGORIES, "
+                    "PROTECTION_CATEGORIES or GHOST); Table 1 / "
+                    "Figure 5 reports would silently drop it" % name)
+
+
+class _Anchor:
+    """Minimal node stand-in for findings at a known line."""
+
+    def __init__(self, lineno, col_offset=0):
+        self.lineno = lineno
+        self.col_offset = col_offset

@@ -1,0 +1,105 @@
+"""File collection and rule orchestration for one lint invocation."""
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.lint.base import Finding, all_checkers
+from repro.lint.config import LintConfig
+from repro.lint.project import ModuleInfo, ProjectModel
+
+PARSE_RULE = "PARSE"
+
+
+@dataclass
+class LintResult:
+    """All findings of one run plus the scanned-file list."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: Tuple[str, ...] = ()
+    rules: Tuple[str, ...] = ()
+
+    @property
+    def exit_code(self):
+        return 1 if self.findings else 0
+
+    def counts_by_rule(self):
+        counts = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def collect_files(paths, config):
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen = set()
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                dirs[:] = [d for d in dirs
+                           if not d.startswith(".") and d != "__pycache__"]
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        candidate = os.path.join(root, name)
+                        if not config.excludes_file(candidate) \
+                                and candidate not in seen:
+                            seen.add(candidate)
+                            files.append(candidate)
+        elif path.endswith(".py") or os.path.isfile(path):
+            if not config.excludes_file(path) and path not in seen:
+                seen.add(path)
+                files.append(path)
+    return files
+
+
+def _parse_modules(files):
+    modules = []
+    parse_findings = []
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError, ValueError) as error:
+            line = getattr(error, "lineno", 1) or 1
+            parse_findings.append(Finding(
+                rule=PARSE_RULE, path=path, line=line, col=1,
+                message="cannot analyse file: %s" % error))
+            continue
+        modules.append(ModuleInfo(path, source, tree))
+    return modules, parse_findings
+
+
+def run_lint(paths, config=None):
+    """Lint ``paths`` under ``config``; returns a :class:`LintResult`.
+
+    Pragma suppression (``# repro-lint: allow=REP00X`` on the finding
+    line or its enclosing ``def`` line) and per-path ignores are
+    applied here so individual checkers stay suppression-agnostic.
+    """
+    config = config or LintConfig()
+    files = collect_files(paths, config)
+    modules, findings = _parse_modules(files)
+    project = ProjectModel(modules)
+
+    checkers = all_checkers()
+    enabled = config.enabled_rules(tuple(checkers))
+    instances = [checkers[rule]() for rule in enabled]
+
+    for module in modules:
+        ignored = config.ignored_rules_for(module.path)
+        for checker in instances:
+            if checker.rule_id in ignored:
+                continue
+            for finding in checker.check(module, project):
+                if module.allows(finding.rule, finding.line,
+                                 finding.scope_line):
+                    continue
+                findings.append(finding)
+
+    findings.sort(key=lambda finding: finding.sort_key())
+    return LintResult(
+        findings=findings, files=tuple(files), rules=tuple(enabled))

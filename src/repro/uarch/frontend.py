@@ -37,6 +37,11 @@ class BranchInfoQueue:
     bit budget.
     """
 
+    # REP001 whitelist: the RAS/GHR recovery snapshots are functional
+    # predictor side state (paper Section 3.1: predictor structures are
+    # excluded from injection); saved/restored via save_side/load_side.
+    _DERIVED = ("ras_snap", "ghr_snap")
+
     def __init__(self, space, config):
         self.capacity = max(8, config.fetchq_entries)
         self.pred_next = space.array(
@@ -179,6 +184,11 @@ class _DecodeSlot:
 
 class Frontend:
     """Fetch stages, fetch queue and decode stage."""
+
+    # REP001 whitelist: the return-address stack is a functional
+    # predictor structure (excluded from injection per paper 3.1);
+    # ``_predict`` pushes/pops it speculatively.
+    _DERIVED = ("ras",)
 
     def __init__(self, space, config, icache, predictor, btb, ras):
         self.config = config

@@ -61,7 +61,12 @@ class StateCategory(enum.Enum):
     GHOST = "ghost"
 
 
-# The categories reported in the paper's Table 1 (baseline machine).
+# The categories reported in the paper's Table 1 (baseline machine),
+# the protection add-ons of Figure 9, and the full reporting contract.
+# ``repro.lint`` (REP004) checks statically -- and :meth:`StateSpace.field`
+# checks at allocation time -- that every category a structure allocates
+# belongs to ``REPORTED_CATEGORIES``, so the analysis layer can never
+# silently drop a category from the Table 1 / Figure 5 aggregations.
 TABLE1_CATEGORIES = (
     StateCategory.ADDR,
     StateCategory.ARCHFREELIST,
@@ -78,6 +83,20 @@ TABLE1_CATEGORIES = (
     StateCategory.SPECRAT,
     StateCategory.VALID,
 )
+
+# Injectable categories that exist only with protection configured.
+PROTECTION_CATEGORIES = (
+    StateCategory.ECC,
+    StateCategory.PARITY,
+)
+
+# Everything the analysis layer aggregates; GHOST is analysis-only
+# bookkeeping and is excluded from inventory/injection by construction.
+REPORTED_CATEGORIES = (
+    TABLE1_CATEGORIES + PROTECTION_CATEGORIES + (StateCategory.GHOST,)
+)
+
+_REPORTED_SET = frozenset(REPORTED_CATEGORIES)
 
 
 @dataclass(frozen=True)
@@ -143,6 +162,11 @@ class StateSpace:
             raise SimulationError("field %r must have positive width" % name)
         if category == StateCategory.GHOST:
             injectable = False
+        if category not in _REPORTED_SET:
+            raise SimulationError(
+                "field %r allocates category %r which the analysis layer "
+                "does not aggregate; add it to TABLE1_CATEGORIES or "
+                "PROTECTION_CATEGORIES in statelib" % (name, category))
         index = len(self.values)
         self.values.append(reset & ((1 << width) - 1))
         self.elements.append(

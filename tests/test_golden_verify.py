@@ -1,0 +1,68 @@
+"""Golden-run replay verification (the runtime determinism cross-check)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.inject.campaign import CampaignConfig
+from repro.inject.golden import (
+    record_golden,
+    verify_golden_replay,
+    workload_page_sets,
+)
+from repro.uarch.core import Pipeline
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def rig():
+    workload = get_workload("gcc", scale="tiny")
+    pages = workload_page_sets(workload.program)
+    pipeline = Pipeline(workload.program)
+    pipeline.run(600)
+    checkpoint = pipeline.checkpoint()
+    return pages, pipeline, checkpoint
+
+
+def test_record_with_verify_passes(rig):
+    pages, pipeline, checkpoint = rig
+    trace = record_golden(pipeline, checkpoint, 200, 50, *pages,
+                          verify_replay=True)
+    assert len(trace.final_snapshot) == len(pipeline.space.values)
+
+
+def test_standalone_verify_passes(rig):
+    pages, pipeline, checkpoint = rig
+    trace = record_golden(pipeline, checkpoint, 200, 50, *pages)
+    verify_golden_replay(pipeline, checkpoint, trace)
+
+
+def test_tampered_signature_raises(rig):
+    pages, pipeline, checkpoint = rig
+    trace = record_golden(pipeline, checkpoint, 200, 50, *pages)
+    trace.sigs[5] += 1
+    with pytest.raises(SimulationError, match="not deterministic"):
+        verify_golden_replay(pipeline, checkpoint, trace)
+
+
+def test_tampered_snapshot_names_element(rig):
+    pages, pipeline, checkpoint = rig
+    trace = record_golden(pipeline, checkpoint, 200, 50, *pages)
+    index = 7
+    trace.final_snapshot[index] += 1
+    name = pipeline.space.elements[index].name
+    with pytest.raises(SimulationError, match=name.replace("[", "\\[")):
+        verify_golden_replay(pipeline, checkpoint, trace)
+
+
+def test_verify_leaves_trace_reusable(rig):
+    pages, pipeline, checkpoint = rig
+    trace = record_golden(pipeline, checkpoint, 150, 50, *pages,
+                          verify_replay=True)
+    again = record_golden(pipeline, checkpoint, 150, 50, *pages)
+    assert trace.sigs == again.sigs
+    assert trace.final_snapshot == again.final_snapshot
+
+
+def test_campaign_config_defaults_to_verifying():
+    assert CampaignConfig().verify_golden is True
+    assert CampaignConfig.test(verify_golden=False).verify_golden is False

@@ -1,0 +1,89 @@
+"""CI gate: the tree must be repro.lint-clean, and the CLI must work.
+
+A regression that introduces shadow state, nondeterminism, a
+behavioral ghost read or an unreported category fails this module with
+the offending file:line in the assertion message.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.lint import load_config, run_lint
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _run_cli(args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint"] + args,
+        capture_output=True, text=True, env=_env(), cwd=str(cwd))
+
+
+def test_tree_is_lint_clean():
+    config = load_config(pyproject_path=str(REPO / "pyproject.toml"))
+    result = run_lint([str(SRC)], config)
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.findings == [], "lint findings:\n%s" % rendered
+    assert result.exit_code == 0
+    assert len(result.files) > 50
+    assert result.rules == ("REP001", "REP002", "REP003", "REP004")
+
+
+def test_module_cli_json_clean():
+    completed = _run_cli(["--format", "json", str(SRC)], cwd=REPO)
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    payload = json.loads(completed.stdout)
+    assert payload["version"] == 1
+    assert payload["findings"] == []
+    assert payload["files_scanned"] > 50
+    assert payload["rules"] == ["REP001", "REP002", "REP003", "REP004"]
+
+
+def test_seeded_violations_exit_nonzero(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(textwrap.dedent("""
+    import random
+
+    from repro.uarch.statelib import StateCategory, StorageKind
+
+
+    class Stage:
+        def __init__(self, space):
+            self.pc = space.field(
+                "pc", 64, StateCategory.PC, StorageKind.LATCH)
+            self.shadow = []
+
+        def cycle(self):
+            self.shadow.append(random.random())
+    """))
+    completed = _run_cli(
+        ["--no-config", "--format", "json", str(bad)], cwd=tmp_path)
+    assert completed.returncode == 1
+    payload = json.loads(completed.stdout)
+    rules = {finding["rule"] for finding in payload["findings"]}
+    assert rules == {"REP001", "REP002"}
+    for finding in payload["findings"]:
+        assert finding["path"].endswith("bad.py")
+        assert finding["line"] > 0
+
+
+def test_repro_cli_lint_subcommand(capsys):
+    assert repro_main(["lint", "--list-rules"]) == 0
+    assert "REP001" in capsys.readouterr().out
+    assert repro_main(
+        ["lint", "--config", str(REPO / "pyproject.toml"), str(SRC)]) == 0
+    assert "clean" in capsys.readouterr().out

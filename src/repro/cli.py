@@ -22,7 +22,7 @@ from repro.analysis.report import (
     render_inventory,
     render_workload_outcomes,
 )
-from repro.inject.campaign import Campaign, CampaignConfig
+from repro.inject.campaign import CampaignConfig
 from repro.inject.software import SoftwareCampaign, SoftwareCampaignConfig
 from repro.protect import protection_overhead_report
 from repro.uarch.config import PipelineConfig, ProtectionConfig
@@ -84,7 +84,18 @@ def build_parser():
     p.add_argument("--paper-scale", action="store_true",
                    help="the paper's 25-30k trial scale (very slow)")
     p.add_argument("--parallel", type=int, default=1, metavar="N",
-                   help="shard workloads across N processes")
+                   help="schedule trial units across N worker processes")
+    p.add_argument("--dir", metavar="PATH", dest="campaign_dir",
+                   help="campaign directory: journal every finished trial "
+                        "(crash-resumable) and write metrics.json there")
+    p.add_argument("--resume", metavar="PATH",
+                   help="resume a journaled campaign directory, skipping "
+                        "already-completed trials")
+    p.add_argument("--batch-size", type=int, default=None, metavar="N",
+                   help="trials per scheduling quantum (default: auto)")
+    p.add_argument("--trial-timeout", type=float, default=None, metavar="S",
+                   help="kill and retry a worker stuck on one trial for "
+                        "more than S seconds")
     p.add_argument("--save", metavar="PATH",
                    help="write the trial results to a JSON file")
     p.set_defaults(handler=cmd_campaign)
@@ -168,12 +179,31 @@ def cmd_campaign(args):
             start_points_per_workload=args.start_points,
             horizon=args.horizon, scale=args.scale, seed=args.seed,
             protection=protection)
-    if args.parallel > 1:
-        from repro.inject.parallel import run_parallel
-        result = run_parallel(config, workers=args.parallel)
-    else:
-        result = Campaign(config).run(progress=_progress)
-    sys.stderr.write("\n")
+    from repro.errors import ReproError
+    from repro.runner import CampaignRunner
+    directory = args.resume or args.campaign_dir
+    renderer = _ProgressRenderer()
+    runner = CampaignRunner(
+        config, workers=args.parallel, directory=directory,
+        batch_size=args.batch_size, trial_timeout=args.trial_timeout,
+        progress=renderer, require_journal=bool(args.resume))
+    try:
+        result = runner.run()
+    except KeyboardInterrupt:
+        renderer.finish()  # complete the live line before the verdict
+        if directory:
+            sys.stderr.write(
+                "interrupted; finished trials are journaled -- rerun with "
+                "--resume %s to continue\n" % directory)
+        else:
+            sys.stderr.write(
+                "interrupted (no --dir given: progress was not journaled)\n")
+        return 130
+    except ReproError as error:
+        renderer.finish()
+        sys.stderr.write("error: %s\n" % error)
+        return 2
+    renderer.finish()
     if args.save:
         from repro.inject.store import save_result
         save_result(result, args.save)
@@ -287,6 +317,32 @@ def cmd_lint(args):
     """Run the repro.lint static-analysis pass over the tree."""
     from repro.lint.cli import main as lint_main
     return lint_main(args.lint_args)
+
+
+class _ProgressRenderer:
+    """Live one-line campaign telemetry on stderr.
+
+    Receives :class:`~repro.runner.telemetry.TelemetrySnapshot` values
+    from the engine (percent, trials/sec, ETA, outcome mix) and redraws
+    a single ``\\r`` status line.  :meth:`finish` terminates the line
+    with a newline and flushes -- called on success *and* on SIGINT so
+    an interrupt never leaves a partial line swallowing the verdict.
+    """
+
+    def __init__(self, stream=None):
+        self._stream = stream if stream is not None else sys.stderr
+        self._dirty = False
+
+    def __call__(self, snapshot):
+        self._stream.write("\r" + snapshot.render() + "  ")
+        self._stream.flush()
+        self._dirty = True
+
+    def finish(self):
+        if self._dirty:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._dirty = False
 
 
 def _progress(done, total):

@@ -173,7 +173,8 @@ class Campaign:
                         pipeline, checkpoint, golden, trial_rng, kinds,
                         workload_name, start_point,
                         horizon=config.horizon,
-                        locked_multiplier=config.locked_multiplier))
+                        locked_multiplier=config.locked_multiplier,
+                        trial_index=trial_index))
                     done += 1
                     if progress is not None:
                         progress(done, config.total_trials)

@@ -59,3 +59,4 @@ class TrialResult:
     valid_inflight: int  # in-flight insns that eventually commit (Fig 6)
     total_inflight: int
     detail: str = ""
+    trial_index: int = -1  # index within the start point (-1: legacy data)

@@ -1,65 +1,35 @@
-"""Multiprocess campaign execution.
+"""Multiprocess campaign execution (compatibility wrapper).
 
-Pure-Python cycle simulation is the bottleneck of every experiment, but
-campaigns parallelise perfectly: workloads (and start points within a
-workload) share nothing except the configuration.  This module shards a
-:class:`~repro.inject.campaign.CampaignConfig` across worker processes
-and merges the (picklable) :class:`TrialResult` lists.
+Historically this module sharded a campaign at *workload* granularity:
+one process per workload, parallelism capped at ``len(workloads)``, a
+killed run losing every finished trial.  It is now a thin wrapper over
+the trial-granular execution engine in :mod:`repro.runner`, which
+schedules ``(workload, start_point, trial_index)`` units dynamically
+across the pool -- a single-workload campaign with many start points
+and trials now uses every worker.
 
-Determinism is preserved: each shard derives its RNG streams from the
-same named-split scheme the serial runner uses, so
-``run_parallel(config)`` returns exactly the trials of
-``Campaign(config).run()``, merely reordered by shard, and the merge
-re-sorts them into the serial order.
+Determinism is unchanged: each trial derives its RNG from the same
+named-split scheme the serial runner uses, so ``run_parallel(config)``
+returns exactly the trials of ``Campaign(config).run()`` in serial
+order, for any worker count.
 """
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import replace
 
-from repro.inject.campaign import Campaign, CampaignResult
-
-
-def _run_shard(args):
-    """Worker entry point: run one single-workload campaign shard."""
-    config, pipeline_config = args
-    result = Campaign(config, pipeline_config).run()
-    return result
+__all__ = ["run_parallel"]
 
 
 def run_parallel(config, pipeline_config=None, workers=None):
-    """Run a campaign with one process per workload shard.
+    """Run a campaign on the trial-granular engine.
 
-    ``workers`` defaults to ``min(len(workloads), cpu_count)``.  Returns
-    a merged :class:`CampaignResult` whose trials are ordered exactly as
-    the serial runner would produce them (workload order, then start
-    point, then trial index).
+    ``workers`` defaults to ``min(cpu_count, total_trials)``.  Returns
+    a :class:`~repro.inject.campaign.CampaignResult` whose trials are
+    ordered exactly as the serial runner would produce them (workload
+    order, then start point, then trial index).  For journaling, crash
+    recovery, and telemetry, use :class:`repro.runner.CampaignRunner`
+    directly.
     """
-    workloads = list(config.workloads)
+    from repro.runner.engine import CampaignRunner
     if workers is None:
-        workers = min(len(workloads), os.cpu_count() or 1)
-    if workers <= 1 or len(workloads) <= 1:
-        return Campaign(config, pipeline_config).run()
-
-    shards = [
-        (replace(config, workloads=(workload,)), pipeline_config)
-        for workload in workloads
-    ]
-    results = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for shard_result in pool.map(_run_shard, shards):
-            results.append(shard_result)
-
-    merged_trials = []
-    elapsed = 0.0
-    for shard_result in results:
-        merged_trials.extend(shard_result.trials)
-        elapsed = max(elapsed, shard_result.elapsed_seconds)
-    first = results[0]
-    return CampaignResult(
-        config=config,
-        trials=merged_trials,
-        eligible_bits=first.eligible_bits,
-        inventory=first.inventory,
-        elapsed_seconds=elapsed,
-    )
+        workers = min(os.cpu_count() or 1, config.total_trials)
+    return CampaignRunner(config, pipeline_config, workers=workers).run()

@@ -7,9 +7,11 @@ back, so analyses and figures can be regenerated without re-running
 trials, and results from sharded/clustered runs can be merged.
 """
 
+import hashlib
 import json
 
 from repro.arch.functional import SoftwareFaultKind
+from repro.errors import SimulationError
 from repro.inject.campaign import CampaignConfig, CampaignResult
 from repro.inject.outcome import FailureMode, TrialOutcome, TrialResult
 from repro.inject.software import (
@@ -23,69 +25,42 @@ from repro.uarch.statelib import StateCategory, StorageKind
 
 SCHEMA_VERSION = 1
 
+# Version tag of the named-split RNG derivation scheme
+# (root -> "workload/<name>" -> "sp/<n>" -> "trial/<n>").  Part of the
+# campaign fingerprint: results derived under a different scheme are
+# not mergeable/resumable even when the config matches.
+RNG_SCHEME = "split-rng/v1"
+
 
 # -- Microarchitectural campaigns ---------------------------------------------
 
 
-def campaign_to_dict(result):
-    """Serialise a :class:`CampaignResult` to plain JSON types."""
-    config = result.config
+def config_to_dict(config):
+    """Serialise a :class:`CampaignConfig` to plain JSON types."""
     return {
-        "schema": SCHEMA_VERSION,
-        "kind": "uarch-campaign",
-        "config": {
-            "workloads": list(config.workloads),
-            "scale": config.scale,
-            "kinds": config.kinds,
-            "trials_per_start_point": config.trials_per_start_point,
-            "start_points_per_workload": config.start_points_per_workload,
-            "warmup_cycles": config.warmup_cycles,
-            "spacing_cycles": config.spacing_cycles,
-            "horizon": config.horizon,
-            "margin": config.margin,
-            "seed": config.seed,
-            "protection": {
-                "timeout": config.protection.timeout,
-                "regfile_ecc": config.protection.regfile_ecc,
-                "regptr_ecc": config.protection.regptr_ecc,
-                "insn_parity": config.protection.insn_parity,
-            },
+        "workloads": list(config.workloads),
+        "scale": config.scale,
+        "kinds": config.kinds,
+        "trials_per_start_point": config.trials_per_start_point,
+        "start_points_per_workload": config.start_points_per_workload,
+        "warmup_cycles": config.warmup_cycles,
+        "spacing_cycles": config.spacing_cycles,
+        "horizon": config.horizon,
+        "margin": config.margin,
+        "seed": config.seed,
+        "locked_multiplier": config.locked_multiplier,
+        "protection": {
+            "timeout": config.protection.timeout,
+            "regfile_ecc": config.protection.regfile_ecc,
+            "regptr_ecc": config.protection.regptr_ecc,
+            "insn_parity": config.protection.insn_parity,
         },
-        "eligible_bits": result.eligible_bits,
-        "inventory": {
-            category.value: {
-                kind.value: bits for kind, bits in cell.items()
-            }
-            for category, cell in result.inventory.items()
-        },
-        "elapsed_seconds": result.elapsed_seconds,
-        "trials": [
-            {
-                "outcome": trial.outcome.value,
-                "mode": trial.failure_mode.value
-                if trial.failure_mode else None,
-                "workload": trial.workload,
-                "element": trial.element_name,
-                "category": trial.category,
-                "kind": trial.kind,
-                "start_point": trial.start_point,
-                "inject_cycle": trial.inject_cycle,
-                "cycles_run": trial.cycles_run,
-                "valid_inflight": trial.valid_inflight,
-                "total_inflight": trial.total_inflight,
-                "detail": trial.detail,
-            }
-            for trial in result.trials
-        ],
     }
 
 
-def campaign_from_dict(data):
-    """Inverse of :func:`campaign_to_dict`."""
-    if data.get("kind") != "uarch-campaign":
-        raise ValueError("not a uarch-campaign document")
-    raw_config = data["config"]
-    config = CampaignConfig(
+def config_from_dict(raw_config):
+    """Inverse of :func:`config_to_dict`."""
+    return CampaignConfig(
         workloads=tuple(raw_config["workloads"]),
         scale=raw_config["scale"],
         kinds=raw_config["kinds"],
@@ -96,37 +71,109 @@ def campaign_from_dict(data):
         horizon=raw_config["horizon"],
         margin=raw_config["margin"],
         seed=raw_config["seed"],
+        locked_multiplier=raw_config.get("locked_multiplier", 2),
         protection=ProtectionConfig(**raw_config["protection"]),
     )
-    trials = [
-        TrialResult(
-            outcome=TrialOutcome(raw["outcome"]),
-            failure_mode=FailureMode(raw["mode"]) if raw["mode"] else None,
-            workload=raw["workload"],
-            element_name=raw["element"],
-            category=raw["category"],
-            kind=raw["kind"],
-            bit=0,
-            start_point=raw["start_point"],
-            inject_cycle=raw["inject_cycle"],
-            cycles_run=raw["cycles_run"],
-            valid_inflight=raw["valid_inflight"],
-            total_inflight=raw["total_inflight"],
-            detail=raw.get("detail", ""),
-        )
-        for raw in data["trials"]
-    ]
-    inventory = {
+
+
+def campaign_fingerprint(config):
+    """Identity of a campaign's trial set: config + RNG scheme.
+
+    Two runs with equal fingerprints produce byte-identical trials for
+    any given ``(workload, start_point, trial_index)`` unit, so their
+    partial results may be journaled, resumed, and merged
+    interchangeably.  ``verify_golden`` is deliberately excluded: it
+    only adds a fault-free self-check and never changes a trial.
+    """
+    blob = json.dumps(
+        {"config": config_to_dict(config), "rng": RNG_SCHEME},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def trial_to_dict(trial):
+    """Serialise one :class:`TrialResult` to plain JSON types."""
+    return {
+        "outcome": trial.outcome.value,
+        "mode": trial.failure_mode.value
+        if trial.failure_mode else None,
+        "workload": trial.workload,
+        "element": trial.element_name,
+        "category": trial.category,
+        "kind": trial.kind,
+        "start_point": trial.start_point,
+        "trial_index": trial.trial_index,
+        "inject_cycle": trial.inject_cycle,
+        "cycles_run": trial.cycles_run,
+        "valid_inflight": trial.valid_inflight,
+        "total_inflight": trial.total_inflight,
+        "detail": trial.detail,
+    }
+
+
+def trial_from_dict(raw):
+    """Inverse of :func:`trial_to_dict`."""
+    return TrialResult(
+        outcome=TrialOutcome(raw["outcome"]),
+        failure_mode=FailureMode(raw["mode"]) if raw["mode"] else None,
+        workload=raw["workload"],
+        element_name=raw["element"],
+        category=raw["category"],
+        kind=raw["kind"],
+        bit=0,
+        start_point=raw["start_point"],
+        trial_index=raw.get("trial_index", -1),
+        inject_cycle=raw["inject_cycle"],
+        cycles_run=raw["cycles_run"],
+        valid_inflight=raw["valid_inflight"],
+        total_inflight=raw["total_inflight"],
+        detail=raw.get("detail", ""),
+    )
+
+
+def inventory_to_dict(inventory):
+    """Serialise a category inventory to plain JSON types."""
+    return {
+        category.value: {
+            kind.value: bits for kind, bits in cell.items()
+        }
+        for category, cell in inventory.items()
+    }
+
+
+def inventory_from_dict(data):
+    """Inverse of :func:`inventory_to_dict`."""
+    return {
         StateCategory(category): {
             StorageKind(kind): bits for kind, bits in cell.items()
         }
-        for category, cell in data["inventory"].items()
+        for category, cell in data.items()
     }
+
+
+def campaign_to_dict(result):
+    """Serialise a :class:`CampaignResult` to plain JSON types."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "uarch-campaign",
+        "fingerprint": campaign_fingerprint(result.config),
+        "config": config_to_dict(result.config),
+        "eligible_bits": result.eligible_bits,
+        "inventory": inventory_to_dict(result.inventory),
+        "elapsed_seconds": result.elapsed_seconds,
+        "trials": [trial_to_dict(trial) for trial in result.trials],
+    }
+
+
+def campaign_from_dict(data):
+    """Inverse of :func:`campaign_to_dict`."""
+    if data.get("kind") != "uarch-campaign":
+        raise ValueError("not a uarch-campaign document")
     return CampaignResult(
-        config=config,
-        trials=trials,
+        config=config_from_dict(data["config"]),
+        trials=[trial_from_dict(raw) for raw in data["trials"]],
         eligible_bits=data["eligible_bits"],
-        inventory=inventory,
+        inventory=inventory_from_dict(data["inventory"]),
         elapsed_seconds=data["elapsed_seconds"],
     )
 
@@ -236,3 +283,74 @@ def merge_campaigns(results):
         inventory=first.inventory,
         elapsed_seconds=elapsed,
     )
+
+
+def merge_campaign_dicts(documents):
+    """Merge partial uarch-campaign documents of one fingerprint.
+
+    Takes serialised documents (the :func:`campaign_to_dict` shape) from
+    several runs of the *same* campaign -- e.g. journaled partial results
+    recovered from interrupted runs on different hosts -- deduplicates
+    trials on their ``(workload, start_point, trial_index)`` unit key,
+    and returns one merged document with the trials in serial
+    (``Campaign.run()``) order.  Mixing documents with different
+    ``schema`` versions or campaign fingerprints raises
+    :class:`~repro.errors.SimulationError`: their trials are not drawn
+    from the same experiment and must never be aggregated.
+    """
+    documents = list(documents)
+    if not documents:
+        raise SimulationError("merge_campaign_dicts: nothing to merge")
+    first = documents[0]
+    first_fingerprint = None
+    merged = {}
+    synthetic = 0  # unique keys for legacy trials without a trial_index
+    elapsed = 0.0
+    for position, document in enumerate(documents):
+        if document.get("kind") != "uarch-campaign":
+            raise SimulationError(
+                "merge_campaign_dicts: document %d is %r, not a "
+                "uarch-campaign" % (position, document.get("kind")))
+        if document.get("schema") != first.get("schema"):
+            raise SimulationError(
+                "merge_campaign_dicts: schema mismatch (document 0 has "
+                "schema %r, document %d has %r)"
+                % (first.get("schema"), position, document.get("schema")))
+        fingerprint = campaign_fingerprint(
+            config_from_dict(document["config"]))
+        if first_fingerprint is None:
+            first_fingerprint = fingerprint
+        elif fingerprint != first_fingerprint:
+            raise SimulationError(
+                "merge_campaign_dicts: campaign fingerprint mismatch "
+                "(document 0 is %s, document %d is %s); refusing to "
+                "aggregate trials from different experiments"
+                % (first_fingerprint[:12], position, fingerprint[:12]))
+        elapsed = max(elapsed, document.get("elapsed_seconds", 0.0))
+        for raw in document["trials"]:
+            index = raw.get("trial_index", -1)
+            if index < 0:
+                key = ("?", synthetic)
+                synthetic += 1
+            else:
+                key = (raw["workload"], raw["start_point"], index)
+            merged.setdefault(key, raw)
+
+    config = config_from_dict(first["config"])
+    workload_order = {name: i for i, name in enumerate(config.workloads)}
+    trials = sorted(
+        merged.values(),
+        key=lambda raw: (workload_order.get(raw["workload"],
+                                            len(workload_order)),
+                         raw["start_point"],
+                         raw.get("trial_index", -1)))
+    return {
+        "schema": first["schema"],
+        "kind": "uarch-campaign",
+        "fingerprint": first_fingerprint,
+        "config": dict(first["config"]),
+        "eligible_bits": first["eligible_bits"],
+        "inventory": first["inventory"],
+        "elapsed_seconds": elapsed,
+        "trials": trials,
+    }

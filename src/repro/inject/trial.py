@@ -31,7 +31,8 @@ _FAILURE_BY_EVENT = {
 
 
 def run_trial(pipeline, checkpoint, golden, rng, kinds, workload_name,
-              start_point, horizon=None, locked_multiplier=2):
+              start_point, horizon=None, locked_multiplier=2,
+              trial_index=-1):
     """Run one fault-injection trial; returns a :class:`TrialResult`."""
     pipeline.restore(checkpoint)
     pipeline.tlb_insn_pages = golden.insn_pages
@@ -59,6 +60,7 @@ def run_trial(pipeline, checkpoint, golden, rng, kinds, workload_name,
             valid_inflight=valid_inflight,
             total_inflight=len(inflight),
             detail=detail,
+            trial_index=trial_index,
         )
 
     space = pipeline.space

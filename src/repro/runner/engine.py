@@ -1,0 +1,319 @@
+"""The campaign execution engine.
+
+:class:`CampaignRunner` decomposes a campaign into trial-granular work
+units, executes them -- inline for one worker, across a process pool
+otherwise -- and reassembles the exact serial-order
+:class:`~repro.inject.campaign.CampaignResult`.  Three properties are
+layered on top of the plain serial loop:
+
+* **Determinism** -- every trial's RNG comes from the same named-split
+  scheme the serial :class:`~repro.inject.campaign.Campaign` uses, so
+  for a fixed config the engine's result equals ``Campaign(config)
+  .run()`` trial-for-trial, for any worker count, with or without an
+  interrupt and resume in the middle.
+* **Durability** -- with a campaign ``directory``, every completed
+  trial is appended (flushed + fsynced) to an append-only journal
+  before it is counted; after a crash or SIGINT a rerun skips the
+  journaled units and recomputes only the rest.
+* **Robustness** -- a dead worker's unfinished units are requeued onto
+  a replacement process (the pool stays alive), a worker stuck on one
+  trial past ``trial_timeout`` seconds is killed and its units retried,
+  and retries are bounded (a unit failing ``max_retries`` times aborts
+  the campaign rather than silently dropping trials).
+
+Observability is a progress callback receiving
+:class:`~repro.runner.telemetry.TelemetrySnapshot` values plus a
+``metrics.json`` snapshot in the campaign directory.
+"""
+
+import time
+from collections import deque
+
+from repro.errors import CampaignError
+from repro.inject.campaign import _KINDS, CampaignResult
+from repro.inject.golden import workload_page_sets
+from repro.inject.store import inventory_from_dict
+from repro.runner.journal import JournalWriter, write_metrics
+from repro.runner.pool import WorkerContext, WorkerPool
+from repro.runner.resume import load_resume_state
+from repro.runner.telemetry import Telemetry
+from repro.runner.units import (
+    TrialUnit,
+    UnitBatch,
+    auto_batch_size,
+    batch_units,
+    enumerate_units,
+)
+from repro.uarch.config import PipelineConfig
+from repro.uarch.core import Pipeline
+from repro.workloads import get_workload
+
+__all__ = ["CampaignRunner", "run_campaign"]
+
+
+def run_campaign(config, pipeline_config=None, workers=None, directory=None,
+                 progress=None, **options):
+    """Run ``config`` on the engine; returns a ``CampaignResult``."""
+    return CampaignRunner(config, pipeline_config, workers=workers,
+                          directory=directory, progress=progress,
+                          **options).run()
+
+
+def _take_batch(queue, worker):
+    """Pop the next batch for ``worker``, preferring start-point affinity.
+
+    A worker that has already paid for a ``(workload, start_point)``
+    checkpoint and golden trace should keep consuming that group's
+    batches; any queued batch is still eligible for any worker, so this
+    only reduces redundant preparation, never stalls the pool.
+    """
+    if worker.group is not None:
+        for position, (batch_id, batch) in enumerate(queue):
+            if (batch.workload, batch.start_point) == worker.group:
+                del queue[position]
+                return batch_id, batch
+    return queue.popleft()
+
+
+class CampaignRunner:
+    """Durable, trial-granular campaign execution."""
+
+    def __init__(self, config, pipeline_config=None, workers=None,
+                 directory=None, batch_size=None, trial_timeout=None,
+                 max_retries=2, progress=None, metrics_every=16,
+                 poll_interval=0.05, require_journal=False, clock=None):
+        self.config = config
+        self.pipeline_config = pipeline_config or PipelineConfig.paper(
+            config.protection)
+        if workers is None:
+            import os
+            workers = os.cpu_count() or 1
+        self.workers = max(1, min(workers, config.total_trials))
+        self.directory = directory
+        self.batch_size = batch_size
+        self.trial_timeout = trial_timeout
+        self.max_retries = max_retries
+        self.progress = progress
+        self.metrics_every = metrics_every
+        self.poll_interval = poll_interval
+        self.require_journal = require_journal
+        # The clock feeds stall detection and telemetry only -- never a
+        # simulation path -- and is injectable for tests (REP002).
+        self._clock = clock if clock is not None else time.monotonic
+        self.pool = None  # the live WorkerPool while a pool run is active
+        self.telemetry = None
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Execute (or finish) the campaign; returns a ``CampaignResult``."""
+        config = self.config
+        units = enumerate_units(config)
+        resume = load_resume_state(self.directory, config,
+                                   require_journal=self.require_journal)
+        results = dict(resume.trials)
+        # Drop journaled units outside the current sweep (can only
+        # happen with a hand-edited journal; fingerprinting already
+        # rejects a different config).
+        results = {unit: trial for unit, trial in results.items()
+                   if unit in set(units)}
+        pending = [unit for unit in units if unit not in results]
+
+        telemetry = Telemetry(total=len(units), resumed=len(results),
+                              clock=self._clock)
+        self.telemetry = telemetry
+        self._fresh_since_metrics = 0
+
+        if resume.header:
+            eligible_bits = resume.eligible_bits
+            inventory = inventory_from_dict(resume.inventory_dict)
+        else:
+            eligible_bits, inventory = self._machine_inventory()
+
+        journal = None
+        if self.directory is not None:
+            journal = JournalWriter.open(self.directory, config,
+                                         eligible_bits, inventory)
+        try:
+            if pending:
+                if self.workers > 1:
+                    self._run_pool(pending, results, telemetry, journal)
+                else:
+                    self._run_inline(pending, results, telemetry, journal)
+        finally:
+            if journal is not None:
+                journal.close()
+            if self.directory is not None:
+                write_metrics(self.directory, telemetry.snapshot().to_dict())
+
+        return CampaignResult(
+            config=config,
+            trials=[results[unit] for unit in units],
+            eligible_bits=eligible_bits,
+            inventory=inventory,
+            elapsed_seconds=telemetry.elapsed(),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _machine_inventory(self):
+        """The campaign's eligible-bit count and Table 1 inventory.
+
+        Matches the serial runner, which reads both off the first
+        workload's freshly constructed pipeline (the state space is a
+        function of the pipeline config alone, so any workload works).
+        """
+        workload = get_workload(self.config.workloads[0],
+                                scale=self.config.scale)
+        pipeline = Pipeline(workload.program, self.pipeline_config)
+        return (pipeline.eligible_bits(_KINDS[self.config.kinds]),
+                pipeline.space.inventory())
+
+    def _record(self, unit, trial, results, telemetry, journal):
+        """Count one completed trial: journal first, then observe."""
+        results[unit] = trial
+        if journal is not None:
+            journal.append_trial(unit, trial)
+        telemetry.record_trial(trial)
+        self._fresh_since_metrics += 1
+        if self.directory is not None \
+                and self._fresh_since_metrics >= self.metrics_every:
+            self._fresh_since_metrics = 0
+            write_metrics(self.directory, telemetry.snapshot().to_dict())
+        if self.progress is not None:
+            self.progress(telemetry.snapshot())
+
+    def _shared_page_sets(self, pending):
+        """TLB-preload page sets for every workload with pending units.
+
+        Computed once in the parent (the serial runner's total cost) and
+        shared with all workers instead of being re-derived per process;
+        the sets come from a deterministic fault-free functional run, so
+        sharing cannot change any trial.
+        """
+        names = sorted({unit.workload for unit in pending})
+        page_sets = {}
+        for name in names:
+            workload = get_workload(name, scale=self.config.scale)
+            page_sets[name] = workload_page_sets(workload.program)
+        return page_sets
+
+    def _run_inline(self, pending, results, telemetry, journal):
+        """Single-worker path: same context code, no processes."""
+        context = WorkerContext(self.config, self.pipeline_config)
+        telemetry.set_workers(1, 1)
+        for unit in pending:
+            trial = context.run_unit(unit)
+            self._record(unit, trial, results, telemetry, journal)
+
+    # ------------------------------------------------------------------
+
+    def _run_pool(self, pending, results, telemetry, journal):
+        """Dynamic scheduling across the worker pool."""
+        batch_size = self.batch_size or auto_batch_size(
+            len(pending), self.workers)
+        queue = deque()
+        next_batch_id = 0
+        for batch in batch_units(pending, batch_size):
+            queue.append((next_batch_id, batch))
+            next_batch_id += 1
+
+        outstanding = set(pending)
+        retries = {}
+        assignments = {}  # worker_id -> [batch_id, batch, received indices]
+        pool = WorkerPool(self.config, self.pipeline_config, self.workers,
+                          page_sets=self._shared_page_sets(pending))
+        self.pool = pool
+        try:
+            while outstanding:
+                now = self._clock()
+                idle = pool.idle_workers()
+                while idle and queue:
+                    worker = idle.pop(0)
+                    batch_id, batch = _take_batch(queue, worker)
+                    assignments[worker.worker_id] = [batch_id, batch, set()]
+                    pool.assign(worker, batch_id, batch, now)
+                telemetry.set_workers(pool.busy_count(), len(pool.workers))
+
+                message = pool.next_message(self.poll_interval)
+                now = self._clock()
+                if message is not None:
+                    kind, worker_id, batch_id, payload = message
+                    worker = pool.by_id(worker_id)
+                    if kind == "trial":
+                        unit, trial = payload
+                        if worker is not None:
+                            worker.last_progress = now
+                        assignment = assignments.get(worker_id)
+                        if assignment is not None \
+                                and assignment[0] == batch_id:
+                            assignment[2].add(unit.trial_index)
+                        if unit in outstanding:
+                            outstanding.discard(unit)
+                            self._record(unit, trial, results, telemetry,
+                                         journal)
+                    elif kind == "done":
+                        assignment = assignments.get(worker_id)
+                        if assignment is not None \
+                                and assignment[0] == batch_id:
+                            assignments.pop(worker_id)
+                            if worker is not None:
+                                worker.batch_id = None
+                    elif kind == "error":
+                        raise CampaignError(
+                            "campaign worker %d failed: %s"
+                            % (worker_id, payload))
+
+                next_batch_id = self._reap(
+                    pool, now, queue, next_batch_id, assignments,
+                    outstanding, retries, telemetry)
+
+                if outstanding and not queue and not assignments \
+                        and pool.next_message(self.poll_interval) is None:
+                    raise CampaignError(
+                        "engine inconsistency: %d units outstanding with "
+                        "no queued or assigned work" % len(outstanding))
+        finally:
+            self.pool = None
+            pool.shutdown()
+
+    def _reap(self, pool, now, queue, next_batch_id, assignments,
+              outstanding, retries, telemetry):
+        """Requeue work held by dead or stalled workers; respawn them."""
+        for worker in list(pool.workers):
+            dead = not worker.alive()
+            stalled = (not dead and self.trial_timeout is not None
+                       and worker.busy and worker.last_progress is not None
+                       and now - worker.last_progress > self.trial_timeout)
+            if not dead and not stalled:
+                continue
+            assignment = assignments.pop(worker.worker_id, None)
+            if assignment is not None:
+                batch_id, batch, received = assignment
+                remaining = tuple(
+                    index for index in batch.trial_indices
+                    if index not in received
+                    and TrialUnit(batch.workload, batch.start_point,
+                                  index) in outstanding)
+                if remaining:
+                    for index in remaining:
+                        unit = TrialUnit(batch.workload, batch.start_point,
+                                         index)
+                        count = retries.get(unit, 0) + 1
+                        if count > self.max_retries:
+                            raise CampaignError(
+                                "trial unit %s/sp%d/#%d failed %d times "
+                                "(worker %s, last cause: %s); aborting "
+                                "rather than dropping trials"
+                                % (unit.workload, unit.start_point,
+                                   unit.trial_index, count,
+                                   worker.worker_id,
+                                   "stall" if stalled else "worker death"))
+                        retries[unit] = count
+                    telemetry.record_retry(len(remaining))
+                    queue.append((next_batch_id,
+                                  UnitBatch(batch.workload,
+                                            batch.start_point, remaining)))
+                    next_batch_id += 1
+            pool.replace(worker)
+        return next_batch_id

@@ -1,0 +1,180 @@
+"""Append-only trial journal (crash durability).
+
+One campaign directory holds::
+
+    journal.jsonl   -- header line + one line per completed trial
+    metrics.json    -- latest telemetry snapshot (advisory, rewritten)
+
+The journal is the source of truth for resume.  Line 1 is a header
+carrying the campaign fingerprint (config hash + RNG scheme), the
+journal schema version, and the machine inventory; every further line
+is one completed trial keyed by its ``(workload, start_point,
+trial_index)`` unit.  Each append is flushed and fsynced before the
+engine counts the trial as durable, so after a crash at any instant the
+journal contains every acknowledged trial plus at most one truncated
+trailing line -- which :func:`read_journal` tolerates and
+:meth:`JournalWriter.open` repairs before appending.
+
+Timestamps in journal lines are reporting metadata only: nothing on a
+simulation path ever reads them (the REP002 determinism contract).
+"""
+
+import json
+import os
+import time
+
+from repro.errors import SimulationError
+from repro.inject.store import (
+    SCHEMA_VERSION,
+    campaign_fingerprint,
+    config_to_dict,
+    inventory_to_dict,
+    trial_to_dict,
+)
+from repro.runner.units import TrialUnit
+
+__all__ = ["JOURNAL_NAME", "METRICS_NAME", "JOURNAL_SCHEMA",
+           "JournalWriter", "read_journal", "journal_path", "metrics_path",
+           "write_metrics"]
+
+JOURNAL_NAME = "journal.jsonl"
+METRICS_NAME = "metrics.json"
+JOURNAL_SCHEMA = 1
+
+
+def journal_path(directory):
+    return os.path.join(directory, JOURNAL_NAME)
+
+
+def metrics_path(directory):
+    return os.path.join(directory, METRICS_NAME)
+
+
+class JournalWriter:
+    """Appends durable trial records to a campaign journal."""
+
+    def __init__(self, path, handle):
+        self.path = path
+        self._handle = handle
+
+    @classmethod
+    def open(cls, directory, config, eligible_bits, inventory):
+        """Open (creating or resuming) the journal of ``directory``.
+
+        A fresh journal gets a header line; an existing one first has
+        any truncated trailing line (crash mid-write) trimmed so new
+        appends start on a clean line boundary.
+        """
+        os.makedirs(directory, exist_ok=True)
+        path = journal_path(directory)
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        if not fresh:
+            _repair_tail(path)
+        handle = open(path, "a", encoding="utf-8")
+        writer = cls(path, handle)
+        if fresh:
+            writer._append({
+                "type": "header",
+                "schema": JOURNAL_SCHEMA,
+                "result_schema": SCHEMA_VERSION,
+                "fingerprint": campaign_fingerprint(config),
+                "config": config_to_dict(config),
+                "eligible_bits": eligible_bits,
+                "inventory": inventory_to_dict(inventory),
+            })
+        return writer
+
+    def append_trial(self, unit, trial):
+        """Durably record one completed trial."""
+        self._append({
+            "type": "trial",
+            "unit": unit.key(),
+            # repro-lint: allow=REP002 (wall-clock is journal metadata
+            # for operators; no simulation path reads it back)
+            "ts": time.time(),
+            "trial": trial_to_dict(trial),
+        })
+
+    def _append(self, record):
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self):
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def read_journal(path):
+    """Parse a journal tolerantly.
+
+    Returns ``(header, trials, truncated)`` where ``trials`` maps
+    :class:`TrialUnit` to the raw trial dict (last record wins) and
+    ``truncated`` reports whether a partial trailing line was dropped.
+    Corruption anywhere *except* the trailing line is a hard
+    :class:`SimulationError`: it means the file was edited or the
+    filesystem lost acknowledged writes, and silently skipping records
+    would fabricate a different campaign.
+    """
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    header = None
+    trials = {}
+    truncated = False
+    for number, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if number == len(lines):
+                truncated = True
+                break
+            raise SimulationError(
+                "corrupt journal line %d in %s (only the final line may "
+                "be truncated by a crash)" % (number, path))
+        kind = record.get("type")
+        if kind == "header":
+            if header is None:
+                header = record
+        elif kind == "trial":
+            trials[TrialUnit.from_key(record["unit"])] = record["trial"]
+    return header, trials, truncated
+
+
+def write_metrics(directory, snapshot_dict):
+    """Atomically rewrite ``metrics.json`` with the latest snapshot."""
+    path = metrics_path(directory)
+    temp = path + ".tmp"
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump(snapshot_dict, handle, indent=1, sort_keys=True)
+    os.replace(temp, path)
+
+
+def _repair_tail(path):
+    """Truncate a partial trailing line left by a crash mid-append."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data or data.endswith(b"\n"):
+        end = len(data)
+        good = data
+    else:
+        end = data.rfind(b"\n") + 1
+        good = data[:end]
+    # Also drop a complete-but-undecodable final line (torn write that
+    # happened to include the newline of a later buffered block).
+    while good:
+        last = good.rstrip(b"\n").rfind(b"\n") + 1
+        tail = good[last:].strip()
+        if not tail:
+            break
+        try:
+            json.loads(tail.decode("utf-8"))
+            break
+        except (ValueError, UnicodeDecodeError):
+            end = last
+            good = good[:last]
+    if end != len(data):
+        with open(path, "r+b") as handle:
+            handle.truncate(end)

@@ -1,0 +1,263 @@
+"""Worker-side trial execution and the process pool.
+
+:class:`WorkerContext` reproduces the serial campaign's per-start-point
+preparation -- warm up the workload, space forward, checkpoint, record
+the golden trace -- and caches the most recent ``(workload,
+start_point)`` so every trial of that start point shares one golden
+trace instead of re-deriving it per shard.  The same context runs both
+in-process (the engine's inline path) and inside pool workers, so the
+two paths cannot drift apart.
+
+Determinism: a worker derives each trial's RNG purely from the named
+splits ``workload/<name> -> sp/<n> -> trial/<n>`` of the campaign seed
+-- never from worker identity, scheduling order, or the clock -- so any
+assignment of units to workers produces byte-identical trials.
+
+:class:`WorkerPool` gives each worker its *own* task queue (the engine
+assigns batches to specific workers), which is what makes crash
+recovery precise: when a worker dies the engine knows exactly which
+batch it held and requeues only the units that have not already been
+reported back.
+"""
+
+import multiprocessing
+import queue as queue_module
+
+from repro.errors import CampaignError, ReproError
+from repro.inject.campaign import _KINDS
+from repro.inject.golden import record_golden, workload_page_sets
+from repro.inject.trial import run_trial
+from repro.runner.units import TrialUnit
+from repro.uarch.config import PipelineConfig
+from repro.uarch.core import Pipeline
+from repro.utils.rng import SplitRng
+from repro.workloads import get_workload
+
+__all__ = ["WorkerContext", "WorkerPool"]
+
+
+class _WorkloadState:
+    """One workload's pipeline, positioned at its latest start point."""
+
+    def __init__(self, pipeline, insn_pages, data_pages, wl_rng):
+        self.pipeline = pipeline
+        self.insn_pages = insn_pages
+        self.data_pages = data_pages
+        self.wl_rng = wl_rng
+        self.start_point = -1  # last checkpointed start point
+        self.checkpoint = None
+        self.golden = None
+        self.sp_rng = None
+
+
+class WorkerContext:
+    """Runs trial units, caching per-start-point preparation."""
+
+    def __init__(self, config, pipeline_config=None, page_sets=None):
+        self.config = config
+        self.pipeline_config = pipeline_config or PipelineConfig.paper(
+            config.protection)
+        self.kinds = _KINDS[config.kinds]
+        self._rng_root = SplitRng(config.seed)
+        self._workloads = {}
+        # (insn_pages, data_pages) per workload.  The engine precomputes
+        # these once and shares them with every worker: they come from a
+        # deterministic fault-free functional run, so who computes them
+        # cannot matter, and recomputing per worker is pure waste.
+        self._page_sets = dict(page_sets) if page_sets else {}
+
+    def run_unit(self, unit):
+        """Execute one :class:`TrialUnit`; returns a ``TrialResult``."""
+        state = self._prepare(unit.workload, unit.start_point)
+        trial_rng = state.sp_rng.split("trial/%d" % unit.trial_index)
+        return run_trial(
+            state.pipeline, state.checkpoint, state.golden, trial_rng,
+            self.kinds, unit.workload, unit.start_point,
+            horizon=self.config.horizon,
+            locked_multiplier=self.config.locked_multiplier,
+            trial_index=unit.trial_index)
+
+    # ------------------------------------------------------------------
+
+    def _prepare(self, workload_name, start_point):
+        """Position ``workload_name`` at ``start_point`` (cached).
+
+        Mirrors the serial campaign exactly: the checkpoint at start
+        point *n* is always ``warmup + (n + 1) * spacing`` fault-free
+        cycles from reset, regardless of which trials ran in between
+        (every trial restores the checkpoint first).  Moving backwards
+        -- a retried unit landing on a worker that has advanced past it
+        -- rebuilds the workload from reset.
+        """
+        state = self._workloads.get(workload_name)
+        if state is None or state.start_point > start_point:
+            state = self._fresh(workload_name)
+            self._workloads[workload_name] = state
+        config = self.config
+        pipeline = state.pipeline
+        while state.start_point < start_point:
+            if state.checkpoint is not None:
+                pipeline.restore(state.checkpoint)
+                pipeline.tlb_insn_pages = None
+                pipeline.tlb_data_pages = None
+            pipeline.run(config.spacing_cycles, stop_on_halt=True)
+            if pipeline.halted:
+                raise CampaignError(
+                    "workload %r finished before start point %d; use a "
+                    "larger scale" % (workload_name, state.start_point + 1))
+            state.start_point += 1
+            state.checkpoint = pipeline.checkpoint()
+            state.golden = None
+        if state.golden is None:
+            state.golden = record_golden(
+                pipeline, state.checkpoint, config.horizon, config.margin,
+                state.insn_pages, state.data_pages,
+                verify_replay=config.verify_golden and start_point == 0)
+            state.sp_rng = state.wl_rng.split("sp/%d" % start_point)
+        return state
+
+    def _fresh(self, workload_name):
+        workload = get_workload(workload_name, scale=self.config.scale)
+        pages = self._page_sets.get(workload_name)
+        if pages is None:
+            pages = workload_page_sets(workload.program)
+            self._page_sets[workload_name] = pages
+        insn_pages, data_pages = pages
+        pipeline = Pipeline(workload.program, self.pipeline_config)
+        pipeline.run(self.config.warmup_cycles, stop_on_halt=True)
+        wl_rng = self._rng_root.split("workload/%s" % workload_name)
+        return _WorkloadState(pipeline, insn_pages, data_pages, wl_rng)
+
+
+# -- Pool ----------------------------------------------------------------------
+
+
+def _worker_main(worker_id, config, pipeline_config, page_sets, tasks,
+                 results):
+    """Worker process loop: run assigned batches, report each trial."""
+    context = WorkerContext(config, pipeline_config, page_sets=page_sets)
+    while True:
+        try:
+            task = tasks.get()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        batch_id, batch = task
+        try:
+            for trial_index in batch.trial_indices:
+                unit = TrialUnit(batch.workload, batch.start_point,
+                                 trial_index)
+                trial = context.run_unit(unit)
+                results.put(("trial", worker_id, batch_id, (unit, trial)))
+            results.put(("done", worker_id, batch_id, None))
+        except KeyboardInterrupt:
+            return
+        except ReproError as error:
+            # Deterministic model/config failure: retrying cannot help,
+            # so surface it to the engine verbatim.
+            results.put(("error", worker_id, batch_id,
+                         "%s: %s" % (type(error).__name__, error)))
+            return
+        except Exception as error:  # unexpected -- still report, not hang
+            results.put(("error", worker_id, batch_id,
+                         "%s: %s" % (type(error).__name__, error)))
+            return
+
+
+class _Worker:
+    """Engine-side handle for one worker process."""
+
+    def __init__(self, worker_id, process, tasks):
+        self.worker_id = worker_id
+        self.process = process
+        self.tasks = tasks
+        self.batch_id = None  # currently assigned batch, None when idle
+        self.last_progress = None  # engine clock of the last message
+        self.group = None  # last (workload, start_point) this worker prepared
+
+    @property
+    def busy(self):
+        return self.batch_id is not None
+
+    def alive(self):
+        return self.process.is_alive()
+
+
+class WorkerPool:
+    """A pool of trial workers with per-worker task queues."""
+
+    def __init__(self, config, pipeline_config, workers, page_sets=None):
+        self._mp = multiprocessing.get_context()
+        self._config = config
+        self._pipeline_config = pipeline_config
+        self._page_sets = page_sets or {}
+        self.results = self._mp.Queue()
+        self._next_id = 0
+        self.workers = []
+        for _ in range(workers):
+            self.workers.append(self._spawn())
+
+    def _spawn(self):
+        worker_id = self._next_id
+        self._next_id += 1
+        tasks = self._mp.Queue()
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(worker_id, self._config, self._pipeline_config,
+                  self._page_sets, tasks, self.results),
+            daemon=True)
+        process.start()
+        return _Worker(worker_id, process, tasks)
+
+    def by_id(self, worker_id):
+        for worker in self.workers:
+            if worker.worker_id == worker_id:
+                return worker
+        return None
+
+    def idle_workers(self):
+        return [w for w in self.workers if not w.busy and w.alive()]
+
+    def busy_count(self):
+        return sum(1 for w in self.workers if w.busy)
+
+    def assign(self, worker, batch_id, batch, now):
+        worker.batch_id = batch_id
+        worker.last_progress = now
+        worker.group = (batch.workload, batch.start_point)
+        worker.tasks.put((batch_id, batch))
+
+    def next_message(self, timeout):
+        """The next worker message, or None after ``timeout`` seconds."""
+        try:
+            return self.results.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+
+    def replace(self, worker):
+        """Kill ``worker`` (if needed) and swap in a fresh process."""
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        worker.tasks.close()
+        replacement = self._spawn()
+        self.workers[self.workers.index(worker)] = replacement
+        return replacement
+
+    def shutdown(self):
+        """Stop every worker; idempotent and safe mid-failure."""
+        for worker in self.workers:
+            if worker.alive():
+                try:
+                    worker.tasks.put(None)
+                except (ValueError, OSError):
+                    pass
+        for worker in self.workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            worker.tasks.close()
+        self.results.close()
+        self.results.cancel_join_thread()

@@ -1,0 +1,78 @@
+"""Resume planning: journal -> already-completed trial units.
+
+Resume is only sound when the journal and the requested campaign have
+the same *fingerprint* (config hash + RNG derivation scheme, see
+:func:`repro.inject.store.campaign_fingerprint`): a journaled trial for
+unit ``(w, sp, i)`` is byte-identical to what the current run would
+compute for that unit, so skipping it cannot change the final
+:class:`~repro.inject.campaign.CampaignResult`.  Any mismatch is a hard
+:class:`~repro.errors.SimulationError` -- resuming a different
+experiment's journal would silently splice two distributions.
+"""
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.inject.store import campaign_fingerprint, trial_from_dict
+from repro.runner.journal import JOURNAL_SCHEMA, journal_path, read_journal
+
+__all__ = ["ResumeState", "load_resume_state"]
+
+
+@dataclass
+class ResumeState:
+    """What a prior run already completed, keyed by trial unit."""
+
+    header: dict = field(default_factory=dict)
+    trials: dict = field(default_factory=dict)  # TrialUnit -> TrialResult
+    truncated: bool = False
+
+    @property
+    def eligible_bits(self):
+        return self.header.get("eligible_bits")
+
+    @property
+    def inventory_dict(self):
+        return self.header.get("inventory")
+
+
+def load_resume_state(directory, config, require_journal=False):
+    """Load and validate the journal of ``directory`` against ``config``.
+
+    Returns an empty :class:`ResumeState` when ``directory`` is None or
+    has no journal yet (unless ``require_journal``, the ``--resume``
+    contract, in which case that is an error).
+    """
+    if directory is None:
+        return ResumeState()
+    path = journal_path(directory)
+    if not os.path.exists(path):
+        if require_journal:
+            raise SimulationError(
+                "cannot resume: no journal at %s" % path)
+        return ResumeState()
+
+    header, raw_trials, truncated = read_journal(path)
+    if header is None:
+        raise SimulationError(
+            "journal %s has no header line; not a campaign journal "
+            "(or its very first write was interrupted -- delete the "
+            "file and rerun)" % path)
+    if header.get("schema") != JOURNAL_SCHEMA:
+        raise SimulationError(
+            "journal %s has schema %r but this engine writes schema %r; "
+            "refusing to mix journal formats"
+            % (path, header.get("schema"), JOURNAL_SCHEMA))
+    expected = campaign_fingerprint(config)
+    found = header.get("fingerprint")
+    if found != expected:
+        raise SimulationError(
+            "journal %s belongs to campaign fingerprint %s but the "
+            "requested config fingerprints as %s; resuming would splice "
+            "trials from a different experiment"
+            % (path, str(found)[:12], expected[:12]))
+
+    trials = {unit: trial_from_dict(raw)
+              for unit, raw in raw_trials.items()}
+    return ResumeState(header=header, trials=trials, truncated=truncated)

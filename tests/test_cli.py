@@ -40,6 +40,26 @@ def test_campaign_small(capsys):
     assert "AGGREGATE" in out
 
 
+def test_campaign_dir_then_resume(tmp_path, capsys):
+    directory = str(tmp_path / "camp")
+    args = ["campaign", "--workloads", "gzip", "--scale", "tiny",
+            "--trials", "3", "--start-points", "1", "--horizon", "300"]
+    assert main(args + ["--dir", directory]) == 0
+    assert (tmp_path / "camp" / "journal.jsonl").exists()
+    assert (tmp_path / "camp" / "metrics.json").exists()
+    capsys.readouterr()
+    assert main(args + ["--resume", directory]) == 0
+    out = capsys.readouterr().out
+    assert "AGGREGATE" in out
+
+
+def test_campaign_resume_without_journal_fails(tmp_path, capsys):
+    assert main(["campaign", "--workloads", "gzip", "--scale", "tiny",
+                 "--trials", "1", "--start-points", "1",
+                 "--resume", str(tmp_path / "missing")]) == 2
+    assert "cannot resume" in capsys.readouterr().err
+
+
 def test_software_small(capsys):
     assert main(["software", "--workloads", "gzip", "--trials", "1"]) == 0
     out = capsys.readouterr().out

@@ -1,6 +1,11 @@
-"""Parallel campaign runner tests."""
+"""``run_parallel`` compatibility-wrapper tests.
 
-import pytest
+``run_parallel`` is now a thin wrapper over the trial-granular engine
+in :mod:`repro.runner`; these tests pin its contract: serial-order,
+byte-identical results for any worker count, including the
+single-workload case the old workload-sharded runner could not
+parallelise at all.
+"""
 
 from repro.inject.campaign import Campaign, CampaignConfig
 from repro.inject.parallel import run_parallel
@@ -17,22 +22,27 @@ def test_parallel_matches_serial():
     config = make_config()
     serial = Campaign(config).run()
     parallel = run_parallel(config, workers=2)
-    assert len(parallel.trials) == len(serial.trials)
-    assert [(t.workload, t.element_name, t.outcome) for t in parallel.trials] \
-        == [(t.workload, t.element_name, t.outcome) for t in serial.trials]
+    assert parallel.trials == serial.trials
     assert parallel.eligible_bits == serial.eligible_bits
+    assert parallel.inventory == serial.inventory
 
 
-def test_parallel_single_worker_falls_back():
+def test_parallel_single_worker_matches_serial():
     config = make_config()
+    serial = Campaign(config).run()
     result = run_parallel(config, workers=1)
-    assert len(result.trials) == config.total_trials
+    assert result.trials == serial.trials
 
 
-def test_parallel_single_workload_falls_back():
+def test_parallel_single_workload_uses_trial_granularity():
+    # Historically this configuration silently fell back to the serial
+    # path (parallelism was capped at len(workloads)); the engine now
+    # schedules its 8 trial units across all four workers and must
+    # still return the byte-identical serial-order result.
     config = CampaignConfig(
         workloads=("gzip",), scale="tiny", trials_per_start_point=4,
-        start_points_per_workload=1, warmup_cycles=400,
+        start_points_per_workload=2, warmup_cycles=400,
         spacing_cycles=150, horizon=300, margin=150)
+    serial = Campaign(config).run()
     result = run_parallel(config, workers=4)
-    assert len(result.trials) == 4
+    assert result.trials == serial.trials

@@ -1,13 +1,18 @@
-"""Result-persistence tests (JSON round-trips)."""
+"""Result-persistence tests (JSON round-trips and merging)."""
+
+import copy
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.inject.campaign import Campaign, CampaignConfig
 from repro.inject.software import SoftwareCampaign, SoftwareCampaignConfig
 from repro.inject.store import (
+    campaign_fingerprint,
     campaign_from_dict,
     campaign_to_dict,
     load_result,
+    merge_campaign_dicts,
     merge_campaigns,
     save_result,
     software_from_dict,
@@ -79,3 +84,36 @@ def test_merge_campaigns(uarch_result):
     assert merged.eligible_bits == uarch_result.eligible_bits
     with pytest.raises(ValueError):
         merge_campaigns([])
+
+
+def test_merge_campaign_dicts_combines_partials(uarch_result):
+    document = campaign_to_dict(uarch_result)
+    # Two overlapping partial documents (e.g. journals of two
+    # interrupted runs of the same fingerprint) merge back to the full
+    # serial-order trial list, deduplicated on the unit key.
+    first = dict(document, trials=document["trials"][:3])
+    second = dict(document, trials=document["trials"][2:])
+    merged = merge_campaign_dicts([first, second])
+    assert merged["trials"] == document["trials"]
+    assert merged["fingerprint"] == \
+        campaign_fingerprint(uarch_result.config)
+    assert campaign_from_dict(merged).trials == uarch_result.trials
+
+
+def test_merge_campaign_dicts_rejects_fingerprint_mismatch(uarch_result):
+    document = campaign_to_dict(uarch_result)
+    other = copy.deepcopy(document)
+    other["config"]["seed"] += 1
+    with pytest.raises(SimulationError, match="fingerprint"):
+        merge_campaign_dicts([document, other])
+
+
+def test_merge_campaign_dicts_rejects_schema_mismatch(uarch_result):
+    document = campaign_to_dict(uarch_result)
+    other = dict(document, schema=99)
+    with pytest.raises(SimulationError, match="schema"):
+        merge_campaign_dicts([document, other])
+    with pytest.raises(SimulationError, match="uarch-campaign"):
+        merge_campaign_dicts([document, dict(document, kind="other")])
+    with pytest.raises(SimulationError, match="nothing to merge"):
+        merge_campaign_dicts([])

@@ -3,6 +3,8 @@
 from repro.analysis.aggregate import (
     failure_contributions,
     failure_modes_by_category,
+    latency_to_failure,
+    masking_causes,
     outcomes_by_category,
     outcomes_by_workload,
     utilization_bins,
@@ -18,6 +20,8 @@ from repro.analysis.stats import (
 __all__ = [
     "failure_contributions",
     "failure_modes_by_category",
+    "latency_to_failure",
+    "masking_causes",
     "outcomes_by_category",
     "outcomes_by_workload",
     "utilization_bins",

@@ -92,6 +92,37 @@ def masked_fraction(trials, include_gray=False):
     return good / len(trials)
 
 
+def masking_causes(trials):
+    """Why benign trials stayed benign: cause -> count.
+
+    Uses the provenance fields :mod:`repro.obs` adds to benign trials
+    (``--provenance`` campaigns); a benign trial whose corrupt value was
+    read but never cleared within the horizon carries no cause and is
+    counted as ``"unresolved"``.  Returns ``{}`` when no trial carries
+    provenance (campaign ran without the observer), so callers can skip
+    the table entirely.
+    """
+    benign = [t for t in trials if t.outcome.is_benign]
+    if not any(t.masking_cause is not None for t in benign):
+        return {}
+    return dict(Counter(
+        t.masking_cause if t.masking_cause is not None else "unresolved"
+        for t in benign))
+
+
+def latency_to_failure(trials, bin_width=50):
+    """Detection-latency histogram: cycles from injection to detection.
+
+    Bins ``detect_latency`` (present on every failing trial -- it is
+    classification-derived, no observer needed) into ``bin_width``-cycle
+    buckets; returns a sorted list of ``(bin_start, count)``.
+    """
+    histogram = Counter(
+        (trial.detect_latency // bin_width) * bin_width
+        for trial in trials if trial.detect_latency is not None)
+    return sorted(histogram.items())
+
+
 def failure_rate_per_bit(trials, eligible_bits):
     """Failure probability normalised per eligible bit (Section 4.4's
     fair comparison across machines with different state totals)."""

@@ -4,6 +4,8 @@ from repro.analysis.aggregate import (
     OUTCOME_ORDER,
     failure_contributions,
     failure_modes_by_category,
+    latency_to_failure,
+    masking_causes,
     outcomes_by_category,
     outcomes_by_workload,
 )
@@ -91,6 +93,38 @@ def render_contributions(trials, title):
     rows = [[category, 100.0 * share]
             for category, share in sorted(
                 shares.items(), key=lambda item: -item[1])]
+    return format_table(headers, rows, title=title)
+
+
+def render_masking_causes(trials, title):
+    """Masking-cause mix of benign trials (provenance campaigns).
+
+    Returns None when no trial carries provenance data (the campaign
+    ran without ``--provenance``), so callers can omit the section.
+    """
+    causes = masking_causes(trials)
+    if not causes:
+        return None
+    total = sum(causes.values())
+    headers = ["cause", "trials", "share%"]
+    rows = [[cause, count, 100.0 * count / total]
+            for cause, count in sorted(causes.items(),
+                                       key=lambda item: -item[1])]
+    rows.append(["TOTAL", total, 100.0])
+    return format_table(headers, rows, title=title)
+
+
+def render_latency_histogram(trials, title, bin_width=50):
+    """Latency-to-failure histogram (cycles injection -> detection)."""
+    histogram = latency_to_failure(trials, bin_width=bin_width)
+    if not histogram:
+        return None
+    total = sum(count for _start, count in histogram)
+    headers = ["latency_cycles", "failures", "share%"]
+    rows = [["%d-%d" % (start, start + bin_width - 1), count,
+             100.0 * count / total]
+            for start, count in histogram]
+    rows.append(["TOTAL", total, 100.0])
     return format_table(headers, rows, title=title)
 
 

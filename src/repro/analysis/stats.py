@@ -59,5 +59,10 @@ def least_squares(points):
     intercept = (sum_y - slope * sum_x) / n
     if var_y <= 0:  # <= guards float rounding when all y are equal
         return slope, intercept, 0.0
-    r = cov / math.sqrt(var_x * var_y)
+    # sqrt each variance separately: the product can underflow to 0.0
+    # for denormal-scale inputs even when both variances are positive.
+    denominator = math.sqrt(var_x) * math.sqrt(var_y)
+    if denominator == 0.0:
+        return slope, intercept, 0.0
+    r = cov / denominator
     return slope, intercept, max(-1.0, min(1.0, r))

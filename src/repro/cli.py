@@ -20,6 +20,8 @@ from repro.analysis.report import (
     render_contributions,
     render_failure_modes,
     render_inventory,
+    render_latency_histogram,
+    render_masking_causes,
     render_workload_outcomes,
 )
 from repro.inject.campaign import CampaignConfig
@@ -98,6 +100,12 @@ def build_parser():
                         "more than S seconds")
     p.add_argument("--save", metavar="PATH",
                    help="write the trial results to a JSON file")
+    p.add_argument("--provenance", action="store_true",
+                   help="track fault propagation per trial (masking "
+                        "causes, first-read latency; observation-only)")
+    p.add_argument("--profile", action="store_true",
+                   help="per-stage wall-clock profiling; prints a "
+                        "campaign-wide hot-path report")
     p.set_defaults(handler=cmd_campaign)
 
     p = sub.add_parser("software", help="software-level campaign "
@@ -114,12 +122,37 @@ def build_parser():
                                         "(Section 4.3)")
     p.set_defaults(handler=cmd_overhead)
 
-    p = sub.add_parser("trace", help="run a workload with occupancy "
-                                     "tracing and a retirement log")
+    p = sub.add_parser(
+        "trace",
+        help="replay one campaign trial with full event tracing "
+             "(--start-point), or run a workload with occupancy tracing")
     p.add_argument("workload", choices=WORKLOAD_NAMES)
     p.add_argument("--cycles", type=int, default=2000)
     p.add_argument("--log", type=int, default=20,
                    help="retirement-log lines to print")
+    p.add_argument("--start-point", type=int, default=None, metavar="N",
+                   help="replay the campaign trial injected at start "
+                        "point N (switches to trial-replay mode)")
+    p.add_argument("--trial-index", type=int, default=0, metavar="I",
+                   help="which trial of the start point to replay")
+    p.add_argument("--seed", type=int, default=2004,
+                   help="campaign seed the trial belongs to")
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "large"))
+    p.add_argument("--kinds", default="latch+ram",
+                   choices=("latch", "latch+ram"))
+    p.add_argument("--horizon", type=int, default=1200)
+    p.add_argument("--warmup", type=int, default=1200, metavar="CYCLES")
+    p.add_argument("--spacing", type=int, default=400, metavar="CYCLES")
+    p.add_argument("--margin", type=int, default=400, metavar="CYCLES")
+    p.add_argument("--protected", action="store_true",
+                   help="replay against the protected machine")
+    p.add_argument("--limit", type=int, default=80, metavar="N",
+                   help="timeline events to print (most recent N)")
+    p.add_argument("--events", nargs="*", default=None, metavar="KIND",
+                   help="only show these event kinds (e.g. retire flush)")
+    p.add_argument("--profile", action="store_true",
+                   help="also print the per-stage wall-clock profile")
     p.set_defaults(handler=cmd_trace)
 
     p = sub.add_parser("avf", help="occupancy-based AVF proxy per "
@@ -171,14 +204,16 @@ def cmd_campaign(args):
     if args.paper_scale:
         config = CampaignConfig.paper(
             workloads=tuple(args.workloads), kinds=args.kinds,
-            seed=args.seed, protection=protection)
+            seed=args.seed, protection=protection,
+            provenance=args.provenance, profile=args.profile)
     else:
         config = CampaignConfig(
             workloads=tuple(args.workloads), kinds=args.kinds,
             trials_per_start_point=args.trials,
             start_points_per_workload=args.start_points,
             horizon=args.horizon, scale=args.scale, seed=args.seed,
-            protection=protection)
+            protection=protection, provenance=args.provenance,
+            profile=args.profile)
     from repro.errors import ReproError
     from repro.runner import CampaignRunner
     directory = args.resume or args.campaign_dir
@@ -220,6 +255,20 @@ def cmd_campaign(args):
     print(render_contributions(
         result.trials, "Failure contributions (cf. Figures 8/10)"))
     print()
+    masking = render_masking_causes(
+        result.trials, "Masking causes of benign trials (provenance)")
+    if masking is not None:
+        print(masking)
+        print()
+    latency = render_latency_histogram(
+        result.trials, "Latency to failure detection (cycles)")
+    if latency is not None:
+        print(latency)
+        print()
+    profile = runner.profile_report()
+    if profile is not None:
+        print(profile)
+        print()
     print("eligible bits: %d   elapsed: %.1fs"
           % (result.eligible_bits, result.elapsed_seconds))
     return 0
@@ -269,7 +318,9 @@ def cmd_overhead(args):
 
 
 def cmd_trace(args):
-    """Trace a workload: occupancy timelines + retirements."""
+    """Trace: replay one campaign trial, or occupancy timelines."""
+    if args.start_point is not None:
+        return _cmd_trace_trial(args)
     from repro.uarch.trace import (
         PipelineTracer,
         retirement_log,
@@ -292,6 +343,29 @@ def cmd_trace(args):
     print()
     print("next retirements:")
     print(retirement_log(pipeline, 200, limit=args.log))
+    return 0
+
+
+def _cmd_trace_trial(args):
+    """Replay one campaign trial and print its propagation timeline."""
+    from repro.errors import ReproError
+    from repro.obs.replay import replay_trial
+
+    protection = ProtectionConfig.full() if args.protected \
+        else ProtectionConfig.none()
+    try:
+        result = replay_trial(
+            args.workload, args.start_point,
+            trial_index=args.trial_index, profile=args.profile,
+            seed=args.seed, scale=args.scale, kinds=args.kinds,
+            horizon=args.horizon, warmup_cycles=args.warmup,
+            spacing_cycles=args.spacing, margin=args.margin,
+            protection=protection)
+    except ReproError as error:
+        sys.stderr.write("error: %s\n" % error)
+        return 2
+    kinds = tuple(args.events) if args.events else None
+    print(result.render(limit=args.limit, kinds=kinds))
     return 0
 
 

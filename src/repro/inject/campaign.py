@@ -37,6 +37,12 @@ class CampaignConfig:
     ``verify_golden`` replays the first golden window of each workload
     and asserts the two fault-free runs are bit-exactly identical --
     the runtime counterpart of the ``repro.lint`` determinism rules.
+
+    ``provenance`` and ``profile`` attach a :mod:`repro.obs` observer to
+    every trial (masking-cause/latency provenance and per-stage
+    wall-clock profiling).  Both are observation-only: like
+    ``verify_golden`` they are excluded from the campaign fingerprint
+    because they can never change a trial's bytes.
     """
 
     workloads: tuple = WORKLOAD_NAMES
@@ -52,6 +58,8 @@ class CampaignConfig:
     protection: ProtectionConfig = field(default_factory=ProtectionConfig)
     locked_multiplier: int = 2
     verify_golden: bool = True
+    provenance: bool = False
+    profile: bool = False
 
     def __post_init__(self):
         if self.kinds not in _KINDS:
@@ -127,6 +135,7 @@ class Campaign:
         self.config = config
         self.pipeline_config = pipeline_config or PipelineConfig.paper(
             config.protection)
+        self.observer = None  # the repro.obs observer of the last run()
 
     def run(self, progress=None):
         """Execute the campaign; returns a :class:`CampaignResult`.
@@ -134,9 +143,13 @@ class Campaign:
         ``progress`` is an optional callable invoked as
         ``progress(done_trials, total_trials)``.
         """
+        from repro.obs import observer_from_config
+
         config = self.config
         rng_root = SplitRng(config.seed)
         kinds = _KINDS[config.kinds]
+        observer = observer_from_config(config)
+        self.observer = observer
         trials = []
         eligible_bits = None
         inventory = None
@@ -174,7 +187,7 @@ class Campaign:
                         workload_name, start_point,
                         horizon=config.horizon,
                         locked_multiplier=config.locked_multiplier,
-                        trial_index=trial_index))
+                        trial_index=trial_index, obs=observer))
                     done += 1
                     if progress is not None:
                         progress(done, config.total_trials)

@@ -60,3 +60,13 @@ class TrialResult:
     total_inflight: int
     detail: str = ""
     trial_index: int = -1  # index within the start point (-1: legacy data)
+    # Propagation fields (cycles are relative to injection; 0 = first
+    # cycle after the flip).  ``detect_latency`` and
+    # ``arch_corrupt_cycle`` are derived from the classification itself
+    # and are always present for the relevant outcomes;
+    # ``first_read_cycle`` and ``masking_cause`` require a provenance
+    # observer (repro.obs) and stay None otherwise.
+    first_read_cycle: Optional[int] = None  # corrupt value first read
+    arch_corrupt_cycle: Optional[int] = None  # SDC: divergence detected
+    detect_latency: Optional[int] = None  # any failure: cycles to detect
+    masking_cause: Optional[str] = None  # obs.MASKING_CAUSES member

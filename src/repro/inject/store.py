@@ -82,8 +82,10 @@ def campaign_fingerprint(config):
     Two runs with equal fingerprints produce byte-identical trials for
     any given ``(workload, start_point, trial_index)`` unit, so their
     partial results may be journaled, resumed, and merged
-    interchangeably.  ``verify_golden`` is deliberately excluded: it
-    only adds a fault-free self-check and never changes a trial.
+    interchangeably.  ``verify_golden``, ``provenance`` and ``profile``
+    are deliberately excluded: they add fault-free self-checks or
+    observation-only instrumentation and never change a trial, so runs
+    with and without them stay resumable/mergeable with each other.
     """
     blob = json.dumps(
         {"config": config_to_dict(config), "rng": RNG_SCHEME},
@@ -101,6 +103,7 @@ def trial_to_dict(trial):
         "element": trial.element_name,
         "category": trial.category,
         "kind": trial.kind,
+        "bit": trial.bit,
         "start_point": trial.start_point,
         "trial_index": trial.trial_index,
         "inject_cycle": trial.inject_cycle,
@@ -108,11 +111,20 @@ def trial_to_dict(trial):
         "valid_inflight": trial.valid_inflight,
         "total_inflight": trial.total_inflight,
         "detail": trial.detail,
+        "first_read_cycle": trial.first_read_cycle,
+        "arch_corrupt_cycle": trial.arch_corrupt_cycle,
+        "detect_latency": trial.detect_latency,
+        "masking_cause": trial.masking_cause,
     }
 
 
 def trial_from_dict(raw):
-    """Inverse of :func:`trial_to_dict`."""
+    """Inverse of :func:`trial_to_dict`.
+
+    Tolerant of older documents: legacy journals carry no ``bit`` (the
+    harness used to hardcode 0) and no propagation fields -- they load
+    with ``bit=0`` and the propagation fields None.
+    """
     return TrialResult(
         outcome=TrialOutcome(raw["outcome"]),
         failure_mode=FailureMode(raw["mode"]) if raw["mode"] else None,
@@ -120,7 +132,7 @@ def trial_from_dict(raw):
         element_name=raw["element"],
         category=raw["category"],
         kind=raw["kind"],
-        bit=0,
+        bit=raw.get("bit", 0),
         start_point=raw["start_point"],
         trial_index=raw.get("trial_index", -1),
         inject_cycle=raw["inject_cycle"],
@@ -128,6 +140,10 @@ def trial_from_dict(raw):
         valid_inflight=raw["valid_inflight"],
         total_inflight=raw["total_inflight"],
         detail=raw.get("detail", ""),
+        first_read_cycle=raw.get("first_read_cycle"),
+        arch_corrupt_cycle=raw.get("arch_corrupt_cycle"),
+        detect_latency=raw.get("detect_latency"),
+        masking_cause=raw.get("masking_cause"),
     )
 
 

@@ -32,8 +32,14 @@ _FAILURE_BY_EVENT = {
 
 def run_trial(pipeline, checkpoint, golden, rng, kinds, workload_name,
               start_point, horizon=None, locked_multiplier=2,
-              trial_index=-1):
-    """Run one fault-injection trial; returns a :class:`TrialResult`."""
+              trial_index=-1, obs=None):
+    """Run one fault-injection trial; returns a :class:`TrialResult`.
+
+    ``obs`` is an optional :class:`repro.obs.Observer`; it is attached
+    to the pipeline for the duration of the trial (and always detached,
+    even on an exception) and only *observes* -- the classification is
+    byte-identical with or without it.
+    """
     pipeline.restore(checkpoint)
     pipeline.tlb_insn_pages = golden.insn_pages
     pipeline.tlb_data_pages = golden.data_pages
@@ -41,27 +47,52 @@ def run_trial(pipeline, checkpoint, golden, rng, kinds, workload_name,
     inflight = pipeline.inflight_seqs()
     valid_inflight = sum(1 for s in inflight if s in golden.retired_seqs)
 
-    meta = pipeline.inject_random_fault(rng, kinds)
+    pipeline.obs = obs
+    try:
+        return _run_trial_body(
+            pipeline, golden, rng, kinds, workload_name, start_point,
+            horizon, locked_multiplier, trial_index, obs,
+            valid_inflight, len(inflight))
+    finally:
+        pipeline.obs = None
+        if obs is not None:
+            obs.release()
+
+
+def _run_trial_body(pipeline, golden, rng, kinds, workload_name,
+                    start_point, horizon, locked_multiplier, trial_index,
+                    obs, valid_inflight, total_inflight):
+    meta, bit = pipeline.inject_random_fault(rng, kinds)
     horizon = horizon or golden.horizon
     locked_threshold = locked_multiplier * pipeline.config.deadlock_cycles
 
     def result(outcome, mode, cycles, detail=""):
-        return TrialResult(
+        trial = TrialResult(
             outcome=outcome,
             failure_mode=mode,
             workload=workload_name,
             element_name=meta.name,
             category=meta.category.value,
             kind=meta.kind.value,
-            bit=0,
+            bit=bit,
             start_point=start_point,
             inject_cycle=golden.start_cycle,
             cycles_run=cycles,
             valid_inflight=valid_inflight,
-            total_inflight=len(inflight),
+            total_inflight=total_inflight,
             detail=detail,
             trial_index=trial_index,
+            # Classification-derived propagation fields: an SDC is
+            # detected the cycle corruption reaches architectural
+            # state, so both are the detection cycle.  Computed with or
+            # without an observer (deterministic either way).
+            arch_corrupt_cycle=(cycles if outcome == TrialOutcome.SDC
+                                else None),
+            detect_latency=cycles if outcome.is_failure else None,
         )
+        if obs is not None:
+            obs.trial_end(pipeline, trial)
+        return trial
 
     space = pipeline.space
     k = 0

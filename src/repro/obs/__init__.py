@@ -1,0 +1,194 @@
+"""repro.obs: observability for the pipeline model and its campaigns.
+
+Four strictly observation-only facilities (the REP002/REP003 contract:
+with everything disabled the simulation is byte-identical, and nothing
+recorded here ever feeds pipeline behaviour):
+
+* :mod:`repro.obs.events` -- bounded ring-buffer tracing of typed
+  pipeline events (fetch/rename/dispatch/issue/writeback/retire,
+  flushes, recoveries, injections, failures);
+* :mod:`repro.obs.provenance` -- fault-propagation provenance for the
+  one element a trial corrupts (first read, clearing mechanism,
+  masking cause);
+* :mod:`repro.obs.profile` -- per-stage wall-clock accounting;
+* :mod:`repro.obs.metrics` -- OpenMetrics export of campaign telemetry.
+
+:class:`Observer` is the hub the pipeline talks to.  ``Pipeline.obs``
+is None by default -- every hook site pays a single attribute check --
+and an attached observer fans events out to whichever of the three
+collectors it carries.  ``repro-faults trace <workload> --start-point N
+--seed S`` (see :mod:`repro.obs.replay`) replays one campaign trial
+with a full observer attached and prints the propagation timeline.
+"""
+
+from repro.obs.events import EVENT_FIELDS, EventTracer, TraceEvent
+from repro.obs.metrics import PROM_PREFIX, render_openmetrics
+from repro.obs.profile import StageProfiler, merge_profile, render_profile
+from repro.obs.provenance import MASKING_CAUSES, ProvenanceTracker
+
+__all__ = [
+    "EVENT_FIELDS", "EventTracer", "TraceEvent",
+    "MASKING_CAUSES", "ProvenanceTracker",
+    "PROM_PREFIX", "render_openmetrics",
+    "StageProfiler", "merge_profile", "render_profile",
+    "Observer", "observer_from_config",
+]
+
+
+class Observer:
+    """Fans pipeline hook calls out to tracer/provenance/profiler.
+
+    The pipeline only ever sees this one object (``pipeline.obs``); the
+    per-collector None checks live here so hook sites stay one-liners.
+    ``profile`` is read directly by the observed cycle loop (stage
+    timing brackets the whole stage call, which an event-style hook
+    cannot do).
+    """
+
+    def __init__(self, tracer=None, provenance=None, profile=None):
+        self.tracer = tracer
+        self.provenance = provenance
+        self.profile = profile
+        self._flushed_this_cycle = False
+        self._recovered_this_cycle = False
+
+    # -- Cycle protocol (driven by Pipeline._cycle_observed) ---------------
+
+    def begin_cycle(self, pipeline):
+        self._flushed_this_cycle = False
+        self._recovered_this_cycle = False
+        if self.provenance is not None:
+            self.provenance.begin_cycle(pipeline)
+
+    def end_cycle(self, pipeline):
+        provenance = self.provenance
+        if provenance is not None and provenance.armed:
+            newly_read, mechanism = provenance.end_cycle(
+                pipeline, self._flushed_this_cycle,
+                self._recovered_this_cycle)
+            tracer = self.tracer
+            if tracer is not None:
+                cycle = pipeline.cycle_count - 1  # the cycle just closed
+                if newly_read:
+                    tracer.emit(cycle, "corrupt-read",
+                                element=provenance.element_name)
+                if mechanism is not None:
+                    tracer.emit(cycle, "corrupt-clear",
+                                element=provenance.element_name,
+                                mechanism=mechanism)
+
+    # -- Stage events ------------------------------------------------------
+
+    def on_fetch(self, pipeline, seq, pc):
+        if self.tracer is not None:
+            self.tracer.emit(pipeline.cycle_count, "fetch", seq=seq, pc=pc)
+
+    def on_rename(self, pipeline, seq, pc, pdst):
+        if self.tracer is not None:
+            self.tracer.emit(pipeline.cycle_count, "rename",
+                             seq=seq, pc=pc, pdst=pdst)
+
+    def on_dispatch(self, pipeline, seq, rob_index):
+        if self.tracer is not None:
+            self.tracer.emit(pipeline.cycle_count, "dispatch",
+                             seq=seq, rob_index=rob_index)
+
+    def on_issue(self, pipeline, seq, rob_index, op_id):
+        if self.tracer is not None:
+            self.tracer.emit(pipeline.cycle_count, "issue",
+                             seq=seq, rob_index=rob_index, op_id=op_id)
+
+    def on_writeback(self, pipeline, rob_index, pdst, value, exc):
+        if self.tracer is not None:
+            self.tracer.emit(pipeline.cycle_count, "writeback",
+                             rob_index=rob_index, pdst=pdst, value=value,
+                             exc=exc)
+
+    def on_retire(self, pipeline, seq, pc, op_id, dest, value):
+        if self.tracer is not None:
+            self.tracer.emit(pipeline.cycle_count, "retire", seq=seq,
+                             pc=pc, op_id=op_id, dest=dest, value=value)
+
+    def on_drain(self, pipeline, address, value, size):
+        if self.tracer is not None:
+            self.tracer.emit(pipeline.cycle_count, "drain",
+                             address=address, value=value, size=size)
+
+    # -- Recovery / failure events ----------------------------------------
+
+    def on_recovery(self, pipeline, kind, rob_index, refetch_pc):
+        self._recovered_this_cycle = True
+        if self.tracer is not None:
+            self.tracer.emit(pipeline.cycle_count, "recovery", kind=kind,
+                             rob_index=rob_index, refetch_pc=refetch_pc)
+
+    def on_flush(self, pipeline, reason):
+        self._flushed_this_cycle = True
+        if self.tracer is not None:
+            self.tracer.emit(pipeline.cycle_count, "flush", reason=reason)
+
+    def on_failure(self, pipeline, kind):
+        if self.tracer is not None:
+            self.tracer.emit(pipeline.cycle_count, "failure", kind=kind)
+
+    # -- Trial lifecycle ---------------------------------------------------
+
+    def on_inject(self, pipeline, meta, bit):
+        if self.provenance is not None:
+            self.provenance.arm(pipeline, meta, bit)
+        if self.tracer is not None:
+            self.tracer.emit(pipeline.cycle_count, "inject",
+                             element=meta.name, category=meta.category.value,
+                             kind=meta.kind.value, bit=bit)
+
+    def trial_end(self, pipeline, trial):
+        """Close out one trial: annotate provenance fields, disarm.
+
+        Only the provenance-*derived* fields are written here
+        (``first_read_cycle``, ``masking_cause``); the always-computed
+        fields (``detect_latency``, ``arch_corrupt_cycle``) are filled
+        by ``run_trial`` itself so results stay byte-identical whether
+        or not an observer is attached (modulo these two keys, which the
+        invariance test strips).
+        """
+        provenance = self.provenance
+        if provenance is not None and provenance.armed:
+            trial.first_read_cycle = provenance.first_read_cycle
+            if trial.outcome.is_benign:
+                trial.masking_cause = provenance.masking_cause()
+            provenance.disarm()
+        if self.tracer is not None:
+            self.tracer.emit(
+                pipeline.cycle_count, "trial-end",
+                outcome=trial.outcome.value,
+                mode=trial.failure_mode.value if trial.failure_mode else None,
+                cycles=trial.cycles_run)
+
+    def release(self):
+        """Safety net: always restore the watched Field class.
+
+        Idempotent; ``run_trial`` calls it in a ``finally`` so an
+        exception mid-trial can never leak a ``_WatchedField`` into the
+        next trial.
+        """
+        if self.provenance is not None:
+            self.provenance.disarm()
+
+
+def observer_from_config(config):
+    """The observer a campaign config asks for, or None when disabled.
+
+    Duck-typed on optional ``provenance``/``profile`` attributes so it
+    also accepts older configs (both default off).  Event tracing is
+    *not* campaign-wide -- a per-trial ring buffer for thousands of
+    trials is replay territory (``repro-faults trace``), not campaign
+    telemetry.
+    """
+    provenance = bool(getattr(config, "provenance", False))
+    profile = bool(getattr(config, "profile", False))
+    if not provenance and not profile:
+        return None
+    return Observer(
+        provenance=ProvenanceTracker() if provenance else None,
+        profile=StageProfiler() if profile else None,
+    )

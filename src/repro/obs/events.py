@@ -1,0 +1,144 @@
+"""Structured event tracing: a bounded ring buffer of pipeline events.
+
+The tracer records *what the machine did* at stage granularity --
+fetch, rename, dispatch, issue, writeback, retire, store drains,
+flushes, recoveries, fault injections and failures -- as typed
+:class:`TraceEvent` records in a bounded ring (old events fall off the
+front, ``dropped`` counts them).  It is pure observation: nothing in
+the simulator ever reads the ring back, and a pipeline with no tracer
+attached pays one ``pipeline.obs is None`` attribute check per stage
+(the REP002/REP003 contract; see ``tests/test_obs_invariance.py``).
+
+Event kinds and their payload fields are listed in ``EVENT_FIELDS``;
+``docs/OBSERVABILITY.md`` documents the schema.
+"""
+
+from collections import deque
+
+__all__ = ["EVENT_FIELDS", "TraceEvent", "EventTracer"]
+
+# kind -> payload fields, in display order.  The schema is advisory
+# (events carry plain dicts) but the tracer and docs keep it current.
+EVENT_FIELDS = {
+    "fetch": ("seq", "pc"),
+    "rename": ("seq", "pc", "pdst"),
+    "dispatch": ("seq", "rob_index"),
+    "issue": ("seq", "rob_index", "op_id"),
+    "writeback": ("rob_index", "pdst", "value", "exc"),
+    "retire": ("seq", "pc", "op_id", "dest", "value"),
+    "drain": ("address", "value", "size"),
+    "flush": ("reason",),
+    "recovery": ("kind", "rob_index", "refetch_pc"),
+    "inject": ("element", "category", "kind", "bit"),
+    "failure": ("kind",),
+    "corrupt-read": ("element",),
+    "corrupt-clear": ("element", "mechanism"),
+    "trial-end": ("outcome", "mode", "cycles"),
+}
+
+
+class TraceEvent:
+    """One timestamped pipeline event (cycle, kind, payload dict)."""
+
+    __slots__ = ("cycle", "kind", "data")
+
+    def __init__(self, cycle, kind, data):
+        self.cycle = cycle
+        self.kind = kind
+        self.data = data
+
+    def to_dict(self):
+        record = {"cycle": self.cycle, "kind": self.kind}
+        record.update(self.data)
+        return record
+
+    def format(self, origin=0):
+        """One timeline line, cycles shown relative to ``origin``."""
+        parts = []
+        data = self.data
+        order = EVENT_FIELDS.get(self.kind, ())
+        for name in order:
+            if name in data:
+                parts.append("%s=%s" % (name, _fmt(name, data[name])))
+        for name in sorted(data):
+            if name not in order:
+                parts.append("%s=%s" % (name, _fmt(name, data[name])))
+        return "c+%-5d %-13s %s" % (
+            self.cycle - origin, self.kind, " ".join(parts))
+
+    def __repr__(self):
+        return "TraceEvent(%d, %r, %r)" % (self.cycle, self.kind, self.data)
+
+
+def _fmt(name, value):
+    if value is None:
+        return "-"
+    if name in ("pc", "address", "refetch_pc") and isinstance(value, int):
+        return "0x%x" % value
+    return str(value)
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent` records.
+
+    ``capacity`` bounds memory for arbitrarily long observations; when
+    the ring is full the oldest events are discarded and counted in
+    ``dropped``.  ``counts`` keeps per-kind totals over the *whole*
+    observation (including dropped events), so rates survive the ring
+    bound.
+    """
+
+    def __init__(self, capacity=4096):
+        self.capacity = capacity
+        self.ring = deque(maxlen=capacity)
+        self.dropped = 0
+        self.counts = {}
+        self.inject_cycle = None  # set when an "inject" event is seen
+
+    def emit(self, cycle, kind, /, **data):
+        """Append one event (drops the oldest when the ring is full).
+
+        Positional-only parameters: a payload field may itself be
+        called ``kind`` (e.g. the storage kind of an injection).
+        """
+        if len(self.ring) == self.capacity:
+            self.dropped += 1
+        self.ring.append(TraceEvent(cycle, kind, data))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if kind == "inject":
+            self.inject_cycle = cycle
+
+    def events(self, kind=None):
+        """Buffered events, optionally filtered by kind (oldest first)."""
+        if kind is None:
+            return list(self.ring)
+        return [event for event in self.ring if event.kind == kind]
+
+    def clear(self):
+        self.ring.clear()
+        self.dropped = 0
+        self.counts = {}
+        self.inject_cycle = None
+
+    def render_timeline(self, limit=None, kinds=None):
+        """The buffered events as printable lines.
+
+        Cycles are shown relative to the injection event when one was
+        traced (``c+0`` is the injection cycle), otherwise relative to
+        the first buffered event.
+        """
+        events = list(self.ring)
+        if kinds is not None:
+            events = [e for e in events if e.kind in kinds]
+        if limit is not None and len(events) > limit:
+            events = events[-limit:]
+        if not events:
+            return "(no events)"
+        origin = self.inject_cycle
+        if origin is None:
+            origin = events[0].cycle
+        lines = [event.format(origin) for event in events]
+        if self.dropped:
+            lines.insert(0, "(... %d earlier events dropped by the %d-event "
+                            "ring ...)" % (self.dropped, self.capacity))
+        return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""OpenMetrics rendering of campaign telemetry snapshots.
+
+Campaigns already drop ``metrics.json`` (the raw
+:class:`~repro.runner.telemetry.TelemetrySnapshot` dict) in the
+campaign directory; this module renders the same snapshot as an
+OpenMetrics / Prometheus text exposition (``metrics.prom``) so a node
+exporter's textfile collector -- or a plain ``curl`` + ``promtool`` --
+can scrape a long campaign without bespoke parsing.  Both files are
+rewritten atomically by :func:`repro.runner.journal.write_metrics`.
+"""
+
+__all__ = ["PROM_PREFIX", "render_openmetrics"]
+
+PROM_PREFIX = "repro"
+
+
+def _escape(value):
+    """Escape a label value per the OpenMetrics text format."""
+    return str(value).replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _sample(name, value, labels=None):
+    if labels:
+        rendered = ",".join(
+            '%s="%s"' % (key, _escape(labels[key])) for key in sorted(labels))
+        return "%s{%s} %s" % (name, rendered, _format_value(value))
+    return "%s %s" % (name, _format_value(value))
+
+
+def _format_value(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_openmetrics(snapshot):
+    """Render a telemetry snapshot dict as OpenMetrics text.
+
+    ``snapshot`` is the :meth:`TelemetrySnapshot.to_dict` shape; absent
+    keys are tolerated (older snapshots) and ``eta_seconds: None`` is
+    simply not exported -- absence of the sample *is* the "no rate
+    measurable yet" signal.
+    """
+    p = PROM_PREFIX
+    lines = []
+
+    def gauge(name, value, help_text, labelled_samples=None):
+        lines.append("# HELP %s %s" % (name, help_text))
+        lines.append("# TYPE %s gauge" % name)
+        if labelled_samples is None:
+            lines.append(_sample(name, value))
+        else:
+            lines.extend(labelled_samples)
+
+    gauge("%s_trials_total" % p, snapshot.get("total", 0),
+          "Trials in the campaign sweep.")
+    gauge("%s_trials_done" % p, snapshot.get("done", 0),
+          "Trials completed (journaled earlier + fresh).")
+    gauge("%s_trials_fresh" % p, snapshot.get("fresh", 0),
+          "Trials completed by this run.")
+    gauge("%s_trials_resumed" % p, snapshot.get("resumed", 0),
+          "Trials skipped because a prior run journaled them.")
+    gauge("%s_trials_retried" % p, snapshot.get("retried", 0),
+          "Trial units requeued after a worker death or stall.")
+    gauge("%s_elapsed_seconds" % p, snapshot.get("elapsed_seconds", 0.0),
+          "Wall-clock seconds since this run started.")
+    gauge("%s_trials_per_second" % p,
+          snapshot.get("trials_per_second", 0.0),
+          "Fresh-trial completion rate.")
+    eta = snapshot.get("eta_seconds")
+    if eta is not None:
+        gauge("%s_eta_seconds" % p, eta,
+              "Estimated seconds to campaign completion.")
+    gauge("%s_workers_busy" % p, snapshot.get("workers_busy", 0),
+          "Workers currently assigned a batch.")
+    gauge("%s_workers_total" % p, snapshot.get("workers_total", 0),
+          "Workers in the pool.")
+
+    outcomes = snapshot.get("outcome_counts") or {}
+    gauge("%s_outcome_trials" % p, None,
+          "Completed trials by outcome classification.",
+          labelled_samples=[
+              _sample("%s_outcome_trials" % p, outcomes[name],
+                      {"outcome": name})
+              for name in sorted(outcomes)])
+
+    latency = snapshot.get("worker_latency") or {}
+    samples = []
+    count_samples = []
+    for worker in sorted(latency, key=str):
+        stats = latency[worker]
+        for quantile in ("0.5", "0.9", "0.99"):
+            key = {"0.5": "p50", "0.9": "p90", "0.99": "p99"}[quantile]
+            if stats.get(key) is not None:
+                samples.append(_sample(
+                    "%s_worker_trial_latency_seconds" % p, stats[key],
+                    {"worker": worker, "quantile": quantile}))
+        count_samples.append(_sample(
+            "%s_worker_trials" % p, stats.get("count", 0),
+            {"worker": worker}))
+    if samples:
+        gauge("%s_worker_trial_latency_seconds" % p, None,
+              "Per-worker seconds between trial completions (quantiles "
+              "over a sliding window).", labelled_samples=samples)
+    if count_samples:
+        gauge("%s_worker_trials" % p, None,
+              "Trials counted per worker in the latency window.",
+              labelled_samples=count_samples)
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

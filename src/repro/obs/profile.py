@@ -1,0 +1,82 @@
+"""Per-stage wall-clock profiling (the perf baseline for later PRs).
+
+:class:`StageProfiler` accumulates the wall-clock cost of each pipeline
+stage when the observed cycle loop runs.  The clock is injectable for
+tests; timings are observation-only and never feed a simulation path
+(the REP002 contract), and per-worker deltas are mergeable so the
+engine can aggregate a whole campaign's profile across processes.
+"""
+
+import time
+
+from repro.utils.tables import format_table
+
+__all__ = ["StageProfiler", "merge_profile", "render_profile"]
+
+
+class StageProfiler:
+    """Accumulates per-stage wall-clock totals and call counts."""
+
+    def __init__(self, clock=None):
+        # repro-lint: allow=REP002 (profiling reads the wall clock for
+        # stage-cost reporting only; no simulation path consumes it)
+        self.clock = clock if clock is not None else time.perf_counter
+        self.totals = {}
+        self.calls = {}
+
+    def add(self, name, seconds):
+        """Charge ``seconds`` of wall-clock to stage ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def take(self):
+        """Return ``(totals, calls)`` accumulated so far and reset.
+
+        Workers call this at batch boundaries and ship the delta to the
+        engine, which :func:`merge_profile`\\ s it into the campaign-wide
+        accounting.
+        """
+        delta = (self.totals, self.calls)
+        self.totals = {}
+        self.calls = {}
+        return delta
+
+    def total_seconds(self):
+        return sum(self.totals.values())
+
+    def render(self, title="Per-stage wall-clock profile"):
+        return render_profile(self.totals, self.calls, title=title)
+
+
+def merge_profile(totals, calls, delta):
+    """Fold one ``(totals, calls)`` delta into the given accumulators."""
+    delta_totals, delta_calls = delta
+    for name, seconds in delta_totals.items():
+        totals[name] = totals.get(name, 0.0) + seconds
+    for name, count in delta_calls.items():
+        calls[name] = calls.get(name, 0) + count
+
+
+def render_profile(totals, calls, title="Per-stage wall-clock profile"):
+    """A sorted hot-path table: cost-heaviest stage first."""
+    if not totals:
+        return "%s\n(no stage timings recorded)" % title
+    grand_total = sum(totals.values()) or 1.0
+    headers = ["stage", "calls", "total_ms", "mean_us", "share%"]
+    rows = []
+    for name in sorted(totals, key=lambda n: -totals[n]):
+        seconds = totals[name]
+        count = calls.get(name, 0)
+        rows.append([
+            name,
+            count,
+            1e3 * seconds,
+            1e6 * seconds / count if count else 0.0,
+            100.0 * seconds / grand_total,
+        ])
+    total_calls = sum(calls.values())
+    total_seconds = sum(totals.values())
+    rows.append(["TOTAL", total_calls, 1e3 * total_seconds,
+                 1e6 * total_seconds / total_calls if total_calls else 0.0,
+                 100.0])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,195 @@
+"""Fault-propagation provenance: the story of one flipped bit.
+
+The paper's masking analysis (Section 3) rests on *why* a flip was
+benign: the corrupted element was never read, was overwritten before
+use, or belonged to wrong-path state that a squash or recovery flush
+discarded.  :class:`ProvenanceTracker` reconstructs that story for the
+one element a trial corrupts:
+
+* **armed at injection** -- remembers the element, the flipped bit, and
+  the corrupted value;
+* **read tracking** -- the flipped element's :class:`Field` handle has
+  its ``__class__`` swapped to :class:`_WatchedField` (same ``__slots__``
+  layout, so CPython allows the swap), whose ``get()`` notifies the
+  tracker.  Every *other* field keeps the plain ``Field.get`` -- the
+  cost of watching is paid by exactly one element, and only while a
+  tracker is armed;
+* **clear detection** -- at each cycle boundary the tracker polls the
+  element's raw value; the first cycle it no longer holds the corrupted
+  value, the clearing *mechanism* is attributed by correlating with the
+  cycle's recovery events: a protection/timeout flush this cycle ->
+  ``flushed``, a branch/ordering squash -> ``squashed``, otherwise an
+  ordinary ``overwritten``.
+
+Semantics are cycle-granular and deliberately pragmatic: a squash
+clears an entry's valid bit without physically scrubbing its payload,
+so corruption in a squashed-but-unscrubbed payload that nothing reads
+again reports ``never-read`` -- which is exactly the paper's "idle or
+mis-speculated state" masking bucket.
+
+Reads are only counted *between* ``begin_cycle``/``end_cycle`` (i.e.
+made by pipeline stages); the harness's own observation reads
+(signatures, committed views, golden comparison) happen outside the
+cycle and never pollute first-read attribution.
+
+All cycle numbers recorded here are relative to injection: 0 is the
+first cycle executed after the flip.
+"""
+
+from repro.uarch.statelib import Field
+
+__all__ = ["MASKING_CAUSES", "ProvenanceTracker"]
+
+# The masking-cause taxonomy (cf. paper Section 3.2's masking buckets).
+MASKING_CAUSES = ("never-read", "overwritten", "squashed", "flushed")
+
+
+class _WatchedField(Field):
+    """A ``Field`` whose reads notify the armed tracker.
+
+    Empty ``__slots__`` keeps the instance layout identical to
+    ``Field``, which is what makes the ``__class__`` swap legal; the
+    armed tracker is a class attribute because at most one element per
+    process is ever watched at a time (trials are sequential within a
+    worker).
+    """
+
+    __slots__ = ()
+
+    watcher = None
+
+    def get(self):
+        watcher = _WatchedField.watcher
+        if watcher is not None:
+            watcher.note_read()
+        return self._values[self.index]
+
+
+class ProvenanceTracker:
+    """Tracks one injected fault from flip to read/clear/architecture."""
+
+    def __init__(self):
+        self._field = None
+        self._values = None
+        self._in_cycle = False
+        self._cycle = 0
+        self._read_this_cycle = False
+        self.element_index = None
+        self.element_name = None
+        self.bit = None
+        self.inject_cycle = None
+        self.corrupt_value = None
+        self.first_read_cycle = None
+        self.cleared_cycle = None
+        self.clear_mechanism = None
+
+    @property
+    def armed(self):
+        return self.element_index is not None
+
+    # -- Arming ------------------------------------------------------------
+
+    def arm(self, pipeline, meta, bit):
+        """Start tracking ``meta`` right after its bit was flipped."""
+        self.disarm()
+        space = pipeline.space
+        self.element_index = meta.index
+        self.element_name = meta.name
+        self.bit = bit
+        self.inject_cycle = pipeline.cycle_count
+        self.corrupt_value = space.values[meta.index]
+        self.first_read_cycle = None
+        self.cleared_cycle = None
+        self.clear_mechanism = None
+        self._read_this_cycle = False
+        self._in_cycle = False
+        self._values = space.values
+        field = space.handles[meta.index]
+        field.__class__ = _WatchedField
+        self._field = field
+        _WatchedField.watcher = self
+
+    def disarm(self):
+        """Stop watching; idempotent, always restores the Field class.
+
+        Collected per-trial data (first read, clear cycle, mechanism)
+        survives until the next :meth:`arm`, so callers may read it
+        after disarming.
+        """
+        field = self._field
+        if field is not None:
+            field.__class__ = Field
+            self._field = None
+        if _WatchedField.watcher is self:
+            _WatchedField.watcher = None
+        self._in_cycle = False
+
+    # -- Per-cycle protocol -------------------------------------------------
+
+    def begin_cycle(self, pipeline):
+        """Stage reads from here to ``end_cycle`` count as pipeline reads."""
+        self._in_cycle = True
+        self._cycle = pipeline.cycle_count
+
+    def note_read(self):
+        """Called by :class:`_WatchedField` on every read of the element."""
+        if not self._in_cycle or self.cleared_cycle is not None:
+            return
+        if self.first_read_cycle is None \
+                and self._values[self.element_index] == self.corrupt_value:
+            self.first_read_cycle = self._cycle - self.inject_cycle
+            self._read_this_cycle = True
+
+    def end_cycle(self, pipeline, flushed, recovered):
+        """Close the cycle; returns ``(newly_read, clear_mechanism)``.
+
+        ``flushed``/``recovered`` say whether a full recovery flush or a
+        branch/ordering squash happened *this* cycle -- the correlation
+        that attributes the clearing mechanism.  ``clear_mechanism`` is
+        non-None only on the cycle the corruption first disappeared.
+        """
+        self._in_cycle = False
+        newly_read = self._read_this_cycle
+        self._read_this_cycle = False
+        mechanism = None
+        if self.cleared_cycle is None and self.armed \
+                and self._values[self.element_index] != self.corrupt_value:
+            self.cleared_cycle = pipeline.cycle_count - 1 - self.inject_cycle
+            if flushed:
+                mechanism = "flushed"
+            elif recovered:
+                mechanism = "squashed"
+            else:
+                mechanism = "overwritten"
+            self.clear_mechanism = mechanism
+        return newly_read, mechanism
+
+    # -- Trial summary -----------------------------------------------------
+
+    def masking_cause(self):
+        """Why a *benign* trial stayed benign, or None if unresolved.
+
+        One of :data:`MASKING_CAUSES`: the clearing mechanism when the
+        corruption disappeared, ``"never-read"`` when it lingered unread
+        (idle or squashed-and-unscrubbed state), None when the corrupt
+        value was read but neither cleared nor detected -- latent state
+        the horizon did not resolve.
+        """
+        if not self.armed:
+            return None
+        if self.clear_mechanism is not None:
+            return self.clear_mechanism
+        if self.first_read_cycle is None:
+            return "never-read"
+        return None
+
+    def summary(self):
+        """Plain-dict view of the tracked trial (for reports/tests)."""
+        return {
+            "element": self.element_name,
+            "bit": self.bit,
+            "first_read_cycle": self.first_read_cycle,
+            "cleared_cycle": self.cleared_cycle,
+            "clear_mechanism": self.clear_mechanism,
+            "masking_cause": self.masking_cause(),
+        }

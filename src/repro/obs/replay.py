@@ -1,0 +1,112 @@
+"""Single-trial replay with full tracing (``repro-faults trace``).
+
+A campaign identifies every trial by ``(workload, start_point,
+trial_index)`` under a seed, and the named-split RNG scheme
+(``workload/<name> -> sp/<n> -> trial/<n>``) makes each trial's
+randomness independent of how many workloads, start points, or trials
+the sweep contains.  That is what makes replay cheap: to re-run trial
+``#i`` of start point ``n`` we build a *minimal* synthetic config
+reaching exactly that far, attach an :class:`~repro.obs.Observer` with
+an event tracer and provenance tracker, and run the one unit through
+the same :class:`~repro.runner.pool.WorkerContext` the campaign used --
+so the replayed trial is byte-identical to the campaign's, now with its
+full propagation timeline captured.
+"""
+
+from repro.inject.campaign import CampaignConfig
+from repro.obs import EventTracer, Observer, ProvenanceTracker, StageProfiler
+from repro.runner.units import TrialUnit
+
+__all__ = ["ReplayResult", "replay_config", "replay_trial"]
+
+
+class ReplayResult:
+    """One replayed trial plus everything observed along the way."""
+
+    def __init__(self, trial, tracer, provenance, profiler):
+        self.trial = trial
+        self.tracer = tracer
+        self.provenance = provenance
+        self.profiler = profiler
+
+    def render(self, limit=None, kinds=None):
+        """The human-readable replay report (timeline + verdict)."""
+        trial = self.trial
+        lines = [
+            "trial %s/sp%d/#%d  seed-split trial/%d" % (
+                trial.workload, trial.start_point, trial.trial_index,
+                trial.trial_index),
+            "injected %s bit %d (%s %s) at cycle %d" % (
+                trial.element_name, trial.bit, trial.category, trial.kind,
+                trial.inject_cycle),
+            "",
+            self.tracer.render_timeline(limit=limit, kinds=kinds),
+            "",
+        ]
+        verdict = "outcome %s" % trial.outcome.value
+        if trial.failure_mode is not None:
+            verdict += " (%s)" % trial.failure_mode.value
+        verdict += " after %d cycles" % trial.cycles_run
+        lines.append(verdict)
+        summary = self.provenance.summary()
+        if trial.outcome.is_failure:
+            lines.append("detection latency: %s cycles after injection"
+                         % trial.detect_latency)
+        elif summary["masking_cause"] is not None:
+            lines.append("masking cause: %s" % summary["masking_cause"])
+        else:
+            lines.append("masking cause: unresolved (corrupt value read "
+                         "but never cleared within the horizon)")
+        if summary["first_read_cycle"] is not None:
+            lines.append("first pipeline read of the corrupt value: "
+                         "c+%d" % summary["first_read_cycle"])
+        if summary["cleared_cycle"] is not None:
+            lines.append("corruption cleared: c+%d (%s)" % (
+                summary["cleared_cycle"], summary["clear_mechanism"]))
+        if self.profiler is not None:
+            lines.append("")
+            lines.append(self.profiler.render(
+                title="Per-stage wall-clock profile (this trial's window)"))
+        return "\n".join(lines)
+
+
+def replay_config(workload, start_point, trial_index=0, **overrides):
+    """The minimal campaign config that reaches one trial.
+
+    Sweeps exactly ``start_point + 1`` start points of one workload;
+    thanks to the named-split RNG scheme the addressed trial is
+    byte-identical to the same coordinates inside any larger sweep with
+    the same seed and per-trial parameters.  Golden re-verification is
+    off by default (replay already re-derives the golden trace).
+    """
+    overrides.setdefault("verify_golden", False)
+    return CampaignConfig(
+        workloads=(workload,),
+        start_points_per_workload=start_point + 1,
+        trials_per_start_point=trial_index + 1,
+        **overrides)
+
+
+def replay_trial(workload, start_point, trial_index=0, profile=False,
+                 capacity=4096, **overrides):
+    """Replay one campaign trial with full observation.
+
+    ``overrides`` are :class:`CampaignConfig` fields (``seed``,
+    ``scale``, ``kinds``, ``horizon``, ``warmup_cycles``, ...); defaults
+    match the default campaign, so a trial traced here matches the same
+    coordinates of a default-config campaign.  Returns a
+    :class:`ReplayResult`.
+    """
+    # Imported here: pool imports repro.obs, so importing it at module
+    # scope from inside the obs package would be a cycle.
+    from repro.runner.pool import WorkerContext
+
+    config = replay_config(workload, start_point, trial_index, **overrides)
+    tracer = EventTracer(capacity=capacity)
+    provenance = ProvenanceTracker()
+    profiler = StageProfiler() if profile else None
+    observer = Observer(tracer=tracer, provenance=provenance,
+                        profile=profiler)
+    context = WorkerContext(config, observer=observer)
+    trial = context.run_unit(TrialUnit(workload, start_point, trial_index))
+    return ReplayResult(trial, tracer, provenance, profiler)

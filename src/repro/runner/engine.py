@@ -33,6 +33,7 @@ from repro.errors import CampaignError
 from repro.inject.campaign import _KINDS, CampaignResult
 from repro.inject.golden import workload_page_sets
 from repro.inject.store import inventory_from_dict
+from repro.obs import merge_profile, render_profile
 from repro.runner.journal import JournalWriter, write_metrics
 from repro.runner.pool import WorkerContext, WorkerPool
 from repro.runner.resume import load_resume_state
@@ -102,6 +103,10 @@ class CampaignRunner:
         self._clock = clock if clock is not None else time.monotonic
         self.pool = None  # the live WorkerPool while a pool run is active
         self.telemetry = None
+        # Campaign-wide per-stage profile, merged across workers (only
+        # populated when config.profile is on).
+        self.profile_totals = {}
+        self.profile_calls = {}
 
     # ------------------------------------------------------------------
 
@@ -169,12 +174,25 @@ class CampaignRunner:
         return (pipeline.eligible_bits(_KINDS[self.config.kinds]),
                 pipeline.space.inventory())
 
-    def _record(self, unit, trial, results, telemetry, journal):
+    def profile_report(self):
+        """The merged per-stage hot-path table, or None when not profiled."""
+        if not self.profile_totals:
+            return None
+        return render_profile(
+            self.profile_totals, self.profile_calls,
+            title="Per-stage wall-clock profile (campaign-wide)")
+
+    def _merge_profile(self, delta):
+        if delta is not None:
+            merge_profile(self.profile_totals, self.profile_calls, delta)
+
+    def _record(self, unit, trial, results, telemetry, journal,
+                worker_id=0):
         """Count one completed trial: journal first, then observe."""
         results[unit] = trial
         if journal is not None:
             journal.append_trial(unit, trial)
-        telemetry.record_trial(trial)
+        telemetry.record_trial(trial, worker_id=worker_id)
         self._fresh_since_metrics += 1
         if self.directory is not None \
                 and self._fresh_since_metrics >= self.metrics_every:
@@ -202,9 +220,12 @@ class CampaignRunner:
         """Single-worker path: same context code, no processes."""
         context = WorkerContext(self.config, self.pipeline_config)
         telemetry.set_workers(1, 1)
-        for unit in pending:
-            trial = context.run_unit(unit)
-            self._record(unit, trial, results, telemetry, journal)
+        try:
+            for unit in pending:
+                trial = context.run_unit(unit)
+                self._record(unit, trial, results, telemetry, journal)
+        finally:
+            self._merge_profile(context.take_profile())
 
     # ------------------------------------------------------------------
 
@@ -251,8 +272,9 @@ class CampaignRunner:
                         if unit in outstanding:
                             outstanding.discard(unit)
                             self._record(unit, trial, results, telemetry,
-                                         journal)
+                                         journal, worker_id=worker_id)
                     elif kind == "done":
+                        self._merge_profile(payload)
                         assignment = assignments.get(worker_id)
                         if assignment is not None \
                                 and assignment[0] == batch_id:

@@ -4,6 +4,8 @@ One campaign directory holds::
 
     journal.jsonl   -- header line + one line per completed trial
     metrics.json    -- latest telemetry snapshot (advisory, rewritten)
+    metrics.prom    -- the same snapshot as OpenMetrics text (scrapable
+                       by a node exporter's textfile collector)
 
 The journal is the source of truth for resume.  Line 1 is a header
 carrying the campaign fingerprint (config hash + RNG scheme), the
@@ -31,14 +33,16 @@ from repro.inject.store import (
     inventory_to_dict,
     trial_to_dict,
 )
+from repro.obs import render_openmetrics
 from repro.runner.units import TrialUnit
 
-__all__ = ["JOURNAL_NAME", "METRICS_NAME", "JOURNAL_SCHEMA",
+__all__ = ["JOURNAL_NAME", "METRICS_NAME", "PROM_NAME", "JOURNAL_SCHEMA",
            "JournalWriter", "read_journal", "journal_path", "metrics_path",
-           "write_metrics"]
+           "prom_path", "write_metrics"]
 
 JOURNAL_NAME = "journal.jsonl"
 METRICS_NAME = "metrics.json"
+PROM_NAME = "metrics.prom"
 JOURNAL_SCHEMA = 1
 
 
@@ -48,6 +52,10 @@ def journal_path(directory):
 
 def metrics_path(directory):
     return os.path.join(directory, METRICS_NAME)
+
+
+def prom_path(directory):
+    return os.path.join(directory, PROM_NAME)
 
 
 class JournalWriter:
@@ -144,11 +152,22 @@ def read_journal(path):
 
 
 def write_metrics(directory, snapshot_dict):
-    """Atomically rewrite ``metrics.json`` with the latest snapshot."""
+    """Atomically rewrite ``metrics.json`` and ``metrics.prom``.
+
+    Both carry the latest telemetry snapshot -- JSON for tooling, the
+    OpenMetrics text exposition for Prometheus-style scrapers.  Each is
+    written to a temp file and renamed so a concurrent reader never sees
+    a torn file.
+    """
     path = metrics_path(directory)
     temp = path + ".tmp"
     with open(temp, "w", encoding="utf-8") as handle:
         json.dump(snapshot_dict, handle, indent=1, sort_keys=True)
+    os.replace(temp, path)
+    path = prom_path(directory)
+    temp = path + ".tmp"
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(render_openmetrics(snapshot_dict))
     os.replace(temp, path)
 
 

@@ -27,6 +27,7 @@ from repro.errors import CampaignError, ReproError
 from repro.inject.campaign import _KINDS
 from repro.inject.golden import record_golden, workload_page_sets
 from repro.inject.trial import run_trial
+from repro.obs import observer_from_config
 from repro.runner.units import TrialUnit
 from repro.uarch.config import PipelineConfig
 from repro.uarch.core import Pipeline
@@ -53,13 +54,19 @@ class _WorkloadState:
 class WorkerContext:
     """Runs trial units, caching per-start-point preparation."""
 
-    def __init__(self, config, pipeline_config=None, page_sets=None):
+    def __init__(self, config, pipeline_config=None, page_sets=None,
+                 observer=None):
         self.config = config
         self.pipeline_config = pipeline_config or PipelineConfig.paper(
             config.protection)
         self.kinds = _KINDS[config.kinds]
         self._rng_root = SplitRng(config.seed)
         self._workloads = {}
+        # The repro.obs observer attached to every trial this context
+        # runs; explicit override for replay, else config-driven
+        # (provenance/profile flags), else None -- zero overhead.
+        self.observer = observer if observer is not None \
+            else observer_from_config(config)
         # (insn_pages, data_pages) per workload.  The engine precomputes
         # these once and shares them with every worker: they come from a
         # deterministic fault-free functional run, so who computes them
@@ -75,7 +82,13 @@ class WorkerContext:
             self.kinds, unit.workload, unit.start_point,
             horizon=self.config.horizon,
             locked_multiplier=self.config.locked_multiplier,
-            trial_index=unit.trial_index)
+            trial_index=unit.trial_index, obs=self.observer)
+
+    def take_profile(self):
+        """The per-stage profile accumulated since the last take, or None."""
+        if self.observer is None or self.observer.profile is None:
+            return None
+        return self.observer.profile.take()
 
     # ------------------------------------------------------------------
 
@@ -150,7 +163,10 @@ def _worker_main(worker_id, config, pipeline_config, page_sets, tasks,
                                  trial_index)
                 trial = context.run_unit(unit)
                 results.put(("trial", worker_id, batch_id, (unit, trial)))
-            results.put(("done", worker_id, batch_id, None))
+            # The "done" payload carries the batch's per-stage profile
+            # delta (or None when profiling is off).
+            results.put(("done", worker_id, batch_id,
+                         context.take_profile()))
         except KeyboardInterrupt:
             return
         except ReproError as error:

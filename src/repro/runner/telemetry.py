@@ -10,9 +10,17 @@ contract).
 """
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Optional
 
 __all__ = ["Telemetry", "TelemetrySnapshot"]
+
+# Sliding window of per-worker inter-completion latencies (seconds) the
+# percentiles are computed over.
+_LATENCY_WINDOW = 256
+# Bound on the outcome-mix-over-time history ring.
+_HISTORY_LIMIT = 240
 
 
 @dataclass(frozen=True)
@@ -26,10 +34,16 @@ class TelemetrySnapshot:
     retried: int  # units requeued after a worker death or stall
     elapsed_seconds: float
     trials_per_second: float
-    eta_seconds: float  # None until a rate is measurable
+    eta_seconds: Optional[float]  # None until a rate is measurable
     outcome_counts: dict = field(default_factory=dict)
     workers_busy: int = 0
     workers_total: int = 0
+    # worker id (as str) -> {p50, p90, p99, count}: per-worker seconds
+    # between trial completions over a sliding window.
+    worker_latency: dict = field(default_factory=dict)
+    # Outcome mix over time: ({elapsed_seconds, done, outcome_counts},
+    # ...) sampled every few fresh trials, oldest first.
+    history: tuple = ()
 
     @property
     def percent(self):
@@ -49,6 +63,9 @@ class TelemetrySnapshot:
             "outcome_counts": dict(self.outcome_counts),
             "workers_busy": self.workers_busy,
             "workers_total": self.workers_total,
+            "worker_latency": {key: dict(stats) for key, stats
+                               in self.worker_latency.items()},
+            "history": [dict(entry) for entry in self.history],
         }
 
     def render(self):
@@ -58,6 +75,10 @@ class TelemetrySnapshot:
             parts.append("%.1f trials/s" % self.trials_per_second)
         if self.eta_seconds is not None:
             parts.append("ETA %s" % _format_seconds(self.eta_seconds))
+        elif self.done < self.total:
+            # Explicit placeholder instead of rendering the word "None"
+            # (or silently dropping the field) before a rate exists.
+            parts.append("ETA --:--")
         if self.outcome_counts:
             parts.append(" ".join(
                 "%s:%d" % (name, count)
@@ -85,11 +106,38 @@ class Telemetry:
         self.workers_busy = 0
         self.workers_total = 0
         self._started = self._clock()
+        # worker id -> deque of inter-completion latencies (seconds).
+        self._worker_latency = {}
+        # worker id -> clock time of that worker's last completion.
+        self._worker_last = {}
+        # worker id -> trials counted into the latency window (monotonic
+        # even after old samples slide out of the window).
+        self._worker_trials = {}
+        self._history = deque(maxlen=_HISTORY_LIMIT)
+        # Sample the outcome mix roughly every 0.5% of the sweep so the
+        # history ring spans the whole campaign.
+        self._history_stride = max(1, total // 200)
 
-    def record_trial(self, trial):
+    def record_trial(self, trial, worker_id=0):
         self.fresh += 1
         name = trial.outcome.value
         self.outcome_counts[name] = self.outcome_counts.get(name, 0) + 1
+        now = self._clock()
+        last = self._worker_last.get(worker_id, self._started)
+        window = self._worker_latency.get(worker_id)
+        if window is None:
+            window = deque(maxlen=_LATENCY_WINDOW)
+            self._worker_latency[worker_id] = window
+        window.append(max(0.0, now - last))
+        self._worker_last[worker_id] = now
+        self._worker_trials[worker_id] = \
+            self._worker_trials.get(worker_id, 0) + 1
+        if self.fresh % self._history_stride == 0:
+            self._history.append({
+                "elapsed_seconds": now - self._started,
+                "done": self.resumed + self.fresh,
+                "outcome_counts": dict(self.outcome_counts),
+            })
 
     def record_retry(self, units=1):
         self.retried += units
@@ -119,7 +167,36 @@ class Telemetry:
             outcome_counts=dict(self.outcome_counts),
             workers_busy=self.workers_busy,
             workers_total=self.workers_total,
+            worker_latency=self._latency_stats(),
+            history=tuple(dict(entry) for entry in self._history),
         )
+
+    def _latency_stats(self):
+        """Per-worker latency percentiles over the sliding window."""
+        stats = {}
+        for worker_id, window in self._worker_latency.items():
+            samples = sorted(window)
+            stats[str(worker_id)] = {
+                "p50": _percentile(samples, 0.50),
+                "p90": _percentile(samples, 0.90),
+                "p99": _percentile(samples, 0.99),
+                "count": self._worker_trials.get(worker_id, 0),
+            }
+        return stats
+
+
+def _percentile(sorted_samples, fraction):
+    """Linear-interpolated percentile of an ascending sample list."""
+    if not sorted_samples:
+        return None
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    position = fraction * (len(sorted_samples) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_samples) - 1)
+    weight = position - low
+    return sorted_samples[low] * (1.0 - weight) \
+        + sorted_samples[high] * weight
 
 
 def _format_seconds(seconds):

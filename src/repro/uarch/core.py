@@ -56,7 +56,7 @@ class Pipeline:
         "insn_pages", "data_pages", "tlb_insn_pages", "tlb_data_pages",
         "retired_this_cycle", "drains_this_cycle",
         "_recovery_requests", "_flush_requested", "_flush_reason",
-        "ras",
+        "ras", "obs",
     )
 
     def __init__(self, program, config=None):
@@ -129,6 +129,31 @@ class Pipeline:
         self._flush_requested = False
         self._flush_reason = None
 
+        # Observability: None by default, so every hook site pays one
+        # attribute check.  An attached repro.obs.Observer is strictly
+        # observation-only -- it can never change pipeline behaviour.
+        self.obs = None
+        # Stage table mirroring cycle()'s straight-line order, used by
+        # the observed cycle path (per-stage event/profiling brackets).
+        self._stages = (
+            ("retire", self.retire_unit.retire_stage),
+            ("writeback", self.execute.writeback_stage),
+            ("ecc", self._ecc_stage),
+            ("mem_m2", self.memunit.m2_stage),
+            ("mem_mhr", self.memunit.mhr_step),
+            ("mem_drain", self.memunit.drain_stage),
+            ("mem_m1", self.memunit.m1_stage),
+            ("execute", self.execute.execute_stage),
+            ("recovery", self._recovery_stage),
+            ("regread", self.execute.regread_stage),
+            ("select", self.scheduler.select_stage),
+            ("dispatch", self.rename_dispatch.dispatch_stage),
+            ("rename", self.rename_dispatch.rename_stage),
+            ("decode", self.frontend.decode_stage),
+            ("fetch2", self.frontend.fetch2_stage),
+            ("fetch1", self.frontend.fetch1_stage),
+        )
+
         self._reset(program.entry)
 
     # ------------------------------------------------------------------
@@ -155,6 +180,10 @@ class Pipeline:
 
     def cycle(self):
         """Advance one clock edge."""
+        obs = self.obs
+        if obs is not None:
+            self._cycle_observed(obs)
+            return
         self.retired_this_cycle = []
         self.drains_this_cycle = []
         self._recovery_requests = []
@@ -181,6 +210,44 @@ class Pipeline:
             self.flush_all()
         self.cycle_count += 1
 
+    def _cycle_observed(self, obs):
+        """The cycle loop with an observer attached.
+
+        Identical stage order and semantics to the straight-line
+        :meth:`cycle` (the invariance test holds the two byte-identical);
+        kept separate so the default path stays hot.  The flush check and
+        cycle-count increment happen *before* ``end_cycle`` so corruption
+        cleared by the end-of-cycle flush is attributed to this cycle.
+        """
+        self.retired_this_cycle = []
+        self.drains_this_cycle = []
+        self._recovery_requests = []
+
+        obs.begin_cycle(self)
+        profile = obs.profile
+        if profile is not None:
+            clock = profile.clock
+            add = profile.add
+            for name, stage in self._stages:
+                started = clock()
+                stage(self)
+                add(name, clock() - started)
+        else:
+            for _name, stage in self._stages:
+                stage(self)
+
+        if self._flush_requested:
+            self._flush_requested = False
+            self.flush_all()
+        self.cycle_count += 1
+        obs.end_cycle(self)
+
+    def _ecc_stage(self, _pipeline):
+        self.regfile.ecc_generate_step()
+
+    def _recovery_stage(self, _pipeline):
+        self._apply_recovery()
+
     def run(self, cycles, stop_on_halt=True):
         """Run ``cycles`` clock edges (stopping at HALT by default)."""
         for _ in range(cycles):
@@ -199,9 +266,13 @@ class Pipeline:
     def note_retired(self, seq, pc, op_id, dest, value):
         self.total_retired += 1
         self.retired_this_cycle.append((seq, pc, op_id, dest, value))
+        if self.obs is not None:
+            self.obs.on_retire(self, seq, pc, op_id, dest, value)
 
     def note_store_drain(self, address, value, size):
         self.drains_this_cycle.append((address, value, size))
+        if self.obs is not None:
+            self.obs.on_drain(self, address, value, size)
 
     def bump(self, counter, amount=1):
         """Increment a (side, non-injectable) statistics counter."""
@@ -219,6 +290,8 @@ class Pipeline:
         """An architectural failure observed at retirement (halts)."""
         if self.failure_event is None:
             self.failure_event = (kind, details)
+            if self.obs is not None:
+                self.obs.on_failure(self, kind)
         self.halted = True
 
     def note_fetch_pages(self, pc, count):
@@ -265,6 +338,8 @@ class Pipeline:
         kind, rob_index = request[0], request[1]
         self.bump("branch_mispredicts" if kind == "branch"
                   else "ordering_violations")
+        if self.obs is not None:
+            self.obs.on_recovery(self, kind, rob_index, request[2])
         age = (rob_index - head) % n
 
         if kind == "branch":
@@ -327,6 +402,8 @@ class Pipeline:
         survive in the store buffer (paper Section 4.1).
         """
         self.bump("recovery_flushes")
+        if self.obs is not None:
+            self.obs.on_flush(self, self._flush_reason)
         self.spec_rat.copy_from(self.arch_rat)
         self.spec_freelist.copy_from(self.arch_freelist)
         self.regfile.mark_all_ready()
@@ -433,6 +510,10 @@ class Pipeline:
 
     def inject_random_fault(self, rng, kinds=(StorageKind.LATCH,
                                               StorageKind.RAM)):
-        """Flip one uniformly-chosen bit; returns the element's metadata."""
+        """Flip one uniformly-chosen bit; returns ``(metadata, bit)``."""
         element_index, bit = self.space.choose_bit(rng, frozenset(kinds))
-        return self.space.flip_bit(element_index, bit)
+        meta = self.space.flip_bit(element_index, bit)
+        bit %= meta.width
+        if self.obs is not None:
+            self.obs.on_inject(self, meta, bit)
+        return meta, bit

@@ -13,7 +13,7 @@ paper Table 1).
 
 from repro.protect.ecc import REGPTR_CODE
 from repro.uarch.statelib import StateCategory, StorageKind
-from repro.uarch.uop import DISP_BITS, LOAD_IDS, STORE_IDS
+from repro.uarch.uop import DISP_BITS, LOAD_IDS, STORE_IDS, unpack_pc
 from repro.utils.bits import parity
 
 _SEQ_BITS = 40
@@ -159,6 +159,10 @@ class RenameDispatch:
                     | din.disp.get()))
             if out.ptr_ecc is not None:
                 out.ptr_ecc.set(REGPTR_CODE.encode(out.pdst.get()))
+            if pipeline.obs is not None:
+                pipeline.obs.on_rename(pipeline, seq=din.seq.get(),
+                                       pc=unpack_pc(din.pc.get()),
+                                       pdst=out.pdst.get())
             din.valid.set(0)
 
     # -- Dispatch stage (rename latch -> ROB/scheduler/LSQ) -------------------
@@ -188,4 +192,7 @@ class RenameDispatch:
                 sq_index = mem.sq_alloc(slot, rob_index)
             rob.set_lsq(rob_index, lq_index, sq_index)
             sched.insert(pipeline, slot, rob_index, lq_index, sq_index)
+            if pipeline.obs is not None:
+                pipeline.obs.on_dispatch(pipeline, seq=slot.seq.get(),
+                                         rob_index=rob_index)
             slot.valid.set(0)

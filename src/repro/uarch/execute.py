@@ -575,3 +575,9 @@ class ExecuteUnit:
                 sched.complete(slot.sched_index.get())
             if slot.is_load.get():
                 pipeline.memunit.lq_mark_done(slot.lq_index.get())
+            if pipeline.obs is not None:
+                pipeline.obs.on_writeback(
+                    pipeline, rob_index=slot.rob_index.get(),
+                    pdst=slot.pdst.get() if slot.has_dest.get() else None,
+                    value=slot.value.get() if slot.has_dest.get() else None,
+                    exc=exc)

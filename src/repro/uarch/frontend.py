@@ -389,6 +389,8 @@ class Frontend:
             slot.seq.set(seq)
             if slot.parity is not None:
                 slot.parity.set(parity(word))
+            if pipeline.obs is not None:
+                pipeline.obs.on_fetch(pipeline, seq=seq, pc=addr)
             fetched += 1
             if pred_taken:
                 redirect = pred_target

@@ -199,6 +199,10 @@ class Scheduler:
             fu_budget[budget_key] -= 1
             entry.issued.set(1)
             execute.accept_issue(index, entry)
+            if pipeline.obs is not None:
+                pipeline.obs.on_issue(pipeline, seq=entry.seq.get(),
+                                      rob_index=entry.rob_index.get(),
+                                      op_id=op_id)
             issued += 1
 
     def _operands_promised(self, pipeline, entry):

@@ -147,6 +147,7 @@ class StateSpace:
     def __init__(self):
         self.values = []
         self.elements = []
+        self.handles = []  # Field handle per element, same order as values
         self._frozen = False
         self._signature_indices = None
         self._injection_tables = {}
@@ -172,6 +173,7 @@ class StateSpace:
         self.elements.append(
             ElementMeta(index, name, width, category, kind, injectable))
         field = Field(self, index, width)
+        self.handles.append(field)
         return field
 
     def array(self, name, count, width, category, kind, injectable=True):

@@ -1,0 +1,72 @@
+"""Event tracer tests: ring bounds, counts, timeline rendering."""
+
+from repro.obs import EVENT_FIELDS, EventTracer, TraceEvent
+
+
+def test_ring_bound_and_dropped_accounting():
+    tracer = EventTracer(capacity=4)
+    for cycle in range(10):
+        tracer.emit(cycle, "fetch", seq=cycle, pc=0x1000 + cycle)
+    assert len(tracer.events()) == 4
+    assert tracer.dropped == 6
+    # Per-kind counts survive the ring bound.
+    assert tracer.counts["fetch"] == 10
+    assert [event.cycle for event in tracer.events()] == [6, 7, 8, 9]
+
+
+def test_kind_payload_field_does_not_collide():
+    tracer = EventTracer()
+    tracer.emit(5, "inject", element="rob[3].pc", category="pc",
+                kind="latch", bit=7)
+    event = tracer.events("inject")[0]
+    assert event.kind == "inject"
+    assert event.data["kind"] == "latch"
+    assert tracer.inject_cycle == 5
+
+
+def test_timeline_relative_to_injection():
+    tracer = EventTracer()
+    tracer.emit(100, "fetch", seq=1, pc=0x2000)
+    tracer.emit(103, "inject", element="lq[0].addr", category="lsq",
+                kind="latch", bit=3)
+    tracer.emit(105, "retire", seq=1, pc=0x2000, op_id=4, dest=2, value=9)
+    timeline = tracer.render_timeline()
+    assert "c+-3" in timeline  # pre-injection event
+    assert "c+0" in timeline
+    assert "c+2" in timeline
+    assert "pc=0x2000" in timeline
+
+
+def test_timeline_filters_and_limits():
+    tracer = EventTracer()
+    for cycle in range(20):
+        tracer.emit(cycle, "fetch", seq=cycle, pc=cycle)
+        tracer.emit(cycle, "retire", seq=cycle, pc=cycle, op_id=0,
+                    dest=None, value=None)
+    only_retire = tracer.render_timeline(kinds=("retire",))
+    assert "fetch" not in only_retire
+    assert "value=-" in only_retire  # None renders as "-"
+    limited = tracer.render_timeline(limit=3)
+    assert len(limited.splitlines()) == 3
+
+
+def test_dropped_banner_and_empty_timeline():
+    tracer = EventTracer(capacity=2)
+    assert tracer.render_timeline() == "(no events)"
+    for cycle in range(5):
+        tracer.emit(cycle, "flush", reason="timeout")
+    assert "3 earlier events dropped" in tracer.render_timeline()
+    tracer.clear()
+    assert tracer.render_timeline() == "(no events)"
+    assert tracer.dropped == 0 and not tracer.counts
+
+
+def test_event_dict_round_trip_and_schema():
+    event = TraceEvent(7, "drain", {"address": 0x4000, "value": 1,
+                                    "size": 8})
+    record = event.to_dict()
+    assert record == {"cycle": 7, "kind": "drain", "address": 0x4000,
+                      "value": 1, "size": 8}
+    # Every schema kind lists its payload fields for the docs/tests.
+    for kind, fields in EVENT_FIELDS.items():
+        assert isinstance(kind, str) and isinstance(fields, tuple)

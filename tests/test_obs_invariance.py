@@ -1,0 +1,127 @@
+"""The repro.obs contract: observation never changes the simulation.
+
+Enabling tracing, provenance, or profiling must leave every trial
+byte-identical to an unobserved run (modulo the two provenance-*derived*
+record fields, ``first_read_cycle`` and ``masking_cause``, which only
+exist when the observer runs and are stripped before comparison).
+"""
+
+import json
+
+import pytest
+
+from repro.inject.campaign import Campaign, CampaignConfig
+from repro.inject.store import (
+    campaign_fingerprint,
+    trial_from_dict,
+    trial_to_dict,
+)
+from repro.obs import EventTracer, MASKING_CAUSES, Observer
+from repro.uarch.core import Pipeline
+from repro.workloads import get_workload
+
+# The only fields an observer may add to a trial record.
+_OBS_ONLY = ("first_read_cycle", "masking_cause")
+
+_SWEEP = dict(trials_per_start_point=8, start_points_per_workload=2)
+
+
+def _stripped(trial):
+    record = trial_to_dict(trial)
+    for key in _OBS_ONLY:
+        record.pop(key, None)
+    return json.dumps(record, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def plain_result():
+    return Campaign(CampaignConfig.test(**_SWEEP)).run()
+
+
+@pytest.fixture(scope="module")
+def observed_result():
+    config = CampaignConfig.test(provenance=True, profile=True, **_SWEEP)
+    return Campaign(config).run()
+
+
+def test_observed_campaign_is_byte_identical(plain_result, observed_result):
+    plain = [_stripped(t) for t in plain_result.trials]
+    observed = [_stripped(t) for t in observed_result.trials]
+    assert plain == observed
+
+
+def test_observer_fills_provenance_fields(observed_result):
+    benign = [t for t in observed_result.trials if t.outcome.is_benign]
+    assert benign
+    causes = {t.masking_cause for t in benign if t.masking_cause}
+    assert causes  # at least one trial resolved a masking cause
+    assert causes <= set(MASKING_CAUSES)
+    # Plain runs never carry the fields.
+    for trial in observed_result.trials:
+        if trial.first_read_cycle is not None:
+            assert trial.first_read_cycle >= 0
+
+
+def test_plain_campaign_has_no_provenance(plain_result):
+    for trial in plain_result.trials:
+        assert trial.first_read_cycle is None
+        assert trial.masking_cause is None
+
+
+def test_fingerprint_ignores_observation_flags():
+    base = CampaignConfig.test(**_SWEEP)
+    observed = CampaignConfig.test(provenance=True, profile=True, **_SWEEP)
+    assert campaign_fingerprint(base) == campaign_fingerprint(observed)
+
+
+def test_replay_matches_campaign_trial(plain_result):
+    from repro.obs.replay import replay_trial
+
+    config = plain_result.config
+    target = next(t for t in plain_result.trials
+                  if t.start_point == 1 and t.trial_index == 3)
+    replayed = replay_trial(
+        "gzip", 1, trial_index=3, seed=config.seed, scale=config.scale,
+        kinds=config.kinds, horizon=config.horizon,
+        warmup_cycles=config.warmup_cycles,
+        spacing_cycles=config.spacing_cycles, margin=config.margin)
+    assert _stripped(replayed.trial) == _stripped(target)
+    # The replay traced the injection and the trial's end.
+    assert replayed.tracer.counts.get("inject") == 1
+    assert replayed.tracer.counts.get("trial-end") == 1
+
+
+def test_event_tracing_does_not_perturb_the_pipeline():
+    program = get_workload("gzip", scale="tiny").program
+    plain = Pipeline(program)
+    plain.run(300)
+    traced = Pipeline(program)
+    traced.obs = Observer(tracer=EventTracer())
+    traced.run(300)
+    assert traced.cycle_count == plain.cycle_count
+    assert traced.space.signature() == plain.space.signature()
+    assert traced.total_retired == plain.total_retired
+    assert traced.obs.tracer.counts.get("retire")
+
+
+# -- TrialResult.bit (recorded, round-tripped, legacy-tolerant) ---------------
+
+
+def test_trial_bit_is_recorded(plain_result):
+    bits = [t.bit for t in plain_result.trials]
+    assert any(bit > 0 for bit in bits), \
+        "every trial reported bit 0 -- the injected bit is not recorded"
+    trial = plain_result.trials[0]
+    assert trial_from_dict(trial_to_dict(trial)).bit == trial.bit
+
+
+def test_legacy_trial_records_load(plain_result):
+    raw = trial_to_dict(plain_result.trials[0])
+    for key in ("bit",) + tuple(_OBS_ONLY) \
+            + ("arch_corrupt_cycle", "detect_latency"):
+        raw.pop(key, None)
+    loaded = trial_from_dict(raw)
+    assert loaded.bit == 0
+    assert loaded.first_read_cycle is None
+    assert loaded.masking_cause is None
+    assert loaded.detect_latency is None

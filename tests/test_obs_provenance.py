@@ -1,0 +1,110 @@
+"""Provenance tracker tests: read watching, clear attribution, causes."""
+
+import pytest
+
+from repro.obs import ProvenanceTracker
+from repro.uarch.core import Pipeline
+from repro.uarch.statelib import Field
+from repro.workloads import get_workload
+
+
+@pytest.fixture
+def pipeline():
+    machine = Pipeline(get_workload("gzip", scale="tiny").program)
+    machine.run(50)
+    return machine
+
+
+def _arm(pipeline, bit=0):
+    space = pipeline.space
+    meta = next(m for m in space.elements if m.injectable)
+    space.flip_bit(meta.index, bit)
+    tracker = ProvenanceTracker()
+    tracker.arm(pipeline, meta, bit)
+    return tracker, space.handles[meta.index]
+
+
+def test_arm_swaps_field_class_and_disarm_restores(pipeline):
+    tracker, handle = _arm(pipeline)
+    assert type(handle) is not Field
+    assert isinstance(handle, Field)  # subclass with identical layout
+    tracker.disarm()
+    assert type(handle) is Field
+    tracker.disarm()  # idempotent
+    assert type(handle) is Field
+    # Collected state survives disarm for post-trial reporting.
+    assert tracker.armed
+    assert tracker.summary()["element"] == tracker.element_name
+
+
+def test_first_read_only_counts_inside_a_cycle(pipeline):
+    tracker, handle = _arm(pipeline)
+    handle.get()  # harness read, outside begin/end -- must not count
+    assert tracker.first_read_cycle is None
+    tracker.begin_cycle(pipeline)
+    handle.get()
+    assert tracker.first_read_cycle == 0
+    newly_read, mechanism = tracker.end_cycle(pipeline, False, False)
+    assert newly_read and mechanism is None  # still corrupt, just read
+    tracker.disarm()
+
+
+def test_unwatched_fields_pay_nothing(pipeline):
+    tracker, handle = _arm(pipeline)
+    space = pipeline.space
+    other = next(h for h in space.handles if h is not handle)
+    assert type(other) is Field  # only the flipped element is watched
+    tracker.disarm()
+
+
+@pytest.mark.parametrize("flushed,recovered,expected", [
+    (False, False, "overwritten"),
+    (False, True, "squashed"),
+    (True, False, "flushed"),
+    (True, True, "flushed"),  # a full flush wins over a squash
+])
+def test_clear_mechanism_attribution(pipeline, flushed, recovered,
+                                     expected):
+    tracker, handle = _arm(pipeline)
+    tracker.begin_cycle(pipeline)
+    pipeline.cycle_count += 1  # pretend one cycle elapsed
+    handle.set(tracker.corrupt_value ^ 1)  # corruption disappears
+    _newly, mechanism = tracker.end_cycle(pipeline, flushed, recovered)
+    assert mechanism == expected
+    assert tracker.cleared_cycle == 0
+    assert tracker.masking_cause() == expected
+    # Attribution fires exactly once.
+    tracker.begin_cycle(pipeline)
+    assert tracker.end_cycle(pipeline, True, True) == (False, None)
+    tracker.disarm()
+
+
+def test_never_read_masking_cause(pipeline):
+    tracker, _handle = _arm(pipeline)
+    tracker.begin_cycle(pipeline)
+    tracker.end_cycle(pipeline, False, False)
+    assert tracker.first_read_cycle is None
+    assert tracker.masking_cause() == "never-read"
+    tracker.disarm()
+
+
+def test_read_but_unresolved_has_no_cause(pipeline):
+    tracker, handle = _arm(pipeline)
+    tracker.begin_cycle(pipeline)
+    handle.get()
+    tracker.end_cycle(pipeline, False, False)
+    assert tracker.masking_cause() is None  # latent corruption
+    tracker.disarm()
+
+
+def test_rearm_resets_collected_state(pipeline):
+    tracker, handle = _arm(pipeline)
+    tracker.begin_cycle(pipeline)
+    handle.get()
+    tracker.end_cycle(pipeline, False, False)
+    assert tracker.first_read_cycle is not None
+    meta = next(m for m in pipeline.space.elements if m.injectable)
+    tracker.arm(pipeline, meta, 2)
+    assert tracker.first_read_cycle is None
+    assert tracker.cleared_cycle is None
+    tracker.disarm()

@@ -180,7 +180,9 @@ def test_resume_requires_journal_when_asked(tmp_path, config):
 
 
 def test_telemetry_rates_and_eta(serial):
-    ticks = iter([0.0, 10.0, 10.0, 10.0])
+    # First tick anchors _started; record_trial timestamps each
+    # completion (per-worker latency), snapshot reads elapsed.
+    ticks = iter([0.0] + [10.0] * 8)
     telemetry = Telemetry(total=10, resumed=2, clock=lambda: next(ticks))
     for trial in serial.trials[:4]:
         telemetry.record_trial(trial)

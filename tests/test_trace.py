@@ -65,3 +65,59 @@ def test_retirement_log():
     assert "lda" in log or "ldah" in log
     assert "addq" in log
     assert "r16=7" in log
+
+
+def test_retirement_log_honours_limit():
+    pipeline = Pipeline(get_workload("gzip", scale="tiny").program)
+    log = retirement_log(pipeline, 400, limit=5)
+    assert len(log.splitlines()) == 5
+    # Every line carries a cycle stamp and a hex PC.
+    for line in log.splitlines():
+        assert line.startswith("c0")
+        assert "0x" in line
+
+
+def test_structure_snapshot_on_fresh_pipeline():
+    pipeline = Pipeline(assemble("    halt"))
+    snapshot = structure_snapshot(pipeline)
+    assert "cyc=0" in snapshot
+    assert "ret=0" in snapshot
+    assert "mhr=0" in snapshot
+
+
+def test_rob_window_respects_limit():
+    pipeline = Pipeline(get_workload("gzip", scale="tiny").program)
+    pipeline.run(300)
+    window = rob_window(pipeline, limit=3)
+    assert len(window.splitlines()) <= 3
+
+
+def test_occupancy_sampling_interval():
+    pipeline = Pipeline(get_workload("gzip", scale="tiny").program)
+    tracer = PipelineTracer(sample_every=5).attach(pipeline)
+    pipeline.run(100)
+    tracer.detach()
+    cycles = [sample["cycle"] for sample in tracer.occupancy]
+    assert cycles and all(cycle % 5 == 0 for cycle in cycles)
+    assert all(sample["rob"] >= 0 for sample in tracer.occupancy)
+
+
+def test_tracer_composes_with_observer():
+    """PipelineTracer wraps cycle(); repro.obs hooks live inside it.
+
+    Both attached at once must see the same machine: the tracer's
+    retirement records and the observer's retire events agree.
+    """
+    from repro.obs import EventTracer, Observer
+
+    pipeline = Pipeline(get_workload("gzip", scale="tiny").program)
+    pipeline.obs = Observer(tracer=EventTracer(capacity=100_000))
+    tracer = PipelineTracer().attach(pipeline)
+    pipeline.run(200)
+    tracer.detach()
+    # Observer events stamp the in-progress cycle (pre-increment); the
+    # wrapper samples after cycle_count advanced, hence the +1.
+    observed = [(e.cycle + 1,) + tuple(
+        e.data[k] for k in ("seq", "pc", "op_id", "dest", "value"))
+        for e in pipeline.obs.tracer.events("retire")]
+    assert observed == tracer.retirements

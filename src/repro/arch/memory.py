@@ -18,19 +18,51 @@ def page_of(address):
     return (address & MASK64) >> _PAGE_SHIFT
 
 
-class Memory:
-    """Sparse 64-bit memory image."""
+# Undo-journal marker for "address was absent before the first store".
+_ABSENT = object()
 
-    __slots__ = ("quads", "touched_pages", "track_pages")
+
+class Memory:
+    """Sparse 64-bit memory image.
+
+    With copy-on-write tracking armed (:meth:`cow_begin`), every store
+    journals the address's prior contents on first touch, so
+    :meth:`cow_restore` rolls the image back to the baseline in
+    O(stores since baseline) instead of the pipeline re-copying the
+    whole dict per trial.  Tracking is opt-in (``_undo`` stays None for
+    functional-simulator memories) and loads never pay for it.
+    """
+
+    __slots__ = ("quads", "touched_pages", "track_pages", "_undo")
 
     def __init__(self, image=None, track_pages=False):
         self.quads = dict(image) if image else {}
         self.track_pages = track_pages
         self.touched_pages = set()
+        self._undo = None
 
     def copy(self, track_pages=False):
         """An independent copy (page tracking state is not copied)."""
         return Memory(self.quads, track_pages=track_pages)
+
+    # -- Copy-on-write baseline ---------------------------------------------
+
+    def cow_begin(self):
+        """Start journaling stores against the current contents."""
+        if self._undo is None:
+            self._undo = {}
+        else:
+            self._undo.clear()
+
+    def cow_restore(self):
+        """Roll the image back to the :meth:`cow_begin` baseline."""
+        quads = self.quads
+        for address, value in self._undo.items():
+            if value is _ABSENT:
+                quads.pop(address, None)
+            else:
+                quads[address] = value
+        self._undo.clear()
 
     # -- Quadword (8-byte) access -------------------------------------------
 
@@ -44,6 +76,9 @@ class Memory:
         address &= MASK64 & ~7
         if self.track_pages:
             self.touched_pages.add(address >> _PAGE_SHIFT)
+        undo = self._undo
+        if undo is not None and address not in undo:
+            undo[address] = self.quads.get(address, _ABSENT)
         self.quads[address] = value & MASK64
 
     # -- Longword (4-byte) access ---------------------------------------------

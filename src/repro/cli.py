@@ -10,6 +10,8 @@ Subcommands:
 * ``overhead``   -- print the protection-mechanism storage overheads.
 * ``lint``       -- static analysis of the model itself (injectability,
   determinism, ghost isolation; see docs/LINTING.md).
+* ``bench``      -- fixed micro/smoke benchmark suite tracking simulator
+  throughput across revisions (see docs/PERFORMANCE.md).
 """
 
 import argparse
@@ -41,6 +43,10 @@ def main(argv=None):
         # leading option tokens (e.g. ``lint --list-rules``).
         from repro.lint.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # Same verbatim forward (e.g. ``bench --check``).
+        from repro.perf.bench import main as bench_main
+        return bench_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
@@ -163,11 +169,19 @@ def build_parser():
 
     p = sub.add_parser("lint", add_help=False,
                        help="static analysis: injectability, determinism, "
-                            "ghost isolation (REP001-REP004)")
+                            "ghost isolation (REP001-REP005)")
     p.add_argument("lint_args", nargs=argparse.REMAINDER,
                    help="arguments forwarded to repro.lint "
                         "(see 'repro-faults lint --help')")
     p.set_defaults(handler=cmd_lint)
+
+    p = sub.add_parser("bench", add_help=False,
+                       help="fixed micro/smoke benchmark suite; writes "
+                            "BENCH_<rev>.json (see docs/PERFORMANCE.md)")
+    p.add_argument("bench_args", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to repro.perf.bench "
+                        "(see 'repro-faults bench --help')")
+    p.set_defaults(handler=cmd_bench)
     return parser
 
 
@@ -391,6 +405,12 @@ def cmd_lint(args):
     """Run the repro.lint static-analysis pass over the tree."""
     from repro.lint.cli import main as lint_main
     return lint_main(args.lint_args)
+
+
+def cmd_bench(args):
+    """Run the fixed benchmark suite (repro.perf.bench)."""
+    from repro.perf.bench import main as bench_main
+    return bench_main(args.bench_args)
 
 
 class _ProgressRenderer:

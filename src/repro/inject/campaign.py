@@ -21,9 +21,11 @@ from repro.uarch.statelib import StorageKind
 from repro.utils.rng import SplitRng
 from repro.workloads import WORKLOAD_NAMES, get_workload
 
+# Normalized (frozenset) kind populations: resolved once here at the
+# campaign boundary so the per-trial injection path never re-normalizes.
 _KINDS = {
-    "latch": (StorageKind.LATCH,),
-    "latch+ram": (StorageKind.LATCH, StorageKind.RAM),
+    "latch": frozenset((StorageKind.LATCH,)),
+    "latch+ram": frozenset((StorageKind.LATCH, StorageKind.RAM)),
 }
 
 

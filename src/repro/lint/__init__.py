@@ -25,6 +25,9 @@ REP003    ghost isolation: no behavioral path may *read* an
 REP004    category inventory: every allocated ``StateCategory`` is one
           the analysis layer aggregates (Table 1 / Figure 5 can never
           silently drop a category).
+REP005    signature bypass: state-element writes must go through the
+          signature-maintaining ``Field``/``StateSpace`` paths, never
+          raw ``.values`` mutation.
 ========  ==============================================================
 
 Run it as ``python -m repro.lint [--format json] [paths...]`` or

@@ -18,7 +18,8 @@ def build_parser():
         prog="repro.lint",
         description="Static analysis of the fault-injection harness: "
                     "injectability (REP001), determinism (REP002), ghost "
-                    "isolation (REP003) and category inventory (REP004).")
+                    "isolation (REP003), category inventory (REP004) and "
+                    "signature bypass (REP005).")
     parser.add_argument(
         "paths", nargs="*",
         help="files or directories to lint (default: [tool.repro.lint] "

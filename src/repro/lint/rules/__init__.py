@@ -5,4 +5,5 @@ from repro.lint.rules import (  # noqa: F401  (registration side effects)
     rep002_determinism,
     rep003_ghost_isolation,
     rep004_categories,
+    rep005_signature_bypass,
 )

@@ -70,6 +70,8 @@ class ProvenanceTracker:
 
     def __init__(self):
         self._field = None
+        # repro-lint: allow=REP005 (read-only alias slot, armed in
+        # arm(); the tracker never writes through it)
         self._values = None
         self._in_cycle = False
         self._cycle = 0
@@ -103,6 +105,8 @@ class ProvenanceTracker:
         self.clear_mechanism = None
         self._read_this_cycle = False
         self._in_cycle = False
+        # repro-lint: allow=REP005 (read-only alias: the watcher only
+        # compares values on get(); all writes stay on the Field path)
         self._values = space.values
         field = space.handles[meta.index]
         field.__class__ = _WatchedField

@@ -1,0 +1,12 @@
+"""Performance subsystem: golden-window memoization and benchmarks.
+
+``repro.perf.goldencache`` shares recorded golden windows (and their
+start-point checkpoints) across pool workers and resumed runs through
+the campaign directory; ``repro.perf.bench`` is the fixed micro/smoke
+suite behind ``repro-faults bench`` that tracks the simulator's
+throughput over time in ``BENCH_<rev>.json`` files.
+"""
+
+from repro.perf.goldencache import GoldenCache
+
+__all__ = ["GoldenCache"]

@@ -1,0 +1,96 @@
+"""On-disk memoization of golden windows across workers and runs.
+
+Recording a golden trace costs a full fault-free simulation of
+``warmup + spacing`` cycles plus the ``horizon + margin`` window --
+with a process pool, every worker used to pay it again for every
+``(workload, start_point)`` it touched.  The cache stores each start
+point's *checkpoint and golden trace* once, under
+``<campaign-dir>/golden/``, so any worker (or a resumed run) loads the
+pickle instead of re-simulating.
+
+Safety comes from the key, not the file name: every entry embeds
+
+* the campaign fingerprint (config + RNG scheme -- the same identity
+  that guards journal resume), which covers workload, scale, warmup,
+  spacing, horizon, margin, and protection;
+* a digest of the pipeline config's ``repr`` (a custom
+  ``PipelineConfig`` changes the machine without changing the campaign
+  config);
+* a format version.
+
+A mismatched or unreadable entry is simply ignored and re-recorded --
+the cache can never change what a trial computes, only how often the
+deterministic preparation is repeated.  Writes go through a temp file
+plus ``os.replace`` so concurrent workers racing on the same entry
+each land a complete file and nobody ever reads a torn one.
+
+Signatures inside cached traces are portable because the incremental
+scheme hashes plain ints, which CPython hashes identically in every
+process (``PYTHONHASHSEED`` randomizes str/bytes only).
+"""
+
+import hashlib
+import os
+import pickle
+import tempfile
+
+from repro.inject.store import campaign_fingerprint
+
+__all__ = ["GoldenCache"]
+
+# Bump when the cached payload's shape changes incompatibly.
+CACHE_FORMAT = 1
+
+
+def _pipeline_config_digest(pipeline_config):
+    text = repr(pipeline_config)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class GoldenCache:
+    """Shared store of ``(checkpoint, golden trace)`` per start point."""
+
+    def __init__(self, directory, config, pipeline_config):
+        self.directory = directory
+        self._tag = (CACHE_FORMAT, campaign_fingerprint(config),
+                     _pipeline_config_digest(pipeline_config))
+
+    def _path(self, workload_name, start_point):
+        return os.path.join(
+            self.directory, "%s-sp%d.pkl" % (workload_name, start_point))
+
+    def load(self, workload_name, start_point):
+        """The cached ``(checkpoint, golden)`` pair, or None."""
+        try:
+            with open(self._path(workload_name, start_point), "rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, EOFError, pickle.UnpicklingError, AttributeError,
+                ImportError, IndexError, KeyError, TypeError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("tag") != self._tag:
+            return None
+        return entry["checkpoint"], entry["golden"]
+
+    def store(self, workload_name, start_point, checkpoint, golden):
+        """Persist one start point's preparation (best-effort, atomic)."""
+        entry = {"tag": self._tag, "checkpoint": checkpoint,
+                 "golden": golden}
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(entry, fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, self._path(workload_name, start_point))
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            # A full disk or unpicklable payload costs re-recording,
+            # never correctness.
+            pass

@@ -26,6 +26,7 @@ Observability is a progress callback receiving
 ``metrics.json`` snapshot in the campaign directory.
 """
 
+import os
 import time
 from collections import deque
 
@@ -87,7 +88,6 @@ class CampaignRunner:
         self.pipeline_config = pipeline_config or PipelineConfig.paper(
             config.protection)
         if workers is None:
-            import os
             workers = os.cpu_count() or 1
         self.workers = max(1, min(workers, config.total_trials))
         self.directory = directory
@@ -216,9 +216,16 @@ class CampaignRunner:
             page_sets[name] = workload_page_sets(workload.program)
         return page_sets
 
+    def _golden_dir(self):
+        """The shared golden-cache directory (campaign-directory runs)."""
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, "golden")
+
     def _run_inline(self, pending, results, telemetry, journal):
         """Single-worker path: same context code, no processes."""
-        context = WorkerContext(self.config, self.pipeline_config)
+        context = WorkerContext(self.config, self.pipeline_config,
+                                golden_dir=self._golden_dir())
         telemetry.set_workers(1, 1)
         try:
             for unit in pending:
@@ -243,7 +250,8 @@ class CampaignRunner:
         retries = {}
         assignments = {}  # worker_id -> [batch_id, batch, received indices]
         pool = WorkerPool(self.config, self.pipeline_config, self.workers,
-                          page_sets=self._shared_page_sets(pending))
+                          page_sets=self._shared_page_sets(pending),
+                          golden_dir=self._golden_dir())
         self.pool = pool
         try:
             while outstanding:

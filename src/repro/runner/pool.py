@@ -28,6 +28,7 @@ from repro.inject.campaign import _KINDS
 from repro.inject.golden import record_golden, workload_page_sets
 from repro.inject.trial import run_trial
 from repro.obs import observer_from_config
+from repro.perf.goldencache import GoldenCache
 from repro.runner.units import TrialUnit
 from repro.uarch.config import PipelineConfig
 from repro.uarch.core import Pipeline
@@ -45,6 +46,7 @@ class _WorkloadState:
         self.insn_pages = insn_pages
         self.data_pages = data_pages
         self.wl_rng = wl_rng
+        self.warmed = False  # warmup cycles run (skipped on cache hits)
         self.start_point = -1  # last checkpointed start point
         self.checkpoint = None
         self.golden = None
@@ -55,7 +57,7 @@ class WorkerContext:
     """Runs trial units, caching per-start-point preparation."""
 
     def __init__(self, config, pipeline_config=None, page_sets=None,
-                 observer=None):
+                 observer=None, golden_dir=None):
         self.config = config
         self.pipeline_config = pipeline_config or PipelineConfig.paper(
             config.protection)
@@ -72,6 +74,13 @@ class WorkerContext:
         # deterministic fault-free functional run, so who computes them
         # cannot matter, and recomputing per worker is pure waste.
         self._page_sets = dict(page_sets) if page_sets else {}
+        # Shared golden-window memoization (campaign directory runs):
+        # checkpoints and golden traces are recorded once per
+        # (workload, start point) across all workers and runs.
+        self.golden_cache = None
+        if golden_dir is not None:
+            self.golden_cache = GoldenCache(
+                golden_dir, config, self.pipeline_config)
 
     def run_unit(self, unit):
         """Execute one :class:`TrialUnit`; returns a ``TrialResult``."""
@@ -101,6 +110,13 @@ class WorkerContext:
         (every trial restores the checkpoint first).  Moving backwards
         -- a retried unit landing on a worker that has advanced past it
         -- rebuilds the workload from reset.
+
+        With a golden cache attached, a start point another worker (or
+        a previous run) already prepared is loaded instead of
+        simulated: the cached checkpoint/golden pair is the exact data
+        the simulation path would deterministically recompute, so trial
+        bytes are unchanged -- only the fault-free warmup, spacing, and
+        recording work is skipped.
         """
         state = self._workloads.get(workload_name)
         if state is None or state.start_point > start_point:
@@ -108,6 +124,21 @@ class WorkerContext:
             self._workloads[workload_name] = state
         config = self.config
         pipeline = state.pipeline
+        if state.start_point == start_point and state.golden is not None:
+            return state
+        cache = self.golden_cache
+        if cache is not None:
+            cached = cache.load(workload_name, start_point)
+            if cached is not None:
+                state.checkpoint, state.golden = cached
+                pipeline.restore(state.checkpoint)
+                state.warmed = True
+                state.start_point = start_point
+                state.sp_rng = state.wl_rng.split("sp/%d" % start_point)
+                return state
+        if not state.warmed:
+            pipeline.run(config.warmup_cycles, stop_on_halt=True)
+            state.warmed = True
         while state.start_point < start_point:
             if state.checkpoint is not None:
                 pipeline.restore(state.checkpoint)
@@ -127,9 +158,14 @@ class WorkerContext:
                 state.insn_pages, state.data_pages,
                 verify_replay=config.verify_golden and start_point == 0)
             state.sp_rng = state.wl_rng.split("sp/%d" % start_point)
+            if cache is not None:
+                cache.store(workload_name, start_point, state.checkpoint,
+                            state.golden)
         return state
 
     def _fresh(self, workload_name):
+        """A reset-state pipeline; warmup is deferred to ``_prepare``
+        so a golden-cache hit never simulates a cycle."""
         workload = get_workload(workload_name, scale=self.config.scale)
         pages = self._page_sets.get(workload_name)
         if pages is None:
@@ -137,7 +173,6 @@ class WorkerContext:
             self._page_sets[workload_name] = pages
         insn_pages, data_pages = pages
         pipeline = Pipeline(workload.program, self.pipeline_config)
-        pipeline.run(self.config.warmup_cycles, stop_on_halt=True)
         wl_rng = self._rng_root.split("workload/%s" % workload_name)
         return _WorkloadState(pipeline, insn_pages, data_pages, wl_rng)
 
@@ -145,10 +180,11 @@ class WorkerContext:
 # -- Pool ----------------------------------------------------------------------
 
 
-def _worker_main(worker_id, config, pipeline_config, page_sets, tasks,
-                 results):
+def _worker_main(worker_id, config, pipeline_config, page_sets, golden_dir,
+                 tasks, results):
     """Worker process loop: run assigned batches, report each trial."""
-    context = WorkerContext(config, pipeline_config, page_sets=page_sets)
+    context = WorkerContext(config, pipeline_config, page_sets=page_sets,
+                            golden_dir=golden_dir)
     while True:
         try:
             task = tasks.get()
@@ -203,11 +239,13 @@ class _Worker:
 class WorkerPool:
     """A pool of trial workers with per-worker task queues."""
 
-    def __init__(self, config, pipeline_config, workers, page_sets=None):
+    def __init__(self, config, pipeline_config, workers, page_sets=None,
+                 golden_dir=None):
         self._mp = multiprocessing.get_context()
         self._config = config
         self._pipeline_config = pipeline_config
         self._page_sets = page_sets or {}
+        self._golden_dir = golden_dir
         self.results = self._mp.Queue()
         self._next_id = 0
         self.workers = []
@@ -221,7 +259,7 @@ class WorkerPool:
         process = self._mp.Process(
             target=_worker_main,
             args=(worker_id, self._config, self._pipeline_config,
-                  self._page_sets, tasks, self.results),
+                  self._page_sets, self._golden_dir, tasks, self.results),
             daemon=True)
         process.start()
         return _Worker(worker_id, process, tasks)

@@ -12,7 +12,17 @@ in :mod:`repro.uarch.memunit`.
 
 
 class SetAssocCache:
-    """A set-associative tag store with true-LRU replacement."""
+    """A set-associative tag store with true-LRU replacement.
+
+    Supports copy-on-write baselines for fast trial restore: once
+    :meth:`cow_begin` is armed, the first mutation of a set stashes the
+    pristine ways list and replaces it with a copy, so
+    :meth:`cow_restore` just reinstates the stashed originals --
+    O(touched sets) instead of re-copying every set.  Mutations that
+    would not change LRU state (re-touching or re-filling the MRU tag)
+    are skipped outright, which is both byte-identical and the common
+    case in tight loops.
+    """
 
     def __init__(self, size_bytes, assoc, line_bytes):
         self.line_bytes = line_bytes
@@ -20,17 +30,43 @@ class SetAssocCache:
         self.num_sets = max(1, size_bytes // (assoc * line_bytes))
         # Per-set list of tags, most recently used last.
         self.sets = [[] for _ in range(self.num_sets)]
+        self._cow = None  # set index -> pristine ways list of the baseline
 
     def _locate(self, address):
         line = address // self.line_bytes
         return line % self.num_sets, line
+
+    def cow_begin(self):
+        """Make the current contents the copy-on-write baseline."""
+        if self._cow is None:
+            self._cow = {}
+        else:
+            self._cow.clear()
+
+    def cow_restore(self):
+        """Reinstate the :meth:`cow_begin` baseline."""
+        sets = self.sets
+        for set_index, ways in self._cow.items():
+            sets[set_index] = ways
+        self._cow.clear()
+
+    def _touch_ways(self, set_index):
+        """The mutable ways list for ``set_index`` (copy-on-first-write)."""
+        ways = self.sets[set_index]
+        cow = self._cow
+        if cow is not None and set_index not in cow:
+            cow[set_index] = ways
+            ways = list(ways)
+            self.sets[set_index] = ways
+        return ways
 
     def lookup(self, address, touch=True):
         """True on hit; updates LRU order when ``touch`` is set."""
         set_index, tag = self._locate(address)
         ways = self.sets[set_index]
         if tag in ways:
-            if touch:
+            if touch and ways[-1] != tag:
+                ways = self._touch_ways(set_index)
                 ways.remove(tag)
                 ways.append(tag)
             return True
@@ -40,6 +76,9 @@ class SetAssocCache:
         """Install the line containing ``address`` (evicting LRU)."""
         set_index, tag = self._locate(address)
         ways = self.sets[set_index]
+        if ways and ways[-1] == tag:
+            return
+        ways = self._touch_ways(set_index)
         if tag in ways:
             ways.remove(tag)
         elif len(ways) >= self.assoc:
@@ -54,6 +93,10 @@ class SetAssocCache:
 
     def load_side(self, saved):
         self.sets = [list(ways) for ways in saved]
+        if self._cow:
+            # The baseline no longer describes the live contents; the
+            # pipeline re-arms tracking after every full restore.
+            self._cow.clear()
 
 
 class BankedDCache(SetAssocCache):

@@ -41,6 +41,9 @@ from repro.uarch.uop import (
 )
 from repro.utils.bits import to_signed
 
+# Default injection population (normalized once; see StateSpace.choose_bit).
+_ALL_KINDS = frozenset((StorageKind.LATCH, StorageKind.RAM))
+
 
 class Pipeline:
     """A latch-accurate out-of-order pipeline executing one program."""
@@ -56,7 +59,7 @@ class Pipeline:
         "insn_pages", "data_pages", "tlb_insn_pages", "tlb_data_pages",
         "retired_this_cycle", "drains_this_cycle",
         "_recovery_requests", "_flush_requested", "_flush_reason",
-        "ras", "obs",
+        "ras", "obs", "_cow_baseline", "_output_base",
     )
 
     def __init__(self, program, config=None):
@@ -128,6 +131,12 @@ class Pipeline:
         self._recovery_requests = []
         self._flush_requested = False
         self._flush_reason = None
+
+        # Copy-on-write restore: the checkpoint the side structures'
+        # undo journals are tracking against, and the output-list length
+        # at that baseline (restore truncates instead of re-copying).
+        self._cow_baseline = None
+        self._output_base = 0
 
         # Observability: None by default, so every hook site pays one
         # attribute check.  An attached repro.obs.Observer is strictly
@@ -463,7 +472,14 @@ class Pipeline:
     # ------------------------------------------------------------------
 
     def checkpoint(self):
-        """Capture complete simulator state (for trial start points)."""
+        """Capture complete simulator state (for trial start points).
+
+        The returned checkpoint doubles as a copy-on-write baseline:
+        the pipeline's side structures start journaling their mutations
+        against it, so restoring *this* checkpoint undoes only what ran
+        since (O(touched state)); restoring any other checkpoint falls
+        back to the full re-copy.
+        """
         side = {
             "memory": dict(self.memory.quads),
             "icache": self.icache.save_side(),
@@ -478,20 +494,53 @@ class Pipeline:
                         self.fetch_seq, self.halted, self.syscall_count),
             "stats": dict(self.stats),
         }
-        return (self.space.snapshot(), side)
+        snapshot = (self.space.snapshot(), side)
+        self._begin_cow_epoch(snapshot)
+        return snapshot
+
+    def _begin_cow_epoch(self, snapshot):
+        """Arm copy-on-write tracking with ``snapshot`` as the baseline.
+
+        Precondition: the live side structures are bit-identical to the
+        baseline's side data (true right after ``checkpoint()`` captures
+        them and right after a full ``restore()`` reinstates them).
+        """
+        self._cow_baseline = snapshot
+        self._output_base = len(self.output)
+        self.memory.cow_begin()
+        self.icache.cow_begin()
+        self.dcache.cow_begin()
+        self.predictor.cow_begin()
+        self.btb.cow_begin()
+        self.storesets.cow_begin()
 
     def restore(self, snapshot):
         values, side = snapshot
         self.space.restore(values)
-        self.memory.quads = dict(side["memory"])
-        self.icache.load_side(side["icache"])
-        self.dcache.load_side(side["dcache"])
-        self.predictor.load_side(side["predictor"])
-        self.btb.load_side(side["btb"])
-        self.ras.load_side(side["ras"])
-        self.storesets.load_side(side["storesets"])
-        self.frontend.biq.load_side(side["biq"])
-        self.output = list(side["output"])
+        if snapshot is self._cow_baseline:
+            # Fast path: undo only what ran since the baseline.  The
+            # RAS and BIQ side lists are small fixed-size structures,
+            # cheaper to reload than to journal.
+            self.memory.cow_restore()
+            self.icache.cow_restore()
+            self.dcache.cow_restore()
+            self.predictor.cow_restore()
+            self.btb.cow_restore()
+            self.storesets.cow_restore()
+            self.ras.load_side(side["ras"])
+            self.frontend.biq.load_side(side["biq"])
+            del self.output[self._output_base:]
+        else:
+            self.memory.quads = dict(side["memory"])
+            self.icache.load_side(side["icache"])
+            self.dcache.load_side(side["dcache"])
+            self.predictor.load_side(side["predictor"])
+            self.btb.load_side(side["btb"])
+            self.ras.load_side(side["ras"])
+            self.storesets.load_side(side["storesets"])
+            self.frontend.biq.load_side(side["biq"])
+            self.output = list(side["output"])
+            self._begin_cow_epoch(snapshot)
         (self.cycle_count, self.total_retired, self.fetch_seq,
          self.halted, self.syscall_count) = side["scalars"]
         self.stats = dict(side["stats"])
@@ -505,15 +554,18 @@ class Pipeline:
     # Fault injection surface
     # ------------------------------------------------------------------
 
-    def eligible_bits(self, kinds=(StorageKind.LATCH, StorageKind.RAM)):
-        return self.space.eligible_bits(frozenset(kinds))
+    def eligible_bits(self, kinds=_ALL_KINDS):
+        return self.space.eligible_bits(kinds)
 
-    def inject_random_fault(self, rng, kinds=(StorageKind.LATCH,
-                                              StorageKind.RAM)):
-        """Flip one uniformly-chosen bit; returns ``(metadata, bit)``."""
-        element_index, bit = self.space.choose_bit(rng, frozenset(kinds))
+    def inject_random_fault(self, rng, kinds=_ALL_KINDS):
+        """Flip one uniformly-chosen bit; returns ``(metadata, bit)``.
+
+        ``choose_bit`` already returns a bit offset below the element's
+        width (and ``flip_bit`` masks defensively), so the offset is
+        reported as-is.
+        """
+        element_index, bit = self.space.choose_bit(rng, kinds)
         meta = self.space.flip_bit(element_index, bit)
-        bit %= meta.width
         if self.obs is not None:
             self.obs.on_inject(self, meta, bit)
         return meta, bit

@@ -257,6 +257,27 @@ class ExecuteUnit:
 
     # -- Wakeup promises --------------------------------------------------------
 
+    def promised_pregs(self):
+        """Every preg :meth:`promises` holds for, gathered in one scan.
+
+        The select stage shares this set across all of a cycle's
+        candidates instead of re-scanning the bypass network and EX
+        latches per operand; membership is exactly ``promises(preg)``.
+        """
+        promised = set()
+        for slot in self.bypass:
+            if slot.valid.get():
+                promised.add(slot.preg.get())
+        for slot in self.ex_latch:
+            if (slot.valid.get() and slot.has_dest.get()
+                    and fu_of(slot.op_id.get()) == 0):
+                promised.add(slot.pdst.get())
+        for slot in self.complex_pipe:
+            if (slot.valid.get() and slot.has_dest.get()
+                    and slot.timer.get() <= 1):
+                promised.add(slot.pdst.get())
+        return promised
+
     def promises(self, preg):
         """Will ``preg`` be bypassable in time for a consumer issued now?"""
         for slot in self.bypass:

@@ -29,6 +29,9 @@ _SEQ_BITS = 40
 # Sentinel: the load must wait (unforwardable older-store conflict).
 _WAIT = object()
 
+# Undo-journal marker: the key was absent at the copy-on-write baseline.
+_ABSENT = object()
+
 
 class _LoadEntry:
     __slots__ = ("valid", "addr", "addr_ready", "size_l", "executed", "done",
@@ -134,13 +137,43 @@ class StoreSets:
     """Functional store-set predictor (SSIT + LFST).
 
     Prediction tables are timing-only (a wrong prediction is recovered by
-    the violation flush), so they are side state, not injectable.
+    the violation flush), so they are side state, not injectable.  Both
+    tables support copy-on-write undo journaling (``cow_begin`` /
+    ``cow_restore``) for O(touched entries) trial restore.
     """
 
     def __init__(self):
         self.ssit = {}
         self.next_set = 1
         self.lfst = {}
+        self._cow = None  # (ssit undo, lfst undo) when armed
+        self._next_set_base = 1
+
+    def cow_begin(self):
+        """Journal table updates against the current contents."""
+        if self._cow is None:
+            self._cow = ({}, {})
+        else:
+            for undo in self._cow:
+                undo.clear()
+        self._next_set_base = self.next_set
+
+    def cow_restore(self):
+        """Roll both tables back to the :meth:`cow_begin` baseline."""
+        ssit_undo, lfst_undo = self._cow
+        for pc, value in ssit_undo.items():
+            if value is _ABSENT:
+                self.ssit.pop(pc, None)
+            else:
+                self.ssit[pc] = value
+        for set_id, value in lfst_undo.items():
+            if value is _ABSENT:
+                self.lfst.pop(set_id, None)
+            else:
+                self.lfst[set_id] = value
+        for undo in self._cow:
+            undo.clear()
+        self.next_set = self._next_set_base
 
     def set_of(self, pc):
         return self.ssit.get(pc)
@@ -148,6 +181,9 @@ class StoreSets:
     def note_store_dispatch(self, pc, sq_index):
         set_id = self.ssit.get(pc)
         if set_id is not None:
+            cow = self._cow
+            if cow is not None and set_id not in cow[1]:
+                cow[1][set_id] = self.lfst.get(set_id, _ABSENT)
             self.lfst[set_id] = sq_index
 
     def blocking_store(self, pc):
@@ -163,6 +199,13 @@ class StoreSets:
         if set_id is None:
             set_id = self.next_set
             self.next_set += 1
+        cow = self._cow
+        if cow is not None:
+            ssit_undo = cow[0]
+            if load_pc not in ssit_undo:
+                ssit_undo[load_pc] = self.ssit.get(load_pc, _ABSENT)
+            if store_pc not in ssit_undo:
+                ssit_undo[store_pc] = self.ssit.get(store_pc, _ABSENT)
         self.ssit[load_pc] = set_id
         self.ssit[store_pc] = set_id
 
@@ -174,6 +217,10 @@ class StoreSets:
         self.ssit = dict(ssit)
         self.next_set = next_set
         self.lfst = dict(lfst)
+        if self._cow is not None:
+            for undo in self._cow:
+                undo.clear()
+        self._next_set_base = self.next_set
 
 
 class MemoryUnit:

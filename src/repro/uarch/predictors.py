@@ -40,6 +40,38 @@ class HybridPredictor:
         self.global_pht = [1] * (1 << config.global_hist_bits)
         # Chooser: >= 2 selects the global component.
         self.choice = [1] * config.choice_entries
+        # Copy-on-write undo journals, one per table (armed by
+        # cow_begin); _ghr_base is the baseline global history.
+        self._cow = None
+        self._ghr_base = 0
+
+    # -- Copy-on-write baseline ---------------------------------------------
+
+    def cow_begin(self):
+        """Journal table updates against the current contents."""
+        if self._cow is None:
+            self._cow = ({}, {}, {}, {}, {})
+        else:
+            for undo in self._cow:
+                undo.clear()
+        self._ghr_base = self.global_hist
+
+    def cow_restore(self):
+        """Roll every table back to the :meth:`cow_begin` baseline."""
+        bim_u, lh_u, lp_u, gp_u, ch_u = self._cow
+        for index, value in bim_u.items():
+            self.bimodal[index] = value
+        for index, value in lh_u.items():
+            self.local_hist[index] = value
+        for index, value in lp_u.items():
+            self.local_pht[index] = value
+        for index, value in gp_u.items():
+            self.global_pht[index] = value
+        for index, value in ch_u.items():
+            self.choice[index] = value
+        for undo in self._cow:
+            undo.clear()
+        self.global_hist = self._ghr_base
 
     def _indices(self, pc, ghr):
         line = pc >> 2
@@ -70,6 +102,19 @@ class HybridPredictor:
         """Train on the resolved direction, with fetch-time history."""
         ghr = self.global_hist if ghr is None else ghr
         bim, lh, lp, gp, ch = self._indices(pc, ghr)
+        cow = self._cow
+        if cow is not None:
+            bim_u, lh_u, lp_u, gp_u, ch_u = cow
+            if bim not in bim_u:
+                bim_u[bim] = self.bimodal[bim]
+            if lh not in lh_u:
+                lh_u[lh] = self.local_hist[lh]
+            if lp not in lp_u:
+                lp_u[lp] = self.local_pht[lp]
+            if gp not in gp_u:
+                gp_u[gp] = self.global_pht[gp]
+            if ch not in ch_u:
+                ch_u[ch] = self.choice[ch]
         local_taken = self.local_pht[lp] >= 2
         global_taken = self.global_pht[gp] >= 2
         if local_taken != global_taken:
@@ -96,6 +141,10 @@ class HybridPredictor:
         self.global_hist = global_hist
         self.global_pht = list(global_pht)
         self.choice = list(choice)
+        if self._cow is not None:
+            for undo in self._cow:
+                undo.clear()
+        self._ghr_base = self.global_hist
 
 
 class BranchTargetBuffer:
@@ -106,9 +155,24 @@ class BranchTargetBuffer:
         self.assoc = assoc
         self.sets = [dict() for _ in range(self.num_sets)]
         self.order = [[] for _ in range(self.num_sets)]
+        self._cow = None  # set index -> pristine (ways, order) pair
 
     def _set_of(self, pc):
         return (pc >> 2) % self.num_sets
+
+    def cow_begin(self):
+        """Make the current contents the copy-on-write baseline."""
+        if self._cow is None:
+            self._cow = {}
+        else:
+            self._cow.clear()
+
+    def cow_restore(self):
+        """Reinstate the :meth:`cow_begin` baseline."""
+        for set_index, (ways, order) in self._cow.items():
+            self.sets[set_index] = ways
+            self.order[set_index] = order
+        self._cow.clear()
 
     def lookup(self, pc):
         """Predicted target for the control instruction at ``pc``, or None."""
@@ -118,6 +182,15 @@ class BranchTargetBuffer:
         set_index = self._set_of(pc)
         ways = self.sets[set_index]
         order = self.order[set_index]
+        if order and order[-1] == pc and ways[pc] == target:
+            return  # already MRU with this target: update is a no-op
+        cow = self._cow
+        if cow is not None and set_index not in cow:
+            cow[set_index] = (ways, order)
+            ways = dict(ways)
+            order = list(order)
+            self.sets[set_index] = ways
+            self.order[set_index] = order
         if pc in ways:
             order.remove(pc)
         elif len(ways) >= self.assoc:
@@ -133,6 +206,8 @@ class BranchTargetBuffer:
         sets, order = saved
         self.sets = [dict(s) for s in sets]
         self.order = [list(o) for o in order]
+        if self._cow:
+            self._cow.clear()
 
 
 class ReturnAddressStack:

@@ -176,6 +176,7 @@ class Scheduler:
             4: self.config.simple_alus,  # PAL ops borrow a simple ALU slot
         }
         issued = 0
+        promised = None  # lazily-built promise set, shared by candidates
         for _age, index in candidates:
             if issued >= self.config.issue_width:
                 break
@@ -185,7 +186,9 @@ class Scheduler:
             budget_key = 0 if fu == 4 else fu
             if fu_budget[budget_key] <= 0:
                 continue
-            if not self._operands_promised(pipeline, entry):
+            ok, promised = self._operands_promised(
+                pipeline, entry, promised)
+            if not ok:
                 continue
             if op_id in LOAD_IDS and not pipeline.memunit.load_may_issue(
                     pipeline, entry):
@@ -205,9 +208,15 @@ class Scheduler:
                                       op_id=op_id)
             issued += 1
 
-    def _operands_promised(self, pipeline, entry):
-        """True when both operands are ready or promised by a producer."""
-        execute = pipeline.execute
+    def _operands_promised(self, pipeline, entry, promised):
+        """(both operands ready or promised, the promise set).
+
+        The set of promised pregs is constant across one select stage
+        (nothing in the stage body mutates the bypass network or EX
+        latches), so it is built at most once per cycle -- lazily, on
+        the first operand that is not already register-ready -- and
+        shared by every candidate, replacing a per-operand scan.
+        """
         regfile = pipeline.regfile
         for use, src in ((entry.use_a, entry.psrc_a),
                          (entry.use_b, entry.psrc_b)):
@@ -216,9 +225,11 @@ class Scheduler:
             preg = src.get()
             if regfile.is_ready(preg):
                 continue
-            if not execute.promises(preg):
-                return False
-        return True
+            if promised is None:
+                promised = pipeline.execute.promised_pregs()
+            if preg not in promised:
+                return False, promised
+        return True, promised
 
     # -- Replay / completion -------------------------------------------------
 

@@ -15,9 +15,19 @@ Each element carries:
   the microarchitectural-state signature, and no pipeline *behaviour* may
   depend on them.
 
-Values live in one flat list so snapshot/restore/signature are single
-C-speed operations, keeping trial turnaround fast enough for
-thousand-trial campaigns.
+Values live in one flat list so snapshot/restore are single C-speed
+operations, and the microarchitectural signature is maintained
+*incrementally*: every element carries a per-(index, value) hash
+contribution, XOR-rolled into a running total on each write
+(Zobrist hashing), so :meth:`StateSpace.signature` is O(1) per cycle
+instead of O(#elements).  The contributions use ``hash((index,
+value))`` over plain ints, which CPython computes identically in every
+process regardless of ``PYTHONHASHSEED`` (hash randomization covers
+str/bytes only) -- signatures recorded by one worker are valid in all
+of them and across runs.  The full recompute survives as the
+``signature(full=True)`` debug path; ``verify_golden`` asserts the two
+agree, and lint rule REP005 statically rejects writes that bypass the
+signature-maintaining path.
 """
 
 import bisect
@@ -111,30 +121,77 @@ class ElementMeta:
     injectable: bool
 
 
+class StateSnapshot(list):
+    """A value snapshot that remembers the signature at capture time.
+
+    Behaves exactly like the plain list it subclasses (element-wise
+    compare, iteration, indexing), so every existing consumer of
+    ``snapshot()`` is unaffected; ``restore()`` uses the carried ``sig``
+    to reset the rolling signature in O(1) instead of recomputing over
+    every element.  Plain lists are still accepted by ``restore`` (the
+    signature is then recomputed), so pickled or hand-built snapshots
+    keep working.
+    """
+
+    __slots__ = ("sig",)
+
+    def __init__(self, values, sig=None):
+        list.__init__(self, values)
+        self.sig = sig
+
+    def __reduce__(self):
+        # list subclasses with __slots__ need explicit pickle support;
+        # the golden cache serialises checkpoints containing snapshots.
+        return (StateSnapshot, (list(self), self.sig))
+
+
 class Field:
     """Handle to one state element's value.
 
     Reads and writes are width-masked, so a corrupted value can never
     exceed its hardware width -- the defensive-simulation ground rule.
+
+    Writes also maintain the space's rolling signature: ``_sig`` is a
+    shared one-element cell (cheaper to update than an attribute on the
+    space) and ``_salt`` is the element's hash salt -- its index, or
+    None for ghost elements, which are excluded from the signature.
     """
 
-    __slots__ = ("_values", "index", "width", "_mask")
+    __slots__ = ("_values", "index", "width", "_mask", "_sig", "_salt")
 
-    def __init__(self, space, index, width):
+    def __init__(self, space, index, width, salt=None):
         self._values = space.values
+        self._sig = space._sig
         self.index = index
         self.width = width
         self._mask = (1 << width) - 1
+        self._salt = salt
 
     def get(self):
         return self._values[self.index]
 
     def set(self, value):
-        self._values[self.index] = value & self._mask
+        value &= self._mask
+        values = self._values
+        index = self.index
+        old = values[index]
+        if old == value:
+            return
+        values[index] = value
+        salt = self._salt
+        if salt is not None:
+            self._sig[0] ^= hash((salt, old)) ^ hash((salt, value))
 
     def flip(self, bit):
         """Invert one bit (the single-event-upset fault model)."""
-        self._values[self.index] ^= 1 << (bit % self.width)
+        values = self._values
+        index = self.index
+        old = values[index]
+        new = old ^ (1 << (bit % self.width))
+        values[index] = new
+        salt = self._salt
+        if salt is not None:
+            self._sig[0] ^= hash((salt, old)) ^ hash((salt, new))
 
     def __repr__(self):
         return "Field(#%d, %d bits, value=%d)" % (
@@ -148,6 +205,9 @@ class StateSpace:
         self.values = []
         self.elements = []
         self.handles = []  # Field handle per element, same order as values
+        # Rolling XOR of hash((index, value)) over all non-ghost
+        # elements, shared with every Field as a one-element cell.
+        self._sig = [0]
         self._frozen = False
         self._signature_indices = None
         self._injection_tables = {}
@@ -169,10 +229,16 @@ class StateSpace:
                 "does not aggregate; add it to TABLE1_CATEGORIES or "
                 "PROTECTION_CATEGORIES in statelib" % (name, category))
         index = len(self.values)
-        self.values.append(reset & ((1 << width) - 1))
+        value = reset & ((1 << width) - 1)
+        self.values.append(value)
         self.elements.append(
             ElementMeta(index, name, width, category, kind, injectable))
-        field = Field(self, index, width)
+        if category == StateCategory.GHOST:
+            salt = None
+        else:
+            salt = index
+            self._sig[0] ^= hash((salt, value))
+        field = Field(self, index, width, salt)
         self.handles.append(field)
         return field
 
@@ -220,8 +286,8 @@ class StateSpace:
     # -- Fault injection -------------------------------------------------------
 
     def _table_for(self, kinds):
-        key = tuple(sorted(k.value for k in kinds))
-        cached = self._injection_tables.get(key)
+        """Injection table for a *frozenset* of kinds (cached by it)."""
+        cached = self._injection_tables.get(kinds)
         if cached is not None:
             return cached
         indices = []
@@ -233,16 +299,26 @@ class StateSpace:
                 total += meta.width
                 cumulative.append(total)
         table = (indices, cumulative, total)
-        self._injection_tables[key] = table
+        self._injection_tables[kinds] = table
         return table
 
     def eligible_bits(self, kinds):
         """Number of injectable bits across the given storage kinds."""
-        return self._table_for(frozenset(kinds))[2]
+        if not isinstance(kinds, frozenset):
+            kinds = frozenset(kinds)
+        return self._table_for(kinds)[2]
 
     def choose_bit(self, rng, kinds):
-        """Pick a (element_index, bit) uniformly over eligible bits."""
-        indices, cumulative, total = self._table_for(frozenset(kinds))
+        """Pick a (element_index, bit) uniformly over eligible bits.
+
+        The returned bit offset is always below the element's width.
+        Campaign code normalizes ``kinds`` to a frozenset once at the
+        campaign boundary; the fallback conversion here keeps ad-hoc
+        callers (tests, notebooks) working with any iterable.
+        """
+        if not isinstance(kinds, frozenset):
+            kinds = frozenset(kinds)
+        indices, cumulative, total = self._table_for(kinds)
         if total == 0:
             raise SimulationError("no injectable state for kinds %r" % (kinds,))
         offset = rng.randrange(total)
@@ -254,19 +330,45 @@ class StateSpace:
     def flip_bit(self, element_index, bit):
         """Apply a single-bit upset to an element chosen by index."""
         meta = self.elements[element_index]
-        self.values[element_index] ^= 1 << (bit % meta.width)
+        values = self.values
+        old = values[element_index]
+        new = old ^ (1 << (bit % meta.width))
+        values[element_index] = new
+        if meta.category != StateCategory.GHOST:
+            self._sig[0] ^= (hash((element_index, old))
+                             ^ hash((element_index, new)))
         return meta
 
     # -- Snapshot / compare ------------------------------------------------------
 
     def snapshot(self):
-        """Copy of all element values (ghosts included, for exact restore)."""
-        return list(self.values)
+        """Copy of all element values (ghosts included, for exact restore).
+
+        Returns a :class:`StateSnapshot` carrying the current signature
+        so a later ``restore`` resets the rolling hash in O(1).
+        """
+        return StateSnapshot(self.values, self._sig[0])
 
     def restore(self, snap):
         self.values[:] = snap
+        sig = getattr(snap, "sig", None)
+        if sig is None:
+            sig = self.signature(full=True)
+        self._sig[0] = sig
 
-    def signature(self):
-        """Hash of all non-ghost state (the microarchitectural-match check)."""
+    def signature(self, full=False):
+        """Hash of all non-ghost state (the microarchitectural-match check).
+
+        The default path returns the incrementally-maintained rolling
+        hash (O(1)); ``full=True`` recomputes it from the values list,
+        the debug/verify path ``verify_golden`` checks against.
+        """
+        if not full:
+            return self._sig[0]
         values = self.values
-        return hash(tuple(values[i] for i in self._signature_indices))
+        sig = 0
+        for meta in self.elements:
+            if meta.category != StateCategory.GHOST:
+                index = meta.index
+                sig ^= hash((index, values[index]))
+        return sig

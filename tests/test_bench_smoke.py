@@ -1,0 +1,87 @@
+"""CI bench-smoke gate: throughput must not regress past the threshold.
+
+A tiny fixed-seed run of the :mod:`repro.perf.bench` suite is compared
+against the newest committed ``BENCH_*.json``; a throughput drop beyond
+``REPRO_BENCH_TOLERANCE`` (default 25%) fails the build.  Set
+``REPRO_BENCH_SKIP`` to any non-empty value to bypass the gate on
+loaded or throttled machines; the machine-independent ratio checks
+below run regardless.
+"""
+
+import os
+
+import pytest
+
+from repro.perf import bench
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return bench.run_bench(reps=2)
+
+
+def test_signature_read_is_orders_faster_than_full(metrics):
+    # The incremental signature is an O(1) read; the full recompute
+    # walks every element.  The ratio is machine-independent.
+    assert metrics["signature_us"] < metrics["signature_full_us"] / 5
+
+
+def test_cow_restore_beats_full_restore(metrics):
+    assert 0 < metrics["restore_us"] < metrics["restore_full_us"]
+
+
+def test_warm_golden_cache_beats_cold(metrics):
+    # Warm runs skip warmup, spacing, recording and verification
+    # entirely; anything less than strictly faster means the cache is
+    # not being hit.
+    assert metrics["trials_per_sec"] > metrics["trials_per_sec_cold"]
+
+
+@pytest.mark.skipif(bool(os.environ.get("REPRO_BENCH_SKIP")),
+                    reason="REPRO_BENCH_SKIP set")
+def test_throughput_vs_committed_benchmark(metrics):
+    files = bench.bench_files(bench.repo_root())
+    if not files:
+        pytest.skip("no committed BENCH_*.json to compare against")
+    _path, committed = files[-1]
+    regressions = bench.compare_metrics(
+        committed["metrics"], metrics, bench.default_threshold())
+    assert not regressions, "; ".join(regressions)
+
+
+# -- harness unit checks (no timing involved) ---------------------------------
+
+
+def test_compare_metrics_flags_only_real_regressions():
+    previous = {"cycles_per_sec": 1000.0, "trials_per_sec": 50.0,
+                "trials_per_sec_cold": 10.0, "signature_us": 0.05}
+    improved = {"cycles_per_sec": 2000.0, "trials_per_sec": 60.0,
+                "trials_per_sec_cold": 11.0, "signature_us": 5.0}
+    assert bench.compare_metrics(previous, improved, 0.25) == []
+
+    regressed = dict(improved, trials_per_sec=30.0)
+    messages = bench.compare_metrics(previous, regressed, 0.25)
+    assert len(messages) == 1
+    assert "trials_per_sec" in messages[0]
+
+    # Within-threshold noise is tolerated.
+    noisy = dict(improved, trials_per_sec=40.0)
+    assert bench.compare_metrics(previous, noisy, 0.25) == []
+
+    # cycles_per_sec is a diagnostic, not a gated metric: the raw cycle
+    # rate trades against per-write signature maintenance by design.
+    slower_cycles = dict(improved, cycles_per_sec=100.0)
+    assert bench.compare_metrics(previous, slower_cycles, 0.25) == []
+
+
+def test_write_and_reload_roundtrip(tmp_path):
+    sample = {"cycles_per_sec": 123.4, "trials_per_sec": 5.6}
+    path = bench.write_bench(str(tmp_path), "abc1234", sample)
+    assert os.path.basename(path) == "BENCH_abc1234.json"
+    files = bench.bench_files(str(tmp_path))
+    assert len(files) == 1
+    assert files[0][1]["metrics"] == sample
+    assert files[0][1]["rev"] == "abc1234"
+    # The comparison baseline skips the current revision's own file.
+    assert bench.load_previous(str(tmp_path), exclude_rev="abc1234") is None
+    assert bench.load_previous(str(tmp_path))[1]["rev"] == "abc1234"

@@ -40,7 +40,8 @@ def test_tree_is_lint_clean():
     assert result.findings == [], "lint findings:\n%s" % rendered
     assert result.exit_code == 0
     assert len(result.files) > 50
-    assert result.rules == ("REP001", "REP002", "REP003", "REP004")
+    assert result.rules == ("REP001", "REP002", "REP003", "REP004",
+                            "REP005")
 
 
 def test_module_cli_json_clean():
@@ -50,7 +51,8 @@ def test_module_cli_json_clean():
     assert payload["version"] == 1
     assert payload["findings"] == []
     assert payload["files_scanned"] > 50
-    assert payload["rules"] == ["REP001", "REP002", "REP003", "REP004"]
+    assert payload["rules"] == ["REP001", "REP002", "REP003", "REP004",
+                                "REP005"]
 
 
 def test_seeded_violations_exit_nonzero(tmp_path):

@@ -386,3 +386,68 @@ def test_finding_shape(tmp_path):
     assert payload["line"] == 3
     assert payload["severity"] == "error"
     assert finding.render().startswith(finding.path)
+
+
+# -- REP005: signature bypass -----------------------------------------------
+
+_REP005 = LintConfig(enable=("REP005",))
+
+
+def test_rep005_flags_raw_value_mutation(tmp_path):
+    result = lint_source(tmp_path, """
+    def corrupt(space, snap):
+        space.values[3] = 0
+        space.values[3] ^= 0x10
+        space.values[:] = snap
+        del space.values[0]
+        space.values = list(snap)
+        space.values.append(7)
+    """, config=_REP005)
+    assert rules_of(result) == ["REP005"] * 6
+    messages = " ".join(f.message for f in result.findings)
+    assert "bypasses the incremental state signature" in messages
+    assert "rebinding .values" in messages
+    assert ".values.append" in messages
+
+
+def test_rep005_flags_cached_alias_writes(tmp_path):
+    result = lint_source(tmp_path, """
+    class Observer:
+        def poke(self, index):
+            self._values[index] = 1
+    """, config=_REP005)
+    assert rules_of(result) == ["REP005"]
+
+
+def test_rep005_reads_and_dict_views_ok(tmp_path):
+    result = lint_source(tmp_path, """
+    def observe(space, table):
+        current = space.values[3]
+        copied = list(space.values)
+        for entry in sorted(table.values()):
+            current += entry
+        return current, copied
+    """, config=_REP005)
+    assert rules_of(result) == []
+
+
+def test_rep005_statelib_itself_is_exempt(tmp_path):
+    package = tmp_path / "uarch"
+    package.mkdir()
+    path = package / "statelib.py"
+    path.write_text(textwrap.dedent("""
+    def restore(space, snap):
+        space.values[:] = snap
+    """))
+    result = run_lint([str(path)], _REP005)
+    assert rules_of(result) == []
+
+
+def test_rep005_pragma_suppresses(tmp_path):
+    result = lint_source(tmp_path, """
+    class Watcher:
+        def attach(self, space):
+            # repro-lint: allow=REP005 (read-only alias)
+            self._values = space.values
+    """, config=_REP005)
+    assert rules_of(result) == []

@@ -1,0 +1,30 @@
+"""repro.chaos: inject faults into the injector.
+
+The campaign harness promises durability (every acknowledged trial
+survives a crash), determinism (any schedule of workers produces the
+same result) and robustness (dead workers, torn journals, corrupt
+caches and signals are absorbed, not amplified).  This package *tests
+those promises from the inside*: a seeded :class:`ChaosSchedule` fires
+harness-level faults -- worker SIGKILLs and stalls, torn journal
+tails, transient I/O errors, golden-cache bit flips, SIGTERM/SIGINT --
+at deterministic points of a live campaign, and
+:func:`run_chaos_campaign` drives the campaign through every simulated
+crash until the merged journal matches an undisturbed run's exactly.
+
+Chaos events are derived from the campaign seed through the same
+named-split RNG scheme trials use, so a failing chaos run replays from
+its seed alone.  Nothing here is ever imported by the harness: the
+engine takes an opaque ``chaos`` object and the default ``None`` is
+zero-overhead.
+"""
+
+from repro.chaos.drive import run_chaos_campaign
+from repro.chaos.schedule import (
+    FAULT_KINDS,
+    ChaosCrash,
+    ChaosEvent,
+    ChaosSchedule,
+)
+
+__all__ = ["FAULT_KINDS", "ChaosCrash", "ChaosEvent", "ChaosSchedule",
+           "run_chaos_campaign"]

@@ -1,0 +1,46 @@
+"""Drive a campaign through chaos to completion.
+
+:func:`run_chaos_campaign` plays the operator: it runs the campaign,
+and every time chaos "crashes" it (a :class:`~repro.chaos.ChaosCrash`
+torn-journal death) or drains it (a chaos-delivered SIGTERM/SIGINT
+raising :class:`~repro.errors.CampaignDrained`) it simply resumes from
+the campaign directory -- exactly the ``--resume`` loop a human would
+run.  One :class:`~repro.chaos.ChaosSchedule` instance is shared
+across every attempt, so each scheduled fault fires exactly once over
+the campaign's whole (possibly interrupted) lifetime.
+
+The acceptance property this enables: after the loop converges, the
+merged journal's :func:`~repro.runner.journal.canonical_trial_bytes`
+equal an undisturbed run's.
+"""
+
+from repro.chaos.schedule import ChaosCrash
+from repro.errors import CampaignDrained, CampaignError
+from repro.runner.engine import run_campaign
+
+__all__ = ["run_chaos_campaign"]
+
+
+def run_chaos_campaign(config, directory, chaos, max_restarts=25,
+                       **options):
+    """Run ``config`` under ``chaos``, resuming until it completes.
+
+    Returns ``(result, restarts)``.  ``max_restarts`` bounds the
+    crash-resume loop: chaos fires each event once, so a healthy
+    harness always converges -- hitting the bound means recovery
+    itself is broken, and the last crash is re-raised as evidence.
+    """
+    if directory is None:
+        raise CampaignError(
+            "chaos campaigns need a campaign directory: recovery is "
+            "the thing under test, and resume requires a journal")
+    restarts = 0
+    while True:
+        try:
+            result = run_campaign(config, directory=directory,
+                                  chaos=chaos, **options)
+            return result, restarts
+        except (ChaosCrash, CampaignDrained):
+            restarts += 1
+            if restarts > max_restarts:
+                raise

@@ -104,6 +104,19 @@ def build_parser():
     p.add_argument("--trial-timeout", type=float, default=None, metavar="S",
                    help="kill and retry a worker stuck on one trial for "
                         "more than S seconds")
+    p.add_argument("--chaos", metavar="SPEC",
+                   help="harness chaos testing: fire seeded harness "
+                        "faults (kill, stall, tear, io, cache, sigterm, "
+                        "sigint as 'kind[:count][@at]' tokens) during the "
+                        "campaign and auto-resume through each crash; "
+                        "requires --dir (see docs/RUNNER.md)")
+    p.add_argument("--repair", action="store_true",
+                   help="repair a corrupt journal in --dir/--resume: "
+                        "truncate at the last checksummed-valid line "
+                        "(asks for confirmation; dropped trials are "
+                        "recomputed on resume)")
+    p.add_argument("--yes", action="store_true",
+                   help="skip the --repair confirmation prompt")
     p.add_argument("--save", metavar="PATH",
                    help="write the trial results to a JSON file")
     p.add_argument("--provenance", action="store_true",
@@ -169,7 +182,7 @@ def build_parser():
 
     p = sub.add_parser("lint", add_help=False,
                        help="static analysis: injectability, determinism, "
-                            "ghost isolation (REP001-REP005)")
+                            "ghost isolation (REP001-REP006)")
     p.add_argument("lint_args", nargs=argparse.REMAINDER,
                    help="arguments forwarded to repro.lint "
                         "(see 'repro-faults lint --help')")
@@ -228,16 +241,34 @@ def cmd_campaign(args):
             horizon=args.horizon, scale=args.scale, seed=args.seed,
             protection=protection, provenance=args.provenance,
             profile=args.profile)
-    from repro.errors import ReproError
+    from repro.errors import CampaignDrained, ReproError
     from repro.runner import CampaignRunner
     directory = args.resume or args.campaign_dir
+    if args.repair:
+        return _cmd_repair_journal(directory, assume_yes=args.yes)
+    if args.chaos and not directory:
+        sys.stderr.write(
+            "error: --chaos requires --dir (recovery is the thing under "
+            "test, and resume requires a journal)\n")
+        return 2
     renderer = _ProgressRenderer()
-    runner = CampaignRunner(
-        config, workers=args.parallel, directory=directory,
-        batch_size=args.batch_size, trial_timeout=args.trial_timeout,
-        progress=renderer, require_journal=bool(args.resume))
+    runner = None
     try:
-        result = runner.run()
+        if args.chaos:
+            result = _run_chaos(args, config, directory, renderer)
+        else:
+            runner = CampaignRunner(
+                config, workers=args.parallel, directory=directory,
+                batch_size=args.batch_size,
+                trial_timeout=args.trial_timeout,
+                progress=renderer, require_journal=bool(args.resume))
+            result = runner.run()
+    except CampaignDrained as drained:
+        renderer.finish()
+        sys.stderr.write("%s\n" % drained)
+        import signal as signal_module
+        return 128 + int(getattr(signal_module.Signals,
+                                 drained.signal_name, 15))
     except KeyboardInterrupt:
         renderer.finish()  # complete the live line before the verdict
         if directory:
@@ -279,12 +310,57 @@ def cmd_campaign(args):
     if latency is not None:
         print(latency)
         print()
-    profile = runner.profile_report()
+    profile = runner.profile_report() if runner is not None else None
     if profile is not None:
         print(profile)
         print()
     print("eligible bits: %d   elapsed: %.1fs"
           % (result.eligible_bits, result.elapsed_seconds))
+    return 0
+
+
+def _run_chaos(args, config, directory, renderer):
+    """Run a campaign under ``--chaos``, printing the fault log."""
+    from repro.chaos import ChaosSchedule, run_chaos_campaign
+    chaos = ChaosSchedule.from_spec(args.chaos, config)
+    result, restarts = run_chaos_campaign(
+        config, directory, chaos, workers=args.parallel,
+        batch_size=args.batch_size, trial_timeout=args.trial_timeout,
+        progress=renderer)
+    renderer.finish()
+    sys.stderr.write("chaos: %d fault(s) scheduled, %d restart(s)\n%s\n"
+                     % (len(chaos.events), restarts, chaos.render()))
+    return result
+
+
+def _cmd_repair_journal(directory, assume_yes=False):
+    """``campaign --repair``: truncate a journal at the last valid line."""
+    from repro.runner.journal import journal_path, repair_journal
+    if not directory:
+        sys.stderr.write("error: --repair requires --dir or --resume\n")
+        return 2
+    path = journal_path(directory)
+    try:
+        kept, dropped, offset = repair_journal(path, dry_run=True)
+    except OSError as error:
+        sys.stderr.write("error: cannot read %s: %s\n" % (path, error))
+        return 2
+    if not dropped:
+        print("%s: every line passes its checksum; nothing to repair"
+              % path)
+        return 0
+    print("%s: %d valid line(s), then %d invalid line(s)"
+          % (path, kept, dropped))
+    print("repair truncates the file to %d bytes; the dropped trials "
+          "are recomputed on the next --resume run" % offset)
+    if not assume_yes:
+        answer = input("truncate? [y/N] ").strip().lower()
+        if answer not in ("y", "yes"):
+            print("journal left untouched")
+            return 1
+    repair_journal(path)
+    print("truncated %s at byte %d (%d line(s) dropped)"
+          % (path, offset, dropped))
     return 0
 
 

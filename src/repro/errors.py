@@ -38,3 +38,21 @@ class SimulationError(ReproError):
 
 class CampaignError(ReproError):
     """Raised when a fault-injection campaign is misconfigured."""
+
+
+class CampaignDrained(CampaignError):
+    """Raised after a graceful SIGTERM/SIGINT drain stopped a campaign.
+
+    The engine stopped dispatching, let in-flight trials finish (or
+    time out), fsynced the journal and exited -- the campaign directory
+    is resumable.  ``signal_name`` names the signal that requested the
+    drain.
+    """
+
+    def __init__(self, signal_name, directory=None):
+        self.signal_name = signal_name
+        self.directory = directory
+        where = " (resume with --resume %s)" % directory if directory \
+            else " (no --dir given: unfinished trials were not journaled)"
+        super().__init__(
+            "campaign drained after %s%s" % (signal_name, where))

@@ -6,12 +6,20 @@ from typing import Optional
 
 
 class TrialOutcome(enum.Enum):
-    """The four outcomes of a microarchitectural injection trial."""
+    """The outcomes of a microarchitectural injection trial.
+
+    The first four are the paper's taxonomy (Section 2.2).
+    ``HARNESS_ERROR`` is ours: the *harness* could not compute the
+    trial (a poison unit that repeatedly killed its workers was
+    contained and journaled instead of aborting the campaign) -- it is
+    neither a failure nor benign, and the paper's figures exclude it.
+    """
 
     MICRO_MATCH = "uarch_match"  # complete microarchitectural state match
     TERMINATED = "terminated"  # premature termination of the workload
     SDC = "sdc"  # silent data corruption
     GRAY = "gray"  # neither, within the simulation limit
+    HARNESS_ERROR = "harness_error"  # the harness failed, not the machine
 
     @property
     def is_failure(self):
@@ -19,8 +27,12 @@ class TrialOutcome(enum.Enum):
 
     @property
     def is_benign(self):
-        """Non-failures (the paper's Figure 6 'benign' rate)."""
-        return not self.is_failure
+        """Non-failures of the *machine* (paper Figure 6 'benign').
+
+        ``HARNESS_ERROR`` is neither: the trial never ran, so it says
+        nothing about masking.
+        """
+        return self in (TrialOutcome.MICRO_MATCH, TrialOutcome.GRAY)
 
 
 class FailureMode(enum.Enum):
@@ -70,3 +82,28 @@ class TrialResult:
     arch_corrupt_cycle: Optional[int] = None  # SDC: divergence detected
     detect_latency: Optional[int] = None  # any failure: cycles to detect
     masking_cause: Optional[str] = None  # obs.MASKING_CAUSES member
+
+    @classmethod
+    def harness_error(cls, workload, start_point, trial_index, detail):
+        """A containment record for a trial the harness could not run.
+
+        Injection metadata is placeholder (-1/0/"harness"): the fault
+        was never injected, the pipeline never cycled.  ``detail``
+        carries the cause (e.g. "killed 3 workers; quarantined").
+        """
+        return cls(
+            outcome=TrialOutcome.HARNESS_ERROR,
+            failure_mode=None,
+            workload=workload,
+            element_name="harness",
+            category="harness",
+            kind="none",
+            bit=-1,
+            start_point=start_point,
+            trial_index=trial_index,
+            inject_cycle=-1,
+            cycles_run=0,
+            valid_inflight=0,
+            total_inflight=0,
+            detail=detail,
+        )

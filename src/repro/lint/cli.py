@@ -18,8 +18,9 @@ def build_parser():
         prog="repro.lint",
         description="Static analysis of the fault-injection harness: "
                     "injectability (REP001), determinism (REP002), ghost "
-                    "isolation (REP003), category inventory (REP004) and "
-                    "signature bypass (REP005).")
+                    "isolation (REP003), category inventory (REP004), "
+                    "signature bypass (REP005) and exception hygiene "
+                    "(REP006).")
     parser.add_argument(
         "paths", nargs="*",
         help="files or directories to lint (default: [tool.repro.lint] "

@@ -6,4 +6,5 @@ from repro.lint.rules import (  # noqa: F401  (registration side effects)
     rep003_ghost_isolation,
     rep004_categories,
     rep005_signature_bypass,
+    rep006_exception_hygiene,
 )

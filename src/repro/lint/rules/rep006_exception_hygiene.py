@@ -1,0 +1,79 @@
+"""REP006: exception hygiene in harness code.
+
+The campaign harness (``runner/``, ``perf/``, ``inject/``, ``chaos/``)
+is exactly the code that must stay interruptible and crash-cleanly:
+its durability story *depends* on KeyboardInterrupt, SystemExit and
+simulated chaos crashes propagating out so the journal's
+fsync-before-acknowledge invariant does the recovery, not an exception
+handler improvising.  A bare ``except:`` or ``except BaseException:``
+in harness code swallows exactly those exceptions -- a Ctrl-C eaten by
+a cleanup clause turns a resumable interrupt into a hung or corrupted
+campaign.
+
+This rule flags every bare ``except:`` and every handler whose type
+mentions ``BaseException`` unless the handler body re-raises (any
+``raise`` statement counts: the handler is then cleanup-and-propagate,
+which is legitimate).  The fix is usually ``try/finally`` with a
+``committed`` flag (see ``perf/goldencache.py``) or narrowing to the
+exceptions actually expected.  A deliberate catch-all is suppressed
+inline with ``# repro-lint: allow=REP006 (reason)``.
+"""
+
+import ast
+
+from repro.lint.base import Checker, register
+
+# Path segments marking harness code: the directories whose exception
+# discipline the durability/drain guarantees depend on.
+_HARNESS_DIRS = frozenset({"runner", "perf", "inject", "chaos"})
+
+
+def _mentions_base_exception(type_node):
+    """True when an except type names ``BaseException`` (incl. tuples)."""
+    if type_node is None:
+        return True  # bare except: catches BaseException by definition
+    for node in ast.walk(type_node):
+        if isinstance(node, ast.Name) and node.id == "BaseException":
+            return True
+        if isinstance(node, ast.Attribute) \
+                and node.attr == "BaseException":
+            return True
+    return False
+
+
+def _reraises(handler):
+    """True when the handler body contains any ``raise`` statement."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+@register
+class ExceptionHygieneChecker(Checker):
+    """Forbid swallowing BaseException in harness code."""
+
+    rule_id = "REP006"
+    description = ("harness code (runner/perf/inject/chaos) must not "
+                   "swallow BaseException: bare except / except "
+                   "BaseException requires a re-raise")
+
+    def check(self, module, project):
+        parts = module.path.replace("\\", "/").split("/")
+        if not _HARNESS_DIRS.intersection(parts):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _mentions_base_exception(node.type):
+                continue
+            if _reraises(node):
+                continue
+            what = "bare 'except:'" if node.type is None \
+                else "'except BaseException'"
+            yield self.finding(
+                module, node,
+                "%s without re-raise swallows KeyboardInterrupt/"
+                "SystemExit in harness code, breaking the drain and "
+                "durability guarantees; narrow the exception types or "
+                "use try/finally for cleanup" % what)

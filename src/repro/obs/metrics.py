@@ -65,6 +65,12 @@ def render_openmetrics(snapshot):
           "Trials skipped because a prior run journaled them.")
     gauge("%s_trials_retried" % p, snapshot.get("retried", 0),
           "Trial units requeued after a worker death or stall.")
+    gauge("%s_harness_errors" % p, snapshot.get("harness_errors", 0),
+          "Poison trial units contained as harness_error outcomes.")
+    gauge("%s_cache_quarantined" % p, snapshot.get("quarantined", 0),
+          "Corrupt golden-cache entries quarantined and regenerated.")
+    gauge("%s_io_retries" % p, snapshot.get("io_retries", 0),
+          "Transient journal/cache I/O errors absorbed by retry.")
     gauge("%s_elapsed_seconds" % p, snapshot.get("elapsed_seconds", 0.0),
           "Wall-clock seconds since this run started.")
     gauge("%s_trials_per_second" % p,

@@ -18,11 +18,20 @@ Safety comes from the key, not the file name: every entry embeds
   config);
 * a format version.
 
-A mismatched or unreadable entry is simply ignored and re-recorded --
-the cache can never change what a trial computes, only how often the
-deterministic preparation is repeated.  Writes go through a temp file
-plus ``os.replace`` so concurrent workers racing on the same entry
-each land a complete file and nobody ever reads a torn one.
+Integrity comes from an on-disk envelope: entries are written as
+``RGCK`` magic + CRC32 + pickle payload, so a bit-rotted or truncated
+entry is *detected* rather than unpickled into every pool worker
+identically.  A corrupt entry is quarantined to
+``<dir>/quarantine/`` (kept for forensics) and transparently
+re-recorded; a mismatched-but-intact entry (another campaign's data)
+is simply ignored.  Legacy entries written before the envelope -- a
+plain pickle -- still load, so warm caches survive the upgrade.
+
+A mismatched or unreadable entry can never change what a trial
+computes, only how often the deterministic preparation is repeated.
+Writes go through a temp file plus ``os.replace`` so concurrent
+workers racing on the same entry each land a complete file and nobody
+ever reads a torn one.
 
 Signatures inside cached traces are portable because the incremental
 scheme hashes plain ints, which CPython hashes identically in every
@@ -32,14 +41,27 @@ process (``PYTHONHASHSEED`` randomizes str/bytes only).
 import hashlib
 import os
 import pickle
+import struct
 import tempfile
+import zlib
 
 from repro.inject.store import campaign_fingerprint
 
-__all__ = ["GoldenCache"]
+__all__ = ["GoldenCache", "QUARANTINE_DIR"]
 
-# Bump when the cached payload's shape changes incompatibly.
+# Bump when the cached payload's shape changes incompatibly.  The
+# checksum envelope is a *file framing* change, detected by magic, not
+# a payload change -- legacy plain-pickle entries remain loadable.
 CACHE_FORMAT = 1
+
+# Envelope: magic + little-endian CRC32 of the payload + payload.
+_MAGIC = b"RGCK"
+_HEADER = struct.Struct("<4sI")
+
+QUARANTINE_DIR = "quarantine"
+
+_PICKLE_ERRORS = (EOFError, pickle.UnpicklingError, AttributeError,
+                  ImportError, IndexError, KeyError, TypeError, ValueError)
 
 
 def _pipeline_config_digest(pipeline_config):
@@ -48,10 +70,16 @@ def _pipeline_config_digest(pipeline_config):
 
 
 class GoldenCache:
-    """Shared store of ``(checkpoint, golden trace)`` per start point."""
+    """Shared store of ``(checkpoint, golden trace)`` per start point.
 
-    def __init__(self, directory, config, pipeline_config):
+    ``on_event`` is an optional callback ``(kind, detail)`` used to
+    surface integrity incidents ("cache_quarantined") to the engine's
+    telemetry; the cache itself never raises for them.
+    """
+
+    def __init__(self, directory, config, pipeline_config, on_event=None):
         self.directory = directory
+        self.on_event = on_event
         self._tag = (CACHE_FORMAT, campaign_fingerprint(config),
                      _pipeline_config_digest(pipeline_config))
 
@@ -61,14 +89,35 @@ class GoldenCache:
 
     def load(self, workload_name, start_point):
         """The cached ``(checkpoint, golden)`` pair, or None."""
+        path = self._path(workload_name, start_point)
         try:
-            with open(self._path(workload_name, start_point), "rb") as fh:
-                entry = pickle.load(fh)
-        except (OSError, EOFError, pickle.UnpicklingError, AttributeError,
-                ImportError, IndexError, KeyError, TypeError, ValueError):
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None
+        enveloped = blob.startswith(_MAGIC)
+        if enveloped:
+            if len(blob) < _HEADER.size:
+                self._quarantine(path, "truncated envelope")
+                return None
+            _magic, expected = _HEADER.unpack_from(blob)
+            payload = blob[_HEADER.size:]
+            if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+                self._quarantine(path, "checksum mismatch")
+                return None
+        else:
+            payload = blob  # legacy pre-envelope entry: plain pickle
+        try:
+            entry = pickle.loads(payload)
+        except _PICKLE_ERRORS:
+            if enveloped:
+                # The checksum held but the payload does not unpickle:
+                # the entry is damaged beyond its framing (or written
+                # by an incompatible pickler) -- keep it for forensics.
+                self._quarantine(path, "undecodable payload")
             return None
         if not isinstance(entry, dict) or entry.get("tag") != self._tag:
-            return None
+            return None  # another campaign's (or format's) valid entry
         return entry["checkpoint"], entry["golden"]
 
     def store(self, workload_name, start_point, checkpoint, golden):
@@ -76,21 +125,49 @@ class GoldenCache:
         entry = {"tag": self._tag, "checkpoint": checkpoint,
                  "golden": golden}
         try:
+            payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        except pickle.PicklingError:
+            return  # unpicklable payload costs re-recording, never correctness
+        blob = _HEADER.pack(_MAGIC, zlib.crc32(payload) & 0xFFFFFFFF) \
+            + payload
+        try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(
                 dir=self.directory, suffix=".tmp")
+            committed = False
+            # finally-based cleanup (not `except BaseException`): a
+            # KeyboardInterrupt/SystemExit mid-write still removes the
+            # temp file on its way out and is never swallowed (REP006).
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(entry, fh,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(blob)
                 os.replace(tmp_path, self._path(workload_name, start_point))
-            except BaseException:
-                try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
-                raise
-        except (OSError, pickle.PicklingError):
-            # A full disk or unpicklable payload costs re-recording,
-            # never correctness.
+                committed = True
+            finally:
+                if not committed:
+                    try:
+                        os.unlink(tmp_path)
+                    except OSError:
+                        pass
+        except OSError:
+            # A full disk costs re-recording, never correctness.
             pass
+
+    # ------------------------------------------------------------------
+
+    def _quarantine(self, path, reason):
+        """Move a corrupt entry aside so it is regenerated, not reread."""
+        name = os.path.basename(path)
+        quarantine = os.path.join(self.directory, QUARANTINE_DIR)
+        try:
+            os.makedirs(quarantine, exist_ok=True)
+            os.replace(path, os.path.join(quarantine, name))
+        except OSError:
+            # Cannot move it aside: best effort is deleting it so the
+            # poisoned bytes stop being loaded by every worker.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        if self.on_event is not None:
+            self.on_event("cache_quarantined", "%s: %s" % (name, reason))

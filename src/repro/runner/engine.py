@@ -18,21 +18,37 @@ layered on top of the plain serial loop:
 * **Robustness** -- a dead worker's unfinished units are requeued onto
   a replacement process (the pool stays alive), a worker stuck on one
   trial past ``trial_timeout`` seconds is killed and its units retried,
-  and retries are bounded (a unit failing ``max_retries`` times aborts
-  the campaign rather than silently dropping trials).
+  and retries are bounded.  A unit that *keeps* killing its workers is
+  a poison unit: with ``contain_poison`` (the default) it is journaled
+  as a ``harness_error`` outcome and the sweep continues; otherwise the
+  campaign aborts rather than silently dropping trials.
+* **Graceful drain** -- SIGTERM or SIGINT stops dispatching new work,
+  lets in-flight trials finish (bounded by ``drain_timeout``), fsyncs
+  the journal and raises :class:`~repro.errors.CampaignDrained`; the
+  campaign directory resumes exactly where it left off.  A second
+  signal skips the drain (classic KeyboardInterrupt).
 
 Observability is a progress callback receiving
 :class:`~repro.runner.telemetry.TelemetrySnapshot` values plus a
 ``metrics.json`` snapshot in the campaign directory.
+
+Chaos: a :class:`~repro.chaos.ChaosSchedule` passed as ``chaos`` gets a
+hook after every journaled trial plus the journal's write-fault hook,
+letting the test harness inject worker kills, stalls, torn journal
+tails, transient I/O errors, cache corruption and signals at seeded,
+replayable points.  ``chaos=None`` (the default) is zero-overhead.
 """
 
 import os
+import signal as signal_module
+import threading
 import time
 from collections import deque
 
-from repro.errors import CampaignError
+from repro.errors import CampaignDrained, CampaignError
 from repro.inject.campaign import _KINDS, CampaignResult
 from repro.inject.golden import workload_page_sets
+from repro.inject.outcome import TrialResult
 from repro.inject.store import inventory_from_dict
 from repro.obs import merge_profile, render_profile
 from repro.runner.journal import JournalWriter, write_metrics
@@ -83,7 +99,9 @@ class CampaignRunner:
     def __init__(self, config, pipeline_config=None, workers=None,
                  directory=None, batch_size=None, trial_timeout=None,
                  max_retries=2, progress=None, metrics_every=16,
-                 poll_interval=0.05, require_journal=False, clock=None):
+                 poll_interval=0.05, require_journal=False, clock=None,
+                 chaos=None, contain_poison=True, drain_timeout=30.0,
+                 install_signal_handlers=True, journal_sleep=None):
         self.config = config
         self.pipeline_config = pipeline_config or PipelineConfig.paper(
             config.protection)
@@ -101,6 +119,12 @@ class CampaignRunner:
         # The clock feeds stall detection and telemetry only -- never a
         # simulation path -- and is injectable for tests (REP002).
         self._clock = clock if clock is not None else time.monotonic
+        self.chaos = chaos
+        self.contain_poison = contain_poison
+        self.drain_timeout = drain_timeout
+        self.install_signal_handlers = install_signal_handlers
+        self.journal_sleep = journal_sleep
+        self._drain = None  # signal name once a graceful drain is requested
         self.pool = None  # the live WorkerPool while a pool run is active
         self.telemetry = None
         # Campaign-wide per-stage profile, merged across workers (only
@@ -111,7 +135,14 @@ class CampaignRunner:
     # ------------------------------------------------------------------
 
     def run(self):
-        """Execute (or finish) the campaign; returns a ``CampaignResult``."""
+        """Execute (or finish) the campaign; returns a ``CampaignResult``.
+
+        Raises :class:`~repro.errors.CampaignDrained` when a SIGTERM or
+        SIGINT drained the campaign before every unit completed; the
+        journal holds everything finished so far and the directory is
+        resumable.
+        """
+        self._drain = None
         config = self.config
         units = enumerate_units(config)
         resume = load_resume_state(self.directory, config,
@@ -137,8 +168,13 @@ class CampaignRunner:
 
         journal = None
         if self.directory is not None:
-            journal = JournalWriter.open(self.directory, config,
-                                         eligible_bits, inventory)
+            journal = JournalWriter.open(
+                self.directory, config, eligible_bits, inventory,
+                fault_hook=(self.chaos.journal_fault
+                            if self.chaos is not None else None),
+                on_retry=telemetry.record_io_retry,
+                sleep=self.journal_sleep)
+        previous_handlers = self._install_signal_handlers()
         try:
             if pending:
                 if self.workers > 1:
@@ -146,10 +182,14 @@ class CampaignRunner:
                 else:
                     self._run_inline(pending, results, telemetry, journal)
         finally:
+            self._restore_signal_handlers(previous_handlers)
             if journal is not None:
                 journal.close()
             if self.directory is not None:
                 write_metrics(self.directory, telemetry.snapshot().to_dict())
+
+        if self._drain is not None and len(results) < len(units):
+            raise CampaignDrained(self._drain, self.directory)
 
         return CampaignResult(
             config=config,
@@ -160,6 +200,40 @@ class CampaignRunner:
         )
 
     # ------------------------------------------------------------------
+
+    def _install_signal_handlers(self):
+        """Install the graceful-drain SIGTERM/SIGINT handlers.
+
+        Returns the previous handlers for restoration, or None when
+        installation is disabled or impossible (signal handlers can
+        only be set from the main thread).  The first signal requests a
+        drain; a second one raises KeyboardInterrupt (the classic
+        hard-stop escape hatch).
+        """
+        if not self.install_signal_handlers:
+            return None
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def handler(signum, frame):
+            if self._drain is not None:
+                raise KeyboardInterrupt
+            self._drain = signal_module.Signals(signum).name
+
+        previous = {}
+        for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+            previous[signum] = signal_module.signal(signum, handler)
+        return previous
+
+    def _restore_signal_handlers(self, previous):
+        if previous:
+            for signum, old in previous.items():
+                signal_module.signal(signum, old)
+
+    def _on_cache_event(self, kind, detail):
+        """Integrity incidents surfaced by the inline golden cache."""
+        if kind == "cache_quarantined" and self.telemetry is not None:
+            self.telemetry.record_quarantine()
 
     def _machine_inventory(self):
         """The campaign's eligible-bit count and Table 1 inventory.
@@ -200,6 +274,10 @@ class CampaignRunner:
             write_metrics(self.directory, telemetry.snapshot().to_dict())
         if self.progress is not None:
             self.progress(telemetry.snapshot())
+        if self.chaos is not None:
+            # After the trial is safely journaled: chaos fires on the
+            # done-trial-count axis, which is monotonic across resumes.
+            self.chaos.on_trial(len(results), self)
 
     def _shared_page_sets(self, pending):
         """TLB-preload page sets for every workload with pending units.
@@ -225,10 +303,13 @@ class CampaignRunner:
     def _run_inline(self, pending, results, telemetry, journal):
         """Single-worker path: same context code, no processes."""
         context = WorkerContext(self.config, self.pipeline_config,
-                                golden_dir=self._golden_dir())
+                                golden_dir=self._golden_dir(),
+                                on_event=self._on_cache_event)
         telemetry.set_workers(1, 1)
         try:
             for unit in pending:
+                if self._drain is not None:
+                    break  # drain: the current trial was the in-flight one
                 trial = context.run_unit(unit)
                 self._record(unit, trial, results, telemetry, journal)
         finally:
@@ -253,16 +334,24 @@ class CampaignRunner:
                           page_sets=self._shared_page_sets(pending),
                           golden_dir=self._golden_dir())
         self.pool = pool
+        drain_deadline = None
         try:
             while outstanding:
                 now = self._clock()
-                idle = pool.idle_workers()
-                while idle and queue:
-                    worker = idle.pop(0)
-                    batch_id, batch = _take_batch(queue, worker)
-                    assignments[worker.worker_id] = [batch_id, batch, set()]
-                    pool.assign(worker, batch_id, batch, now)
+                if self._drain is None:
+                    idle = pool.idle_workers()
+                    while idle and queue:
+                        worker = idle.pop(0)
+                        batch_id, batch = _take_batch(queue, worker)
+                        assignments[worker.worker_id] = \
+                            [batch_id, batch, set()]
+                        pool.assign(worker, batch_id, batch, now)
+                elif drain_deadline is None:
+                    drain_deadline = now + self.drain_timeout
                 telemetry.set_workers(pool.busy_count(), len(pool.workers))
+
+                if self._drain is not None and not assignments:
+                    break  # drained: nothing in flight remains
 
                 message = pool.next_message(self.poll_interval)
                 now = self._clock()
@@ -289,16 +378,31 @@ class CampaignRunner:
                             assignments.pop(worker_id)
                             if worker is not None:
                                 worker.batch_id = None
+                    elif kind == "event":
+                        event_kind, _detail = payload
+                        if event_kind == "cache_quarantined":
+                            telemetry.record_quarantine()
                     elif kind == "error":
                         raise CampaignError(
                             "campaign worker %d failed: %s"
                             % (worker_id, payload))
 
+                if drain_deadline is not None and now > drain_deadline:
+                    # In-flight batches did not finish inside the
+                    # drain window: give up on them (they stay
+                    # unjournaled, hence resumable) and stop.
+                    for worker in list(pool.workers):
+                        if worker.busy:
+                            assignments.pop(worker.worker_id, None)
+                            pool.retire(worker)
+                    break
+
                 next_batch_id = self._reap(
                     pool, now, queue, next_batch_id, assignments,
-                    outstanding, retries, telemetry)
+                    outstanding, retries, results, telemetry, journal)
 
                 if outstanding and not queue and not assignments \
+                        and self._drain is None \
                         and pool.next_message(self.poll_interval) is None:
                     raise CampaignError(
                         "engine inconsistency: %d units outstanding with "
@@ -308,8 +412,16 @@ class CampaignRunner:
             pool.shutdown()
 
     def _reap(self, pool, now, queue, next_batch_id, assignments,
-              outstanding, retries, telemetry):
-        """Requeue work held by dead or stalled workers; respawn them."""
+              outstanding, retries, results, telemetry, journal):
+        """Requeue work held by dead or stalled workers; respawn them.
+
+        A unit that has already burned through ``max_retries`` workers
+        is *poison*: with ``contain_poison`` it is journaled as a
+        ``harness_error`` outcome (quarantined from the sweep's
+        statistics, which exclude that outcome) instead of aborting the
+        whole campaign.  During a drain, dead workers are simply
+        retired -- their units stay unjournaled and resume later.
+        """
         for worker in list(pool.workers):
             dead = not worker.alive()
             stalled = (not dead and self.trial_timeout is not None
@@ -317,33 +429,51 @@ class CampaignRunner:
                        and now - worker.last_progress > self.trial_timeout)
             if not dead and not stalled:
                 continue
+            cause = "stall" if stalled else "worker death"
             assignment = assignments.pop(worker.worker_id, None)
+            if self._drain is not None:
+                pool.retire(worker)
+                continue
             if assignment is not None:
                 batch_id, batch, received = assignment
-                remaining = tuple(
+                remaining = [
                     index for index in batch.trial_indices
                     if index not in received
                     and TrialUnit(batch.workload, batch.start_point,
-                                  index) in outstanding)
-                if remaining:
-                    for index in remaining:
-                        unit = TrialUnit(batch.workload, batch.start_point,
-                                         index)
-                        count = retries.get(unit, 0) + 1
-                        if count > self.max_retries:
-                            raise CampaignError(
-                                "trial unit %s/sp%d/#%d failed %d times "
-                                "(worker %s, last cause: %s); aborting "
-                                "rather than dropping trials"
-                                % (unit.workload, unit.start_point,
-                                   unit.trial_index, count,
-                                   worker.worker_id,
-                                   "stall" if stalled else "worker death"))
-                        retries[unit] = count
-                    telemetry.record_retry(len(remaining))
+                                  index) in outstanding]
+                requeue = []
+                for index in remaining:
+                    unit = TrialUnit(batch.workload, batch.start_point,
+                                     index)
+                    count = retries.get(unit, 0) + 1
+                    retries[unit] = count
+                    if count <= self.max_retries:
+                        requeue.append(index)
+                        continue
+                    if not self.contain_poison:
+                        raise CampaignError(
+                            "trial unit %s/sp%d/#%d failed %d times "
+                            "(worker %s, last cause: %s); aborting "
+                            "rather than dropping trials"
+                            % (unit.workload, unit.start_point,
+                               unit.trial_index, count,
+                               worker.worker_id, cause))
+                    # Poison containment: the unit repeatedly took its
+                    # worker down; journal the fact and move on.
+                    trial = TrialResult.harness_error(
+                        unit.workload, unit.start_point, unit.trial_index,
+                        "unit failed %d worker(s); last cause: %s; "
+                        "contained as harness_error" % (count, cause))
+                    outstanding.discard(unit)
+                    self._record(unit, trial, results, telemetry, journal,
+                                 worker_id=worker.worker_id)
+                    telemetry.record_harness_error()
+                if requeue:
+                    telemetry.record_retry(len(requeue))
                     queue.append((next_batch_id,
                                   UnitBatch(batch.workload,
-                                            batch.start_point, remaining)))
+                                            batch.start_point,
+                                            tuple(requeue))))
                     next_batch_id += 1
             pool.replace(worker)
         return next_batch_id

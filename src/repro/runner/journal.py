@@ -1,4 +1,4 @@
-"""Append-only trial journal (crash durability).
+"""Append-only trial journal (crash durability and corruption detection).
 
 One campaign directory holds::
 
@@ -13,9 +13,24 @@ journal schema version, and the machine inventory; every further line
 is one completed trial keyed by its ``(workload, start_point,
 trial_index)`` unit.  Each append is flushed and fsynced before the
 engine counts the trial as durable, so after a crash at any instant the
-journal contains every acknowledged trial plus at most one truncated
+journal contains every acknowledged trial plus at most one damaged
 trailing line -- which :func:`read_journal` tolerates and
 :meth:`JournalWriter.open` repairs before appending.
+
+Corruption detection (journal schema 2): every line carries a ``crc``
+field -- the CRC32 of the record's canonical JSON encoding without the
+``crc`` key itself -- so a bit flip *inside* a line is detected even
+when the damaged text still parses as JSON.  A bad final line is
+treated as a torn tail; a bad line anywhere else is a hard
+:class:`SimulationError` reporting the line number and byte offset
+(``repro-faults campaign --repair`` truncates at the last valid line
+after explicit confirmation).  Schema-1 journals, whose lines carry no
+checksum, still load -- the resume layer prints a one-line notice.
+
+Transient I/O errors on append are retried with bounded exponential
+backoff (the handle is reopened and any partially written bytes are
+trimmed first), escalating to :class:`~repro.errors.CampaignError`
+only after exhaustion.
 
 Timestamps in journal lines are reporting metadata only: nothing on a
 simulation path ever reads them (the REP002 determinism contract).
@@ -24,8 +39,11 @@ simulation path ever reads them (the REP002 determinism contract).
 import json
 import os
 import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
 
-from repro.errors import SimulationError
+from repro.errors import CampaignError, SimulationError
 from repro.inject.store import (
     SCHEMA_VERSION,
     campaign_fingerprint,
@@ -37,13 +55,24 @@ from repro.obs import render_openmetrics
 from repro.runner.units import TrialUnit
 
 __all__ = ["JOURNAL_NAME", "METRICS_NAME", "PROM_NAME", "JOURNAL_SCHEMA",
-           "JournalWriter", "read_journal", "journal_path", "metrics_path",
+           "SUPPORTED_SCHEMAS", "JournalContents", "JournalWriter",
+           "encode_line", "decode_line", "read_journal", "repair_journal",
+           "canonical_trial_bytes", "journal_path", "metrics_path",
            "prom_path", "write_metrics"]
 
 JOURNAL_NAME = "journal.jsonl"
 METRICS_NAME = "metrics.json"
 PROM_NAME = "metrics.prom"
-JOURNAL_SCHEMA = 1
+# Schema 2 added the per-line ``crc`` checksum field.  Checksums are
+# *versioned in the journal schema*, never in the campaign fingerprint:
+# a schema-1 journal of the same config still resumes.
+JOURNAL_SCHEMA = 2
+SUPPORTED_SCHEMAS = (1, 2)
+
+# Bounded retry-with-backoff for transient append I/O errors.
+APPEND_ATTEMPTS = 5
+_BACKOFF_BASE_SECONDS = 0.05
+_BACKOFF_CAP_SECONDS = 1.0
 
 
 def journal_path(directory):
@@ -58,20 +87,99 @@ def prom_path(directory):
     return os.path.join(directory, PROM_NAME)
 
 
-class JournalWriter:
-    """Appends durable trial records to a campaign journal."""
+# -- Line encoding --------------------------------------------------------------
 
-    def __init__(self, path, handle):
+
+def _canonical(record):
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _crc_of(record):
+    body = _canonical(record).encode("utf-8")
+    return "%08x" % (zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def encode_line(record):
+    """Seal ``record`` (a dict without ``crc``) into one journal line."""
+    sealed = dict(record)
+    sealed["crc"] = _crc_of(record)
+    return _canonical(sealed)
+
+
+def decode_line(line):
+    """Parse and verify one journal line.
+
+    Returns ``(record, status)`` where status is ``"ok"`` (checksum
+    verified), ``"legacy"`` (schema-1 line without a ``crc`` field) or
+    ``"corrupt"`` (undecodable JSON or checksum mismatch; record is
+    None).
+    """
+    try:
+        sealed = json.loads(line)
+    except ValueError:
+        return None, "corrupt"
+    if not isinstance(sealed, dict):
+        return None, "corrupt"
+    if "crc" not in sealed:
+        return sealed, "legacy"
+    record = dict(sealed)
+    crc = record.pop("crc")
+    if crc != _crc_of(record):
+        return None, "corrupt"
+    return record, "ok"
+
+
+def _decode_raw(raw_bytes):
+    """``decode_line`` over raw bytes; undecodable UTF-8 is corrupt."""
+    try:
+        return decode_line(raw_bytes.decode("utf-8"))
+    except UnicodeDecodeError:
+        return None, "corrupt"
+
+
+def _split_lines(data):
+    """Journal bytes -> list of raw line bytes (no trailing empty)."""
+    lines = data.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    return lines
+
+
+# -- Writer ---------------------------------------------------------------------
+
+
+class JournalWriter:
+    """Appends durable, checksummed trial records to a campaign journal.
+
+    ``fault_hook`` is the chaos-injection point: called with
+    ``(writer, line)`` before every physical append attempt, it may
+    raise ``OSError`` (exercises the transient-I/O retry path) or tear
+    the tail and raise :class:`~repro.chaos.ChaosCrash` (simulates the
+    process dying mid-write).  ``on_retry`` is invoked once per retried
+    attempt so the engine can surface I/O retries in telemetry.
+    """
+
+    def __init__(self, path, handle, fault_hook=None, on_retry=None,
+                 max_attempts=APPEND_ATTEMPTS, sleep=None):
         self.path = path
         self._handle = handle
+        self._fault_hook = fault_hook
+        self._on_retry = on_retry
+        self._max_attempts = max(1, max_attempts)
+        # repro-lint: allow=REP002 (retry backoff paces harness I/O
+        # only; nothing on a simulation path depends on it)
+        self._sleep = sleep if sleep is not None else time.sleep
 
     @classmethod
-    def open(cls, directory, config, eligible_bits, inventory):
+    def open(cls, directory, config, eligible_bits, inventory,
+             fault_hook=None, on_retry=None, max_attempts=APPEND_ATTEMPTS,
+             sleep=None):
         """Open (creating or resuming) the journal of ``directory``.
 
         A fresh journal gets a header line; an existing one first has
-        any truncated trailing line (crash mid-write) trimmed so new
-        appends start on a clean line boundary.
+        any damaged trailing line (crash mid-write, or a bit-flipped
+        tail caught by its checksum) trimmed so new appends start on a
+        clean line boundary.
         """
         os.makedirs(directory, exist_ok=True)
         path = journal_path(directory)
@@ -79,7 +187,8 @@ class JournalWriter:
         if not fresh:
             _repair_tail(path)
         handle = open(path, "a", encoding="utf-8")
-        writer = cls(path, handle)
+        writer = cls(path, handle, fault_hook=fault_hook, on_retry=on_retry,
+                     max_attempts=max_attempts, sleep=sleep)
         if fresh:
             writer._append({
                 "type": "header",
@@ -104,51 +213,155 @@ class JournalWriter:
         })
 
     def _append(self, record):
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        line = encode_line(record) + "\n"
+        last_error = None
+        for attempt in range(self._max_attempts):
+            try:
+                if self._fault_hook is not None:
+                    self._fault_hook(self, line)
+                self._handle.write(line)
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                return
+            except OSError as error:
+                last_error = error
+                self._reopen()
+                if attempt + 1 < self._max_attempts:
+                    if self._on_retry is not None:
+                        self._on_retry()
+                    self._sleep(min(_BACKOFF_CAP_SECONDS,
+                                    _BACKOFF_BASE_SECONDS * (2 ** attempt)))
+        raise CampaignError(
+            "journal append to %s failed %d times (last error: %s); "
+            "completed trials up to the last fsynced line are safe -- fix "
+            "the filesystem and resume" %
+            (self.path, self._max_attempts, last_error))
+
+    def _reopen(self):
+        """Recover the handle after an I/O error.
+
+        The old handle may hold partially flushed buffered bytes;
+        closing it and trimming any torn tail guarantees a retry never
+        duplicates or interleaves line fragments.
+        """
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+        try:
+            _repair_tail(self.path)
+        except OSError:
+            pass  # the retry's write will surface a persistent failure
+        self._handle = open(self.path, "a", encoding="utf-8")
 
     def close(self):
         if not self._handle.closed:
             self._handle.close()
 
 
-def read_journal(path):
-    """Parse a journal tolerantly.
+# -- Reader ---------------------------------------------------------------------
 
-    Returns ``(header, trials, truncated)`` where ``trials`` maps
-    :class:`TrialUnit` to the raw trial dict (last record wins) and
-    ``truncated`` reports whether a partial trailing line was dropped.
-    Corruption anywhere *except* the trailing line is a hard
-    :class:`SimulationError`: it means the file was edited or the
-    filesystem lost acknowledged writes, and silently skipping records
-    would fabricate a different campaign.
+
+@dataclass
+class JournalContents:
+    """Parsed journal: header, unit-keyed trials, damage accounting."""
+
+    header: Optional[dict] = None
+    trials: dict = field(default_factory=dict)  # TrialUnit -> raw trial dict
+    truncated: bool = False  # a damaged trailing line was dropped
+    legacy_lines: int = 0  # schema-1 lines accepted without a checksum
+
+    def __iter__(self):  # (header, trials, truncated) compatibility
+        return iter((self.header, self.trials, self.truncated))
+
+
+def read_journal(path):
+    """Parse a journal tolerantly; returns :class:`JournalContents`.
+
+    ``trials`` maps :class:`TrialUnit` to the raw trial dict (last
+    record wins) and ``truncated`` reports whether a damaged trailing
+    line was dropped.  Damage anywhere *except* the trailing line --
+    undecodable JSON or a checksum mismatch -- is a hard
+    :class:`SimulationError` carrying the line number and byte offset:
+    it means the file was edited or the filesystem lost acknowledged
+    writes, and silently skipping records would fabricate a different
+    campaign.  ``repro-faults campaign --repair`` truncates at the last
+    valid line after explicit confirmation.
     """
-    with open(path, encoding="utf-8") as handle:
-        lines = handle.read().split("\n")
-    if lines and lines[-1] == "":
-        lines.pop()
-    header = None
-    trials = {}
-    truncated = False
-    for number, line in enumerate(lines, start=1):
-        try:
-            record = json.loads(line)
-        except ValueError:
+    with open(path, "rb") as handle:
+        data = handle.read()
+    lines = _split_lines(data)
+    contents = JournalContents()
+    offset = 0
+    for number, raw in enumerate(lines, start=1):
+        record, status = _decode_raw(raw)
+        if status == "corrupt":
             if number == len(lines):
-                truncated = True
+                contents.truncated = True
                 break
             raise SimulationError(
-                "corrupt journal line %d in %s (only the final line may "
-                "be truncated by a crash)" % (number, path))
+                "corrupt journal line %d (byte offset %d) in %s: only the "
+                "final line may be torn by a crash; run 'repro-faults "
+                "campaign --repair --dir %s' to truncate at the last "
+                "checksummed-valid line (dropped trials are recomputed on "
+                "resume)" % (number, offset, path,
+                             os.path.dirname(path) or "."))
+        if status == "legacy":
+            contents.legacy_lines += 1
         kind = record.get("type")
         if kind == "header":
-            if header is None:
-                header = record
+            if contents.header is None:
+                contents.header = record
         elif kind == "trial":
-            trials[TrialUnit.from_key(record["unit"])] = record["trial"]
-    return header, trials, truncated
+            unit = TrialUnit.from_key(record["unit"])
+            contents.trials[unit] = record["trial"]
+        offset += len(raw) + 1
+    return contents
+
+
+def repair_journal(path, dry_run=False):
+    """Truncate ``path`` at the first invalid line.
+
+    Returns ``(kept_lines, dropped_lines, truncate_offset)``.  With
+    ``dry_run`` the file is left untouched (the ``--repair``
+    confirmation prompt shows this preview first).  Every line after
+    the first invalid one is dropped too -- a valid-looking record
+    *after* lost writes cannot be trusted to belong to the same
+    campaign state.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    lines = _split_lines(data)
+    offset = 0
+    kept = 0
+    for raw in lines:
+        _record, status = _decode_raw(raw)
+        if status == "corrupt":
+            break
+        kept += 1
+        offset += len(raw) + 1
+    offset = min(offset, len(data))
+    dropped = len(lines) - kept
+    if dropped and not dry_run:
+        with open(path, "r+b") as handle:
+            handle.truncate(offset)
+    return kept, dropped, offset
+
+
+def canonical_trial_bytes(path):
+    """A byte string naming exactly the trials a journal holds.
+
+    Trials are keyed and sorted by unit and serialised canonically, so
+    two journals hold the same completed trials -- regardless of
+    append order, resume boundaries, timestamps, or torn-and-repaired
+    tails -- iff their canonical bytes are equal.  The chaos smoke test
+    uses this to assert a chaos-torn campaign converged to the exact
+    journal of an undisturbed run.
+    """
+    contents = read_journal(path)
+    blob = [[unit.key(), contents.trials[unit]]
+            for unit in sorted(contents.trials)]
+    return _canonical(blob).encode("utf-8")
 
 
 def write_metrics(directory, snapshot_dict):
@@ -172,7 +385,14 @@ def write_metrics(directory, snapshot_dict):
 
 
 def _repair_tail(path):
-    """Truncate a partial trailing line left by a crash mid-append."""
+    """Trim a damaged trailing line left by a crash mid-append.
+
+    Handles both a partial write (no trailing newline) and a complete
+    final line that fails JSON decoding or its checksum -- a torn write
+    that happened to include a later buffered newline, or a bit-flipped
+    tail.  Interior lines are never touched here; :func:`read_journal`
+    escalates interior damage instead.
+    """
     with open(path, "rb") as handle:
         data = handle.read()
     if not data or data.endswith(b"\n"):
@@ -181,19 +401,16 @@ def _repair_tail(path):
     else:
         end = data.rfind(b"\n") + 1
         good = data[:end]
-    # Also drop a complete-but-undecodable final line (torn write that
-    # happened to include the newline of a later buffered block).
     while good:
         last = good.rstrip(b"\n").rfind(b"\n") + 1
         tail = good[last:].strip()
         if not tail:
             break
-        try:
-            json.loads(tail.decode("utf-8"))
+        _record, status = _decode_raw(tail)
+        if status != "corrupt":
             break
-        except (ValueError, UnicodeDecodeError):
-            end = last
-            good = good[:last]
+        end = last
+        good = good[:last]
     if end != len(data):
         with open(path, "r+b") as handle:
             handle.truncate(end)

@@ -57,7 +57,7 @@ class WorkerContext:
     """Runs trial units, caching per-start-point preparation."""
 
     def __init__(self, config, pipeline_config=None, page_sets=None,
-                 observer=None, golden_dir=None):
+                 observer=None, golden_dir=None, on_event=None):
         self.config = config
         self.pipeline_config = pipeline_config or PipelineConfig.paper(
             config.protection)
@@ -80,7 +80,8 @@ class WorkerContext:
         self.golden_cache = None
         if golden_dir is not None:
             self.golden_cache = GoldenCache(
-                golden_dir, config, self.pipeline_config)
+                golden_dir, config, self.pipeline_config,
+                on_event=on_event)
 
     def run_unit(self, unit):
         """Execute one :class:`TrialUnit`; returns a ``TrialResult``."""
@@ -183,8 +184,15 @@ class WorkerContext:
 def _worker_main(worker_id, config, pipeline_config, page_sets, golden_dir,
                  tasks, results):
     """Worker process loop: run assigned batches, report each trial."""
+
+    def on_event(kind, detail):
+        # Integrity incidents (e.g. a quarantined golden-cache entry)
+        # ride the results queue so the engine's telemetry sees them;
+        # batch_id None marks them as out-of-band.
+        results.put(("event", worker_id, None, (kind, detail)))
+
     context = WorkerContext(config, pipeline_config, page_sets=page_sets,
-                            golden_dir=golden_dir)
+                            golden_dir=golden_dir, on_event=on_event)
     while True:
         try:
             task = tasks.get()
@@ -289,15 +297,33 @@ class WorkerPool:
         except queue_module.Empty:
             return None
 
-    def replace(self, worker):
-        """Kill ``worker`` (if needed) and swap in a fresh process."""
+    def _reap(self, worker):
+        """Make ``worker``'s process exit, escalating SIGTERM -> SIGKILL.
+
+        A *stopped* process (SIGSTOP -- the stall the watchdog detects)
+        never handles SIGTERM: the signal stays pending and a plain
+        ``terminate + join`` would hang here forever.  SIGKILL cannot be
+        blocked or deferred, so escalate after a short grace period.
+        """
         if worker.process.is_alive():
             worker.process.terminate()
-        worker.process.join(timeout=5.0)
+            worker.process.join(timeout=2.0)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=2.0)
         worker.tasks.close()
+
+    def replace(self, worker):
+        """Kill ``worker`` (if needed) and swap in a fresh process."""
+        self._reap(worker)
         replacement = self._spawn()
         self.workers[self.workers.index(worker)] = replacement
         return replacement
+
+    def retire(self, worker):
+        """Kill ``worker`` without spawning a replacement (drain path)."""
+        self._reap(worker)
+        self.workers.remove(worker)
 
     def shutdown(self):
         """Stop every worker; idempotent and safe mid-failure."""

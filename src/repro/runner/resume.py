@@ -8,14 +8,20 @@ compute for that unit, so skipping it cannot change the final
 :class:`~repro.inject.campaign.CampaignResult`.  Any mismatch is a hard
 :class:`~repro.errors.SimulationError` -- resuming a different
 experiment's journal would silently splice two distributions.
+
+Journal *schema* is versioned separately from the fingerprint: schema 2
+added per-line CRC32 checksums, and a schema-1 journal of the same
+fingerprint still resumes -- its lines simply cannot be verified, which
+is reported once on stderr rather than punished.
 """
 
 import os
+import sys
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.inject.store import campaign_fingerprint, trial_from_dict
-from repro.runner.journal import JOURNAL_SCHEMA, journal_path, read_journal
+from repro.runner.journal import SUPPORTED_SCHEMAS, journal_path, read_journal
 
 __all__ = ["ResumeState", "load_resume_state"]
 
@@ -53,17 +59,24 @@ def load_resume_state(directory, config, require_journal=False):
                 "cannot resume: no journal at %s" % path)
         return ResumeState()
 
-    header, raw_trials, truncated = read_journal(path)
+    contents = read_journal(path)
+    header = contents.header
     if header is None:
         raise SimulationError(
             "journal %s has no header line; not a campaign journal "
             "(or its very first write was interrupted -- delete the "
             "file and rerun)" % path)
-    if header.get("schema") != JOURNAL_SCHEMA:
+    if header.get("schema") not in SUPPORTED_SCHEMAS:
         raise SimulationError(
-            "journal %s has schema %r but this engine writes schema %r; "
+            "journal %s has schema %r but this engine supports schemas %s; "
             "refusing to mix journal formats"
-            % (path, header.get("schema"), JOURNAL_SCHEMA))
+            % (path, header.get("schema"),
+               "/".join(str(s) for s in SUPPORTED_SCHEMAS)))
+    if contents.legacy_lines:
+        sys.stderr.write(
+            "note: %d line(s) of %s predate journal checksums (schema 1) "
+            "and were accepted unverified\n"
+            % (contents.legacy_lines, path))
     expected = campaign_fingerprint(config)
     found = header.get("fingerprint")
     if found != expected:
@@ -74,5 +87,6 @@ def load_resume_state(directory, config, require_journal=False):
             % (path, str(found)[:12], expected[:12]))
 
     trials = {unit: trial_from_dict(raw)
-              for unit, raw in raw_trials.items()}
-    return ResumeState(header=header, trials=trials, truncated=truncated)
+              for unit, raw in contents.trials.items()}
+    return ResumeState(header=header, trials=trials,
+                       truncated=contents.truncated)

@@ -32,6 +32,9 @@ class TelemetrySnapshot:
     resumed: int  # trials skipped because a prior run journaled them
     fresh: int  # trials completed by this run
     retried: int  # units requeued after a worker death or stall
+    harness_errors: int  # poison units contained as harness_error
+    quarantined: int  # corrupt golden-cache entries moved aside
+    io_retries: int  # transient journal/cache I/O errors retried
     elapsed_seconds: float
     trials_per_second: float
     eta_seconds: Optional[float]  # None until a rate is measurable
@@ -56,6 +59,9 @@ class TelemetrySnapshot:
             "resumed": self.resumed,
             "fresh": self.fresh,
             "retried": self.retried,
+            "harness_errors": self.harness_errors,
+            "quarantined": self.quarantined,
+            "io_retries": self.io_retries,
             "percent": self.percent,
             "elapsed_seconds": self.elapsed_seconds,
             "trials_per_second": self.trials_per_second,
@@ -86,6 +92,16 @@ class TelemetrySnapshot:
         if self.workers_total > 1:
             parts.append("workers %d/%d"
                          % (self.workers_busy, self.workers_total))
+        # Incident counters render only when nonzero: chaos injections
+        # and real-world faults stand out, healthy runs stay terse.
+        if self.retried:
+            parts.append("retried:%d" % self.retried)
+        if self.io_retries:
+            parts.append("io-retries:%d" % self.io_retries)
+        if self.quarantined:
+            parts.append("quarantined:%d" % self.quarantined)
+        if self.harness_errors:
+            parts.append("harness-err:%d" % self.harness_errors)
         if self.resumed:
             parts.append("(%d resumed)" % self.resumed)
         return " | ".join(parts)
@@ -102,6 +118,9 @@ class Telemetry:
         self.resumed = resumed
         self.fresh = 0
         self.retried = 0
+        self.harness_errors = 0
+        self.quarantined = 0
+        self.io_retries = 0
         self.outcome_counts = {}
         self.workers_busy = 0
         self.workers_total = 0
@@ -142,6 +161,18 @@ class Telemetry:
     def record_retry(self, units=1):
         self.retried += units
 
+    def record_harness_error(self, units=1):
+        """Count a poison unit journaled as ``harness_error``."""
+        self.harness_errors += units
+
+    def record_quarantine(self, entries=1):
+        """Count a corrupt golden-cache entry moved to quarantine."""
+        self.quarantined += entries
+
+    def record_io_retry(self, attempts=1):
+        """Count a transient journal/cache I/O error that was retried."""
+        self.io_retries += attempts
+
     def set_workers(self, busy, total):
         self.workers_busy = busy
         self.workers_total = total
@@ -161,6 +192,9 @@ class Telemetry:
             resumed=self.resumed,
             fresh=self.fresh,
             retried=self.retried,
+            harness_errors=self.harness_errors,
+            quarantined=self.quarantined,
+            io_retries=self.io_retries,
             elapsed_seconds=elapsed,
             trials_per_second=rate,
             eta_seconds=eta,

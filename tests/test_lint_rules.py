@@ -451,3 +451,79 @@ def test_rep005_pragma_suppresses(tmp_path):
             self._values = space.values
     """, config=_REP005)
     assert rules_of(result) == []
+
+
+# -- REP006: exception hygiene ------------------------------------------------
+
+_REP006 = LintConfig(enable=("REP006",))
+
+
+def lint_harness_source(tmp_path, source, subdir="runner"):
+    """Lint ``source`` placed under a harness directory segment."""
+    package = tmp_path / subdir
+    package.mkdir(exist_ok=True)
+    path = package / "mod.py"
+    path.write_text(textwrap.dedent(source))
+    return run_lint([str(path)], _REP006)
+
+
+def test_rep006_flags_bare_except_in_harness(tmp_path):
+    result = lint_harness_source(tmp_path, """
+    def cleanup(path):
+        try:
+            path.unlink()
+        except:
+            pass
+    """)
+    assert rules_of(result) == ["REP006"]
+    assert "bare 'except:'" in result.findings[0].message
+
+
+def test_rep006_flags_base_exception_without_reraise(tmp_path):
+    result = lint_harness_source(tmp_path, """
+    def swallow(fn):
+        try:
+            fn()
+        except BaseException:
+            return None
+    """, subdir="perf")
+    assert rules_of(result) == ["REP006"]
+    assert "'except BaseException'" in result.findings[0].message
+
+
+def test_rep006_reraise_and_narrow_handlers_ok(tmp_path):
+    result = lint_harness_source(tmp_path, """
+    def cleanup(fn, undo):
+        try:
+            fn()
+        except BaseException:
+            undo()
+            raise
+        try:
+            fn()
+        except OSError:
+            pass
+    """, subdir="inject")
+    assert rules_of(result) == []
+
+
+def test_rep006_only_applies_to_harness_dirs(tmp_path):
+    result = lint_harness_source(tmp_path, """
+    def swallow(fn):
+        try:
+            fn()
+        except:
+            pass
+    """, subdir="analysis")
+    assert rules_of(result) == []
+
+
+def test_rep006_pragma_suppresses(tmp_path):
+    result = lint_harness_source(tmp_path, """
+    def swallow(fn):
+        try:
+            fn()
+        except BaseException:  # repro-lint: allow=REP006 (test shim)
+            pass
+    """, subdir="chaos")
+    assert rules_of(result) == []

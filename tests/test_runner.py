@@ -197,3 +197,35 @@ def test_telemetry_rates_and_eta(serial):
     rendered = snapshot.render()
     assert "60.0% 6/10" in rendered and "ETA" in rendered
     assert snapshot.to_dict()["workers_total"] == 4
+
+
+def test_telemetry_incident_counters_in_line_json_and_prom():
+    from repro.obs.metrics import render_openmetrics
+
+    telemetry = Telemetry(total=10, clock=lambda: 0.0)
+    clean = telemetry.snapshot().render()
+    for token in ("harness-err", "quarantined", "io-retries", "retried"):
+        assert token not in clean  # healthy runs stay terse
+
+    telemetry.record_retry(2)
+    telemetry.record_harness_error()
+    telemetry.record_quarantine()
+    telemetry.record_io_retry()
+    telemetry.record_io_retry(2)
+    snapshot = telemetry.snapshot()
+
+    rendered = snapshot.render()
+    assert "retried:2" in rendered
+    assert "harness-err:1" in rendered
+    assert "quarantined:1" in rendered
+    assert "io-retries:3" in rendered
+
+    as_dict = snapshot.to_dict()
+    assert as_dict["harness_errors"] == 1
+    assert as_dict["quarantined"] == 1
+    assert as_dict["io_retries"] == 3
+
+    prom = render_openmetrics(as_dict)
+    assert "repro_harness_errors 1" in prom
+    assert "repro_cache_quarantined 1" in prom
+    assert "repro_io_retries 3" in prom

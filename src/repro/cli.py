@@ -12,6 +12,11 @@ Subcommands:
   determinism, ghost isolation; see docs/LINTING.md).
 * ``bench``      -- fixed micro/smoke benchmark suite tracking simulator
   throughput across revisions (see docs/PERFORMANCE.md).
+* ``serve`` / ``worker`` / ``submit`` -- the distributed campaign
+  fabric: run a coordinator, attach pull-based workers, submit
+  fingerprinted campaigns (see docs/FABRIC.md).
+* ``merge``      -- merge campaign journals/segments of one fingerprint
+  into a single result document.
 """
 
 import argparse
@@ -180,9 +185,83 @@ def build_parser():
     p.add_argument("--cycles", type=int, default=2000)
     p.set_defaults(handler=cmd_avf)
 
+    p = sub.add_parser("serve", help="run a fabric coordinator serving "
+                                     "campaign leases to workers")
+    p.add_argument("--dir", metavar="PATH", dest="fabric_dir", required=True,
+                   help="base directory: each campaign's journal and "
+                        "metrics live in <dir>/<fingerprint12>/")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8100)
+    p.add_argument("--ttl", type=float, default=None, metavar="S",
+                   help="lease time-to-live between heartbeats "
+                        "(default 30s)")
+    p.add_argument("--shard-size", type=int, default=None, metavar="N",
+                   help="trials per lease (default 4)")
+    p.add_argument("--tenant-quota", type=int, default=None, metavar="N",
+                   help="max concurrent leases per tenant (default 4)")
+    p.add_argument("--status-interval", type=float, default=10.0,
+                   metavar="S", help="seconds between status lines")
+    p.set_defaults(handler=cmd_serve)
+
+    p = sub.add_parser("worker", help="attach a fabric worker to a "
+                                      "coordinator and execute leases")
+    p.add_argument("--connect", metavar="HOST:PORT", required=True)
+    p.add_argument("--name", default=None,
+                   help="worker name in leases and telemetry "
+                        "(default worker-<pid>)")
+    p.add_argument("--processes", type=int, default=1, metavar="N",
+                   help="local processes per leased range (1 = inline)")
+    p.add_argument("--max-leases", type=int, default=None, metavar="N",
+                   help="exit after serving N leases")
+    p.add_argument("--exit-when-idle", action="store_true",
+                   help="exit once the coordinator has no work to lease")
+    p.add_argument("--spool-dir", metavar="PATH", default=None,
+                   help="durably spool each completed segment here "
+                        "before transmitting it")
+    p.add_argument("--chaos", metavar="SPEC", default=None,
+                   help="seeded network chaos: drop, dup, partition as "
+                        "'kind[:count][@at]' tokens keyed to this "
+                        "worker's nth lease (see docs/FABRIC.md)")
+    p.add_argument("--chaos-seed", type=int, default=2004,
+                   help="seed for unanchored --chaos trigger points")
+    p.set_defaults(handler=cmd_worker)
+
+    p = sub.add_parser("submit", help="submit a campaign to a fabric "
+                                      "coordinator")
+    p.add_argument("--connect", metavar="HOST:PORT", required=True)
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--shard-size", type=int, default=None, metavar="N",
+                   help="trials per lease for this campaign")
+    p.add_argument("--watch", action="store_true",
+                   help="poll the coordinator until the campaign is done")
+    p.add_argument("--workloads", nargs="*", default=list(WORKLOAD_NAMES))
+    p.add_argument("--kinds", default="latch+ram",
+                   choices=("latch", "latch+ram"))
+    p.add_argument("--trials", type=int, default=25,
+                   help="trials per start point")
+    p.add_argument("--start-points", type=int, default=3)
+    p.add_argument("--horizon", type=int, default=1200)
+    p.add_argument("--scale", default="small",
+                   choices=("tiny", "small", "large"))
+    p.add_argument("--seed", type=int, default=2004)
+    p.add_argument("--protected", action="store_true",
+                   help="enable all four protection mechanisms")
+    p.add_argument("--paper-scale", action="store_true",
+                   help="the paper's 25-30k trial scale (very slow)")
+    p.set_defaults(handler=cmd_submit)
+
+    p = sub.add_parser("merge", help="merge campaign journals/segments of "
+                                     "one fingerprint into one result")
+    p.add_argument("inputs", nargs="+", metavar="DIR_OR_JOURNAL",
+                   help="campaign directories (their journal.jsonl) "
+                        "and/or journal/segment files")
+    p.add_argument("--save", metavar="PATH",
+                   help="write the merged uarch-campaign JSON here")
+    p.set_defaults(handler=cmd_merge)
+
     p = sub.add_parser("lint", add_help=False,
                        help="static analysis: injectability, determinism, "
-                            "ghost isolation (REP001-REP006)")
+                            "ghost isolation (REP001-REP007)")
     p.add_argument("lint_args", nargs=argparse.REMAINDER,
                    help="arguments forwarded to repro.lint "
                         "(see 'repro-faults lint --help')")
@@ -474,6 +553,164 @@ def cmd_avf(args):
             rows.append([name, structure, value])
     print(format_table(["workload", "structure", "occupancy proxy"], rows,
                        title="AVF occupancy proxy (cf. paper Section 3.3)"))
+    return 0
+
+
+def _parse_connect(text):
+    """``HOST:PORT`` -> ``(host, port)``; exits with code 2 on nonsense."""
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not port_text.isdigit():
+        sys.stderr.write("error: --connect wants HOST:PORT, got %r\n"
+                         % text)
+        raise SystemExit(2)
+    return host or "127.0.0.1", int(port_text)
+
+
+def _submit_config(args):
+    """The :class:`CampaignConfig` described by ``submit`` flags."""
+    protection = ProtectionConfig.full() if args.protected \
+        else ProtectionConfig.none()
+    if args.paper_scale:
+        return CampaignConfig.paper(
+            workloads=tuple(args.workloads), kinds=args.kinds,
+            seed=args.seed, protection=protection)
+    return CampaignConfig(
+        workloads=tuple(args.workloads), kinds=args.kinds,
+        trials_per_start_point=args.trials,
+        start_points_per_workload=args.start_points,
+        horizon=args.horizon, scale=args.scale, seed=args.seed,
+        protection=protection)
+
+
+def cmd_serve(args):
+    """Run a fabric coordinator until ``/shutdown`` (or Ctrl-C)."""
+    import repro.fabric as fabric
+    try:
+        fabric.serve(
+            args.fabric_dir, host=args.host, port=args.port,
+            ttl=args.ttl if args.ttl is not None
+            else fabric.DEFAULT_TTL_SECONDS,
+            shard_size=args.shard_size if args.shard_size is not None
+            else fabric.DEFAULT_SHARD_SIZE,
+            quota=args.tenant_quota if args.tenant_quota is not None
+            else fabric.DEFAULT_QUOTA,
+            status_interval=args.status_interval)
+    except KeyboardInterrupt:
+        sys.stderr.write("coordinator stopped; campaign journals under "
+                         "%s are resumable\n" % args.fabric_dir)
+        return 130
+    except OSError as error:
+        sys.stderr.write("error: cannot serve on %s:%d: %s\n"
+                         % (args.host, args.port, error))
+        return 2
+    return 0
+
+
+def cmd_worker(args):
+    """Attach one fabric worker to a coordinator."""
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.fabric import FabricWorker, NetChaosSchedule
+    host, port = _parse_connect(args.connect)
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = NetChaosSchedule.from_spec(args.chaos, args.chaos_seed)
+        except ReproError as error:
+            sys.stderr.write("error: %s\n" % error)
+            return 2
+    worker = FabricWorker(
+        host, port, name=args.name, processes=args.processes,
+        chaos=chaos, max_leases=args.max_leases,
+        exit_when_idle=args.exit_when_idle, spool_dir=args.spool_dir,
+        echo=lambda text: sys.stderr.write(text + "\n"))
+    try:
+        stats = asyncio.run(worker.run())
+    except KeyboardInterrupt:
+        sys.stderr.write("worker stopped; unfinished leases expire and "
+                         "are re-run elsewhere\n")
+        return 130
+    except ReproError as error:
+        sys.stderr.write("error: %s\n" % error)
+        return 2
+    print("worker %s: %d lease(s), %d trial(s)"
+          % (worker.name, stats["leases"], stats["trials"]))
+    if chaos is not None:
+        sys.stderr.write("chaos:\n%s\n" % chaos.render())
+    return 0
+
+
+def cmd_submit(args):
+    """Submit (and optionally watch) a campaign on a coordinator."""
+    import time
+
+    from repro.errors import ReproError
+    from repro.fabric import call_sync, render_status
+    from repro.inject.store import config_to_dict
+    host, port = _parse_connect(args.connect)
+    config = _submit_config(args)
+    payload = {"tenant": args.tenant, "config": config_to_dict(config)}
+    if args.shard_size is not None:
+        payload["shard_size"] = args.shard_size
+    try:
+        reply = call_sync(host, port, "/submit", payload)
+    except (OSError, ReproError) as error:
+        sys.stderr.write("error: submit to %s:%d failed: %s\n"
+                         % (host, port, error))
+        return 2
+    print("campaign %s (%d trials in %d range(s)) -> tenant %s, "
+          "journal %s%s"
+          % (reply["fingerprint"][:12], reply["total_units"],
+             reply["ranges"], reply["tenant"], reply["directory"],
+             " [already complete]" if reply["done"] else ""))
+    if not args.watch or reply["done"]:
+        return 0
+    short = reply["fingerprint"][:12]
+    while True:
+        # repro-lint: allow=REP002 (poll pacing for a human watcher;
+        # no simulation path involved)
+        time.sleep(2.0)
+        try:
+            status = call_sync(host, port, "/status", {})
+        except (OSError, ReproError) as error:
+            sys.stderr.write("error: status poll failed: %s\n" % error)
+            return 2
+        sys.stderr.write(render_status(status) + "\n")
+        campaign = (status.get("campaigns") or {}).get(short)
+        if campaign is not None and campaign.get("done"):
+            print("campaign %s complete" % short)
+            return 0
+
+
+def cmd_merge(args):
+    """Merge campaign journals/segments of one fingerprint."""
+    import json
+    import os
+
+    from repro.errors import ReproError
+    from repro.inject.store import campaign_from_dict, merge_campaign_dicts
+    from repro.runner.journal import campaign_dict_from_journal, journal_path
+    documents = []
+    try:
+        for given in args.inputs:
+            path = journal_path(given) if os.path.isdir(given) else given
+            documents.append(campaign_dict_from_journal(path))
+        merged = merge_campaign_dicts(documents)
+    except (OSError, ReproError) as error:
+        sys.stderr.write("error: %s\n" % error)
+        return 2
+    if args.save:
+        with open(args.save, "w") as handle:
+            json.dump(merged, handle, indent=1)
+        print("merged result written to %s" % args.save)
+    result = campaign_from_dict(merged)
+    print("merged %d input(s): %d unique trial(s) of fingerprint %s"
+          % (len(documents), len(result.trials),
+             merged["fingerprint"][:12]))
+    print()
+    print(render_workload_outcomes(
+        result.trials, "Outcomes by benchmark (merged)"))
     return 0
 
 

@@ -40,6 +40,17 @@ class CampaignError(ReproError):
     """Raised when a fault-injection campaign is misconfigured."""
 
 
+class FabricError(ReproError):
+    """Raised on fabric protocol violations or rejected coordinator calls.
+
+    Covers malformed requests, unknown campaigns/leases, checksum
+    mismatches on returned segments, and non-200 replies surfaced to a
+    client.  Transport-level failures (a dead coordinator) raise the
+    underlying ``OSError`` instead -- they are retryable, a
+    ``FabricError`` generally is not.
+    """
+
+
 class CampaignDrained(CampaignError):
     """Raised after a graceful SIGTERM/SIGINT drain stopped a campaign.
 

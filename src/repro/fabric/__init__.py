@@ -1,0 +1,36 @@
+"""Distributed campaign fabric: injection-as-a-service.
+
+The paper's statistical power comes from campaign volume -- tens of
+thousands of one-bit-flip trials per workload -- and the serial runner
+tops out at one host.  This package shards a fingerprinted campaign
+into trial-range *leases* served by an asyncio coordinator
+(:mod:`repro.fabric.coordinator`) to any number of pull-based workers
+(:mod:`repro.fabric.worker`) over a tiny stdlib HTTP/JSON protocol
+(:mod:`repro.fabric.protocol`), with heartbeat expiry and work
+stealing (:mod:`repro.fabric.leases`), multi-tenant fair queueing
+(:mod:`repro.fabric.queue`), and seeded network chaos
+(:mod:`repro.fabric.chaos`).
+
+The invariant everything defends: a fabric campaign's journal is
+canonically byte-identical to the serial run of the same fingerprint,
+no matter how ranges were leased, stolen, duplicated or partitioned.
+See ``docs/FABRIC.md``.
+"""
+
+from repro.fabric.chaos import NET_FAULT_KINDS, NetChaosSchedule
+from repro.fabric.coordinator import (
+    DEFAULT_SHARD_SIZE,
+    DEFAULT_TTL_SECONDS,
+    Coordinator,
+    render_status,
+    serve,
+)
+from repro.fabric.leases import Lease, LeaseTable
+from repro.fabric.protocol import call, call_sync, segment_checksum
+from repro.fabric.queue import DEFAULT_QUOTA, FabricQueue
+from repro.fabric.worker import FabricWorker
+
+__all__ = ["NET_FAULT_KINDS", "NetChaosSchedule", "DEFAULT_SHARD_SIZE",
+           "DEFAULT_TTL_SECONDS", "Coordinator", "render_status", "serve",
+           "Lease", "LeaseTable", "call", "call_sync", "segment_checksum",
+           "DEFAULT_QUOTA", "FabricQueue", "FabricWorker"]

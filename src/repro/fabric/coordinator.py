@@ -1,0 +1,549 @@
+"""The campaign coordinator: injection-as-a-service.
+
+One asyncio process owns the authoritative state of every registered
+campaign: the lease tables (:mod:`repro.fabric.leases`), the
+multi-tenant queue (:mod:`repro.fabric.queue`), and -- critically --
+the *journal*.  Workers never write journals; they return completed
+trial segments over the wire and the coordinator merges them through
+:func:`repro.inject.store.merge_campaign_dicts` (fingerprint + schema
+validation, unit-keyed dedup) plus the wire checksum, then appends the
+surviving trials to the same schema-2 journal the serial runner
+writes.  A fabric campaign's journal is therefore canonically
+byte-identical to a serial run's: same header shape, same trial dicts,
+same per-line CRCs.
+
+Concurrency model: one event loop, one :class:`asyncio.Lock` over all
+campaign state (the state is small; trial execution happens on
+workers).  Blocking file I/O -- journal opens and appends, metrics
+rewrites, resume reads -- runs in the default executor so request
+handling never stalls the loop (the REP007 contract).
+
+Endpoints (POST + JSON; see :mod:`repro.fabric.protocol`):
+
+=============  =====================================================
+``/submit``    register a campaign (idempotent per fingerprint)
+``/lease``     grant the next trial range to a worker
+``/heartbeat`` extend a lease; False means "abandon that range"
+``/complete``  return a finished segment for merge + journal append
+``/status``    telemetry snapshot (also written to metrics.json/.prom)
+``/shutdown``  stop serving after the reply is written
+=============  =====================================================
+"""
+
+import asyncio
+import functools
+import os
+import time
+
+from repro.errors import FabricError, ReproError
+from repro.fabric.leases import LeaseTable
+from repro.fabric.protocol import (
+    read_request,
+    segment_checksum,
+    write_response,
+)
+from repro.fabric.queue import DEFAULT_QUOTA, FabricQueue
+from repro.inject.store import (
+    SCHEMA_VERSION,
+    campaign_fingerprint,
+    config_from_dict,
+    config_to_dict,
+    inventory_from_dict,
+    merge_campaign_dicts,
+)
+from repro.runner.journal import (
+    JournalWriter,
+    journal_path,
+    read_journal,
+    write_metrics,
+)
+from repro.runner.units import TrialUnit, enumerate_units
+
+__all__ = ["DEFAULT_TTL_SECONDS", "DEFAULT_SHARD_SIZE", "Coordinator",
+           "render_status", "serve"]
+
+# Lease time-to-live between heartbeats.  Generous relative to a
+# shard's runtime: expiry is for dead/partitioned workers, not pacing.
+DEFAULT_TTL_SECONDS = 30.0
+# Trials per lease.  Small shards bound the work lost to a steal and
+# keep many workers busy on small campaigns; the per-lease overhead is
+# one HTTP round-trip, which trial execution dwarfs.
+DEFAULT_SHARD_SIZE = 4
+
+# A worker counts as active while its last request (lease, heartbeat,
+# completion) is at most this many TTLs old.
+_WORKER_ACTIVE_TTLS = 2.0
+
+
+class _Campaign:
+    """Coordinator-side state of one registered campaign."""
+
+    def __init__(self, campaign_id, tenant, config, directory, units,
+                 leases):
+        self.campaign_id = campaign_id
+        self.tenant = tenant
+        self.config = config
+        self.fingerprint = campaign_id
+        self.directory = directory
+        self.units = units
+        self.index_of = {unit: index for index, unit in enumerate(units)}
+        self.leases = leases
+        self.writer = None  # opened lazily on the first merged segment
+        self.journaled = set()  # TrialUnits durably appended (or resumed)
+        self.doc = None  # accumulated merged uarch-campaign document
+        self.eligible_bits = None  # fixed by the first segment (or resume)
+        self.inventory_dict = None
+
+    @property
+    def done(self):
+        return self.leases.done and len(self.journaled) >= len(self.units)
+
+
+class Coordinator:
+    """Serves leases to workers and owns every campaign journal."""
+
+    def __init__(self, directory, host="127.0.0.1", port=0,
+                 ttl=DEFAULT_TTL_SECONDS, shard_size=DEFAULT_SHARD_SIZE,
+                 quota=DEFAULT_QUOTA, clock=None):
+        self.directory = directory
+        self.host = host
+        self.port = port  # 0 = ephemeral; .port is rebound on start()
+        self.ttl = float(ttl)
+        self.shard_size = int(shard_size)
+        self._campaigns = {}  # fingerprint -> _Campaign
+        self._queue = FabricQueue(quota)
+        self._lock = asyncio.Lock()
+        self._workers = {}  # worker name -> clock of last request
+        self._server = None
+        self._stopping = asyncio.Event()
+        # repro-lint: allow=REP002 (lease deadlines pace harness
+        # recovery only; no simulation path reads this clock)
+        self._clock = clock if clock is not None else time.monotonic
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self):
+        """Bind the listening socket; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        async with self._lock:
+            for state in self._campaigns.values():
+                if state.writer is not None:
+                    await self._blocking(state.writer.close)
+                    state.writer = None
+
+    async def wait_stopped(self):
+        """Block until a ``/shutdown`` request arrives."""
+        await self._stopping.wait()
+
+    async def _blocking(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, functools.partial(fn, *args))
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle(self, reader, writer):
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            try:
+                reply = await self._dispatch(request)
+                status = 200
+            except FabricError as error:
+                reply, status = {"error": str(error)}, 400
+            except ReproError as error:
+                reply, status = {"error": "%s: %s"
+                                 % (type(error).__name__, error)}, 500
+            await write_response(writer, status, reply)
+        except (ConnectionError, FabricError, asyncio.IncompleteReadError):
+            pass  # a malformed or torn request kills only its connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request):
+        routes = {
+            "/submit": self._submit,
+            "/lease": self._lease,
+            "/heartbeat": self._heartbeat,
+            "/complete": self._complete,
+            "/status": self._status,
+            "/shutdown": self._shutdown,
+        }
+        handler = routes.get(request.path)
+        if handler is None or request.method != "POST":
+            raise FabricError("no route %s %s"
+                              % (request.method, request.path))
+        return await handler(request.payload)
+
+    # -- routes ---------------------------------------------------------
+
+    async def _submit(self, payload):
+        """Register (or idempotently re-register) a campaign."""
+        tenant = str(payload.get("tenant") or "default")
+        if "config" not in payload:
+            raise FabricError("/submit: missing config")
+        try:
+            config = config_from_dict(payload["config"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise FabricError("/submit: bad config (%s)" % error)
+        shard_size = int(payload.get("shard_size") or self.shard_size)
+        fingerprint = campaign_fingerprint(config)
+        async with self._lock:
+            state = self._campaigns.get(fingerprint)
+            if state is None:
+                state = await self._register(tenant, config, fingerprint,
+                                             shard_size)
+            return {
+                "campaign": state.campaign_id,
+                "fingerprint": state.fingerprint,
+                "tenant": state.tenant,
+                "total_units": len(state.units),
+                "ranges": state.leases.range_count,
+                "resumed_units": len(state.journaled),
+                "done": state.done,
+                "directory": state.directory,
+            }
+
+    async def _register(self, tenant, config, fingerprint, shard_size):
+        directory = os.path.join(self.directory, fingerprint[:12])
+        units = enumerate_units(config)
+        resumed = await self._blocking(
+            _resumed_trials, directory, fingerprint)
+        done_indices = [index for index, unit in enumerate(units)
+                        if unit in resumed]
+        leases = LeaseTable(fingerprint, len(units), shard_size,
+                            done_indices=done_indices)
+        state = _Campaign(fingerprint, tenant, config, directory, units,
+                          leases)
+        state.journaled = set(resumed)
+        self._campaigns[fingerprint] = state
+        if not state.done:
+            self._queue.submit(tenant, fingerprint)
+        await self._write_metrics()
+        return state
+
+    async def _lease(self, payload):
+        """Grant the next range per queue policy, or report idleness."""
+        worker = str(payload.get("worker") or "anonymous")
+        async with self._lock:
+            now = self._clock()
+            self._workers[worker] = now
+            self._sweep(now)
+            fingerprint = self._queue.pick(
+                lambda cid: self._campaigns[cid].leases.pending > 0,
+                self._tenant_outstanding)
+            if fingerprint is None:
+                active = sum(1 for state in self._campaigns.values()
+                             if not state.done)
+                return {"lease": None, "campaigns_active": active}
+            state = self._campaigns[fingerprint]
+            lease = state.leases.grant(worker, now, self.ttl)
+            return {
+                "lease": {
+                    "lease_id": lease.lease_id,
+                    "campaign": state.campaign_id,
+                    "lo": lease.lo,
+                    "hi": lease.hi,
+                    "generation": lease.generation,
+                },
+                "config": config_to_dict(state.config),
+                "fingerprint": state.fingerprint,
+                "ttl": self.ttl,
+            }
+
+    async def _heartbeat(self, payload):
+        """Extend a live lease; ``ok: False`` tells the worker to stop."""
+        async with self._lock:
+            now = self._clock()
+            worker = payload.get("worker")
+            if worker:
+                self._workers[str(worker)] = now
+            self._sweep(now)
+            state = self._campaigns.get(payload.get("campaign"))
+            if state is None:
+                return {"ok": False}
+            ok = state.leases.heartbeat(
+                str(payload.get("lease_id") or ""), now, self.ttl)
+            return {"ok": ok}
+
+    async def _complete(self, payload):
+        """Validate, merge and journal one returned segment."""
+        async with self._lock:
+            now = self._clock()
+            worker = payload.get("worker")
+            if worker:
+                self._workers[str(worker)] = now
+            state = self._campaigns.get(payload.get("campaign"))
+            if state is None:
+                raise FabricError("/complete: unknown campaign %r"
+                                  % payload.get("campaign"))
+            lease_id = str(payload.get("lease_id") or "")
+            entries = payload.get("entries")
+            if not isinstance(entries, list):
+                raise FabricError("/complete: entries must be a list")
+            if payload.get("checksum") != segment_checksum(entries):
+                raise FabricError(
+                    "/complete: segment checksum mismatch for lease %s "
+                    "(corrupt in flight); lease left to expire and be "
+                    "re-run" % lease_id)
+            if payload.get("fingerprint") != state.fingerprint:
+                raise FabricError(
+                    "/complete: fingerprint %r does not match campaign %s"
+                    % (payload.get("fingerprint"), state.fingerprint[:12]))
+            lease = state.leases.lookup(lease_id)
+            if lease is None:
+                raise FabricError("/complete: unknown lease %r" % lease_id)
+            self._validate_entries(state, lease, entries)
+            disposition = state.leases.complete(lease_id)
+            appended = 0
+            if disposition in ("ok", "late"):
+                appended = await self._merge_segment(state, payload, entries)
+            if state.done:
+                self._queue.discard(state.campaign_id)
+                if state.writer is not None:
+                    await self._blocking(state.writer.close)
+                    state.writer = None
+            await self._write_metrics()
+            return {"disposition": disposition, "appended": appended,
+                    "done": state.done}
+
+    async def _status(self, _payload):
+        async with self._lock:
+            self._sweep(self._clock())
+            snapshot = self._snapshot()
+            await self._write_metrics(snapshot)
+            return snapshot
+
+    async def _shutdown(self, _payload):
+        self._stopping.set()
+        return {"stopping": True}
+
+    # -- merge path -----------------------------------------------------
+
+    def _validate_entries(self, state, lease, entries):
+        """Every entry must be a unit of the leased range, exactly once."""
+        seen = set()
+        for entry in entries:
+            if not (isinstance(entry, (list, tuple)) and len(entry) == 2):
+                raise FabricError("/complete: malformed entry %r" % (entry,))
+            try:
+                unit = TrialUnit.from_key(entry[0])
+            except (TypeError, ValueError) as error:
+                raise FabricError("/complete: bad unit key %r (%s)"
+                                  % (entry[0], error))
+            index = state.index_of.get(unit)
+            if index is None or not lease.lo <= index < lease.hi:
+                raise FabricError(
+                    "/complete: unit %r is outside leased range [%d, %d)"
+                    % (entry[0], lease.lo, lease.hi))
+            if unit in seen:
+                raise FabricError("/complete: unit %r repeated in segment"
+                                  % (entry[0],))
+            seen.add(unit)
+        expected = lease.hi - lease.lo
+        if len(seen) != expected:
+            raise FabricError(
+                "/complete: segment has %d of the %d units of range "
+                "[%d, %d)" % (len(seen), expected, lease.lo, lease.hi))
+
+    async def _merge_segment(self, state, payload, entries):
+        """Merge a validated segment; returns trials newly journaled."""
+        eligible_bits = payload.get("eligible_bits")
+        inventory_dict = payload.get("inventory")
+        if not isinstance(eligible_bits, int) \
+                or not isinstance(inventory_dict, dict):
+            raise FabricError(
+                "/complete: segment carries no machine inventory")
+        if state.eligible_bits is None:
+            state.eligible_bits = eligible_bits
+            state.inventory_dict = inventory_dict
+        elif state.eligible_bits != eligible_bits:
+            raise FabricError(
+                "/complete: eligible_bits %d disagrees with the "
+                "campaign's %d -- worker is running different code or "
+                "config" % (eligible_bits, state.eligible_bits))
+        segment_doc = {
+            "schema": SCHEMA_VERSION,
+            "kind": "uarch-campaign",
+            "fingerprint": state.fingerprint,
+            "config": config_to_dict(state.config),
+            "eligible_bits": state.eligible_bits,
+            "inventory": state.inventory_dict,
+            "elapsed_seconds": 0.0,
+            "trials": [trial for _key, trial in entries],
+        }
+        # merge_campaign_dicts re-derives and cross-checks the
+        # fingerprint from each document's config and dedups on unit
+        # keys -- the same validation the offline `repro-faults merge`
+        # subcommand applies to journal shards.
+        state.doc = segment_doc if state.doc is None \
+            else merge_campaign_dicts([state.doc, segment_doc])
+        if state.writer is None:
+            state.writer = await self._blocking(
+                _open_writer, state.directory, state.config,
+                state.eligible_bits, state.inventory_dict)
+        fresh = [(TrialUnit.from_key(key), trial)
+                 for key, trial in entries
+                 if TrialUnit.from_key(key) not in state.journaled]
+        if fresh:
+            await self._blocking(_append_segment, state.writer, fresh)
+            state.journaled.update(unit for unit, _trial in fresh)
+        return len(fresh)
+
+    # -- shared machinery -----------------------------------------------
+
+    def _sweep(self, now):
+        """Expire overdue leases everywhere (the work-stealing engine)."""
+        for state in self._campaigns.values():
+            state.leases.expire(now)
+
+    def _tenant_outstanding(self, tenant):
+        return sum(state.leases.outstanding
+                   for state in self._campaigns.values()
+                   if state.tenant == tenant)
+
+    async def _write_metrics(self, snapshot=None):
+        if snapshot is None:
+            snapshot = self._snapshot()
+        await self._blocking(_write_metrics_dir, self.directory, snapshot)
+
+    def _snapshot(self):
+        """The coordinator's telemetry snapshot (metrics.json shape)."""
+        now = self._clock()
+        horizon = self.ttl * _WORKER_ACTIVE_TTLS
+        states = list(self._campaigns.values())
+        fabric = {
+            "workers_active": sum(
+                1 for seen in self._workers.values()
+                if now - seen <= horizon),
+            "leases_outstanding": sum(
+                state.leases.outstanding for state in states),
+            "leases_granted": sum(state.leases.grants for state in states),
+            "steals": sum(state.leases.steals for state in states),
+            "duplicate_completions": sum(
+                state.leases.duplicates for state in states),
+            "campaigns_active": sum(
+                1 for state in states if not state.done),
+            "campaigns_done": sum(1 for state in states if state.done),
+            "queue_depth": self._queue.depths(),
+        }
+        campaigns = {
+            state.campaign_id[:12]: {
+                "tenant": state.tenant,
+                "total_units": len(state.units),
+                "journaled": len(state.journaled),
+                "pending_ranges": state.leases.pending,
+                "outstanding": state.leases.outstanding,
+                "completed_ranges": state.leases.completed_ranges,
+                "done": state.done,
+            }
+            for state in states
+        }
+        return {
+            "total": sum(len(state.units) for state in states),
+            "done": sum(len(state.journaled) for state in states),
+            "fabric": fabric,
+            "campaigns": campaigns,
+        }
+
+
+# -- blocking helpers (always dispatched to the executor) ----------------
+
+
+def _resumed_trials(directory, fingerprint):
+    """Units an existing campaign journal already covers."""
+    path = journal_path(directory)
+    if not os.path.exists(path):
+        return set()
+    contents = read_journal(path)
+    if contents.header is not None \
+            and contents.header.get("fingerprint") != fingerprint:
+        raise FabricError(
+            "campaign directory %s holds a journal of fingerprint %s, "
+            "not %s; refusing to mix experiments"
+            % (directory, str(contents.header.get("fingerprint"))[:12],
+               fingerprint[:12]))
+    return set(contents.trials)
+
+
+def _open_writer(directory, config, eligible_bits, inventory_dict):
+    return JournalWriter.open(
+        directory, config, eligible_bits,
+        inventory_from_dict(inventory_dict))
+
+
+def _append_segment(writer, pairs):
+    for unit, trial in pairs:
+        writer.append_raw(unit, trial)
+
+
+def _write_metrics_dir(directory, snapshot):
+    os.makedirs(directory, exist_ok=True)
+    write_metrics(directory, snapshot)
+
+
+# -- CLI surface ---------------------------------------------------------
+
+
+def render_status(snapshot):
+    """The coordinator's one-line status (the ``serve`` heartbeat)."""
+    fabric = snapshot.get("fabric") or {}
+    depths = fabric.get("queue_depth") or {}
+    queue_text = " ".join(
+        "%s=%d" % (tenant, depths[tenant]) for tenant in sorted(depths)) \
+        or "empty"
+    return ("fabric: %d workers | %d/%d trials | leases %d out / %d "
+            "granted | %d steals | %d dups | campaigns %d active %d done "
+            "| queue %s"
+            % (fabric.get("workers_active", 0), snapshot.get("done", 0),
+               snapshot.get("total", 0),
+               fabric.get("leases_outstanding", 0),
+               fabric.get("leases_granted", 0), fabric.get("steals", 0),
+               fabric.get("duplicate_completions", 0),
+               fabric.get("campaigns_active", 0),
+               fabric.get("campaigns_done", 0), queue_text))
+
+
+async def _serve(coordinator, status_interval, echo):
+    await coordinator.start()
+    if echo is not None:
+        echo("coordinator listening on %s:%d (campaigns under %s)"
+             % (coordinator.host, coordinator.port, coordinator.directory))
+    try:
+        while not coordinator._stopping.is_set():
+            try:
+                await asyncio.wait_for(coordinator.wait_stopped(),
+                                       timeout=status_interval)
+            except asyncio.TimeoutError:
+                pass
+            if echo is not None:
+                async with coordinator._lock:
+                    coordinator._sweep(coordinator._clock())
+                    snapshot = coordinator._snapshot()
+                    await coordinator._write_metrics(snapshot)
+                echo(render_status(snapshot))
+    finally:
+        await coordinator.stop()
+
+
+def serve(directory, host="127.0.0.1", port=8100, ttl=DEFAULT_TTL_SECONDS,
+          shard_size=DEFAULT_SHARD_SIZE, quota=DEFAULT_QUOTA,
+          status_interval=10.0, echo=print):
+    """Blocking entry point: run a coordinator until ``/shutdown``."""
+    coordinator = Coordinator(directory, host=host, port=port, ttl=ttl,
+                              shard_size=shard_size, quota=quota)
+    asyncio.run(_serve(coordinator, status_interval, echo))
+    return coordinator

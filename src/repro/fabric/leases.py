@@ -1,0 +1,179 @@
+"""Trial-range leases: the coordinator's unit of distributed work.
+
+A campaign is sharded into contiguous *ranges* over the serial unit
+order (:func:`repro.runner.units.enumerate_units`); each range is
+leased to exactly one worker at a time with a heartbeat-extended
+deadline.  Per range, the state machine is::
+
+    pending --grant--> leased --complete--> completed
+       ^                  |
+       +----- expiry -----+   (work steal: re-queued at the FRONT,
+                               re-leased with generation + 1)
+
+Semantics the fabric's correctness rests on:
+
+* **At-least-once.**  An expired lease is re-leased -- the straggler
+  may still be computing, so one range can execute more than once.
+  That is safe because trials are deterministic per unit (the campaign
+  fingerprint contract): any completion of a range is byte-identical.
+* **First-completion-wins idempotency.**  The first valid completion
+  of a range -- whether from the current leaseholder or a stale
+  generation arriving late -- marks it completed; every later
+  completion is acknowledged as a ``duplicate`` and merges to nothing.
+  The coordinator therefore never writes a journal line twice.
+
+The table is deliberately clock-free: callers pass ``now`` (the
+coordinator injects a monotonic clock), which keeps the state machine
+synchronously unit-testable.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["Lease", "LeaseTable"]
+
+
+@dataclass
+class Lease:
+    """One live (or historical) grant of a trial range to a worker."""
+
+    lease_id: str
+    campaign_id: str
+    lo: int  # serial unit range [lo, hi)
+    hi: int
+    worker: str
+    deadline: float
+    generation: int  # grants of this range so far (1-based)
+
+
+class LeaseTable:
+    """One campaign's ranges through the pending/leased/completed machine."""
+
+    def __init__(self, campaign_id, total, shard_size, done_indices=()):
+        self.campaign_id = campaign_id
+        self.total = total
+        self.shard_size = max(1, shard_size)
+        self._pending = deque()
+        self._leased = {}  # (lo, hi) -> current Lease
+        self._by_id = {}  # lease_id -> Lease (kept after expiry: late
+        # completions still name their lease)
+        self._generations = {}  # (lo, hi) -> grants so far
+        self._completed = set()
+        self.steals = 0  # expired leases re-queued for another worker
+        self.duplicates = 0  # completions for already-completed ranges
+        self.grants = 0
+        done = set(done_indices)
+        self.range_count = 0
+        for lo in range(0, total, self.shard_size):
+            hi = min(total, lo + self.shard_size)
+            self.range_count += 1
+            if done.issuperset(range(lo, hi)):
+                # A resumed journal already covers this range entirely;
+                # partially covered ranges are re-executed whole (the
+                # merge path drops the duplicate units).
+                self._completed.add((lo, hi))
+            else:
+                self._pending.append((lo, hi))
+
+    # -- grant / heartbeat / expiry -------------------------------------
+
+    def grant(self, worker, now, ttl):
+        """Lease the next pending range to ``worker``; None when empty."""
+        if not self._pending:
+            return None
+        lo, hi = self._pending.popleft()
+        generation = self._generations.get((lo, hi), 0) + 1
+        self._generations[(lo, hi)] = generation
+        lease = Lease(
+            lease_id="%s:%d-%d#g%d" % (self.campaign_id[:12], lo, hi,
+                                       generation),
+            campaign_id=self.campaign_id, lo=lo, hi=hi, worker=worker,
+            deadline=now + ttl, generation=generation)
+        self._leased[(lo, hi)] = lease
+        self._by_id[lease.lease_id] = lease
+        self.grants += 1
+        return lease
+
+    def heartbeat(self, lease_id, now, ttl):
+        """Extend a lease that is still the range's current holder.
+
+        Returns False for an unknown, superseded, or already-completed
+        lease -- the worker should abandon that range (a newer grant
+        owns it, or its result is no longer needed).
+        """
+        lease = self._by_id.get(lease_id)
+        if lease is None \
+                or self._leased.get((lease.lo, lease.hi)) is not lease:
+            return False
+        lease.deadline = now + ttl
+        return True
+
+    def expire(self, now):
+        """Re-queue every expired lease (work stealing); returns them.
+
+        Expired ranges go to the *front* of the pending queue: a
+        straggler's range is the campaign's critical path, so the next
+        idle worker steals it before starting fresh work.
+        """
+        stolen = []
+        for key, lease in sorted(self._leased.items()):
+            if lease.deadline <= now:
+                del self._leased[key]
+                self._pending.appendleft(key)
+                self.steals += 1
+                stolen.append(lease)
+        return stolen
+
+    # -- completion -----------------------------------------------------
+
+    def lookup(self, lease_id):
+        """The lease a completion names, or None (never forgotten)."""
+        return self._by_id.get(lease_id)
+
+    def complete(self, lease_id):
+        """Record a completion; returns its disposition.
+
+        ``"ok"``        first completion, by the current leaseholder;
+        ``"late"``      first completion, but the lease had already
+                        expired (and was possibly re-leased) -- the
+                        result still wins, the re-lease is cancelled;
+        ``"duplicate"`` the range was already completed -- idempotent
+                        acknowledgement, nothing to merge;
+        ``"unknown"``   the lease id was never granted here.
+        """
+        lease = self._by_id.get(lease_id)
+        if lease is None:
+            return "unknown"
+        key = (lease.lo, lease.hi)
+        if key in self._completed:
+            self.duplicates += 1
+            return "duplicate"
+        self._completed.add(key)
+        current = self._leased.pop(key, None)
+        try:
+            # A stolen copy still queued must never be handed out now.
+            self._pending.remove(key)
+        except ValueError:
+            pass
+        return "ok" if current is lease else "late"
+
+    # -- observation ----------------------------------------------------
+
+    @property
+    def outstanding(self):
+        """Ranges currently leased out."""
+        return len(self._leased)
+
+    @property
+    def pending(self):
+        """Ranges waiting for a worker."""
+        return len(self._pending)
+
+    @property
+    def completed_ranges(self):
+        return len(self._completed)
+
+    @property
+    def done(self):
+        """Every range completed."""
+        return len(self._completed) == self.range_count

@@ -1,0 +1,190 @@
+"""Wire protocol of the campaign fabric: HTTP/JSON on asyncio streams.
+
+The coordinator and its workers speak a deliberately small subset of
+HTTP/1.1 -- ``POST <path>`` with a JSON body, answered by a JSON body,
+one request per connection (``Connection: close``) -- implemented
+directly on :func:`asyncio.start_server` stream pairs.  No
+``http.server``, no third-party client: the whole protocol is the few
+dozen lines in this module, so there are no new runtime dependencies
+and nothing here can block the event loop.
+
+Plain HTTP framing (rather than a bespoke length-prefix format) keeps
+the coordinator debuggable with ``curl``::
+
+    curl -s -X POST --data '{}' http://127.0.0.1:8100/status
+
+Segment integrity: completions carry a CRC32 over the canonical JSON
+of their trial entries (:func:`segment_checksum`), computed by the
+worker and re-verified by the coordinator before any merge -- the
+network-layer analogue of the journal's per-line checksums.
+"""
+
+import asyncio
+import json
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import FabricError
+
+__all__ = ["MAX_BODY_BYTES", "CALL_TIMEOUT_SECONDS", "Request",
+           "read_request", "write_request", "read_response",
+           "write_response", "call", "call_sync", "segment_checksum"]
+
+# A segment of trials is a few hundred bytes per trial; this bounds a
+# malformed (or hostile) Content-Length long before memory pressure.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+MAX_HEADER_LINES = 64
+CALL_TIMEOUT_SECONDS = 60.0
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                500: "Internal Server Error"}
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed request: method, path, decoded JSON payload."""
+
+    method: str
+    path: str
+    payload: dict
+
+
+def _decode_payload(body, where):
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise FabricError("%s: undecodable JSON body (%s)" % (where, error))
+    if not isinstance(payload, dict):
+        raise FabricError("%s: body must be a JSON object, got %s"
+                          % (where, type(payload).__name__))
+    return payload
+
+
+async def _read_headers(reader):
+    """Header lines -> lowercased dict (first value wins)."""
+    headers = {}
+    for _ in range(MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            return headers
+        name, separator, value = line.decode("latin-1").partition(":")
+        if separator:
+            headers.setdefault(name.strip().lower(), value.strip())
+    raise FabricError("more than %d header lines" % MAX_HEADER_LINES)
+
+
+async def _read_body(reader, headers, where):
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise FabricError("%s: malformed Content-Length %r"
+                          % (where, headers.get("content-length")))
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise FabricError("%s: body of %d bytes exceeds the %d-byte limit"
+                          % (where, length, MAX_BODY_BYTES))
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FabricError("%s: peer closed mid-body (%d of %d bytes)"
+                          % (where, len(error.partial), length))
+
+
+async def read_request(reader):
+    """Parse one request; returns a :class:`Request`, or None at EOF."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, path, _version = line.decode("ascii").split(None, 2)
+    except (ValueError, UnicodeDecodeError):
+        raise FabricError("malformed request line %r" % line[:80])
+    headers = await _read_headers(reader)
+    body = await _read_body(reader, headers, "request %s" % path)
+    return Request(method=method.upper(), path=path,
+                   payload=_decode_payload(body, "request %s" % path))
+
+
+async def write_request(writer, method, path, payload):
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    head = ("%s %s HTTP/1.1\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: close\r\n\r\n" % (method, path, len(body)))
+    writer.write(head.encode("ascii") + body)
+    await writer.drain()
+
+
+async def read_response(reader):
+    """Parse one response; returns ``(status_code, payload)``."""
+    line = await reader.readline()
+    if not line:
+        raise FabricError("peer closed before sending a response")
+    parts = line.decode("ascii", "replace").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise FabricError("malformed status line %r" % line[:80])
+    status = int(parts[1])
+    headers = await _read_headers(reader)
+    body = await _read_body(reader, headers, "response")
+    return status, _decode_payload(body, "response")
+
+
+async def write_response(writer, status, payload):
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    head = ("HTTP/1.1 %d %s\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: close\r\n\r\n"
+            % (status, _STATUS_TEXT.get(status, "Status"), len(body)))
+    writer.write(head.encode("ascii") + body)
+    await writer.drain()
+
+
+async def call(host, port, path, payload, timeout=CALL_TIMEOUT_SECONDS):
+    """One client round-trip: connect, POST ``payload``, return the reply.
+
+    A non-200 reply raises :class:`~repro.errors.FabricError` carrying
+    the server's ``error`` text; transport failures raise the
+    underlying ``OSError`` (callers treat those as retryable).
+    """
+
+    async def _once():
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_request(writer, "POST", path, payload)
+            status, reply = await read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # the reply (if any) is already in hand
+        if status != 200:
+            raise FabricError(
+                "%s:%d%s replied %d: %s"
+                % (host, port, path, status,
+                   reply.get("error", "(no error text)")))
+        return reply
+
+    return await asyncio.wait_for(_once(), timeout)
+
+
+def call_sync(host, port, path, payload, timeout=CALL_TIMEOUT_SECONDS):
+    """Blocking :func:`call` for synchronous callers (the CLI)."""
+    return asyncio.run(call(host, port, path, payload, timeout=timeout))
+
+
+def segment_checksum(entries):
+    """CRC32 (8 hex digits) over the canonical JSON of segment entries.
+
+    ``entries`` is the completion payload's trial list --
+    ``[[unit_key, trial_dict], ...]`` -- serialised exactly as the
+    journal serialises records (sorted keys, compact separators), so
+    worker and coordinator agree on the bytes being summed.
+    """
+    body = json.dumps(entries, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return "%08x" % (zlib.crc32(body) & 0xFFFFFFFF)

@@ -1,0 +1,90 @@
+"""Multi-tenant campaign queue: who gets the next idle worker.
+
+The coordinator serves many campaigns from many tenants at once; this
+queue decides which campaign an idle worker's lease request draws
+from.  Policy, in priority order:
+
+* **Quota.**  A tenant never holds more than ``quota`` leases at once
+  (counted live from the lease tables, so steals and late completions
+  can never corrupt the bookkeeping the way an increment/decrement
+  counter could).
+* **Round-robin across tenants.**  A rotation cursor advances past
+  each tenant that is granted work, so a tenant with one small
+  campaign is not starved by a tenant with a huge one.
+* **FIFO within a tenant.**  A tenant's own campaigns drain in
+  submission order: the oldest campaign with pending ranges wins.
+
+The queue stores only ordering state -- campaign ids grouped per
+tenant -- and asks the caller for everything volatile (pending ranges,
+outstanding leases) through callables, keeping it trivially testable.
+"""
+
+from collections import OrderedDict
+
+__all__ = ["DEFAULT_QUOTA", "FabricQueue"]
+
+# Leases a single tenant may hold concurrently unless the coordinator
+# is started with a different --tenant-quota.
+DEFAULT_QUOTA = 4
+
+
+class FabricQueue:
+    """Fair scheduler over (tenant, campaign) pairs."""
+
+    def __init__(self, quota=DEFAULT_QUOTA):
+        self.quota = max(1, quota)
+        # tenant -> [campaign_id, ...] in submission order.  OrderedDict
+        # keyed by tenant gives the rotation a stable tenant order.
+        self._tenants = OrderedDict()
+        self._cursor = 0  # rotation offset into the tenant list
+
+    def submit(self, tenant, campaign_id):
+        """Enqueue a campaign at the tail of its tenant's FIFO."""
+        self._tenants.setdefault(tenant, []).append(campaign_id)
+
+    def discard(self, campaign_id):
+        """Drop a finished campaign from its tenant's FIFO."""
+        for tenant, campaigns in list(self._tenants.items()):
+            if campaign_id in campaigns:
+                campaigns.remove(campaign_id)
+                if not campaigns:
+                    del self._tenants[tenant]
+                return
+
+    def pick(self, has_pending, outstanding):
+        """The campaign the next lease should come from, or None.
+
+        ``has_pending(campaign_id)`` reports whether a campaign still
+        has ranges waiting; ``outstanding(tenant)`` counts the leases
+        a tenant currently holds across all its campaigns.  Tenants at
+        quota are skipped this round -- their turn comes back once a
+        lease completes or expires.
+        """
+        tenants = list(self._tenants)
+        if not tenants:
+            return None
+        for step in range(len(tenants)):
+            tenant = tenants[(self._cursor + step) % len(tenants)]
+            if outstanding(tenant) >= self.quota:
+                continue
+            for campaign_id in self._tenants[tenant]:
+                if has_pending(campaign_id):
+                    # Advance past the winner so the next pick starts
+                    # at the following tenant (round-robin).
+                    self._cursor = (self._cursor + step + 1) % len(tenants)
+                    return campaign_id
+        return None
+
+    def depths(self):
+        """tenant -> campaigns still queued (for telemetry)."""
+        return {tenant: len(campaigns)
+                for tenant, campaigns in self._tenants.items()}
+
+    def tenant_of(self, campaign_id):
+        for tenant, campaigns in self._tenants.items():
+            if campaign_id in campaigns:
+                return tenant
+        return None
+
+    def campaigns_of(self, tenant):
+        return list(self._tenants.get(tenant, ()))

@@ -7,4 +7,5 @@ from repro.lint.rules import (  # noqa: F401  (registration side effects)
     rep004_categories,
     rep005_signature_bypass,
     rep006_exception_hygiene,
+    rep007_async_blocking,
 )

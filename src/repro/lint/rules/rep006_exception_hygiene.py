@@ -1,7 +1,8 @@
 """REP006: exception hygiene in harness code.
 
-The campaign harness (``runner/``, ``perf/``, ``inject/``, ``chaos/``)
-is exactly the code that must stay interruptible and crash-cleanly:
+The campaign harness (``runner/``, ``perf/``, ``inject/``, ``chaos/``,
+``fabric/``) is exactly the code that must stay interruptible and
+crash-cleanly:
 its durability story *depends* on KeyboardInterrupt, SystemExit and
 simulated chaos crashes propagating out so the journal's
 fsync-before-acknowledge invariant does the recovery, not an exception
@@ -25,7 +26,7 @@ from repro.lint.base import Checker, register
 
 # Path segments marking harness code: the directories whose exception
 # discipline the durability/drain guarantees depend on.
-_HARNESS_DIRS = frozenset({"runner", "perf", "inject", "chaos"})
+_HARNESS_DIRS = frozenset({"runner", "perf", "inject", "chaos", "fabric"})
 
 
 def _mentions_base_exception(type_node):
@@ -54,8 +55,8 @@ class ExceptionHygieneChecker(Checker):
     """Forbid swallowing BaseException in harness code."""
 
     rule_id = "REP006"
-    description = ("harness code (runner/perf/inject/chaos) must not "
-                   "swallow BaseException: bare except / except "
+    description = ("harness code (runner/perf/inject/chaos/fabric) must "
+                   "not swallow BaseException: bare except / except "
                    "BaseException requires a re-raise")
 
     def check(self, module, project):

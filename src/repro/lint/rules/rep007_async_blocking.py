@@ -1,0 +1,131 @@
+"""REP007: no blocking I/O inside fabric coroutines.
+
+The fabric coordinator is one event loop serving every worker's
+leases, heartbeats and completions.  A single blocking call inside a
+coroutine -- a journal ``open``, a ``time.sleep``, a synchronous
+socket -- freezes *all* of them at once: heartbeats stop being
+processed, live leases expire en masse, and the work-stealing path
+re-executes ranges that were never actually late.  Latency bugs of
+this kind pass small tests (the stall is milliseconds) and only
+surface as mysterious steal storms under load.
+
+This rule flags, inside any ``async def`` under ``src/repro/fabric/``:
+
+* ``open(...)`` calls (file I/O belongs in ``run_in_executor``);
+* ``time.sleep(...)`` (use ``await asyncio.sleep``);
+* synchronous socket construction or module-level ``socket.*`` helpers
+  (``socket.socket``, ``socket.create_connection``, ...) -- asyncio's
+  stream API is the sanctioned transport;
+* ``.read()`` / ``.write()`` / ``.readline(s)()`` on names bound by a
+  ``with open(...)`` in the same coroutine (the handle is blocking
+  even if opening it was flagged already).
+
+Nested *synchronous* ``def`` bodies inside a coroutine are exempt --
+defining a blocking helper there is precisely how work is shipped to
+``run_in_executor``.  A deliberate blocking call (e.g. a bounded read
+of a tiny config file at startup) is suppressed inline with
+``# repro-lint: allow=REP007 (reason)``.
+"""
+
+import ast
+
+from repro.lint.base import Checker, register
+
+# The subtree whose coroutines this rule polices.
+_FABRIC_SEGMENT = "fabric"
+
+_SOCKET_SYNC = frozenset({
+    "socket", "create_connection", "create_server", "socketpair",
+    "getaddrinfo", "gethostbyname",
+})
+
+_HANDLE_METHODS = frozenset({"read", "readline", "readlines", "write",
+                             "writelines"})
+
+
+def _async_body_nodes(func):
+    """Nodes of ``func``'s body, excluding nested synchronous defs.
+
+    Nested ``async def`` bodies are walked too (they are coroutines of
+    the same loop); nested plain ``def`` bodies are skipped -- they are
+    the executor-shipping idiom, not loop code.
+    """
+    stack = list(func.body)
+    while stack:
+        node = stack.pop(0)
+        yield node
+        if isinstance(node, ast.FunctionDef):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class AsyncBlockingChecker(Checker):
+    """Forbid blocking I/O calls in fabric ``async def`` bodies."""
+
+    rule_id = "REP007"
+    description = ("fabric coroutines must not block the event loop: no "
+                   "open()/time.sleep()/sync socket calls inside "
+                   "async def (use run_in_executor / asyncio.sleep / "
+                   "asyncio streams)")
+
+    def check(self, module, project):
+        parts = module.path.replace("\\", "/").split("/")
+        if _FABRIC_SEGMENT not in parts:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(module, node)
+
+    # ------------------------------------------------------------------
+
+    def _check_coroutine(self, module, func):
+        handles = set()  # names bound by `with open(...) as f`
+        for node in _async_body_nodes(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if self._is_open_call(item.context_expr) \
+                            and isinstance(item.optional_vars, ast.Name):
+                        handles.add(item.optional_vars.id)
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_call(module, func, node, handles)
+
+    def _check_call(self, module, func, node, handles):
+        callee = node.func
+        if self._is_open_call(node):
+            yield self.finding(
+                module, node,
+                "open() inside 'async def %s' blocks the event loop "
+                "(and every other worker's heartbeat with it); do file "
+                "I/O in a sync helper via loop.run_in_executor"
+                % func.name, scope_line=func.lineno)
+        elif isinstance(callee, ast.Attribute) \
+                and isinstance(callee.value, ast.Name):
+            owner, attr = callee.value.id, callee.attr
+            if owner == "time" and attr == "sleep":
+                yield self.finding(
+                    module, node,
+                    "time.sleep() inside 'async def %s' stalls the whole "
+                    "event loop; use 'await asyncio.sleep(...)'"
+                    % func.name, scope_line=func.lineno)
+            elif owner == "socket" and attr in _SOCKET_SYNC:
+                yield self.finding(
+                    module, node,
+                    "socket.%s() inside 'async def %s' is synchronous "
+                    "network I/O; use asyncio.open_connection / "
+                    "asyncio.start_server streams" % (attr, func.name),
+                    scope_line=func.lineno)
+            elif attr in _HANDLE_METHODS and callee.value.id in handles:
+                yield self.finding(
+                    module, node,
+                    "%s.%s() reads/writes a blocking file handle inside "
+                    "'async def %s'; move the whole file operation into "
+                    "a sync helper via loop.run_in_executor"
+                    % (callee.value.id, attr, func.name),
+                    scope_line=func.lineno)
+
+    @staticmethod
+    def _is_open_call(node):
+        return isinstance(node, ast.Call) \
+            and isinstance(node.func, ast.Name) and node.func.id == "open"

@@ -116,5 +116,36 @@ def render_openmetrics(snapshot):
               "Trials counted per worker in the latency window.",
               labelled_samples=count_samples)
 
+    fabric = snapshot.get("fabric")
+    if fabric is not None:
+        gauge("%s_fabric_workers_active" % p,
+              fabric.get("workers_active", 0),
+              "Fabric workers seen by the coordinator recently.")
+        gauge("%s_fabric_leases_outstanding" % p,
+              fabric.get("leases_outstanding", 0),
+              "Trial-range leases currently held by workers.")
+        gauge("%s_fabric_leases_granted" % p,
+              fabric.get("leases_granted", 0),
+              "Trial-range leases granted since coordinator start.")
+        gauge("%s_fabric_steals" % p, fabric.get("steals", 0),
+              "Expired leases re-queued for another worker.")
+        gauge("%s_fabric_duplicate_completions" % p,
+              fabric.get("duplicate_completions", 0),
+              "Completions for already-completed ranges (merged to "
+              "nothing).")
+        gauge("%s_fabric_campaigns_active" % p,
+              fabric.get("campaigns_active", 0),
+              "Registered campaigns not yet fully journaled.")
+        gauge("%s_fabric_campaigns_done" % p,
+              fabric.get("campaigns_done", 0),
+              "Registered campaigns fully journaled.")
+        depths = fabric.get("queue_depth") or {}
+        gauge("%s_fabric_queue_depth" % p, None,
+              "Campaigns queued per tenant.",
+              labelled_samples=[
+                  _sample("%s_fabric_queue_depth" % p, depths[tenant],
+                          {"tenant": tenant})
+                  for tenant in sorted(depths)])
+
     lines.append("# EOF")
     return "\n".join(lines) + "\n"

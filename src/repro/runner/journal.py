@@ -47,18 +47,20 @@ from repro.errors import CampaignError, SimulationError
 from repro.inject.store import (
     SCHEMA_VERSION,
     campaign_fingerprint,
+    config_from_dict,
     config_to_dict,
     inventory_to_dict,
     trial_to_dict,
 )
 from repro.obs import render_openmetrics
-from repro.runner.units import TrialUnit
+from repro.runner.units import TrialUnit, enumerate_units
 
 __all__ = ["JOURNAL_NAME", "METRICS_NAME", "PROM_NAME", "JOURNAL_SCHEMA",
            "SUPPORTED_SCHEMAS", "JournalContents", "JournalWriter",
-           "encode_line", "decode_line", "read_journal", "repair_journal",
-           "canonical_trial_bytes", "journal_path", "metrics_path",
-           "prom_path", "write_metrics"]
+           "encode_line", "decode_line", "read_journal", "read_segment",
+           "write_segment", "segment_header", "campaign_dict_from_journal",
+           "repair_journal", "canonical_trial_bytes", "journal_path",
+           "metrics_path", "prom_path", "write_metrics"]
 
 JOURNAL_NAME = "journal.jsonl"
 METRICS_NAME = "metrics.json"
@@ -190,15 +192,8 @@ class JournalWriter:
         writer = cls(path, handle, fault_hook=fault_hook, on_retry=on_retry,
                      max_attempts=max_attempts, sleep=sleep)
         if fresh:
-            writer._append({
-                "type": "header",
-                "schema": JOURNAL_SCHEMA,
-                "result_schema": SCHEMA_VERSION,
-                "fingerprint": campaign_fingerprint(config),
-                "config": config_to_dict(config),
-                "eligible_bits": eligible_bits,
-                "inventory": inventory_to_dict(inventory),
-            })
+            writer._append(
+                segment_header(config, eligible_bits, inventory))
         return writer
 
     def append_trial(self, unit, trial):
@@ -210,6 +205,23 @@ class JournalWriter:
             # for operators; no simulation path reads it back)
             "ts": time.time(),
             "trial": trial_to_dict(trial),
+        })
+
+    def append_raw(self, unit, trial_dict):
+        """Durably record one trial already in raw dict form.
+
+        The coordinator's merge path appends trials exactly as the
+        worker serialised them -- no ``trial_from_dict`` round-trip
+        that could rewrite legacy defaults -- so a fabric journal stays
+        byte-identical (canonically) to the serial run's.
+        """
+        self._append({
+            "type": "trial",
+            "unit": unit.key(),
+            # repro-lint: allow=REP002 (wall-clock is journal metadata
+            # for operators; no simulation path reads it back)
+            "ts": time.time(),
+            "trial": dict(trial_dict),
         })
 
     def _append(self, record):
@@ -287,6 +299,23 @@ def read_journal(path):
     writes, and silently skipping records would fabricate a different
     campaign.  ``repro-faults campaign --repair`` truncates at the last
     valid line after explicit confirmation.
+
+    This is :func:`read_segment` without a range restriction -- resume
+    and the fabric share the one checksummed line-parsing path.
+    """
+    return read_segment(path)
+
+
+def read_segment(path, lo=None, hi=None):
+    """Checksummed journal read restricted to serial units ``[lo, hi)``.
+
+    The shared reader underneath :func:`read_journal` (resume) and the
+    fabric's segment exchange.  ``lo``/``hi`` bound the *serial index*
+    -- a unit's position in ``enumerate_units(header config)`` order,
+    the axis the coordinator shards campaigns on -- and trials outside
+    the range are dropped after the full checksum scan.  ``None`` means
+    unbounded on that side; slicing a journal whose header is missing
+    is an error because the config that defines serial order is gone.
     """
     with open(path, "rb") as handle:
         data = handle.read()
@@ -316,7 +345,84 @@ def read_journal(path):
             unit = TrialUnit.from_key(record["unit"])
             contents.trials[unit] = record["trial"]
         offset += len(raw) + 1
+    if lo is None and hi is None:
+        return contents
+    if contents.header is None:
+        raise SimulationError(
+            "cannot slice %s into a segment: no header line carries the "
+            "campaign config that defines serial unit order" % path)
+    units = enumerate_units(config_from_dict(contents.header["config"]))
+    lo = 0 if lo is None else max(0, lo)
+    hi = len(units) if hi is None else min(hi, len(units))
+    wanted = set(units[lo:hi])
+    contents.trials = {unit: trial for unit, trial in contents.trials.items()
+                       if unit in wanted}
     return contents
+
+
+def segment_header(config, eligible_bits, inventory):
+    """The header record (sans ``crc``) of a journal or segment file."""
+    return {
+        "type": "header",
+        "schema": JOURNAL_SCHEMA,
+        "result_schema": SCHEMA_VERSION,
+        "fingerprint": campaign_fingerprint(config),
+        "config": config_to_dict(config),
+        "eligible_bits": eligible_bits,
+        "inventory": inventory_to_dict(inventory),
+    }
+
+
+def write_segment(path, header, trials):
+    """Atomically write a checksummed journal segment file.
+
+    ``header`` is a header record dict (without ``crc``; see
+    :func:`segment_header`) and ``trials`` is an iterable of
+    ``(TrialUnit, raw trial dict)`` pairs.  Lines use the journal's
+    exact schema-2 encoding, so :func:`read_segment` reads the file
+    back fully verified; write-to-temp + rename means a concurrent
+    reader never sees a torn segment.  Fabric workers spool each
+    completed lease range through this before transmitting it, making
+    a completion durable on the worker across its own crashes.
+    """
+    temp = path + ".tmp"
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(encode_line(header) + "\n")
+        for unit, trial in trials:
+            handle.write(encode_line(
+                {"type": "trial", "unit": unit.key(), "trial": trial})
+                + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+def campaign_dict_from_journal(path):
+    """A journal's completed trials as a ``uarch-campaign`` document.
+
+    The returned dict is the :func:`repro.inject.store.campaign_to_dict`
+    shape :func:`repro.inject.store.merge_campaign_dicts` consumes, so
+    journals from sharded, interrupted, or fabric-distributed runs can
+    be merged offline (``repro-faults merge``) or by the coordinator's
+    segment-merge path.  ``elapsed_seconds`` is 0.0: a journal records
+    completed trials, not the wall clock that produced them.
+    """
+    contents = read_journal(path)
+    header = contents.header
+    if header is None:
+        raise SimulationError(
+            "journal %s has no header line; not a campaign journal" % path)
+    return {
+        "schema": header.get("result_schema", SCHEMA_VERSION),
+        "kind": "uarch-campaign",
+        "fingerprint": header["fingerprint"],
+        "config": dict(header["config"]),
+        "eligible_bits": header["eligible_bits"],
+        "inventory": header["inventory"],
+        "elapsed_seconds": 0.0,
+        "trials": [contents.trials[unit]
+                   for unit in sorted(contents.trials)],
+    }
 
 
 def repair_journal(path, dry_run=False):

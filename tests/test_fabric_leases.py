@@ -1,0 +1,100 @@
+"""Unit tests for the lease state machine (repro.fabric.leases)."""
+
+from repro.fabric.leases import LeaseTable
+
+FP = "f" * 64  # a stand-in campaign fingerprint
+
+
+def table(total=12, shard=4, done=()):
+    return LeaseTable(FP, total, shard, done_indices=done)
+
+
+def test_ranges_cover_the_campaign_without_overlap():
+    t = table(total=10, shard=4)
+    granted = []
+    while True:
+        lease = t.grant("w", 0.0, 1.0)
+        if lease is None:
+            break
+        granted.append((lease.lo, lease.hi))
+    assert granted == [(0, 4), (4, 8), (8, 10)]
+    assert t.range_count == 3
+
+
+def test_grant_is_fifo_and_heartbeat_extends():
+    t = table()
+    lease = t.grant("w1", 0.0, 1.0)
+    assert (lease.lo, lease.hi, lease.generation) == (0, 4, 1)
+    assert t.heartbeat(lease.lease_id, 0.9, 1.0)
+    assert t.expire(1.5) == []  # deadline moved to 1.9
+    assert t.expire(2.0) == [lease]
+
+
+def test_expiry_steals_to_front_with_generation_bump():
+    t = table()
+    first = t.grant("w1", 0.0, 1.0)
+    t.grant("w1", 0.0, 1.0)  # second range, also expires
+    t.expire(5.0)
+    assert t.steals == 2
+    stolen = t.grant("w2", 5.0, 1.0)
+    # The expired ranges come back first (front of the queue), oldest
+    # expiry last-in-first-out is fine -- but always before fresh work.
+    assert (stolen.lo, stolen.hi) in ((0, 4), (4, 8))
+    assert stolen.generation == 2
+    assert not t.heartbeat(first.lease_id, 5.0, 1.0)  # superseded
+
+
+def test_first_completion_wins_then_duplicates():
+    t = table()
+    lease = t.grant("w1", 0.0, 1.0)
+    assert t.complete(lease.lease_id) == "ok"
+    assert t.complete(lease.lease_id) == "duplicate"
+    assert t.duplicates == 1
+    assert not t.heartbeat(lease.lease_id, 0.1, 1.0)
+
+
+def test_late_completion_still_wins_and_cancels_the_steal():
+    t = table(total=4, shard=4)
+    old = t.grant("w1", 0.0, 1.0)
+    t.expire(2.0)
+    new = t.grant("w2", 2.0, 1.0)
+    # The straggler lands first: its (deterministic) result is kept.
+    assert t.complete(old.lease_id) == "late"
+    # The thief's copy is now redundant.
+    assert t.complete(new.lease_id) == "duplicate"
+    assert t.done
+
+
+def test_stolen_range_pending_copy_never_regranted_after_completion():
+    t = table(total=4, shard=4)
+    old = t.grant("w1", 0.0, 1.0)
+    t.expire(2.0)  # re-queued at the front
+    assert t.complete(old.lease_id) == "late"
+    assert t.grant("w2", 2.0, 1.0) is None  # nothing left to lease
+    assert t.done
+
+
+def test_unknown_lease_is_reported():
+    t = table()
+    assert t.complete("nonsense") == "unknown"
+    assert not t.heartbeat("nonsense", 0.0, 1.0)
+
+
+def test_resume_precompletes_fully_covered_ranges_only():
+    # Units 0-3 fully journaled -> range (0,4) starts completed; units
+    # 4-5 of range (4,8) are partial -> the whole range re-executes.
+    t = table(total=12, shard=4, done=(0, 1, 2, 3, 4, 5))
+    assert t.completed_ranges == 1
+    assert t.pending == 2
+    lease = t.grant("w", 0.0, 1.0)
+    assert (lease.lo, lease.hi) == (4, 8)
+
+
+def test_counters_track_grants():
+    t = table()
+    t.grant("w", 0.0, 1.0)
+    t.grant("w", 0.0, 1.0)
+    assert t.grants == 2
+    assert t.outstanding == 2
+    assert t.pending == 1
+    assert not t.done

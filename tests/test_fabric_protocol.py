@@ -1,0 +1,169 @@
+"""Unit tests for the fabric wire protocol (repro.fabric.protocol)."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.chaos import NetChaosSchedule
+from repro.fabric.protocol import (
+    MAX_BODY_BYTES,
+    call,
+    read_request,
+    segment_checksum,
+    write_response,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _serve_one(handler):
+    """Start a one-shot server; returns (port, server)."""
+
+    async def handle(reader, writer):
+        request = await read_request(reader)
+        status, payload = await handler(request)
+        await write_response(writer, status, payload)
+        writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    return server.sockets[0].getsockname()[1], server
+
+
+def test_request_response_round_trip():
+    async def scenario():
+        async def handler(request):
+            assert request.method == "POST"
+            assert request.path == "/echo"
+            return 200, {"echo": request.payload}
+
+        port, server = await _serve_one(handler)
+        reply = await call("127.0.0.1", port, "/echo",
+                           {"value": [1, 2, {"three": "3"}]})
+        server.close()
+        await server.wait_closed()
+        return reply
+
+    assert run(scenario()) == {"echo": {"value": [1, 2, {"three": "3"}]}}
+
+
+def test_non_200_reply_raises_fabric_error_with_server_text():
+    async def scenario():
+        async def handler(_request):
+            return 400, {"error": "no such campaign"}
+
+        port, server = await _serve_one(handler)
+        try:
+            with pytest.raises(FabricError, match="no such campaign"):
+                await call("127.0.0.1", port, "/lease", {})
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    run(scenario())
+
+
+def test_dead_peer_raises_oserror_not_fabric_error():
+    async def scenario():
+        server = await asyncio.start_server(
+            lambda r, w: None, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        server.close()
+        await server.wait_closed()
+        with pytest.raises(OSError):
+            await call("127.0.0.1", port, "/lease", {})
+
+    run(scenario())
+
+
+def test_malformed_request_line_is_a_fabric_error():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"not-http\r\n\r\n")
+        reader.feed_eof()
+        with pytest.raises(FabricError, match="malformed request line"):
+            await read_request(reader)
+
+    run(scenario())
+
+
+def test_oversized_body_is_rejected_before_reading_it():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(
+            b"POST /x HTTP/1.1\r\ncontent-length: %d\r\n\r\n"
+            % (MAX_BODY_BYTES + 1))
+        reader.feed_eof()
+        with pytest.raises(FabricError, match="exceeds"):
+            await read_request(reader)
+
+    run(scenario())
+
+
+def test_non_object_payload_is_rejected():
+    async def scenario():
+        body = b"[1, 2]"
+        reader = asyncio.StreamReader()
+        reader.feed_data(
+            b"POST /x HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s"
+            % (len(body), body))
+        reader.feed_eof()
+        with pytest.raises(FabricError, match="JSON object"):
+            await read_request(reader)
+
+    run(scenario())
+
+
+def test_eof_before_request_returns_none():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_eof()
+        return await read_request(reader)
+
+    assert run(scenario()) is None
+
+
+# -- segment checksum ---------------------------------------------------------
+
+
+def test_segment_checksum_is_stable_and_content_sensitive():
+    entries = [[["gzip", 0, 0], {"outcome": "masked"}]]
+    first = segment_checksum(entries)
+    assert first == segment_checksum(
+        [[["gzip", 0, 0], {"outcome": "masked"}]])
+    assert first != segment_checksum(
+        [[["gzip", 0, 0], {"outcome": "SDC"}]])
+    assert len(first) == 8
+    int(first, 16)  # 8 hex digits
+
+
+# -- seeded network chaos -----------------------------------------------------
+
+
+def test_net_chaos_spec_is_seed_replayable():
+    first = NetChaosSchedule.from_spec("drop,dup:2@3,partition", 77)
+    second = NetChaosSchedule.from_spec("drop,dup:2@3,partition", 77)
+    other_seed = NetChaosSchedule.from_spec("drop,dup:2@3,partition", 78)
+    points = [(e.kind, e.at_lease) for e in first.events]
+    assert points == [(e.kind, e.at_lease) for e in second.events]
+    assert [e.at_lease for e in first.events if e.kind == "dup"] == [3, 3]
+    assert points != [(e.kind, e.at_lease) for e in other_seed.events]
+
+
+def test_net_chaos_fire_consumes_one_event_per_kind():
+    schedule = NetChaosSchedule.from_spec("drop@2", 1)
+    assert not schedule.fire("drop", 1)  # not due yet
+    assert schedule.fire("drop", 2)
+    assert not schedule.fire("drop", 3)  # already consumed
+    assert schedule.pending == []
+    assert "fired at lease 2" in schedule.render()
+
+
+def test_net_chaos_rejects_unknown_kinds():
+    from repro.errors import ConfigError
+    with pytest.raises(ConfigError, match="unknown fabric chaos fault"):
+        NetChaosSchedule.from_spec("flood", 1)
+    with pytest.raises(ConfigError, match="not a lease number"):
+        NetChaosSchedule.from_spec("drop@soon", 1)

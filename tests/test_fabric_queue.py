@@ -1,0 +1,71 @@
+"""Unit tests for the multi-tenant campaign queue (repro.fabric.queue)."""
+
+from repro.fabric.queue import FabricQueue
+
+
+def pick(queue, pending, outstanding=None):
+    counts = outstanding or {}
+    return queue.pick(lambda cid: cid in pending,
+                      lambda tenant: counts.get(tenant, 0))
+
+
+def test_fifo_within_tenant():
+    q = FabricQueue()
+    q.submit("alice", "c1")
+    q.submit("alice", "c2")
+    assert pick(q, {"c1", "c2"}) == "c1"
+    assert pick(q, {"c2"}) == "c2"  # c1 drained -> next in line
+
+
+def test_round_robin_across_tenants():
+    q = FabricQueue()
+    q.submit("alice", "a1")
+    q.submit("bob", "b1")
+    everything = {"a1", "b1"}
+    first = pick(q, everything)
+    second = pick(q, everything)
+    third = pick(q, everything)
+    assert {first, second} == {"a1", "b1"}  # each tenant served once
+    assert third == first  # then the rotation wraps
+
+
+def test_quota_skips_a_saturated_tenant():
+    q = FabricQueue(quota=2)
+    q.submit("alice", "a1")
+    q.submit("bob", "b1")
+    # alice already holds her full quota of leases -> bob wins even if
+    # the rotation cursor points at alice.
+    assert pick(q, {"a1", "b1"}, {"alice": 2}) == "b1"
+    assert pick(q, {"a1", "b1"}, {"alice": 2}) == "b1"
+    # a completed lease frees the quota.
+    assert pick(q, {"a1", "b1"}, {"alice": 1}) == "a1"
+
+
+def test_everyone_at_quota_means_no_grant():
+    q = FabricQueue(quota=1)
+    q.submit("alice", "a1")
+    assert pick(q, {"a1"}, {"alice": 1}) is None
+
+
+def test_discard_removes_campaign_and_empty_tenant():
+    q = FabricQueue()
+    q.submit("alice", "a1")
+    q.submit("bob", "b1")
+    q.discard("a1")
+    assert pick(q, {"a1", "b1"}) == "b1"
+    assert q.depths() == {"bob": 1}
+    assert q.tenant_of("b1") == "bob"
+    assert q.tenant_of("a1") is None
+
+
+def test_depths_report_queued_campaigns_per_tenant():
+    q = FabricQueue()
+    q.submit("alice", "a1")
+    q.submit("alice", "a2")
+    q.submit("bob", "b1")
+    assert q.depths() == {"alice": 2, "bob": 1}
+    assert q.campaigns_of("alice") == ["a1", "a2"]
+
+
+def test_empty_queue_picks_nothing():
+    assert pick(FabricQueue(), set()) is None

@@ -527,3 +527,90 @@ def test_rep006_pragma_suppresses(tmp_path):
             pass
     """, subdir="chaos")
     assert rules_of(result) == []
+
+
+def test_rep006_applies_to_fabric_dir(tmp_path):
+    result = lint_harness_source(tmp_path, """
+    def swallow(fn):
+        try:
+            fn()
+        except:
+            pass
+    """, subdir="fabric")
+    assert rules_of(result) == ["REP006"]
+
+
+# -- REP007: async blocking I/O ----------------------------------------------
+
+_REP007 = LintConfig(enable=("REP007",))
+
+
+def lint_fabric_source(tmp_path, source, subdir="fabric"):
+    """Lint ``source`` placed under a fabric directory segment."""
+    package = tmp_path / subdir
+    package.mkdir(exist_ok=True)
+    path = package / "mod.py"
+    path.write_text(textwrap.dedent(source))
+    return run_lint([str(path)], _REP007)
+
+
+def test_rep007_flags_open_in_coroutine(tmp_path):
+    result = lint_fabric_source(tmp_path, """
+    async def handler(path):
+        with open(path) as handle:
+            return handle.read()
+    """)
+    assert rules_of(result) == ["REP007", "REP007"]
+    assert "open() inside 'async def handler'" \
+        in result.findings[0].message
+    assert "blocking file handle" in result.findings[1].message
+
+
+def test_rep007_flags_time_sleep_and_sync_socket(tmp_path):
+    result = lint_fabric_source(tmp_path, """
+    import socket
+    import time
+
+    async def poll(host):
+        time.sleep(1.0)
+        return socket.create_connection((host, 80))
+    """)
+    assert rules_of(result) == ["REP007", "REP007"]
+    assert "await asyncio.sleep" in result.findings[0].message
+    assert "socket.create_connection()" in result.findings[1].message
+
+
+def test_rep007_executor_helper_and_sync_code_ok(tmp_path):
+    result = lint_fabric_source(tmp_path, """
+    import asyncio
+    import time
+
+    def read_file(path):
+        with open(path) as handle:
+            return handle.read()
+
+    async def handler(path):
+        def helper():
+            time.sleep(0.01)
+            return read_file(path)
+        loop = asyncio.get_running_loop()
+        await asyncio.sleep(0.1)
+        return await loop.run_in_executor(None, helper)
+    """)
+    assert rules_of(result) == []
+
+
+def test_rep007_only_applies_to_fabric_dir(tmp_path):
+    result = lint_fabric_source(tmp_path, """
+    async def handler(path):
+        return open(path)
+    """, subdir="runner")
+    assert rules_of(result) == []
+
+
+def test_rep007_pragma_suppresses(tmp_path):
+    result = lint_fabric_source(tmp_path, """
+    async def handler(path):
+        return open(path)  # repro-lint: allow=REP007 (startup-only)
+    """)
+    assert rules_of(result) == []

@@ -17,6 +17,10 @@ Subcommands:
   fingerprinted campaigns (see docs/FABRIC.md).
 * ``merge``      -- merge campaign journals/segments of one fingerprint
   into a single result document.
+* ``dash``       -- live web dashboard over campaign directories and/or
+  a fabric coordinator (see docs/OBSERVABILITY.md).
+* ``query``      -- ingest campaign journals into the SQLite results
+  store and print paper-style cross-campaign comparison tables.
 """
 
 import argparse
@@ -258,6 +262,49 @@ def build_parser():
     p.add_argument("--save", metavar="PATH",
                    help="write the merged uarch-campaign JSON here")
     p.set_defaults(handler=cmd_merge)
+
+    p = sub.add_parser("dash", help="live web dashboard over campaign "
+                                    "dirs and/or a fabric coordinator")
+    p.add_argument("dirs", nargs="*", metavar="DIR",
+                   help="campaign directories to tail (a fabric base "
+                        "directory works too: each child with a journal "
+                        "is tailed)")
+    p.add_argument("--connect", metavar="HOST:PORT", default=None,
+                   help="also poll this fabric coordinator's /status")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8111)
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="seconds between refresh ticks (default 2)")
+    p.add_argument("--db", metavar="PATH", default=":memory:",
+                   help="persist the ingested results store here "
+                        "(default: in-memory, discarded on exit)")
+    p.set_defaults(handler=cmd_dash)
+
+    p = sub.add_parser("query", help="cross-campaign tables from the "
+                                     "results store")
+    p.add_argument("--db", metavar="PATH", default=":memory:",
+                   help="results-store database (default: in-memory -- "
+                        "then --ingest is how data gets in)")
+    p.add_argument("--ingest", action="append", default=[],
+                   metavar="DIR_OR_JOURNAL",
+                   help="ingest this campaign directory (or journal/"
+                        "segment file) before querying; repeatable")
+    p.add_argument("--by", default="category",
+                   choices=("category", "workload", "element"),
+                   help="grouping axis of the outcome tables "
+                        "(default: category, the paper's per-structure "
+                        "breakdown)")
+    p.add_argument("--campaigns", nargs="*", default=None,
+                   metavar="PREFIX",
+                   help="restrict to these campaigns (fingerprint "
+                        "prefix or label); default: all ingested")
+    p.add_argument("--list", action="store_true",
+                   help="only print the ingested-campaign inventory")
+    p.add_argument("--masking", action="store_true",
+                   help="also print per-campaign masking-cause tables")
+    p.add_argument("--latency", action="store_true",
+                   help="also print latency-to-failure histograms")
+    p.set_defaults(handler=cmd_query)
 
     p = sub.add_parser("lint", add_help=False,
                        help="static analysis: injectability, determinism, "
@@ -711,6 +758,80 @@ def cmd_merge(args):
     print()
     print(render_workload_outcomes(
         result.trials, "Outcomes by benchmark (merged)"))
+    return 0
+
+
+def cmd_dash(args):
+    """Serve the live dashboard (``repro-faults dash``)."""
+    from repro.dash import run_dash
+    connect = _parse_connect(args.connect) if args.connect else None
+    if not args.dirs and connect is None:
+        sys.stderr.write("error: nothing to watch -- give campaign DIRs "
+                         "to tail and/or --connect HOST:PORT\n")
+        return 2
+    try:
+        run_dash(directories=args.dirs, connect=connect, host=args.host,
+                 port=args.port, interval=args.interval, db_path=args.db)
+    except OSError as error:
+        sys.stderr.write("error: cannot serve on %s:%d: %s\n"
+                         % (args.host, args.port, error))
+        return 2
+    return 0
+
+
+def cmd_query(args):
+    """Ingest into the results store and print comparison tables."""
+    import sqlite3
+
+    from repro.errors import ReproError
+    from repro.store import (
+        ResultsStore,
+        render_campaign_list,
+        render_store_latency,
+        render_store_masking,
+        render_store_outcomes,
+    )
+    try:
+        store = ResultsStore(args.db)
+    except (OSError, sqlite3.Error) as error:
+        sys.stderr.write("error: cannot open %s: %s\n" % (args.db, error))
+        return 2
+    with store:
+        try:
+            for source in args.ingest:
+                sys.stderr.write(store.ingest(source).render() + "\n")
+            if not store.campaigns():
+                sys.stderr.write(
+                    "error: the store is empty -- ingest campaign "
+                    "directories with --ingest\n")
+                return 2
+            fingerprints = None
+            if args.campaigns:
+                fingerprints = [store.resolve(prefix)["fingerprint"]
+                                for prefix in args.campaigns]
+            print(render_campaign_list(store))
+            if args.list:
+                return 0
+            print()
+            print(render_store_outcomes(store, by=args.by,
+                                        fingerprints=fingerprints))
+            if args.masking:
+                masking = render_store_masking(store,
+                                               fingerprints=fingerprints)
+                print()
+                print(masking if masking is not None else
+                      "(no masking data: no selected campaign ran with "
+                      "--provenance)")
+            if args.latency:
+                latency = render_store_latency(store,
+                                               fingerprints=fingerprints)
+                print()
+                print(latency if latency is not None else
+                      "(no latency data: no detected failures in the "
+                      "selected campaigns)")
+        except (OSError, ReproError) as error:
+            sys.stderr.write("error: %s\n" % error)
+            return 2
     return 0
 
 

@@ -1,0 +1,21 @@
+"""Live campaign dashboard (``repro-faults dash``).
+
+A zero-dependency web dashboard over running (or finished) campaigns:
+an asyncio HTTP server -- the same stream-based plumbing the fabric
+speaks (:mod:`repro.fabric.protocol`), grown a ``GET``/HTML side --
+that tails campaign directories through the results store's
+incremental ingester (:mod:`repro.store`) and, optionally, polls a
+fabric coordinator's ``/status``.  It renders live trials/s, the
+outcome mix, a per-field vulnerability heatmap, and the masking-cause
+and latency-to-failure tables the paper's characterization is made of.
+
+* :mod:`repro.dash.server` -- the :class:`DashServer`: routes, refresh
+  loop, executor discipline (no blocking I/O on the event loop; the
+  REP007 lint rule polices this package like the fabric).
+* :mod:`repro.dash.views` -- the sync view-model builder and the
+  single-page HTML the server serves at ``/``.
+"""
+
+from repro.dash.server import DashServer, run_dash
+
+__all__ = ["DashServer", "run_dash"]

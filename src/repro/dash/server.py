@@ -1,0 +1,210 @@
+"""The dashboard HTTP server (:class:`DashServer`).
+
+One asyncio event loop, the fabric's own request parsing
+(:func:`repro.fabric.protocol.read_request` -- the dashboard only adds
+a response writer that can speak ``text/html`` and friends), and a
+refresh loop with strict executor discipline: every blocking step --
+journal tailing, SQLite ingestion, ``metrics.json`` reads -- runs in a
+sync helper shipped through ``run_in_executor``, while request
+handlers only serialize the most recent in-memory view.  The REP007
+lint rule polices this package exactly like the fabric.
+
+The SQLite store is touched from executor threads but never
+concurrently: the sequential refresh loop is the store's only writer
+and reader (see :mod:`repro.store.db` on ``check_same_thread``).
+"""
+
+import asyncio
+import json
+
+from repro.dash.views import build_view, discover_campaign_dirs, render_page
+from repro.errors import FabricError, SimulationError
+from repro.fabric import protocol
+from repro.obs.metrics import render_openmetrics
+from repro.store import ResultsStore
+
+__all__ = ["DEFAULT_INTERVAL_SECONDS", "DashServer", "run_dash"]
+
+DEFAULT_INTERVAL_SECONDS = 2.0
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed"}
+
+
+class DashServer:
+    """Serve the live dashboard over campaign dirs and/or a coordinator.
+
+    ``directories`` are tailed through the results store's incremental
+    ingester on every refresh; ``connect`` (a ``(host, port)`` tuple)
+    additionally polls that fabric coordinator's ``/status``.  With
+    ``port=0`` the OS picks a free port (``self.port`` is updated once
+    bound) -- the idiom the tests use.
+    """
+
+    def __init__(self, directories=(), connect=None, host="127.0.0.1",
+                 port=8111, interval=DEFAULT_INTERVAL_SECONDS,
+                 db_path=":memory:"):
+        self.directories = list(directories)
+        self.connect = connect
+        self.host = host
+        self.port = port
+        self.interval = interval
+        self.store = ResultsStore(db_path)
+        # A complete (if empty) view from the start, so the first page
+        # load races nothing.
+        self.view = build_view(self.store, [])
+        self._page = render_page(interval)
+        self._server = None
+        self._refresher = None
+        # The background loop and an explicit refresh() (tests, future
+        # on-demand endpoints) must not ingest concurrently: the store
+        # is sequential by contract.
+        self._refresh_lock = asyncio.Lock()
+
+    # -- refresh (all blocking work in sync helpers) -------------------
+
+    def _ingest(self):
+        """Sync: tail every discovered campaign dir into the store."""
+        errors = []
+        for directory in discover_campaign_dirs(self.directories):
+            try:
+                self.store.ingest_dir(directory)
+            except SimulationError as error:
+                errors.append("%s: %s" % (directory, error))
+        return errors
+
+    async def refresh(self):
+        """One refresh cycle: ingest, poll the coordinator, rebuild."""
+        async with self._refresh_lock:
+            return await self._refresh_locked()
+
+    async def _refresh_locked(self):
+        loop = asyncio.get_running_loop()
+        errors = await loop.run_in_executor(None, self._ingest)
+        fabric_status = None
+        if self.connect is not None:
+            host, port = self.connect
+            try:
+                fabric_status = await protocol.call(host, port,
+                                                    "/status", {})
+            except (FabricError, OSError, asyncio.TimeoutError) as error:
+                errors.append("coordinator %s:%s: %s" % (host, port, error))
+        self.view = await loop.run_in_executor(
+            None, build_view, self.store, self.directories,
+            fabric_status, tuple(errors))
+        return self.view
+
+    async def _refresh_loop(self):
+        while True:
+            try:
+                await self.refresh()
+            except (SimulationError, FabricError, OSError) as error:
+                self.view = dict(self.view, errors=["refresh: %s" % error])
+            await asyncio.sleep(self.interval)
+
+    # -- HTTP ----------------------------------------------------------
+
+    async def _handle(self, reader, writer):
+        try:
+            request = await protocol.read_request(reader)
+            if request is not None:
+                await self._route(request, writer)
+        except FabricError as error:
+            try:
+                await self._respond(writer, 400, "text/plain; charset=utf-8",
+                                    ("%s\n" % error).encode("utf-8"))
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, request, writer):
+        path = request.path.split("?", 1)[0]
+        if request.method not in ("GET", "HEAD"):
+            await self._respond(writer, 405, "text/plain; charset=utf-8",
+                                b"GET only\n")
+        elif path == "/":
+            await self._respond(writer, 200, "text/html; charset=utf-8",
+                                self._page.encode("utf-8"))
+        elif path == "/api/summary":
+            body = json.dumps(self.view, sort_keys=True).encode("utf-8")
+            await self._respond(writer, 200, "application/json", body)
+        elif path == "/metrics":
+            body = render_openmetrics(self._snapshot()).encode("utf-8")
+            await self._respond(
+                writer, 200,
+                "application/openmetrics-text; version=1.0.0; "
+                "charset=utf-8", body)
+        else:
+            await self._respond(writer, 404, "text/plain; charset=utf-8",
+                                b"not found; try /, /api/summary, "
+                                b"/metrics\n")
+
+    def _snapshot(self):
+        """The current view's totals in telemetry-snapshot shape."""
+        snapshot = dict(self.view.get("totals") or {})
+        if self.view.get("fabric") is not None:
+            snapshot["fabric"] = self.view["fabric"]
+        return snapshot
+
+    @staticmethod
+    async def _respond(writer, status, content_type, body):
+        head = ("HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %d\r\n"
+                "Cache-Control: no-store\r\n"
+                "Connection: close\r\n\r\n"
+                % (status, _STATUS_TEXT.get(status, "Status"),
+                   content_type, len(body)))
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self):
+        """Bind and start the refresh loop; returns once listening."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._refresher = asyncio.ensure_future(self._refresh_loop())
+        return self
+
+    async def stop(self):
+        if self._refresher is not None:
+            self._refresher.cancel()
+            try:
+                await self._refresher
+            except asyncio.CancelledError:
+                pass
+            self._refresher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self):
+        await self.start()
+        print("repro-faults dashboard at http://%s:%d/  (Ctrl-C to stop)"
+              % (self.host, self.port))
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+
+def run_dash(directories=(), connect=None, host="127.0.0.1", port=8111,
+             interval=DEFAULT_INTERVAL_SECONDS, db_path=":memory:"):
+    """Blocking entry point for ``repro-faults dash``."""
+    server = DashServer(directories=directories, connect=connect,
+                        host=host, port=port, interval=interval,
+                        db_path=db_path)
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,420 @@
+"""View-model building and the dashboard's single HTML page.
+
+Everything in this module is synchronous and runs inside the server's
+``run_in_executor`` refresh job -- it may freely touch the filesystem
+and the SQLite store.  The asyncio side (:mod:`repro.dash.server`)
+only ever serves the most recent view dict this module built.
+"""
+
+import json
+import os
+import time
+
+from repro.runner.journal import JOURNAL_NAME, metrics_path
+
+__all__ = ["build_view", "discover_campaign_dirs", "render_page"]
+
+# Rows shown in the per-field heatmap (the busiest fields first); the
+# full breakdown is one `repro-faults query --by element` away.
+HEATMAP_MAX_ROWS = 40
+
+
+def discover_campaign_dirs(directories):
+    """Campaign dirs under ``directories`` (each itself, or children).
+
+    A directory that holds a ``journal.jsonl`` is a campaign dir; one
+    that merely *contains* campaign dirs (a fabric coordinator's base
+    directory, where journals live in ``<dir>/<fingerprint12>/``)
+    contributes each child that holds one.
+    """
+    found = []
+    for directory in directories:
+        if os.path.exists(os.path.join(directory, JOURNAL_NAME)):
+            found.append(directory)
+            continue
+        try:
+            children = sorted(os.listdir(directory))
+        except OSError:
+            continue
+        for child in children:
+            path = os.path.join(directory, child)
+            if os.path.exists(os.path.join(path, JOURNAL_NAME)):
+                found.append(path)
+    seen = set()
+    unique = []
+    for directory in found:
+        key = os.path.abspath(directory)
+        if key not in seen:
+            seen.add(key)
+            unique.append(directory)
+    return unique
+
+
+def _read_metrics(directory):
+    try:
+        with open(metrics_path(directory), "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return snapshot if isinstance(snapshot, dict) else None
+
+
+def build_view(store, directories, fabric_status=None, errors=()):
+    """One self-contained JSON-safe view of everything on screen.
+
+    ``store`` is the (already refreshed) :class:`ResultsStore`;
+    ``directories`` the campaign dirs being tailed; ``fabric_status``
+    the latest coordinator ``/status`` reply when the dashboard is
+    attached to one.  The caller ingests before calling; this only
+    reads.
+    """
+    campaign_dirs = discover_campaign_dirs(directories)
+    campaigns = []
+    totals = {"total": 0, "done": 0, "trials_per_second": 0.0,
+              "eta_seconds": None, "workers_busy": 0, "workers_total": 0}
+    outcome_totals = {}
+    known = {campaign["fingerprint"]: campaign
+             for campaign in store.campaigns()}
+    outcome_by_campaign = store.outcome_table(by="workload")
+    for fingerprint, campaign in known.items():
+        snapshot = store.snapshot(fingerprint) or {}
+        outcome_counts = {}
+        for counts in outcome_by_campaign.get(fingerprint, {}).values():
+            for outcome, count in counts.items():
+                outcome_counts[outcome] = \
+                    outcome_counts.get(outcome, 0) + count
+        for outcome, count in outcome_counts.items():
+            outcome_totals[outcome] = \
+                outcome_totals.get(outcome, 0) + count
+        done = campaign["trials"]
+        total = snapshot.get("total") or done
+        campaigns.append({
+            "fingerprint": fingerprint,
+            "label": campaign["label"],
+            "protection": campaign["protection"],
+            "workloads": campaign["workloads"],
+            "total": total,
+            "done": done,
+            "trials_per_second": snapshot.get("trials_per_second", 0.0),
+            "eta_seconds": snapshot.get("eta_seconds"),
+            "outcome_counts": outcome_counts,
+            "history": snapshot.get("history") or [],
+        })
+        totals["total"] += total
+        totals["done"] += done
+        totals["trials_per_second"] += \
+            snapshot.get("trials_per_second") or 0.0
+        totals["workers_busy"] += snapshot.get("workers_busy") or 0
+        totals["workers_total"] += snapshot.get("workers_total") or 0
+        eta = snapshot.get("eta_seconds")
+        if eta is not None:
+            totals["eta_seconds"] = max(totals["eta_seconds"] or 0.0, eta)
+    if fabric_status is not None:
+        # The coordinator's counts are authoritative for fabric
+        # campaigns the dashboard cannot (or does not) tail on disk.
+        totals["total"] = max(totals["total"],
+                              fabric_status.get("total", 0))
+        totals["done"] = max(totals["done"], fabric_status.get("done", 0))
+    view = {
+        # repro-lint: allow=REP002 (the page shows its own refresh
+        # time; no simulation path involved)
+        "refreshed_unix": time.time(),
+        "sources": {"dirs": campaign_dirs},
+        "totals": dict(totals, outcome_counts=outcome_totals),
+        "campaigns": campaigns,
+        "heatmap": _heatmap(store),
+        "masking": _summed(store.masking_table()),
+        "latency": _latency(store),
+        "fabric": (fabric_status or {}).get("fabric")
+        if fabric_status is not None else None,
+        "fabric_campaigns": (fabric_status or {}).get("campaigns")
+        if fabric_status is not None else None,
+        "errors": list(errors),
+    }
+    return view
+
+
+def _heatmap(store):
+    """Per-field vulnerability rows: field x workload failure rates."""
+    cells = store.vulnerability(by="element")
+    columns = sorted({workload for _key, workload, _n, _f in cells})
+    by_key = {}
+    for key, workload, trials, failures in cells:
+        by_key.setdefault(key, {})[workload] = (trials, failures)
+    ranked = sorted(
+        by_key,
+        key=lambda key: -sum(n for n, _f in by_key[key].values()))
+    rows = []
+    for key in ranked[:HEATMAP_MAX_ROWS]:
+        row_cells = []
+        total = fail = 0
+        for workload in columns:
+            if workload in by_key[key]:
+                trials, failures = by_key[key][workload]
+                total += trials
+                fail += failures
+                row_cells.append({
+                    "n": trials, "failures": failures,
+                    "rate": failures / trials if trials else 0.0})
+            else:
+                row_cells.append(None)
+        rows.append({"key": key, "n": total,
+                     "rate": fail / total if total else 0.0,
+                     "cells": row_cells})
+    return {"columns": columns, "rows": rows,
+            "truncated": max(0, len(by_key) - HEATMAP_MAX_ROWS)}
+
+
+def _summed(per_campaign):
+    """Sum a ``{fingerprint: {key: count}}`` table across campaigns."""
+    summed = {}
+    for counts in per_campaign.values():
+        for key, count in counts.items():
+            summed[key] = summed.get(key, 0) + count
+    total = sum(summed.values())
+    return [[key, count, count / total if total else 0.0]
+            for key, count in sorted(summed.items(),
+                                     key=lambda item: -item[1])]
+
+
+def _latency(store, bin_width=50):
+    summed = {}
+    for histogram in store.latency_table(bin_width=bin_width).values():
+        for start, count in histogram:
+            summed[start] = summed.get(start, 0) + count
+    return {"bin_width": bin_width,
+            "bins": sorted(summed.items())}
+
+
+def render_page(interval_seconds):
+    """The dashboard HTML (one page, inline CSS/JS, zero deps)."""
+    return _PAGE.replace("__INTERVAL_MS__",
+                         str(max(250, int(interval_seconds * 1000))))
+
+
+# The page polls /api/summary and re-renders in place.  Colors follow
+# the exporter's semantics: outcome classes wear *status* colors
+# (sdc=critical, terminated=serious, gray=warning, uarch_match=good --
+# always beside a text label, never color alone) and the heatmap is a
+# single-hue sequential blue ramp, light=near-zero on the light
+# surface, with its own dark-mode steps.
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro-faults dashboard</title>
+<style>
+  :root {
+    color-scheme: light dark;
+    --surface: #fcfcfb; --plane: #f9f9f7;
+    --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+    --grid: #e1e0d9; --border: rgba(11,11,11,0.10);
+    --good: #0ca30c; --warning: #fab219;
+    --serious: #ec835a; --critical: #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      --surface: #1a1a19; --plane: #0d0d0d;
+      --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+      --grid: #2c2c2a; --border: rgba(255,255,255,0.10);
+    }
+  }
+  * { box-sizing: border-box; }
+  body { margin: 0; background: var(--plane); color: var(--ink);
+         font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+  header { padding: 14px 20px 6px; display: flex; align-items: baseline;
+           gap: 12px; flex-wrap: wrap; }
+  header h1 { font-size: 16px; margin: 0; font-weight: 600; }
+  header .sub { color: var(--ink-2); font-size: 12px; }
+  main { padding: 0 20px 32px; max-width: 1100px; }
+  section { margin-top: 18px; }
+  h2 { font-size: 13px; font-weight: 600; color: var(--ink-2);
+       margin: 0 0 8px; text-transform: uppercase;
+       letter-spacing: 0.04em; }
+  .tiles { display: flex; gap: 10px; flex-wrap: wrap; }
+  .tile { background: var(--surface); border: 1px solid var(--border);
+          border-radius: 8px; padding: 10px 14px; min-width: 128px; }
+  .tile .v { font-size: 24px; font-weight: 600; }
+  .tile .k { font-size: 11px; color: var(--muted); }
+  .bar { display: flex; height: 22px; border-radius: 4px;
+         overflow: hidden; background: var(--grid); max-width: 640px; }
+  .bar span { display: block; height: 100%;
+              border-right: 2px solid var(--surface); }
+  .bar span:last-child { border-right: 0; }
+  .legend { display: flex; gap: 14px; flex-wrap: wrap; margin-top: 6px;
+            font-size: 12px; color: var(--ink-2); }
+  .legend i { display: inline-block; width: 10px; height: 10px;
+              border-radius: 2px; margin-right: 5px; }
+  table { border-collapse: collapse; background: var(--surface);
+          border: 1px solid var(--border); border-radius: 8px; }
+  th, td { padding: 4px 10px; text-align: right; font-size: 12.5px;
+           font-variant-numeric: tabular-nums;
+           border-bottom: 1px solid var(--grid); }
+  th { color: var(--muted); font-weight: 500; }
+  th:first-child, td:first-child { text-align: left; }
+  tr:last-child td { border-bottom: 0; }
+  td.hm { min-width: 52px; text-align: center; }
+  .note { color: var(--muted); font-size: 12px; margin-top: 6px; }
+  #errors { color: var(--critical); font-size: 12px; }
+  .stale { color: var(--warning); }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro-faults dashboard</h1>
+  <span class="sub" id="sources"></span>
+  <span class="sub" id="refreshed"></span>
+</header>
+<main>
+  <section><div class="tiles" id="tiles"></div></section>
+  <section>
+    <h2>Outcome mix</h2>
+    <div class="bar" id="mix"></div>
+    <div class="legend" id="mixlegend"></div>
+  </section>
+  <section id="fabricsec" hidden>
+    <h2>Fabric coordinator</h2>
+    <div class="tiles" id="fabric"></div>
+  </section>
+  <section>
+    <h2>Campaigns</h2>
+    <div id="campaigns"></div>
+  </section>
+  <section>
+    <h2>Per-field vulnerability heatmap (failure rate)</h2>
+    <div id="heatmap"></div>
+    <div class="note" id="heatnote"></div>
+  </section>
+  <section>
+    <h2>Masking causes (benign trials, provenance campaigns)</h2>
+    <div id="masking"></div>
+  </section>
+  <section>
+    <h2>Latency to failure detection (cycles)</h2>
+    <div id="latency"></div>
+  </section>
+  <section><div id="errors"></div></section>
+</main>
+<script>
+"use strict";
+const OUTCOMES = [
+  ["sdc", "SDC", "var(--critical)"],
+  ["terminated", "Terminated", "var(--serious)"],
+  ["gray", "Gray area", "var(--warning)"],
+  ["uarch_match", "uArch match", "var(--good)"],
+  ["harness_error", "Harness error", "var(--muted)"],
+];
+// Sequential blue ramp (light -> dark = low -> high failure rate).
+const RAMP = ["#cde2fb","#9ec5f4","#6da7ec","#3987e5",
+              "#256abf","#1c5cab","#104281","#0d366b"];
+const esc = (t) => String(t).replace(/[&<>"]/g,
+  (c) => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+const pct = (x) => (100 * x).toFixed(1) + "%";
+function eta(s) {
+  if (s == null) return "--:--";
+  s = Math.round(s);
+  const m = Math.floor(s / 60), h = Math.floor(m / 60);
+  if (h) return h + ":" + String(m % 60).padStart(2, "0") +
+    ":" + String(s % 60).padStart(2, "0");
+  return m + ":" + String(s % 60).padStart(2, "0");
+}
+function tile(k, v) {
+  return '<div class="tile"><div class="v">' + v +
+    '</div><div class="k">' + esc(k) + "</div></div>";
+}
+function heatColor(rate) { return RAMP[Math.min(RAMP.length - 1,
+  Math.floor(rate * RAMP.length))]; }
+function render(view) {
+  const t = view.totals;
+  document.getElementById("sources").textContent =
+    (view.sources.dirs || []).join("  ");
+  document.getElementById("refreshed").textContent = "updated " +
+    new Date(view.refreshed_unix * 1000).toLocaleTimeString();
+  document.getElementById("tiles").innerHTML =
+    tile("trials/s", (t.trials_per_second || 0).toFixed(1)) +
+    tile("progress", t.done + " / " + t.total) +
+    tile("ETA", eta(t.eta_seconds)) +
+    tile("workers", t.workers_busy + " / " + t.workers_total) +
+    tile("campaigns", view.campaigns.length);
+  const counts = t.outcome_counts || {};
+  const total = Object.values(counts).reduce((a, b) => a + b, 0);
+  document.getElementById("mix").innerHTML = OUTCOMES.map(([key, , c]) =>
+    counts[key] ? '<span title="' + key + ": " + counts[key] +
+      '" style="width:' + (100 * counts[key] / Math.max(1, total)) +
+      "%;background:" + c + '"></span>' : "").join("");
+  document.getElementById("mixlegend").innerHTML =
+    OUTCOMES.map(([key, label, c]) =>
+      '<span><i style="background:' + c + '"></i>' + label + " " +
+      (counts[key] || 0) +
+      (total ? " (" + pct((counts[key] || 0) / total) + ")" : "") +
+      "</span>").join("");
+  const fab = view.fabric;
+  document.getElementById("fabricsec").hidden = !fab;
+  if (fab) document.getElementById("fabric").innerHTML =
+    tile("workers active", fab.workers_active) +
+    tile("leases out", fab.leases_outstanding) +
+    tile("leases granted", fab.leases_granted) +
+    tile("steals", fab.steals) +
+    tile("dup completions", fab.duplicate_completions) +
+    tile("campaigns", fab.campaigns_active + " active / " +
+         fab.campaigns_done + " done");
+  document.getElementById("campaigns").innerHTML = "<table><tr>" +
+    "<th>campaign</th><th>protection</th><th>done</th><th>total</th>" +
+    "<th>trials/s</th><th>ETA</th><th>workloads</th></tr>" +
+    view.campaigns.map((c) => "<tr><td>" + esc(c.label) + " (" +
+      c.fingerprint.slice(0, 12) + ")</td><td>" + esc(c.protection) +
+      "</td><td>" + c.done + "</td><td>" + c.total + "</td><td>" +
+      (c.trials_per_second || 0).toFixed(1) + "</td><td>" +
+      eta(c.eta_seconds) + "</td><td>" + esc(c.workloads) +
+      "</td></tr>").join("") + "</table>";
+  const hm = view.heatmap;
+  document.getElementById("heatmap").innerHTML = "<table><tr><th>field" +
+    "</th><th>n</th><th>fail%</th>" + hm.columns.map((w) =>
+    "<th>" + esc(w) + "</th>").join("") + "</tr>" +
+    hm.rows.map((r) => "<tr><td>" + esc(r.key) + "</td><td>" + r.n +
+      "</td><td>" + pct(r.rate) + "</td>" + r.cells.map((cell) => {
+        if (!cell) return '<td class="hm" style="color:var(--muted)">' +
+          "&middot;</td>";
+        const bg = heatColor(cell.rate);
+        const dark = cell.rate >= 3 / RAMP.length;
+        return '<td class="hm" title="' + cell.failures + "/" + cell.n +
+          ' failures" style="background:' + bg + ";color:" +
+          (dark ? "#fcfcfb" : "#0b0b0b") + '">' +
+          pct(cell.rate) + "</td>";
+      }).join("") + "</tr>").join("") + "</table>";
+  document.getElementById("heatnote").textContent = hm.truncated
+    ? hm.truncated + " more fields - use `repro-faults query --by " +
+      "element` for the full breakdown" : "";
+  document.getElementById("masking").innerHTML = view.masking.length
+    ? "<table><tr><th>cause</th><th>trials</th><th>share</th></tr>" +
+      view.masking.map((m) => "<tr><td>" + esc(m[0]) + "</td><td>" +
+        m[1] + "</td><td>" + pct(m[2]) + "</td></tr>").join("") +
+      "</table>"
+    : '<div class="note">no provenance data - run campaigns with ' +
+      "--provenance</div>";
+  const lat = view.latency;
+  document.getElementById("latency").innerHTML = lat.bins.length
+    ? "<table><tr><th>cycles</th><th>failures</th></tr>" +
+      lat.bins.map(([start, n]) => "<tr><td>" + start + "-" +
+        (start + lat.bin_width - 1) + "</td><td>" + n +
+        "</td></tr>").join("") + "</table>"
+    : '<div class="note">no detected failures yet</div>';
+  document.getElementById("errors").textContent =
+    (view.errors || []).join("; ");
+}
+async function poll() {
+  try {
+    const reply = await fetch("/api/summary", {cache: "no-store"});
+    render(await reply.json());
+    document.getElementById("refreshed").classList.remove("stale");
+  } catch (error) {
+    document.getElementById("refreshed").classList.add("stale");
+  }
+}
+poll();
+setInterval(poll, __INTERVAL_MS__);
+</script>
+</body>
+</html>
+"""

@@ -1,4 +1,4 @@
-"""REP007: no blocking I/O inside fabric coroutines.
+"""REP007: no blocking I/O inside fabric or dashboard coroutines.
 
 The fabric coordinator is one event loop serving every worker's
 leases, heartbeats and completions.  A single blocking call inside a
@@ -7,9 +7,14 @@ socket -- freezes *all* of them at once: heartbeats stop being
 processed, live leases expire en masse, and the work-stealing path
 re-executes ranges that were never actually late.  Latency bugs of
 this kind pass small tests (the stall is milliseconds) and only
-surface as mysterious steal storms under load.
+surface as mysterious steal storms under load.  The dashboard server
+(:mod:`repro.dash`) is the same shape -- one loop serving every page
+and API poll while a refresh task tails journals -- so it is policed
+identically: tailing and SQLite ingestion belong in sync helpers
+shipped through ``run_in_executor``.
 
-This rule flags, inside any ``async def`` under ``src/repro/fabric/``:
+This rule flags, inside any ``async def`` under ``src/repro/fabric/``
+or ``src/repro/dash/``:
 
 * ``open(...)`` calls (file I/O belongs in ``run_in_executor``);
 * ``time.sleep(...)`` (use ``await asyncio.sleep``);
@@ -31,8 +36,9 @@ import ast
 
 from repro.lint.base import Checker, register
 
-# The subtree whose coroutines this rule polices.
-_FABRIC_SEGMENT = "fabric"
+# The subtrees whose coroutines this rule polices: single-event-loop
+# servers where one blocking call stalls every connected peer.
+_POLICED_SEGMENTS = frozenset({"fabric", "dash"})
 
 _SOCKET_SYNC = frozenset({
     "socket", "create_connection", "create_server", "socketpair",
@@ -64,14 +70,14 @@ class AsyncBlockingChecker(Checker):
     """Forbid blocking I/O calls in fabric ``async def`` bodies."""
 
     rule_id = "REP007"
-    description = ("fabric coroutines must not block the event loop: no "
-                   "open()/time.sleep()/sync socket calls inside "
-                   "async def (use run_in_executor / asyncio.sleep / "
-                   "asyncio streams)")
+    description = ("fabric/dash coroutines must not block the event "
+                   "loop: no open()/time.sleep()/sync socket calls "
+                   "inside async def (use run_in_executor / "
+                   "asyncio.sleep / asyncio streams)")
 
     def check(self, module, project):
         parts = module.path.replace("\\", "/").split("/")
-        if _FABRIC_SEGMENT not in parts:
+        if _POLICED_SEGMENTS.isdisjoint(parts):
             return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.AsyncFunctionDef):

@@ -7,11 +7,51 @@ OpenMetrics / Prometheus text exposition (``metrics.prom``) so a node
 exporter's textfile collector -- or a plain ``curl`` + ``promtool`` --
 can scrape a long campaign without bespoke parsing.  Both files are
 rewritten atomically by :func:`repro.runner.journal.write_metrics`.
+
+Monotonic samples (lease grants, steals, retries, ...) are exposed as
+OpenMetrics *counters* named ``repro_*_total``; each keeps a
+deprecated gauge alias under its pre-rename name for one release so
+existing scrape configs keep working (see docs/OBSERVABILITY.md for
+the rename table).  ``repro_build_info`` is the conventional
+info-style constant-1 sample carrying schema versions and the repo
+revision as labels.
 """
+
+import os
+import subprocess
 
 __all__ = ["PROM_PREFIX", "render_openmetrics"]
 
 PROM_PREFIX = "repro"
+
+_REVISION = None
+
+
+def _revision():
+    """The repo's short git revision, cached; ``unknown`` off-tree."""
+    global _REVISION
+    if _REVISION is None:
+        tree = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        try:
+            _REVISION = subprocess.run(
+                ["git", "-C", tree, "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, timeout=5.0,
+                check=True).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _REVISION = "unknown"
+    return _REVISION
+
+
+def _schema_versions():
+    """``(journal_schema, result_schema)``, imported lazily.
+
+    :mod:`repro.runner.journal` imports this module for rendering, so
+    the reverse import must happen at call time, not import time.
+    """
+    from repro.inject.store import SCHEMA_VERSION
+    from repro.runner.journal import JOURNAL_SCHEMA
+    return JOURNAL_SCHEMA, SCHEMA_VERSION
 
 
 def _escape(value):
@@ -47,14 +87,36 @@ def render_openmetrics(snapshot):
     p = PROM_PREFIX
     lines = []
 
-    def gauge(name, value, help_text, labelled_samples=None):
+    def family(name, kind, value, help_text, labelled_samples=None):
         lines.append("# HELP %s %s" % (name, help_text))
-        lines.append("# TYPE %s gauge" % name)
+        lines.append("# TYPE %s %s" % (name, kind))
         if labelled_samples is None:
             lines.append(_sample(name, value))
         else:
             lines.extend(labelled_samples)
 
+    def gauge(name, value, help_text, labelled_samples=None):
+        family(name, "gauge", value, help_text, labelled_samples)
+
+    def counter(name, value, help_text):
+        """A monotonic counter plus its deprecated gauge alias.
+
+        ``name`` is the pre-rename sample name; the counter itself is
+        ``<name>_total`` (Prometheus naming).  The alias disappears
+        next release -- scrape the ``_total`` name.
+        """
+        family("%s_total" % name, "counter", value, help_text)
+        family(name, "gauge", value,
+               "DEPRECATED alias of %s_total; removed next release."
+               % name)
+
+    journal_schema, result_schema = _schema_versions()
+    gauge("%s_build_info" % p, None,
+          "Constant 1; schema versions and repo revision as labels.",
+          labelled_samples=[_sample("%s_build_info" % p, 1, {
+              "journal_schema": journal_schema,
+              "result_schema": result_schema,
+              "revision": _revision()})])
     gauge("%s_trials_total" % p, snapshot.get("total", 0),
           "Trials in the campaign sweep.")
     gauge("%s_trials_done" % p, snapshot.get("done", 0),
@@ -63,14 +125,14 @@ def render_openmetrics(snapshot):
           "Trials completed by this run.")
     gauge("%s_trials_resumed" % p, snapshot.get("resumed", 0),
           "Trials skipped because a prior run journaled them.")
-    gauge("%s_trials_retried" % p, snapshot.get("retried", 0),
-          "Trial units requeued after a worker death or stall.")
-    gauge("%s_harness_errors" % p, snapshot.get("harness_errors", 0),
-          "Poison trial units contained as harness_error outcomes.")
-    gauge("%s_cache_quarantined" % p, snapshot.get("quarantined", 0),
-          "Corrupt golden-cache entries quarantined and regenerated.")
-    gauge("%s_io_retries" % p, snapshot.get("io_retries", 0),
-          "Transient journal/cache I/O errors absorbed by retry.")
+    counter("%s_trials_retried" % p, snapshot.get("retried", 0),
+            "Trial units requeued after a worker death or stall.")
+    counter("%s_harness_errors" % p, snapshot.get("harness_errors", 0),
+            "Poison trial units contained as harness_error outcomes.")
+    counter("%s_cache_quarantined" % p, snapshot.get("quarantined", 0),
+            "Corrupt golden-cache entries quarantined and regenerated.")
+    counter("%s_io_retries" % p, snapshot.get("io_retries", 0),
+            "Transient journal/cache I/O errors absorbed by retry.")
     gauge("%s_elapsed_seconds" % p, snapshot.get("elapsed_seconds", 0.0),
           "Wall-clock seconds since this run started.")
     gauge("%s_trials_per_second" % p,
@@ -124,15 +186,15 @@ def render_openmetrics(snapshot):
         gauge("%s_fabric_leases_outstanding" % p,
               fabric.get("leases_outstanding", 0),
               "Trial-range leases currently held by workers.")
-        gauge("%s_fabric_leases_granted" % p,
-              fabric.get("leases_granted", 0),
-              "Trial-range leases granted since coordinator start.")
-        gauge("%s_fabric_steals" % p, fabric.get("steals", 0),
-              "Expired leases re-queued for another worker.")
-        gauge("%s_fabric_duplicate_completions" % p,
-              fabric.get("duplicate_completions", 0),
-              "Completions for already-completed ranges (merged to "
-              "nothing).")
+        counter("%s_fabric_leases_granted" % p,
+                fabric.get("leases_granted", 0),
+                "Trial-range leases granted since coordinator start.")
+        counter("%s_fabric_steals" % p, fabric.get("steals", 0),
+                "Expired leases re-queued for another worker.")
+        counter("%s_fabric_duplicate_completions" % p,
+                fabric.get("duplicate_completions", 0),
+                "Completions for already-completed ranges (merged to "
+                "nothing).")
         gauge("%s_fabric_campaigns_active" % p,
               fabric.get("campaigns_active", 0),
               "Registered campaigns not yet fully journaled.")

@@ -57,8 +57,9 @@ from repro.runner.units import TrialUnit, enumerate_units
 
 __all__ = ["JOURNAL_NAME", "METRICS_NAME", "PROM_NAME", "JOURNAL_SCHEMA",
            "SUPPORTED_SCHEMAS", "JournalContents", "JournalWriter",
-           "encode_line", "decode_line", "read_journal", "read_segment",
-           "write_segment", "segment_header", "campaign_dict_from_journal",
+           "JournalTail", "encode_line", "decode_line", "read_journal",
+           "read_segment", "tail_journal", "write_segment",
+           "segment_header", "campaign_dict_from_journal",
            "repair_journal", "canonical_trial_bytes", "journal_path",
            "metrics_path", "prom_path", "write_metrics"]
 
@@ -358,6 +359,69 @@ def read_segment(path, lo=None, hi=None):
     contents.trials = {unit: trial for unit, trial in contents.trials.items()
                        if unit in wanted}
     return contents
+
+
+@dataclass
+class JournalTail:
+    """One incremental read of a (possibly live) journal.
+
+    ``records`` holds the decoded record dicts of every complete,
+    checksum-valid line consumed; ``offset`` is the byte position the
+    next :func:`tail_journal` call should resume from; ``reset`` means
+    the file shrank below the caller's offset (a ``--repair`` truncated
+    it) and the tail was re-read from byte 0; ``legacy_lines`` counts
+    schema-1 lines accepted without a checksum.
+    """
+
+    records: list = field(default_factory=list)
+    offset: int = 0
+    reset: bool = False
+    legacy_lines: int = 0
+
+
+def tail_journal(path, offset=0):
+    """Incrementally read records appended to ``path`` after ``offset``.
+
+    The results-store tailer's read path: called repeatedly against a
+    journal a live campaign is appending to, it consumes only complete
+    lines and returns a :class:`JournalTail` whose ``offset`` picks up
+    exactly where this call stopped.  A trailing fragment without its
+    newline (an append in flight) and a damaged final line (a torn
+    write the next :meth:`JournalWriter.open` will trim) are both left
+    unconsumed -- the next call re-reads them once they are whole.
+    Damage *before* the final line is the same hard
+    :class:`SimulationError` :func:`read_journal` raises: acknowledged
+    bytes changed under us.  If the file shrank below ``offset`` (a
+    ``--repair`` truncation), the tail restarts from byte 0 with
+    ``reset`` set so the caller can drop state it ingested from the
+    dropped lines.
+    """
+    with open(path, "rb") as handle:
+        size = handle.seek(0, os.SEEK_END)
+        reset = offset > size
+        if reset:
+            offset = 0
+        handle.seek(offset)
+        data = handle.read()
+    tail = JournalTail(offset=offset, reset=reset)
+    lines = data.split(b"\n")
+    complete, fragment = lines[:-1], lines[-1]
+    for number, raw in enumerate(complete):
+        record, status = _decode_raw(raw)
+        if status == "corrupt":
+            if number == len(complete) - 1:
+                return tail  # torn final line; re-read once repaired
+            raise SimulationError(
+                "corrupt journal line at byte offset %d in %s: only the "
+                "final line may be torn by a crash; run 'repro-faults "
+                "campaign --repair --dir %s' to truncate at the last "
+                "checksummed-valid line"
+                % (tail.offset, path, os.path.dirname(path) or "."))
+        if status == "legacy":
+            tail.legacy_lines += 1
+        tail.records.append(record)
+        tail.offset += len(raw) + 1
+    return tail
 
 
 def segment_header(config, eligible_bits, inventory):

@@ -1,0 +1,37 @@
+"""Queryable cross-campaign results store (``repro.store``).
+
+The paper's deliverables are aggregate views -- per-structure outcome
+breakdowns, masking-cause tables, latency-to-failure distributions --
+and a characterization study keeps asking them across *campaigns*:
+protection on vs off, fault model A vs B, workload set X vs Y.  This
+package aggregates any number of campaign journals into one SQLite
+database (stdlib :mod:`sqlite3`, no new dependencies) keyed by campaign
+fingerprint, with an incremental tailer that picks up appended journal
+lines from live campaigns, so cross-campaign comparisons are one
+``repro-faults query`` command instead of an ad-hoc script.
+
+* :mod:`repro.store.db` -- the :class:`ResultsStore` itself: schema,
+  tolerant ingestion (schema-1 journals and pre-``bit`` trials load
+  with defaults, like the journal reader), and aggregate queries.
+* :mod:`repro.store.query` -- paper-style table rendering over the
+  store, shared by ``repro-faults query`` and the dashboard.
+"""
+
+from repro.store.db import IngestReport, ResultsStore
+from repro.store.query import (
+    comparison_table,
+    render_campaign_list,
+    render_store_latency,
+    render_store_masking,
+    render_store_outcomes,
+)
+
+__all__ = [
+    "IngestReport",
+    "ResultsStore",
+    "comparison_table",
+    "render_campaign_list",
+    "render_store_latency",
+    "render_store_masking",
+    "render_store_outcomes",
+]

@@ -1,0 +1,455 @@
+"""The SQLite results store: schema, tolerant ingestion, aggregates.
+
+One :class:`ResultsStore` database aggregates trials from any number of
+campaign directories (serial runs, fabric coordinator journals, spooled
+segments) keyed by campaign fingerprint.  Ingestion is *incremental*:
+per source file the store remembers the byte offset of the last line it
+consumed, so re-ingesting a live campaign's journal reads only the
+appended lines (:func:`repro.runner.journal.tail_journal`) -- the
+dashboard calls this on every refresh tick.
+
+Tolerance matches the journal loader's: schema-1 journals (no per-line
+CRC) ingest with their lines counted as legacy, and pre-``bit``
+TrialResult dicts load with the same defaults
+:func:`repro.inject.store.trial_from_dict` applies (``bit=0``,
+propagation fields ``NULL``) instead of erroring.
+
+Everything is stdlib ``sqlite3``; the connection is opened with
+``check_same_thread=False`` so the dashboard can run ingestion inside
+``run_in_executor`` worker threads, but the store itself does no
+locking -- callers serialise access (the dashboard's refresh loop is
+sequential by construction).
+"""
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.runner.journal import journal_path, metrics_path, tail_journal
+from repro.runner.units import TrialUnit
+
+__all__ = ["IngestReport", "ResultsStore"]
+
+_FAILURES = ("sdc", "terminated")
+_BENIGN = ("uarch_match", "gray")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    id INTEGER PRIMARY KEY,
+    fingerprint TEXT UNIQUE NOT NULL,
+    label TEXT NOT NULL,
+    journal_schema INTEGER,
+    result_schema INTEGER,
+    config TEXT NOT NULL,
+    workloads TEXT NOT NULL,
+    kinds TEXT,
+    scale TEXT,
+    seed INTEGER,
+    protection TEXT,
+    eligible_bits INTEGER,
+    inventory TEXT,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sources (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    path TEXT NOT NULL,
+    offset INTEGER NOT NULL DEFAULT 0,
+    legacy_lines INTEGER NOT NULL DEFAULT 0,
+    updated_at REAL NOT NULL,
+    PRIMARY KEY (path)
+);
+CREATE TABLE IF NOT EXISTS trials (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    workload TEXT NOT NULL,
+    start_point INTEGER NOT NULL,
+    trial_index INTEGER NOT NULL,
+    outcome TEXT NOT NULL,
+    mode TEXT,
+    element TEXT,
+    category TEXT,
+    kind TEXT,
+    bit INTEGER NOT NULL DEFAULT 0,
+    inject_cycle INTEGER,
+    cycles_run INTEGER,
+    valid_inflight INTEGER,
+    total_inflight INTEGER,
+    first_read_cycle INTEGER,
+    arch_corrupt_cycle INTEGER,
+    detect_latency INTEGER,
+    masking_cause TEXT,
+    PRIMARY KEY (campaign_id, workload, start_point, trial_index)
+);
+CREATE INDEX IF NOT EXISTS idx_trials_category
+    ON trials (campaign_id, category);
+CREATE TABLE IF NOT EXISTS snapshots (
+    campaign_id INTEGER PRIMARY KEY REFERENCES campaigns(id),
+    captured_at REAL NOT NULL,
+    snapshot TEXT NOT NULL
+);
+"""
+
+
+@dataclass
+class IngestReport:
+    """What one :meth:`ResultsStore.ingest` call actually did."""
+
+    path: str
+    fingerprint: str = ""
+    new_trials: int = 0
+    total_trials: int = 0
+    legacy_lines: int = 0
+    reset: bool = False
+    snapshot: bool = False
+
+    def render(self):
+        extras = []
+        if self.legacy_lines:
+            extras.append("%d schema-1 line(s)" % self.legacy_lines)
+        if self.reset:
+            extras.append("journal shrank; re-read from byte 0")
+        if self.snapshot:
+            extras.append("telemetry snapshot")
+        suffix = " [%s]" % "; ".join(extras) if extras else ""
+        return "%s: +%d trial(s) (%d total) of %s%s" % (
+            self.path, self.new_trials, self.total_trials,
+            self.fingerprint[:12] or "?", suffix)
+
+
+def _protection_summary(config_dict):
+    """``none`` / ``full`` / the comma-joined enabled mechanisms."""
+    protection = config_dict.get("protection") or {}
+    enabled = sorted(name for name, on in protection.items() if on)
+    if not enabled:
+        return "none"
+    if len(enabled) == len(protection):
+        return "full"
+    return ",".join(enabled)
+
+
+class ResultsStore:
+    """SQLite-backed, fingerprint-keyed store of campaign trials."""
+
+    def __init__(self, path=":memory:"):
+        self.path = path
+        if path != ":memory:":
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        # check_same_thread=False: the dashboard ingests from executor
+        # threads; access is serialised by its sequential refresh loop.
+        self._db = sqlite3.connect(path, check_same_thread=False)
+        self._db.executescript(_SCHEMA)
+        self._db.commit()
+
+    def close(self):
+        self._db.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+
+    # -- ingestion ------------------------------------------------------
+
+    def ingest(self, source, label=None):
+        """Ingest a campaign directory or a journal/segment file.
+
+        A directory contributes its ``journal.jsonl`` plus (when
+        present) its latest ``metrics.json`` telemetry snapshot.
+        Returns an :class:`IngestReport`; re-ingesting is incremental
+        and idempotent.
+        """
+        if os.path.isdir(source):
+            return self.ingest_dir(source, label=label)
+        return self.ingest_journal(source, label=label)
+
+    def ingest_dir(self, directory, label=None):
+        report = self.ingest_journal(
+            journal_path(directory),
+            label=label or os.path.basename(os.path.normpath(directory)))
+        metrics = metrics_path(directory)
+        if report.fingerprint and os.path.exists(metrics):
+            try:
+                with open(metrics, "r", encoding="utf-8") as handle:
+                    snapshot = json.load(handle)
+            except (OSError, ValueError):
+                snapshot = None  # mid-rewrite or damaged; next tick wins
+            if isinstance(snapshot, dict):
+                self.record_snapshot(report.fingerprint, snapshot)
+                report.snapshot = True
+        return report
+
+    def ingest_journal(self, path, label=None):
+        """Incrementally ingest one journal (or segment) file."""
+        path = os.path.abspath(path)
+        row = self._db.execute(
+            "SELECT campaign_id, offset, legacy_lines FROM sources "
+            "WHERE path = ?", (path,)).fetchone()
+        campaign_id, offset, old_legacy = row if row else (None, 0, 0)
+        tail = tail_journal(path, offset)
+        report = IngestReport(path=path, reset=tail.reset,
+                              legacy_lines=tail.legacy_lines)
+        if tail.reset:
+            old_legacy = 0
+        before = None
+        for record in tail.records:
+            kind = record.get("type")
+            if kind == "header":
+                campaign_id = self._upsert_campaign(record, label, path)
+            elif kind == "trial":
+                if campaign_id is None:
+                    raise SimulationError(
+                        "journal %s has trial lines before any header; "
+                        "not a campaign journal" % path)
+                if before is None:
+                    before = self._trial_count(campaign_id)
+                self._insert_trial(campaign_id, record)
+        if campaign_id is None:
+            # Nothing consumed yet (empty file or a torn first line).
+            return report
+        self._db.execute(
+            "INSERT INTO sources (campaign_id, path, offset, legacy_lines,"
+            " updated_at) VALUES (?, ?, ?, ?, ?) "
+            "ON CONFLICT(path) DO UPDATE SET campaign_id = excluded."
+            "campaign_id, offset = excluded.offset, legacy_lines = "
+            "excluded.legacy_lines, updated_at = excluded.updated_at",
+            (campaign_id, path, tail.offset,
+             # repro-lint: allow=REP002 (ingestion bookkeeping metadata;
+             # no simulation path involved)
+             old_legacy + tail.legacy_lines, time.time()))
+        self._db.commit()
+        report.fingerprint = self._db.execute(
+            "SELECT fingerprint FROM campaigns WHERE id = ?",
+            (campaign_id,)).fetchone()[0]
+        report.total_trials = self._trial_count(campaign_id)
+        # A count delta, not an insert count: a reset re-read REPLACEs
+        # rows it already holds, which must not read as new trials.
+        report.new_trials = report.total_trials - (
+            before if before is not None else report.total_trials)
+        return report
+
+    def _trial_count(self, campaign_id):
+        return self._db.execute(
+            "SELECT COUNT(*) FROM trials WHERE campaign_id = ?",
+            (campaign_id,)).fetchone()[0]
+
+    def _upsert_campaign(self, header, label, path):
+        fingerprint = header.get("fingerprint")
+        if not fingerprint:
+            raise SimulationError(
+                "journal %s has a header without a campaign fingerprint"
+                % path)
+        config = header.get("config") or {}
+        row = self._db.execute(
+            "SELECT id FROM campaigns WHERE fingerprint = ?",
+            (fingerprint,)).fetchone()
+        if row is not None:
+            if label:
+                self._db.execute(
+                    "UPDATE campaigns SET label = ? WHERE id = ?",
+                    (label, row[0]))
+            return row[0]
+        cursor = self._db.execute(
+            "INSERT INTO campaigns (fingerprint, label, journal_schema, "
+            "result_schema, config, workloads, kinds, scale, seed, "
+            "protection, eligible_bits, inventory, created_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (fingerprint,
+             label or fingerprint[:12],
+             header.get("schema", 1),
+             header.get("result_schema", 1),
+             json.dumps(config, sort_keys=True),
+             " ".join(config.get("workloads") or ()),
+             config.get("kinds"),
+             config.get("scale"),
+             config.get("seed"),
+             _protection_summary(config),
+             header.get("eligible_bits"),
+             json.dumps(header.get("inventory") or {}, sort_keys=True),
+             # repro-lint: allow=REP002 (ingestion bookkeeping metadata;
+             # no simulation path involved)
+             time.time()))
+        return cursor.lastrowid
+
+    def _insert_trial(self, campaign_id, record):
+        """Insert (or replace) one journal trial record.
+
+        Field access mirrors :func:`repro.inject.store.trial_from_dict`
+        tolerance: legacy trials without ``bit`` (or any propagation
+        field) take the same defaults rather than erroring.
+        """
+        unit = TrialUnit.from_key(record["unit"])
+        trial = record.get("trial") or {}
+        self._db.execute(
+            "INSERT OR REPLACE INTO trials (campaign_id, workload, "
+            "start_point, trial_index, outcome, mode, element, category, "
+            "kind, bit, inject_cycle, cycles_run, valid_inflight, "
+            "total_inflight, first_read_cycle, arch_corrupt_cycle, "
+            "detect_latency, masking_cause) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (campaign_id, unit.workload, unit.start_point,
+             unit.trial_index,
+             trial.get("outcome", "harness_error"),
+             trial.get("mode"),
+             trial.get("element"),
+             trial.get("category"),
+             trial.get("kind"),
+             trial.get("bit", 0),
+             trial.get("inject_cycle"),
+             trial.get("cycles_run"),
+             trial.get("valid_inflight"),
+             trial.get("total_inflight"),
+             trial.get("first_read_cycle"),
+             trial.get("arch_corrupt_cycle"),
+             trial.get("detect_latency"),
+             trial.get("masking_cause")))
+
+    def record_snapshot(self, fingerprint, snapshot):
+        """Store the latest telemetry snapshot of a campaign."""
+        row = self._db.execute(
+            "SELECT id FROM campaigns WHERE fingerprint = ?",
+            (fingerprint,)).fetchone()
+        if row is None:
+            return
+        self._db.execute(
+            "INSERT OR REPLACE INTO snapshots (campaign_id, captured_at, "
+            "snapshot) VALUES (?, ?, ?)",
+            # repro-lint: allow=REP002 (snapshot capture timestamp is
+            # observability metadata; no simulation path involved)
+            (row[0], time.time(), json.dumps(snapshot, sort_keys=True)))
+        self._db.commit()
+
+    # -- lookups --------------------------------------------------------
+
+    def campaigns(self):
+        """All known campaigns, ingestion order, as plain dicts."""
+        rows = self._db.execute(
+            "SELECT c.id, c.fingerprint, c.label, c.journal_schema, "
+            "c.result_schema, c.workloads, c.kinds, c.scale, c.seed, "
+            "c.protection, c.eligible_bits, "
+            "(SELECT COUNT(*) FROM trials t WHERE t.campaign_id = c.id) "
+            "FROM campaigns c ORDER BY c.id").fetchall()
+        keys = ("id", "fingerprint", "label", "journal_schema",
+                "result_schema", "workloads", "kinds", "scale", "seed",
+                "protection", "eligible_bits", "trials")
+        return [dict(zip(keys, row)) for row in rows]
+
+    def resolve(self, prefix):
+        """The campaign dict whose fingerprint starts with ``prefix``."""
+        matches = [campaign for campaign in self.campaigns()
+                   if campaign["fingerprint"].startswith(prefix)
+                   or campaign["label"] == prefix]
+        if not matches:
+            raise SimulationError(
+                "no ingested campaign matches %r" % prefix)
+        if len(matches) > 1:
+            raise SimulationError(
+                "%r is ambiguous: matches %s" % (prefix, ", ".join(
+                    campaign["fingerprint"][:12] for campaign in matches)))
+        return matches[0]
+
+    def snapshot(self, fingerprint):
+        """The stored telemetry snapshot of a campaign, or None."""
+        row = self._db.execute(
+            "SELECT s.snapshot FROM snapshots s JOIN campaigns c "
+            "ON c.id = s.campaign_id WHERE c.fingerprint = ?",
+            (fingerprint,)).fetchone()
+        return json.loads(row[0]) if row else None
+
+    # -- aggregates -----------------------------------------------------
+
+    _BY = {"category": "category", "workload": "workload",
+           "element": "element"}
+
+    def outcome_table(self, by="category", fingerprints=None):
+        """``fingerprint -> {key -> {outcome -> count}}``.
+
+        ``by`` picks the grouping axis (``category`` -- the paper's
+        per-structure breakdown -- ``workload``, or ``element``).
+        """
+        column = self._column(by)
+        sql = ("SELECT c.fingerprint, t.%s, t.outcome, COUNT(*) "
+               "FROM trials t JOIN campaigns c ON c.id = t.campaign_id "
+               "%s GROUP BY c.fingerprint, t.%s, t.outcome"
+               % (column, self._where(fingerprints), column))
+        table = {}
+        for fingerprint, key, outcome, count in self._db.execute(
+                sql, fingerprints or ()):
+            table.setdefault(fingerprint, {}) \
+                .setdefault(key or "?", {})[outcome] = count
+        return table
+
+    def masking_table(self, fingerprints=None):
+        """``fingerprint -> {cause -> count}`` over benign trials.
+
+        Matches :func:`repro.analysis.aggregate.masking_causes`: a
+        campaign none of whose benign trials carries a cause (no
+        ``--provenance``) contributes nothing; a provenance campaign's
+        benign trials without a cause count as ``unresolved``.
+        """
+        sql = ("SELECT c.fingerprint, t.masking_cause, COUNT(*) "
+               "FROM trials t JOIN campaigns c ON c.id = t.campaign_id "
+               "%s AND t.outcome IN (%s) "
+               "GROUP BY c.fingerprint, t.masking_cause"
+               % (self._where(fingerprints),
+                  ",".join("?" * len(_BENIGN))))
+        raw = {}
+        for fingerprint, cause, count in self._db.execute(
+                sql, tuple(fingerprints or ()) + _BENIGN):
+            raw.setdefault(fingerprint, {})[cause] = count
+        table = {}
+        for fingerprint, causes in raw.items():
+            if set(causes) == {None}:
+                continue  # campaign ran without provenance
+            table[fingerprint] = {
+                cause if cause is not None else "unresolved": count
+                for cause, count in causes.items()}
+        return table
+
+    def latency_table(self, fingerprints=None, bin_width=50):
+        """``fingerprint -> sorted [(bin_start, count), ...]``."""
+        sql = ("SELECT c.fingerprint, (t.detect_latency / %d) * %d, "
+               "COUNT(*) FROM trials t JOIN campaigns c "
+               "ON c.id = t.campaign_id %s AND t.detect_latency IS NOT "
+               "NULL GROUP BY 1, 2 ORDER BY 1, 2"
+               % (bin_width, bin_width, self._where(fingerprints)))
+        table = {}
+        for fingerprint, bin_start, count in self._db.execute(
+                sql, fingerprints or ()):
+            table.setdefault(fingerprint, []).append((bin_start, count))
+        return table
+
+    def vulnerability(self, by="element", fingerprints=None):
+        """Failure-rate rows for the heatmap: the per-field view.
+
+        Returns ``[(key, workload, trials, failures), ...]`` ordered by
+        key then workload, aggregated across ``fingerprints`` (all
+        campaigns when None).
+        """
+        column = self._column(by)
+        sql = ("SELECT t.%s, t.workload, COUNT(*), "
+               "SUM(CASE WHEN t.outcome IN (%s) THEN 1 ELSE 0 END) "
+               "FROM trials t JOIN campaigns c ON c.id = t.campaign_id "
+               "%s GROUP BY t.%s, t.workload ORDER BY 1, 2"
+               % (column, ",".join("?" * len(_FAILURES)),
+                  self._where(fingerprints), column))
+        return [(key or "?", workload, trials, failures or 0)
+                for key, workload, trials, failures in self._db.execute(
+                    sql, tuple(_FAILURES) + tuple(fingerprints or ()))]
+
+    def _column(self, by):
+        if by not in self._BY:
+            raise SimulationError(
+                "unknown grouping %r (want one of %s)"
+                % (by, ", ".join(sorted(self._BY))))
+        return self._BY[by]
+
+    @staticmethod
+    def _where(fingerprints):
+        if not fingerprints:
+            return "WHERE 1=1"
+        return ("WHERE c.fingerprint IN (%s)"
+                % ",".join("?" * len(fingerprints)))

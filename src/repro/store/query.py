@@ -1,0 +1,156 @@
+"""Paper-style tables over the results store (``repro-faults query``).
+
+The point of the store is that cross-campaign comparisons -- protection
+on vs off, fault model A vs B -- are *one command*.  This module turns
+:class:`~repro.store.db.ResultsStore` aggregates into the same ASCII
+tables the campaign CLI prints (via :mod:`repro.analysis.report`), plus
+a side-by-side comparison table that only exists across campaigns.
+"""
+
+from repro.analysis.report import render_outcomes
+from repro.inject.outcome import TrialOutcome
+from repro.utils.tables import format_table
+
+__all__ = ["comparison_table", "render_campaign_list",
+           "render_store_latency", "render_store_masking",
+           "render_store_outcomes"]
+
+_FAILURES = (TrialOutcome.SDC, TrialOutcome.TERMINATED)
+
+
+def _labels(store, fingerprints):
+    by_fingerprint = {campaign["fingerprint"]: campaign["label"]
+                      for campaign in store.campaigns()}
+    return {fingerprint: "%s (%s)" % (by_fingerprint.get(
+        fingerprint, "?"), fingerprint[:12])
+        for fingerprint in fingerprints}
+
+
+def _to_counters(cells):
+    """``{key: {outcome str: n}}`` -> ``{key: {TrialOutcome: n}}``."""
+    table = {}
+    for key, counts in cells.items():
+        table[key] = {}
+        for outcome, count in counts.items():
+            try:
+                table[key][TrialOutcome(outcome)] = count
+            except ValueError:
+                pass  # an outcome value from a future schema
+    return table
+
+
+def render_campaign_list(store):
+    """The ingested-campaign inventory table."""
+    headers = ["fingerprint", "label", "trials", "workloads", "kinds",
+               "scale", "seed", "protection", "eligible_bits"]
+    rows = [[campaign["fingerprint"][:12], campaign["label"],
+             campaign["trials"], campaign["workloads"],
+             campaign["kinds"] or "?", campaign["scale"] or "?",
+             campaign["seed"] if campaign["seed"] is not None else "?",
+             campaign["protection"] or "?",
+             campaign["eligible_bits"] or 0]
+            for campaign in store.campaigns()]
+    return format_table(headers, rows, title="Ingested campaigns")
+
+
+def render_store_outcomes(store, by="category", fingerprints=None):
+    """Per-campaign outcome tables plus the cross-campaign comparison.
+
+    Returns one string: for each selected campaign a Figure 4/5-style
+    per-``by`` outcome table, then (for two or more campaigns) the
+    comparison table.  ``fingerprints`` of None selects every ingested
+    campaign.
+    """
+    table = store.outcome_table(by=by, fingerprints=fingerprints)
+    order = fingerprints or [campaign["fingerprint"]
+                             for campaign in store.campaigns()]
+    order = [fingerprint for fingerprint in order if fingerprint in table]
+    labels = _labels(store, order)
+    sections = []
+    for fingerprint in order:
+        sections.append(render_outcomes(
+            _to_counters(table[fingerprint]),
+            "Outcomes by %s -- %s" % (by, labels[fingerprint]), by))
+    if len(order) >= 2:
+        sections.append(comparison_table(
+            {fingerprint: table[fingerprint] for fingerprint in order},
+            labels, by))
+    return "\n\n".join(sections)
+
+
+def comparison_table(tables, labels, by="category"):
+    """Side-by-side failure rates: one row per key, columns per campaign.
+
+    ``tables`` maps fingerprint to ``{key: {outcome: count}}`` (the
+    :meth:`ResultsStore.outcome_table` shape).  With exactly two
+    campaigns a ``delta_pp`` column reports the failure-rate change in
+    percentage points (second minus first) -- the paper's protection
+    on/off reading at a glance.
+    """
+    order = list(tables)
+    keys = sorted({key for cells in tables.values() for key in cells})
+    headers = [by]
+    for fingerprint in order:
+        short = labels.get(fingerprint, fingerprint[:12])
+        headers += ["%s n" % short, "%s fail%%" % short]
+    if len(order) == 2:
+        headers.append("delta_pp")
+    rows = []
+    for key in keys:
+        row = [key]
+        rates = []
+        for fingerprint in order:
+            counts = tables[fingerprint].get(key, {})
+            total = sum(counts.values())
+            failures = sum(counts.get(outcome.value, 0)
+                           for outcome in _FAILURES)
+            rate = 100.0 * failures / total if total else 0.0
+            rates.append(rate if total else None)
+            row += [total, rate]
+        if len(order) == 2:
+            row.append(rates[1] - rates[0]
+                       if None not in rates else "n/a")
+        rows.append(row)
+    return format_table(headers, rows,
+                        title="Failure-rate comparison by %s" % by)
+
+
+def render_store_masking(store, fingerprints=None):
+    """Masking-cause tables per campaign; None when no provenance."""
+    table = store.masking_table(fingerprints=fingerprints)
+    if not table:
+        return None
+    labels = _labels(store, list(table))
+    sections = []
+    for fingerprint in sorted(table, key=lambda f: labels[f]):
+        causes = table[fingerprint]
+        total = sum(causes.values())
+        rows = [[cause, count, 100.0 * count / total]
+                for cause, count in sorted(causes.items(),
+                                           key=lambda item: -item[1])]
+        rows.append(["TOTAL", total, 100.0])
+        sections.append(format_table(
+            ["cause", "trials", "share%"], rows,
+            title="Masking causes -- %s" % labels[fingerprint]))
+    return "\n\n".join(sections)
+
+
+def render_store_latency(store, fingerprints=None, bin_width=50):
+    """Latency-to-failure histograms per campaign; None when empty."""
+    table = store.latency_table(fingerprints=fingerprints,
+                                bin_width=bin_width)
+    if not table:
+        return None
+    labels = _labels(store, list(table))
+    sections = []
+    for fingerprint in sorted(table, key=lambda f: labels[f]):
+        histogram = table[fingerprint]
+        total = sum(count for _start, count in histogram)
+        rows = [["%d-%d" % (start, start + bin_width - 1), count,
+                 100.0 * count / total] for start, count in histogram]
+        rows.append(["TOTAL", total, 100.0])
+        sections.append(format_table(
+            ["latency_cycles", "failures", "share%"], rows,
+            title="Latency to failure detection -- %s"
+                  % labels[fingerprint]))
+    return "\n\n".join(sections)

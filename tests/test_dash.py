@@ -1,0 +1,189 @@
+"""Dashboard tests: views, server routes, live tailing, fabric mode.
+
+Acceptance per the dashboard's brief: it serves a live view against a
+smoke campaign directory AND against a fabric coordinator, with zero
+third-party dependencies -- the client below is stdlib ``urllib``
+driven through ``run_in_executor`` so the server under test keeps its
+event loop.
+"""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.dash import DashServer
+from repro.dash.views import build_view, discover_campaign_dirs
+from repro.fabric import Coordinator, FabricWorker, call
+from repro.inject.campaign import CampaignConfig
+from repro.inject.store import config_to_dict
+from repro.runner import run_campaign
+from repro.runner.journal import journal_path
+from repro.store import ResultsStore
+
+TRIALS = 12  # CampaignConfig.test()
+
+
+@pytest.fixture(scope="module")
+def campaign_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("dash") / "smoke"
+    run_campaign(CampaignConfig.test(provenance=True), workers=0,
+                 directory=str(directory))
+    return str(directory)
+
+
+async def _fetch(port, path):
+    """GET via stdlib urllib in an executor; (status, body bytes)."""
+
+    def blocking():
+        request = urllib.request.Request(
+            "http://127.0.0.1:%d%s" % (port, path))
+        try:
+            with urllib.request.urlopen(request, timeout=10) as reply:
+                return reply.status, reply.read()
+        except urllib.error.HTTPError as error:
+            return error.code, error.read()
+
+    return await asyncio.get_running_loop().run_in_executor(None, blocking)
+
+
+def test_discover_campaign_dirs(tmp_path, campaign_dir):
+    # A campaign dir is found as itself; a base dir contributes each
+    # child holding a journal (the fabric layout); junk is ignored.
+    base = tmp_path / "base"
+    (base / "child").mkdir(parents=True)
+    (base / "noise").mkdir()
+    with open(journal_path(str(base / "child")), "w") as handle:
+        handle.write("")
+    found = discover_campaign_dirs([campaign_dir, str(base),
+                                    str(tmp_path / "missing")])
+    assert found == [campaign_dir, str(base / "child")]
+
+
+def test_build_view_shape(campaign_dir):
+    with ResultsStore() as store:
+        store.ingest(campaign_dir)
+        view = build_view(store, [campaign_dir])
+    assert view["totals"]["done"] == TRIALS
+    assert sum(view["totals"]["outcome_counts"].values()) == TRIALS
+    campaign, = view["campaigns"]
+    assert campaign["label"] == "smoke"
+    assert campaign["total"] == TRIALS
+    assert view["heatmap"]["rows"]
+    assert view["heatmap"]["columns"] == ["gzip"]
+    assert view["masking"]  # provenance campaign -> masking causes
+    assert view["fabric"] is None
+    json.dumps(view)  # the whole view must be JSON-serializable
+
+
+def test_dash_serves_smoke_campaign(campaign_dir):
+    """Acceptance: a live view over a campaign directory."""
+
+    async def scenario():
+        server = DashServer(directories=[campaign_dir], port=0,
+                            interval=60)
+        await server.start()
+        try:
+            await server.refresh()
+            status, page = await _fetch(server.port, "/")
+            assert status == 200
+            html = page.decode("utf-8")
+            assert "repro-faults dashboard" in html
+            assert "/api/summary" in html
+            status, body = await _fetch(server.port, "/api/summary")
+            assert status == 200
+            view = json.loads(body)
+            assert view["totals"]["done"] == TRIALS
+            assert view["campaigns"][0]["label"] == "smoke"
+            status, body = await _fetch(server.port, "/metrics")
+            assert status == 200
+            text = body.decode("utf-8")
+            assert text.endswith("# EOF\n")
+            assert "repro_trials_done %d" % TRIALS in text
+            status, _body = await _fetch(server.port, "/nope")
+            assert status == 404
+            status, _body = await _fetch(server.port, "/favicon.ico")
+            assert status == 404
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_dash_tails_appended_journal_lines(tmp_path, campaign_dir):
+    """New journal lines appear in the view on the next refresh."""
+    with open(journal_path(campaign_dir), "rb") as handle:
+        lines = handle.read().splitlines(keepends=True)
+    live = tmp_path / "live"
+    live.mkdir()
+    with open(journal_path(str(live)), "wb") as handle:
+        handle.writelines(lines[:5])
+
+    async def scenario():
+        server = DashServer(directories=[str(live)], port=0, interval=60)
+        await server.start()
+        try:
+            view = await server.refresh()
+            assert view["totals"]["done"] == 4
+            with open(journal_path(str(live)), "ab") as handle:
+                handle.writelines(lines[5:])
+            view = await server.refresh()
+            assert view["totals"]["done"] == TRIALS
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_dash_against_fabric_coordinator(tmp_path):
+    """Acceptance: a live view against a fabric coordinator."""
+    config = CampaignConfig.test()
+
+    async def scenario():
+        coordinator = Coordinator(str(tmp_path), ttl=5.0, shard_size=3)
+        port = await coordinator.start()
+        try:
+            await call("127.0.0.1", port, "/submit",
+                       {"tenant": "default",
+                        "config": config_to_dict(config)})
+            worker = FabricWorker("127.0.0.1", port, name="w0",
+                                  exit_when_idle=True, poll_interval=0.05)
+            await worker.run()
+            server = DashServer(directories=[str(tmp_path)],
+                                connect=("127.0.0.1", port), port=0,
+                                interval=60)
+            await server.start()
+            try:
+                await server.refresh()
+                status, body = await _fetch(server.port, "/api/summary")
+                assert status == 200
+                view = json.loads(body)
+                assert view["fabric"] is not None
+                assert view["fabric"]["campaigns_done"] == 1
+                assert view["totals"]["done"] == config.total_trials
+                assert view["errors"] == []
+                status, body = await _fetch(server.port, "/metrics")
+                assert b"repro_fabric_leases_granted_total" in body
+            finally:
+                await server.stop()
+        finally:
+            await coordinator.stop()
+
+    asyncio.run(scenario())
+
+
+def test_dash_reports_unreachable_coordinator(campaign_dir):
+    async def scenario():
+        server = DashServer(directories=[campaign_dir],
+                            connect=("127.0.0.1", 1), port=0, interval=60)
+        await server.start()
+        try:
+            view = await server.refresh()
+            assert view["totals"]["done"] == TRIALS  # dirs still work
+            assert any("coordinator" in error for error in view["errors"])
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,223 @@
+"""Results-store ingestion + cross-campaign query tests.
+
+Two real campaigns -- protection off (with provenance) and protection
+on -- are run once per module and ingested into :class:`ResultsStore`
+instances; the tests cover incremental tailing of a live journal,
+legacy schema-1 ingestion, the aggregate tables, and the acceptance
+path: ``repro-faults query`` reproducing a paper-style cross-campaign
+comparison from two ingested campaigns in one command.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import SimulationError
+from repro.inject.campaign import CampaignConfig
+from repro.runner.engine import run_campaign
+from repro.runner.journal import journal_path
+from repro.store import ResultsStore
+from repro.uarch.config import ProtectionConfig
+
+TRIALS = 12  # CampaignConfig.test(): gzip, tiny, 6 start points x 2
+
+
+@pytest.fixture(scope="module")
+def campaign_dirs(tmp_path_factory):
+    base = tmp_path_factory.mktemp("store-campaigns")
+    baseline = base / "baseline"
+    protected = base / "protected"
+    run_campaign(CampaignConfig.test(provenance=True), workers=0,
+                 directory=str(baseline))
+    run_campaign(CampaignConfig.test(protection=ProtectionConfig.full()),
+                 workers=0, directory=str(protected))
+    return str(baseline), str(protected)
+
+
+@pytest.fixture
+def store(campaign_dirs):
+    with ResultsStore() as store:
+        for directory in campaign_dirs:
+            store.ingest(directory)
+        yield store
+
+
+def test_ingest_two_campaigns(store):
+    campaigns = store.campaigns()
+    assert [campaign["label"] for campaign in campaigns] \
+        == ["baseline", "protected"]
+    assert [campaign["trials"] for campaign in campaigns] \
+        == [TRIALS, TRIALS]
+    assert [campaign["protection"] for campaign in campaigns] \
+        == ["none", "full"]
+    assert len({campaign["fingerprint"] for campaign in campaigns}) == 2
+
+
+def test_reingest_is_incremental(campaign_dirs):
+    with ResultsStore() as store:
+        first = store.ingest(campaign_dirs[0])
+        assert first.new_trials == TRIALS
+        assert first.snapshot  # metrics.json was picked up too
+        again = store.ingest(campaign_dirs[0])
+        assert again.new_trials == 0
+        assert again.total_trials == TRIALS
+        assert store.snapshot(first.fingerprint)["done"] == TRIALS
+
+
+def test_tailing_a_live_journal(tmp_path, campaign_dirs):
+    """Appended lines (and a torn tail) ingest incrementally."""
+    with open(journal_path(campaign_dirs[0]), "rb") as handle:
+        lines = handle.read().splitlines(keepends=True)
+    path = str(tmp_path / "journal.jsonl")
+    with open(path, "wb") as handle:
+        handle.writelines(lines[:6])  # header + 5 trials
+    with ResultsStore() as store:
+        assert store.ingest(path).new_trials == 5
+        # Append three more whole lines plus a torn half-line, as a
+        # crashing writer would leave them.
+        with open(path, "ab") as handle:
+            handle.writelines(lines[6:9])
+            handle.write(lines[9][: len(lines[9]) // 2])
+        report = store.ingest(path)
+        assert report.new_trials == 3  # the torn line is not consumed
+        # The writer completes the torn line; the next tick gets it.
+        with open(path, "ab") as handle:
+            handle.write(lines[9][len(lines[9]) // 2:])
+            handle.writelines(lines[10:])
+        report = store.ingest(path)
+        assert report.total_trials == TRIALS
+        assert not report.reset
+
+
+def test_truncated_journal_is_reread_from_scratch(tmp_path, campaign_dirs):
+    with open(journal_path(campaign_dirs[0]), "rb") as handle:
+        data = handle.read()
+    path = str(tmp_path / "journal.jsonl")
+    with open(path, "wb") as handle:
+        handle.write(data)
+    with ResultsStore() as store:
+        assert store.ingest(path).new_trials == TRIALS
+        # The journal shrinks (e.g. --repair truncated it): the stored
+        # offset is past EOF, so ingestion restarts from byte 0.
+        lines = data.splitlines(keepends=True)
+        with open(path, "wb") as handle:
+            handle.writelines(lines[:4])
+        report = store.ingest(path)
+        assert report.reset
+        assert report.new_trials == 0  # replaced, not duplicated
+        assert report.total_trials == TRIALS
+
+
+def _legacy_journal(source_dir, destination):
+    """A schema-1 journal: no per-line CRCs, pre-``bit`` trial dicts."""
+    records = []
+    with open(journal_path(source_dir), "r", encoding="utf-8") as handle:
+        for line in handle:
+            records.append(json.loads(line))
+    for record in records:
+        record.pop("crc", None)
+        if record.get("type") == "header":
+            record["schema"] = 1
+            record["fingerprint"] = "feed" * 16  # a distinct campaign
+        else:
+            for field in ("bit", "masking_cause", "first_read_cycle",
+                          "arch_corrupt_cycle", "detect_latency"):
+                record.get("trial", {}).pop(field, None)
+    with open(destination, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+
+
+def test_legacy_schema1_journal_ingests_with_defaults(
+        tmp_path, campaign_dirs):
+    path = str(tmp_path / "journal.jsonl")
+    _legacy_journal(campaign_dirs[0], path)
+    with ResultsStore() as store:
+        report = store.ingest(path, label="old-run")
+        assert report.new_trials == TRIALS
+        assert report.legacy_lines == TRIALS + 1  # header included
+        campaign, = store.campaigns()
+        assert campaign["journal_schema"] == 1
+        assert campaign["label"] == "old-run"
+        # Pre-``bit`` trials took trial_from_dict's defaults.
+        bits = [row[0] for row in store._db.execute(
+            "SELECT bit FROM trials")]
+        assert bits == [0] * TRIALS
+        causes = store.masking_table()
+        assert causes == {}  # stripped provenance -> no masking table
+
+
+def test_trials_before_header_rejected(tmp_path, campaign_dirs):
+    with open(journal_path(campaign_dirs[0]), "rb") as handle:
+        lines = handle.read().splitlines(keepends=True)
+    path = str(tmp_path / "journal.jsonl")
+    with open(path, "wb") as handle:
+        handle.writelines(lines[1:3])  # trial lines, no header
+    with ResultsStore() as store:
+        with pytest.raises(SimulationError, match="before any header"):
+            store.ingest(path)
+
+
+def test_outcome_and_vulnerability_tables(store):
+    fingerprints = [campaign["fingerprint"]
+                    for campaign in store.campaigns()]
+    table = store.outcome_table(by="category")
+    assert set(table) == set(fingerprints)
+    for cells in table.values():
+        assert sum(count for counts in cells.values()
+                   for count in counts.values()) == TRIALS
+    # The provenance campaign produced a masking-cause table; the
+    # non-provenance one contributed nothing.
+    masking = store.masking_table()
+    assert set(masking) <= {fingerprints[0]}
+    rows = store.vulnerability(by="element")
+    assert sum(trials for _k, _w, trials, _f in rows) == 2 * TRIALS
+    assert all(failures <= trials for _k, _w, trials, failures in rows)
+    with pytest.raises(SimulationError, match="unknown grouping"):
+        store.outcome_table(by="nope")
+
+
+def test_resolve_by_prefix_and_label(store):
+    campaign = store.resolve("baseline")
+    assert campaign["label"] == "baseline"
+    by_prefix = store.resolve(campaign["fingerprint"][:8])
+    assert by_prefix["fingerprint"] == campaign["fingerprint"]
+    with pytest.raises(SimulationError, match="ambiguous"):
+        store.resolve("")  # the empty prefix matches both
+    with pytest.raises(SimulationError, match="no ingested campaign"):
+        store.resolve("zzz-no-such")
+
+
+def test_query_cli_two_campaigns_one_command(campaign_dirs, capsys):
+    """Acceptance: the paper-style cross-campaign table, one command."""
+    baseline, protected = campaign_dirs
+    rc = main(["query", "--ingest", baseline, "--ingest", protected,
+               "--by", "category", "--masking", "--latency"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Ingested campaigns" in out
+    assert "Outcomes by category -- baseline" in out
+    assert "Outcomes by category -- protected" in out
+    assert "Failure-rate comparison by category" in out
+    assert "delta_pp" in out
+    assert "Masking causes -- baseline" in out
+
+
+def test_query_cli_persistent_db(campaign_dirs, tmp_path, capsys):
+    db = str(tmp_path / "results.sqlite")
+    assert main(["query", "--db", db, "--ingest", campaign_dirs[0],
+                 "--list"]) == 0
+    capsys.readouterr()
+    # Second invocation: the ingested campaign is still there.
+    assert main(["query", "--db", db, "--by", "workload"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out
+    assert os.path.exists(db)
+
+
+def test_query_cli_empty_store_errors(tmp_path, capsys):
+    assert main(["query", "--db", str(tmp_path / "empty.sqlite")]) == 2
+    assert "empty" in capsys.readouterr().err

@@ -110,6 +110,12 @@ def build_parser():
                         "already-completed trials")
     p.add_argument("--batch-size", type=int, default=None, metavar="N",
                    help="trials per scheduling quantum (default: auto)")
+    p.add_argument("--batch", type=int, default=1, metavar="N",
+                   help="bit-plane lanes per batched trial group "
+                        "(execution strategy only: results and journals "
+                        "are byte-identical for any N, and N is not part "
+                        "of the campaign fingerprint; see "
+                        "docs/PERFORMANCE.md)")
     p.add_argument("--trial-timeout", type=float, default=None, metavar="S",
                    help="kill and retry a worker stuck on one trial for "
                         "more than S seconds")
@@ -385,7 +391,7 @@ def cmd_campaign(args):
         else:
             runner = CampaignRunner(
                 config, workers=args.parallel, directory=directory,
-                batch_size=args.batch_size,
+                batch_size=args.batch_size, batch_lanes=args.batch,
                 trial_timeout=args.trial_timeout,
                 progress=renderer, require_journal=bool(args.resume))
             result = runner.run()
@@ -451,8 +457,8 @@ def _run_chaos(args, config, directory, renderer):
     chaos = ChaosSchedule.from_spec(args.chaos, config)
     result, restarts = run_chaos_campaign(
         config, directory, chaos, workers=args.parallel,
-        batch_size=args.batch_size, trial_timeout=args.trial_timeout,
-        progress=renderer)
+        batch_size=args.batch_size, batch_lanes=args.batch,
+        trial_timeout=args.trial_timeout, progress=renderer)
     renderer.finish()
     sys.stderr.write("chaos: %d fault(s) scheduled, %d restart(s)\n%s\n"
                      % (len(chaos.events), restarts, chaos.render()))

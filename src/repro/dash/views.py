@@ -71,7 +71,9 @@ def build_view(store, directories, fabric_status=None, errors=()):
     campaign_dirs = discover_campaign_dirs(directories)
     campaigns = []
     totals = {"total": 0, "done": 0, "trials_per_second": 0.0,
-              "eta_seconds": None, "workers_busy": 0, "workers_total": 0}
+              "trials_per_sec_batched": 0.0, "batched_resolved": 0,
+              "batched_laneout": 0, "eta_seconds": None,
+              "workers_busy": 0, "workers_total": 0}
     outcome_totals = {}
     known = {campaign["fingerprint"]: campaign
              for campaign in store.campaigns()}
@@ -104,11 +106,22 @@ def build_view(store, directories, fabric_status=None, errors=()):
         totals["done"] += done
         totals["trials_per_second"] += \
             snapshot.get("trials_per_second") or 0.0
+        totals["trials_per_sec_batched"] += \
+            snapshot.get("trials_per_sec_batched") or 0.0
+        totals["batched_resolved"] += \
+            snapshot.get("batched_resolved") or 0
+        totals["batched_laneout"] += \
+            snapshot.get("batched_laneout") or 0
         totals["workers_busy"] += snapshot.get("workers_busy") or 0
         totals["workers_total"] += snapshot.get("workers_total") or 0
         eta = snapshot.get("eta_seconds")
         if eta is not None:
             totals["eta_seconds"] = max(totals["eta_seconds"] or 0.0, eta)
+    # Aggregate lane-out rate across every tailed campaign (fraction of
+    # bit-plane lanes that diverged to the scalar suffix).
+    batched_lanes = totals["batched_resolved"] + totals["batched_laneout"]
+    totals["lane_out_rate"] = \
+        totals["batched_laneout"] / batched_lanes if batched_lanes else 0.0
     if fabric_status is not None:
         # The coordinator's counts are authoritative for fabric
         # campaigns the dashboard cannot (or does not) tail on disk.
@@ -331,8 +344,13 @@ function render(view) {
     (view.sources.dirs || []).join("  ");
   document.getElementById("refreshed").textContent = "updated " +
     new Date(view.refreshed_unix * 1000).toLocaleTimeString();
+  const batchedLanes = (t.batched_resolved || 0) + (t.batched_laneout || 0);
   document.getElementById("tiles").innerHTML =
     tile("trials/s", (t.trials_per_second || 0).toFixed(1)) +
+    (t.trials_per_sec_batched
+      ? tile("batched trials/s", t.trials_per_sec_batched.toFixed(1)) : "") +
+    (batchedLanes
+      ? tile("lane-out", pct((t.lane_out_rate || 0))) : "") +
     tile("progress", t.done + " / " + t.total) +
     tile("ETA", eta(t.eta_seconds)) +
     tile("workers", t.workers_busy + " / " + t.workers_total) +

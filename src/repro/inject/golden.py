@@ -19,7 +19,7 @@ For each start point, the fault-free pipeline is run once for
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.arch.functional import FunctionalSimulator
 from repro.errors import CampaignError, SimulationError
@@ -40,6 +40,12 @@ class GoldenTrace:
     insn_pages: Set[int] = field(default_factory=set)
     data_pages: Set[int] = field(default_factory=set)
     final_snapshot: List[int] = field(default_factory=list)
+    # Fault-free access-activity trace for the bit-plane batched engine
+    # (:class:`repro.perf.batch.ActivityTrace`).  Attached lazily on
+    # first batched use and persisted via the golden cache; traces
+    # pickled before this field existed unpickle without the attribute,
+    # so consumers read it with ``getattr(trace, "activity", None)``.
+    activity: Optional[object] = None
 
 
 def workload_page_sets(program, max_instructions=20_000_000):

@@ -19,17 +19,22 @@ import os
 __all__ = ["run_parallel"]
 
 
-def run_parallel(config, pipeline_config=None, workers=None):
+def run_parallel(config, pipeline_config=None, workers=None,
+                 batch_lanes=None):
     """Run a campaign on the trial-granular engine.
 
     ``workers`` defaults to ``min(cpu_count, total_trials)``.  Returns
     a :class:`~repro.inject.campaign.CampaignResult` whose trials are
     ordered exactly as the serial runner would produce them (workload
-    order, then start point, then trial index).  For journaling, crash
-    recovery, and telemetry, use :class:`repro.runner.CampaignRunner`
-    directly.
+    order, then start point, then trial index).  ``batch_lanes`` packs
+    that many trials per unit into the bit-plane batched engine
+    (:mod:`repro.perf.batch`); it is an execution-strategy knob with
+    byte-identical results, so it is not part of the campaign
+    fingerprint.  For journaling, crash recovery, and telemetry, use
+    :class:`repro.runner.CampaignRunner` directly.
     """
     from repro.runner.engine import CampaignRunner
     if workers is None:
         workers = min(os.cpu_count() or 1, config.total_trials)
-    return CampaignRunner(config, pipeline_config, workers=workers).run()
+    return CampaignRunner(config, pipeline_config, workers=workers,
+                          batch_lanes=batch_lanes).run()

@@ -18,10 +18,22 @@ cycles.  Classification, in precedence order each cycle:
 6. full microarchitectural state match with the golden signature ->
    ``MICRO_MATCH`` (masked);
 7. horizon exhausted -> ``GRAY``.
+
+The classification loop itself is :func:`classify_window`, a reusable
+predicate over *any* suffix of the trace window: :func:`run_trial`
+calls it from cycle 0 with zeroed counters, and the bit-plane batched
+engine (:mod:`repro.perf.batch`) calls it mid-window for a lane whose
+state just departed the golden run, passing the counters the scalar
+loop would have accumulated over the (provably golden-identical)
+prefix.  Because the prefix counters are exact, the suffix returns the
+byte-identical :class:`~repro.inject.outcome.TrialResult` the full
+scalar loop would.
 """
 
 from repro.arch.memory import page_of
 from repro.inject.outcome import FailureMode, TrialOutcome, TrialResult
+
+__all__ = ["run_trial", "classify_window", "compare_retired"]
 
 _FAILURE_BY_EVENT = {
     "itlb": FailureMode.ITLB,
@@ -49,20 +61,35 @@ def run_trial(pipeline, checkpoint, golden, rng, kinds, workload_name,
 
     pipeline.obs = obs
     try:
-        return _run_trial_body(
-            pipeline, golden, rng, kinds, workload_name, start_point,
-            horizon, locked_multiplier, trial_index, obs,
-            valid_inflight, len(inflight))
+        meta, bit = pipeline.inject_random_fault(rng, kinds)
+        return classify_window(
+            pipeline, golden, meta, bit, workload_name, start_point,
+            horizon=horizon, locked_multiplier=locked_multiplier,
+            trial_index=trial_index, obs=obs,
+            valid_inflight=valid_inflight, total_inflight=len(inflight))
     finally:
         pipeline.obs = None
         if obs is not None:
             obs.release()
 
 
-def _run_trial_body(pipeline, golden, rng, kinds, workload_name,
-                    start_point, horizon, locked_multiplier, trial_index,
-                    obs, valid_inflight, total_inflight):
-    meta, bit = pipeline.inject_random_fault(rng, kinds)
+def classify_window(pipeline, golden, meta, bit, workload_name,
+                    start_point, horizon=None, locked_multiplier=2,
+                    trial_index=-1, obs=None, valid_inflight=0,
+                    total_inflight=0, first_cycle=0, retired_count=0,
+                    drain_count=0, cycles_since_retire=0, view_k=None,
+                    view_hash=None):
+    """Run the classification loop from ``first_cycle`` to the horizon.
+
+    The pipeline must already hold the faulty state the window starts
+    from (checkpoint restored, TLB pages installed, bit flipped).  The
+    trailing keyword arguments are the loop counters as they stand at
+    the *start* of ``first_cycle``; the scalar trial passes the
+    defaults, the batched engine passes the golden run's exact prefix
+    counts (retirements, store drains, the current no-retirement gap,
+    and the memoized committed-view hash -- equal to the golden one
+    while the fault has never been architecturally visible).
+    """
     horizon = horizon or golden.horizon
     locked_threshold = locked_multiplier * pipeline.config.deadlock_cycles
 
@@ -95,16 +122,13 @@ def _run_trial_body(pipeline, golden, rng, kinds, workload_name,
         return trial
 
     space = pipeline.space
-    k = 0
-    view_k = None  # retirement count the memoized view hash is for
-    view_hash = None
-    drain_index = 0
-    cycles_since_retire = 0
+    k = retired_count
+    drain_index = drain_count
     n_golden_retired = len(golden.retired)
     n_golden_drains = len(golden.drains)
     overrun = False
 
-    for cycle in range(horizon):
+    for cycle in range(first_cycle, horizon):
         pipeline.cycle()
 
         # 1. Retirement-raised failures.
@@ -120,8 +144,8 @@ def _run_trial_body(pipeline, golden, rng, kinds, workload_name,
                 if k >= n_golden_retired:
                     overrun = True
                     break
-                mode = _compare_retired(record, golden.retired[k],
-                                        golden.insn_pages)
+                mode = compare_retired(record, golden.retired[k],
+                                       golden.insn_pages)
                 if mode is not None:
                     return result(mode.outcome, mode, cycle + 1,
                                   detail="retired[%d]" % k)
@@ -177,7 +201,7 @@ def _run_trial_body(pipeline, golden, rng, kinds, workload_name,
                   detail="overrun" if overrun else "")
 
 
-def _compare_retired(record, golden_record, insn_pages):
+def compare_retired(record, golden_record, insn_pages):
     """Classify a retired-instruction divergence, or None when equal.
 
     The ghost sequence number identifies *which* fetched instruction
@@ -199,3 +223,7 @@ def _compare_retired(record, golden_record, insn_pages):
     if dest != gdest or value != gvalue:
         return FailureMode.REGFILE
     return None
+
+
+# Backwards-compatible private alias (pre-batch-engine name).
+_compare_retired = compare_retired

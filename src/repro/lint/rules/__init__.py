@@ -8,4 +8,5 @@ from repro.lint.rules import (  # noqa: F401  (registration side effects)
     rep005_signature_bypass,
     rep006_exception_hygiene,
     rep007_async_blocking,
+    rep008_batch_kernels,
 )

@@ -1,0 +1,130 @@
+"""REP008: keep the bit-plane batch kernels scalar-free.
+
+The whole performance argument of :mod:`repro.perf.batch` is that lane
+work is *big-int algebra*: one Python-level bitwise operation advances
+every lane at once, so the per-cycle cost is independent of the lane
+count.  One innocent ``for lane in ...`` inside a hot kernel silently
+re-serialises the engine -- results stay byte-identical, tests stay
+green, and the 10x throughput quietly becomes 1x.  Likewise a
+``signature(full=True)`` call anywhere in the module: the full
+recompute is ~four orders of magnitude slower than the incremental
+read and belongs only in debug/verify paths, never on the batched
+trial path.
+
+This rule polices ``perf/batch.py``:
+
+* ``<expr>.signature(full=True)`` is flagged anywhere in the module;
+* inside the functions the module names in its ``_HOT_KERNELS`` tuple
+  (read straight from the AST, so the kernel list lives next to the
+  kernels), any ``for`` statement is flagged unless it iterates a
+  direct ``range(...)`` -- bounded index arithmetic is fine, iterating
+  lanes, plans, or any materialised per-lane collection is not -- and
+  a ``for`` whose target names a lane or plan is flagged even over
+  ``range`` (the body is about to do per-lane work).
+
+A deliberate exception is suppressed inline with
+``# repro-lint: allow=REP008 (reason)``.
+"""
+
+import ast
+
+from repro.lint.base import Checker, register
+
+# The one module this rule polices.
+_POLICED_SUFFIX = "perf/batch.py"
+
+# Loop-variable substrings that give away per-lane iteration even when
+# the iterable is a bare range().
+_LANE_NAMES = ("lane", "plan")
+
+
+def _hot_kernel_names(tree):
+    """The string entries of the module-level ``_HOT_KERNELS`` tuple."""
+    names = set()
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(target, ast.Name)
+                   and target.id == "_HOT_KERNELS"
+                   for target in node.targets):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) \
+                        and isinstance(element.value, str):
+                    names.add(element.value)
+    return names
+
+
+def _is_range_call(node):
+    return isinstance(node, ast.Call) \
+        and isinstance(node.func, ast.Name) and node.func.id == "range"
+
+
+def _target_names(target):
+    """Every bound name in a ``for`` target (tuple targets included)."""
+    return [node.id for node in ast.walk(target)
+            if isinstance(node, ast.Name)]
+
+
+@register
+class BatchKernelChecker(Checker):
+    """Forbid per-lane Python loops and full-signature reads in batch.py."""
+
+    rule_id = "REP008"
+    description = ("perf/batch.py hot kernels must stay big-int "
+                   "algebra: no per-lane for loops, and no "
+                   "signature(full=True) anywhere in the module")
+
+    def check(self, module, project):
+        if not module.path.replace("\\", "/").endswith(_POLICED_SUFFIX):
+            return
+        kernels = _hot_kernel_names(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_full_signature(module, node)
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)) \
+                    and node.name in kernels:
+                yield from self._check_kernel(module, node)
+
+    # ------------------------------------------------------------------
+
+    def _check_full_signature(self, module, node):
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "signature"):
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "full" \
+                    and isinstance(keyword.value, ast.Constant) \
+                    and keyword.value.value:
+                yield self.finding(
+                    module, node,
+                    "signature(full=True) is the debug-path full "
+                    "recompute (~1ms vs ~50ns incremental); the batched "
+                    "engine must only take the incremental read")
+
+    def _check_kernel(self, module, func):
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            names = _target_names(node.target)
+            lane_named = [name for name in names
+                          if any(hint in name.lower()
+                                 for hint in _LANE_NAMES)]
+            if lane_named:
+                yield self.finding(
+                    module, node,
+                    "hot kernel '%s' iterates %r per lane; lane work "
+                    "must be big-int bitwise algebra (while-loops over "
+                    "masks), or the engine re-serialises"
+                    % (func.name, lane_named[0]),
+                    scope_line=func.lineno)
+            elif not _is_range_call(node.iter):
+                yield self.finding(
+                    module, node,
+                    "hot kernel '%s' has a for loop over a non-range "
+                    "iterable; per-element Python iteration in a batch "
+                    "kernel re-serialises the engine -- use while-loops "
+                    "over bit masks" % func.name,
+                    scope_line=func.lineno)

@@ -36,6 +36,13 @@ ever reads a torn one.
 Signatures inside cached traces are portable because the incremental
 scheme hashes plain ints, which CPython hashes identically in every
 process (``PYTHONHASHSEED`` randomizes str/bytes only).
+
+The bit-plane batched engine (:mod:`repro.perf.batch`) attaches its
+fault-free *activity trace* to ``GoldenTrace.activity`` and re-stores
+the entry through this cache, so the one-time recording is shared like
+the golden window itself.  The cache format stays at version 1:
+entries pickled before the field existed unpickle without it and the
+batch engine records and re-stores it transparently on first use.
 """
 
 import hashlib

@@ -101,7 +101,8 @@ class CampaignRunner:
                  max_retries=2, progress=None, metrics_every=16,
                  poll_interval=0.05, require_journal=False, clock=None,
                  chaos=None, contain_poison=True, drain_timeout=30.0,
-                 install_signal_handlers=True, journal_sleep=None):
+                 install_signal_handlers=True, journal_sleep=None,
+                 batch_lanes=None):
         self.config = config
         self.pipeline_config = pipeline_config or PipelineConfig.paper(
             config.protection)
@@ -110,6 +111,11 @@ class CampaignRunner:
         self.workers = max(1, min(workers, config.total_trials))
         self.directory = directory
         self.batch_size = batch_size
+        # Bit-plane batching width (``--batch N``).  A scheduling knob
+        # only: trial results and journal bytes are identical at any
+        # width, so it is deliberately NOT part of CampaignConfig and
+        # never reaches the campaign fingerprint.
+        self.batch_lanes = max(1, batch_lanes or 1)
         self.trial_timeout = trial_timeout
         self.max_retries = max_retries
         self.progress = progress
@@ -304,14 +310,18 @@ class CampaignRunner:
         """Single-worker path: same context code, no processes."""
         context = WorkerContext(self.config, self.pipeline_config,
                                 golden_dir=self._golden_dir(),
-                                on_event=self._on_cache_event)
+                                on_event=self._on_cache_event,
+                                batch_lanes=self.batch_lanes)
         telemetry.set_workers(1, 1)
         try:
-            for unit in pending:
+            for batch in batch_units(pending, self.batch_lanes):
                 if self._drain is not None:
-                    break  # drain: the current trial was the in-flight one
-                trial = context.run_unit(unit)
-                self._record(unit, trial, results, telemetry, journal)
+                    break  # drain: the current batch was the in-flight one
+                for unit, trial in context.run_batch(batch):
+                    self._record(unit, trial, results, telemetry, journal)
+                stats = context.take_batch_stats()
+                if stats is not None:
+                    telemetry.record_batch(*stats)
         finally:
             self._merge_profile(context.take_profile())
 
@@ -319,8 +329,8 @@ class CampaignRunner:
 
     def _run_pool(self, pending, results, telemetry, journal):
         """Dynamic scheduling across the worker pool."""
-        batch_size = self.batch_size or auto_batch_size(
-            len(pending), self.workers)
+        batch_size = self.batch_size or max(
+            auto_batch_size(len(pending), self.workers), self.batch_lanes)
         queue = deque()
         next_batch_id = 0
         for batch in batch_units(pending, batch_size):
@@ -332,7 +342,8 @@ class CampaignRunner:
         assignments = {}  # worker_id -> [batch_id, batch, received indices]
         pool = WorkerPool(self.config, self.pipeline_config, self.workers,
                           page_sets=self._shared_page_sets(pending),
-                          golden_dir=self._golden_dir())
+                          golden_dir=self._golden_dir(),
+                          batch_lanes=self.batch_lanes)
         self.pool = pool
         drain_deadline = None
         try:
@@ -379,9 +390,11 @@ class CampaignRunner:
                             if worker is not None:
                                 worker.batch_id = None
                     elif kind == "event":
-                        event_kind, _detail = payload
+                        event_kind, detail = payload
                         if event_kind == "cache_quarantined":
                             telemetry.record_quarantine()
+                        elif event_kind == "batch_stats":
+                            telemetry.record_batch(*detail)
                     elif kind == "error":
                         raise CampaignError(
                             "campaign worker %d failed: %s"

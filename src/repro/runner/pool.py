@@ -28,8 +28,8 @@ from repro.inject.campaign import _KINDS
 from repro.inject.golden import record_golden, workload_page_sets
 from repro.inject.trial import run_trial
 from repro.obs import observer_from_config
+from repro.perf.batch import run_batch_group
 from repro.perf.goldencache import GoldenCache
-from repro.runner.units import TrialUnit
 from repro.uarch.config import PipelineConfig
 from repro.uarch.core import Pipeline
 from repro.utils.rng import SplitRng
@@ -57,8 +57,17 @@ class WorkerContext:
     """Runs trial units, caching per-start-point preparation."""
 
     def __init__(self, config, pipeline_config=None, page_sets=None,
-                 observer=None, golden_dir=None, on_event=None):
+                 observer=None, golden_dir=None, on_event=None,
+                 batch_lanes=1):
         self.config = config
+        # Bit-plane batching width (``--batch N``): same-(workload,
+        # start point) units run through repro.perf.batch in groups of
+        # up to this many lanes.  Purely a scheduling knob -- results
+        # are byte-identical to the scalar path -- so it is *not* part
+        # of the campaign fingerprint.
+        self.batch_lanes = max(1, batch_lanes or 1)
+        self.batched_resolved = 0
+        self.batched_laneout = 0
         self.pipeline_config = pipeline_config or PipelineConfig.paper(
             config.protection)
         self.kinds = _KINDS[config.kinds]
@@ -82,6 +91,14 @@ class WorkerContext:
             self.golden_cache = GoldenCache(
                 golden_dir, config, self.pipeline_config,
                 on_event=on_event)
+        # In-memory (workload, start point) -> (checkpoint, golden,
+        # sp_rng) held across start-point switches, so revisiting one
+        # (engine affinity miss, retry, alternating batch groups) costs
+        # a checkpoint restore instead of a disk-cache load or a
+        # re-simulation.  Bounded FIFO; entries are exactly what the
+        # disk cache would return, so trial bytes are unchanged.
+        self._prepared = {}
+        self._prepared_cap = 8
 
     def run_unit(self, unit):
         """Execute one :class:`TrialUnit`; returns a ``TrialResult``."""
@@ -93,6 +110,41 @@ class WorkerContext:
             horizon=self.config.horizon,
             locked_multiplier=self.config.locked_multiplier,
             trial_index=unit.trial_index, obs=self.observer)
+
+    def run_batch(self, batch):
+        """Execute a :class:`UnitBatch`; yields ``(unit, TrialResult)``.
+
+        Results come in ``batch.trial_indices`` order, byte-identical
+        to running each unit through :meth:`run_unit`.  With
+        ``batch_lanes > 1``, no observer attached, and more than one
+        unit, the whole batch runs through the bit-plane engine
+        (:mod:`repro.perf.batch`); provenance/profiling campaigns force
+        the scalar path, because observation hooks single-lane pipeline
+        internals and must stay exact.
+        """
+        if (self.batch_lanes <= 1 or len(batch) <= 1
+                or self.observer is not None):
+            for unit in batch.units():
+                yield unit, self.run_unit(unit)
+            return
+        state = self._prepare(batch.workload, batch.start_point)
+        outcome = run_batch_group(
+            state.pipeline, state.checkpoint, state.golden, state.sp_rng,
+            self.kinds, batch.workload, batch.start_point,
+            batch.trial_indices, horizon=self.config.horizon,
+            locked_multiplier=self.config.locked_multiplier,
+            cache=self.golden_cache)
+        self.batched_resolved += outcome.resolved
+        self.batched_laneout += outcome.laned_out
+        for unit, trial in zip(batch.units(), outcome.trials):
+            yield unit, trial
+
+    def take_batch_stats(self):
+        """``(resolved, laned_out)`` lane counts since the last take."""
+        stats = (self.batched_resolved, self.batched_laneout)
+        self.batched_resolved = 0
+        self.batched_laneout = 0
+        return stats if stats != (0, 0) else None
 
     def take_profile(self):
         """The per-stage profile accumulated since the last take, or None."""
@@ -120,13 +172,26 @@ class WorkerContext:
         recording work is skipped.
         """
         state = self._workloads.get(workload_name)
+        if (state is not None and state.start_point == start_point
+                and state.golden is not None):
+            return state
+        held = self._prepared.get((workload_name, start_point))
+        if held is not None:
+            # A checkpoint restore is position-independent, so a held
+            # start point never needs the pipeline rebuilt or re-run.
+            if state is None:
+                state = self._fresh(workload_name)
+                self._workloads[workload_name] = state
+            state.checkpoint, state.golden, state.sp_rng = held
+            state.pipeline.restore(state.checkpoint)
+            state.warmed = True
+            state.start_point = start_point
+            return state
         if state is None or state.start_point > start_point:
             state = self._fresh(workload_name)
             self._workloads[workload_name] = state
         config = self.config
         pipeline = state.pipeline
-        if state.start_point == start_point and state.golden is not None:
-            return state
         cache = self.golden_cache
         if cache is not None:
             cached = cache.load(workload_name, start_point)
@@ -136,6 +201,7 @@ class WorkerContext:
                 state.warmed = True
                 state.start_point = start_point
                 state.sp_rng = state.wl_rng.split("sp/%d" % start_point)
+                self._hold(workload_name, start_point, state)
                 return state
         if not state.warmed:
             pipeline.run(config.warmup_cycles, stop_on_halt=True)
@@ -162,7 +228,16 @@ class WorkerContext:
             if cache is not None:
                 cache.store(workload_name, start_point, state.checkpoint,
                             state.golden)
+        self._hold(workload_name, start_point, state)
         return state
+
+    def _hold(self, workload_name, start_point, state):
+        """Keep a prepared start point in memory (bounded FIFO)."""
+        prepared = self._prepared
+        prepared[(workload_name, start_point)] = (
+            state.checkpoint, state.golden, state.sp_rng)
+        if len(prepared) > self._prepared_cap:
+            prepared.pop(next(iter(prepared)))
 
     def _fresh(self, workload_name):
         """A reset-state pipeline; warmup is deferred to ``_prepare``
@@ -182,7 +257,7 @@ class WorkerContext:
 
 
 def _worker_main(worker_id, config, pipeline_config, page_sets, golden_dir,
-                 tasks, results):
+                 batch_lanes, tasks, results):
     """Worker process loop: run assigned batches, report each trial."""
 
     def on_event(kind, detail):
@@ -192,7 +267,8 @@ def _worker_main(worker_id, config, pipeline_config, page_sets, golden_dir,
         results.put(("event", worker_id, None, (kind, detail)))
 
     context = WorkerContext(config, pipeline_config, page_sets=page_sets,
-                            golden_dir=golden_dir, on_event=on_event)
+                            golden_dir=golden_dir, on_event=on_event,
+                            batch_lanes=batch_lanes)
     while True:
         try:
             task = tasks.get()
@@ -202,11 +278,12 @@ def _worker_main(worker_id, config, pipeline_config, page_sets, golden_dir,
             return
         batch_id, batch = task
         try:
-            for trial_index in batch.trial_indices:
-                unit = TrialUnit(batch.workload, batch.start_point,
-                                 trial_index)
-                trial = context.run_unit(unit)
+            for unit, trial in context.run_batch(batch):
                 results.put(("trial", worker_id, batch_id, (unit, trial)))
+            stats = context.take_batch_stats()
+            if stats is not None:
+                results.put(("event", worker_id, batch_id,
+                             ("batch_stats", stats)))
             # The "done" payload carries the batch's per-stage profile
             # delta (or None when profiling is off).
             results.put(("done", worker_id, batch_id,
@@ -248,12 +325,13 @@ class WorkerPool:
     """A pool of trial workers with per-worker task queues."""
 
     def __init__(self, config, pipeline_config, workers, page_sets=None,
-                 golden_dir=None):
+                 golden_dir=None, batch_lanes=1):
         self._mp = multiprocessing.get_context()
         self._config = config
         self._pipeline_config = pipeline_config
         self._page_sets = page_sets or {}
         self._golden_dir = golden_dir
+        self._batch_lanes = batch_lanes
         self.results = self._mp.Queue()
         self._next_id = 0
         self.workers = []
@@ -267,7 +345,8 @@ class WorkerPool:
         process = self._mp.Process(
             target=_worker_main,
             args=(worker_id, self._config, self._pipeline_config,
-                  self._page_sets, self._golden_dir, tasks, self.results),
+                  self._page_sets, self._golden_dir, self._batch_lanes,
+                  tasks, self.results),
             daemon=True)
         process.start()
         return _Worker(worker_id, process, tasks)

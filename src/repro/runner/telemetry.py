@@ -35,6 +35,8 @@ class TelemetrySnapshot:
     harness_errors: int  # poison units contained as harness_error
     quarantined: int  # corrupt golden-cache entries moved aside
     io_retries: int  # transient journal/cache I/O errors retried
+    batched_resolved: int  # lanes classified fully inside the bit-plane walk
+    batched_laneout: int  # lanes that diverged to the scalar suffix
     elapsed_seconds: float
     trials_per_second: float
     eta_seconds: Optional[float]  # None until a rate is measurable
@@ -52,6 +54,19 @@ class TelemetrySnapshot:
     def percent(self):
         return 100.0 * self.done / self.total if self.total else 100.0
 
+    @property
+    def lane_out_rate(self):
+        """Fraction of batched lanes that diverged to the scalar path."""
+        lanes = self.batched_resolved + self.batched_laneout
+        return self.batched_laneout / lanes if lanes else 0.0
+
+    @property
+    def trials_per_second_batched(self):
+        """Rate of trials resolved fully inside the bit-plane walk."""
+        if self.elapsed_seconds > 0 and self.batched_resolved:
+            return self.batched_resolved / self.elapsed_seconds
+        return 0.0
+
     def to_dict(self):
         return {
             "total": self.total,
@@ -62,6 +77,10 @@ class TelemetrySnapshot:
             "harness_errors": self.harness_errors,
             "quarantined": self.quarantined,
             "io_retries": self.io_retries,
+            "batched_resolved": self.batched_resolved,
+            "batched_laneout": self.batched_laneout,
+            "lane_out_rate": self.lane_out_rate,
+            "trials_per_sec_batched": self.trials_per_second_batched,
             "percent": self.percent,
             "elapsed_seconds": self.elapsed_seconds,
             "trials_per_second": self.trials_per_second,
@@ -92,6 +111,10 @@ class TelemetrySnapshot:
         if self.workers_total > 1:
             parts.append("workers %d/%d"
                          % (self.workers_busy, self.workers_total))
+        if self.batched_resolved or self.batched_laneout:
+            parts.append("batched:%d (%d%% laned)"
+                         % (self.batched_resolved,
+                            round(100 * self.lane_out_rate)))
         # Incident counters render only when nonzero: chaos injections
         # and real-world faults stand out, healthy runs stay terse.
         if self.retried:
@@ -121,6 +144,8 @@ class Telemetry:
         self.harness_errors = 0
         self.quarantined = 0
         self.io_retries = 0
+        self.batched_resolved = 0
+        self.batched_laneout = 0
         self.outcome_counts = {}
         self.workers_busy = 0
         self.workers_total = 0
@@ -173,6 +198,11 @@ class Telemetry:
         """Count a transient journal/cache I/O error that was retried."""
         self.io_retries += attempts
 
+    def record_batch(self, resolved, laned_out):
+        """Count bit-plane lanes resolved in-walk vs laned out."""
+        self.batched_resolved += resolved
+        self.batched_laneout += laned_out
+
     def set_workers(self, busy, total):
         self.workers_busy = busy
         self.workers_total = total
@@ -195,6 +225,8 @@ class Telemetry:
             harness_errors=self.harness_errors,
             quarantined=self.quarantined,
             io_retries=self.io_retries,
+            batched_resolved=self.batched_resolved,
+            batched_laneout=self.batched_laneout,
             elapsed_seconds=elapsed,
             trials_per_second=rate,
             eta_seconds=eta,

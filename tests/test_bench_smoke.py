@@ -85,3 +85,47 @@ def test_write_and_reload_roundtrip(tmp_path):
     # The comparison baseline skips the current revision's own file.
     assert bench.load_previous(str(tmp_path), exclude_rev="abc1234") is None
     assert bench.load_previous(str(tmp_path))[1]["rev"] == "abc1234"
+
+
+def test_batched_engine_beats_scalar_smoke(metrics):
+    # Steady-state bit-plane batching must clearly beat the scalar
+    # smoke number; parity means the batch path silently fell back.
+    assert metrics["batch_lanes"] >= 2
+    assert metrics["trials_per_sec_batched"] > metrics["trials_per_sec"]
+
+
+def test_load_best_spans_all_committed_files(tmp_path):
+    bench.write_bench(str(tmp_path), "aaa1111",
+                      {"trials_per_sec": 50.0, "trials_per_sec_cold": 9.0})
+    bench.write_bench(str(tmp_path), "bbb2222",
+                      {"trials_per_sec": 40.0, "trials_per_sec_cold": 12.0,
+                       "trials_per_sec_batched": 300.0})
+    best, sources = bench.load_best(str(tmp_path))
+    # Per-metric maximum, not the newest file's values.
+    assert best == {"trials_per_sec": 50.0, "trials_per_sec_cold": 12.0,
+                    "trials_per_sec_batched": 300.0}
+    assert sources == {"trials_per_sec": "aaa1111",
+                       "trials_per_sec_cold": "bbb2222",
+                       "trials_per_sec_batched": "bbb2222"}
+    # The current revision's own file never sets its own bar.
+    best, sources = bench.load_best(str(tmp_path), exclude_rev="bbb2222")
+    assert best == {"trials_per_sec": 50.0, "trials_per_sec_cold": 9.0}
+    assert bench.load_best(str(tmp_path / "empty")) == (None, None)
+
+
+def test_schema_one_files_still_load(tmp_path):
+    import json
+
+    path = tmp_path / "BENCH_old0001.json"
+    path.write_text(json.dumps({
+        "schema": 1, "rev": "old0001", "created": "2025-01-01T00:00:00Z",
+        "metrics": {"trials_per_sec": 44.0}}))
+    files = bench.bench_files(str(tmp_path))
+    assert [data["rev"] for _p, data in files] == ["old0001"]
+    best, _sources = bench.load_best(str(tmp_path))
+    assert best == {"trials_per_sec": 44.0}
+    # Unknown future schemas are skipped, not misread.
+    bad = tmp_path / "BENCH_future.json"
+    bad.write_text(json.dumps({"schema": 99, "rev": "future",
+                               "metrics": {"trials_per_sec": 9999.0}}))
+    assert len(bench.bench_files(str(tmp_path))) == 1

@@ -78,6 +78,22 @@ def test_build_view_shape(campaign_dir):
     json.dumps(view)  # the whole view must be JSON-serializable
 
 
+def test_build_view_surfaces_batched_metrics(tmp_path):
+    """A --batch campaign's lane metrics reach the summary totals."""
+    directory = str(tmp_path / "batched")
+    run_campaign(CampaignConfig.test(), workers=0, directory=directory,
+                 batch_lanes=8)
+    with ResultsStore() as store:
+        store.ingest(directory)
+        view = build_view(store, [directory])
+    totals = view["totals"]
+    assert totals["batched_resolved"] + totals["batched_laneout"] \
+        == TRIALS
+    assert totals["trials_per_sec_batched"] > 0
+    assert 0.0 <= totals["lane_out_rate"] <= 1.0
+    json.dumps(view)
+
+
 def test_dash_serves_smoke_campaign(campaign_dir):
     """Acceptance: a live view over a campaign directory."""
 

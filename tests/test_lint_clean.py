@@ -41,7 +41,7 @@ def test_tree_is_lint_clean():
     assert result.exit_code == 0
     assert len(result.files) > 50
     assert result.rules == ("REP001", "REP002", "REP003", "REP004",
-                            "REP005", "REP006", "REP007")
+                            "REP005", "REP006", "REP007", "REP008")
 
 
 def test_module_cli_json_clean():
@@ -52,7 +52,7 @@ def test_module_cli_json_clean():
     assert payload["findings"] == []
     assert payload["files_scanned"] > 50
     assert payload["rules"] == ["REP001", "REP002", "REP003", "REP004",
-                                "REP005", "REP006", "REP007"]
+                                "REP005", "REP006", "REP007", "REP008"]
 
 
 def test_seeded_violations_exit_nonzero(tmp_path):

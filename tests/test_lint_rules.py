@@ -614,3 +614,85 @@ def test_rep007_pragma_suppresses(tmp_path):
         return open(path)  # repro-lint: allow=REP007 (startup-only)
     """)
     assert rules_of(result) == []
+
+
+# -- REP008: batch-kernel hygiene ---------------------------------------------
+
+_REP008 = LintConfig(enable=("REP008",))
+
+
+def lint_batch_source(tmp_path, source, name="batch.py"):
+    """Lint ``source`` placed as ``perf/batch.py`` (the policed path)."""
+    package = tmp_path / "perf"
+    package.mkdir(exist_ok=True)
+    path = package / name
+    path.write_text(textwrap.dedent(source))
+    return run_lint([str(path)], _REP008)
+
+
+def test_rep008_flags_per_lane_loop_in_hot_kernel(tmp_path):
+    result = lint_batch_source(tmp_path, """
+    _HOT_KERNELS = ("_walk_planes",)
+
+    def _walk_planes(plans, alive):
+        for lane, plan in enumerate(plans):
+            alive |= 1 << lane
+        for entry in plans:
+            alive ^= entry
+        return alive
+    """)
+    assert rules_of(result) == ["REP008", "REP008"]
+    assert "big-int bitwise algebra" in result.findings[0].message
+    assert "non-range iterable" in result.findings[1].message
+
+
+def test_rep008_flags_full_signature_anywhere(tmp_path):
+    result = lint_batch_source(tmp_path, """
+    def record(space):
+        return space.signature(full=True)
+    """)
+    assert rules_of(result) == ["REP008"]
+    assert "full=True" in result.findings[0].message
+
+
+def test_rep008_range_loops_and_incremental_reads_ok(tmp_path):
+    result = lint_batch_source(tmp_path, """
+    _HOT_KERNELS = ("_walk_planes",)
+
+    def _walk_planes(reads, horizon, lanes_by_element):
+        alive = 0
+        for cycle in range(horizon):
+            plane = reads[cycle]
+            while plane:
+                low = plane & -plane
+                plane ^= low
+                alive |= lanes_by_element[low.bit_length() - 1]
+        return alive
+
+    def helper(space, plans):
+        for plan in plans:  # not a hot kernel: scalar setup is fine
+            space.note(plan)
+        return space.signature()
+    """)
+    assert rules_of(result) == []
+
+
+def test_rep008_only_applies_to_batch_module(tmp_path):
+    result = lint_batch_source(tmp_path, """
+    _HOT_KERNELS = ("kernel",)
+
+    def kernel(space, plans):
+        for plan in plans:
+            space.note(plan)
+        return space.signature(full=True)
+    """, name="other.py")
+    assert rules_of(result) == []
+
+
+def test_rep008_pragma_suppresses(tmp_path):
+    result = lint_batch_source(tmp_path, """
+    def verify(space):
+        # repro-lint: allow=REP008 (debug cross-check, not trial path)
+        return space.signature(full=True)
+    """)
+    assert rules_of(result) == []

@@ -89,6 +89,11 @@ def build_parser():
     p.add_argument("--workloads", nargs="*", default=list(WORKLOAD_NAMES))
     p.add_argument("--kinds", default="latch+ram",
                    choices=("latch", "latch+ram"))
+    p.add_argument("--fault-model", default="single_bit", metavar="SPEC",
+                   help="fault-model spec (repro.faultlib): single_bit, "
+                        "multi_bit:adjacent:K, burst:array:p=P, "
+                        "stuck_at:V[:lifetime=N], intermittent:P,D "
+                        "(default: single_bit, the paper's model)")
     p.add_argument("--trials", type=int, default=25,
                    help="trials per start point")
     p.add_argument("--start-points", type=int, default=3)
@@ -175,6 +180,9 @@ def build_parser():
                    choices=("tiny", "small", "large"))
     p.add_argument("--kinds", default="latch+ram",
                    choices=("latch", "latch+ram"))
+    p.add_argument("--fault-model", default="single_bit", metavar="SPEC",
+                   help="fault-model spec of the campaign being "
+                        "replayed (repro.faultlib); default single_bit")
     p.add_argument("--horizon", type=int, default=1200)
     p.add_argument("--warmup", type=int, default=1200, metavar="CYCLES")
     p.add_argument("--spacing", type=int, default=400, metavar="CYCLES")
@@ -247,6 +255,9 @@ def build_parser():
     p.add_argument("--workloads", nargs="*", default=list(WORKLOAD_NAMES))
     p.add_argument("--kinds", default="latch+ram",
                    choices=("latch", "latch+ram"))
+    p.add_argument("--fault-model", default="single_bit", metavar="SPEC",
+                   help="fault-model spec (repro.faultlib); "
+                        "default single_bit")
     p.add_argument("--trials", type=int, default=25,
                    help="trials per start point")
     p.add_argument("--start-points", type=int, default=3)
@@ -296,10 +307,12 @@ def build_parser():
                    help="ingest this campaign directory (or journal/"
                         "segment file) before querying; repeatable")
     p.add_argument("--by", default="category",
-                   choices=("category", "workload", "element"),
+                   choices=("category", "workload", "element",
+                            "fault_model"),
                    help="grouping axis of the outcome tables "
                         "(default: category, the paper's per-structure "
-                        "breakdown)")
+                        "breakdown; fault_model also prints the "
+                        "per-structure fault-model comparison)")
     p.add_argument("--campaigns", nargs="*", default=None,
                    metavar="PREFIX",
                    help="restrict to these campaigns (fingerprint "
@@ -360,20 +373,25 @@ def cmd_campaign(args):
     """Run a microarchitectural campaign; print tables."""
     protection = ProtectionConfig.full() if args.protected \
         else ProtectionConfig.none()
-    if args.paper_scale:
-        config = CampaignConfig.paper(
-            workloads=tuple(args.workloads), kinds=args.kinds,
-            seed=args.seed, protection=protection,
-            provenance=args.provenance, profile=args.profile)
-    else:
-        config = CampaignConfig(
-            workloads=tuple(args.workloads), kinds=args.kinds,
-            trials_per_start_point=args.trials,
-            start_points_per_workload=args.start_points,
-            horizon=args.horizon, scale=args.scale, seed=args.seed,
-            protection=protection, provenance=args.provenance,
-            profile=args.profile)
     from repro.errors import CampaignDrained, ReproError
+    try:
+        if args.paper_scale:
+            config = CampaignConfig.paper(
+                workloads=tuple(args.workloads), kinds=args.kinds,
+                seed=args.seed, protection=protection,
+                provenance=args.provenance, profile=args.profile,
+                fault_model=args.fault_model)
+        else:
+            config = CampaignConfig(
+                workloads=tuple(args.workloads), kinds=args.kinds,
+                trials_per_start_point=args.trials,
+                start_points_per_workload=args.start_points,
+                horizon=args.horizon, scale=args.scale, seed=args.seed,
+                protection=protection, provenance=args.provenance,
+                profile=args.profile, fault_model=args.fault_model)
+    except ReproError as error:
+        sys.stderr.write("error: %s\n" % error)
+        return 2
     from repro.runner import CampaignRunner
     directory = args.resume or args.campaign_dir
     if args.repair:
@@ -582,7 +600,7 @@ def _cmd_trace_trial(args):
             seed=args.seed, scale=args.scale, kinds=args.kinds,
             horizon=args.horizon, warmup_cycles=args.warmup,
             spacing_cycles=args.spacing, margin=args.margin,
-            protection=protection)
+            protection=protection, fault_model=args.fault_model)
     except ReproError as error:
         sys.stderr.write("error: %s\n" % error)
         return 2
@@ -626,13 +644,14 @@ def _submit_config(args):
     if args.paper_scale:
         return CampaignConfig.paper(
             workloads=tuple(args.workloads), kinds=args.kinds,
-            seed=args.seed, protection=protection)
+            seed=args.seed, protection=protection,
+            fault_model=args.fault_model)
     return CampaignConfig(
         workloads=tuple(args.workloads), kinds=args.kinds,
         trials_per_start_point=args.trials,
         start_points_per_workload=args.start_points,
         horizon=args.horizon, scale=args.scale, seed=args.seed,
-        protection=protection)
+        protection=protection, fault_model=args.fault_model)
 
 
 def cmd_serve(args):
@@ -793,6 +812,7 @@ def cmd_query(args):
     from repro.store import (
         ResultsStore,
         render_campaign_list,
+        render_store_fault_models,
         render_store_latency,
         render_store_masking,
         render_store_outcomes,
@@ -821,6 +841,12 @@ def cmd_query(args):
             print()
             print(render_store_outcomes(store, by=args.by,
                                         fingerprints=fingerprints))
+            if args.by == "fault_model":
+                # The headline cross-model view: failure rate per
+                # structure (category), one column per fault model.
+                print()
+                print(render_store_fault_models(
+                    store, fingerprints=fingerprints))
             if args.masking:
                 masking = render_store_masking(store,
                                                fingerprints=fingerprints)

@@ -136,6 +136,7 @@ def build_view(store, directories, fabric_status=None, errors=()):
         "totals": dict(totals, outcome_counts=outcome_totals),
         "campaigns": campaigns,
         "heatmap": _heatmap(store),
+        "fault_models": _fault_models(store),
         "masking": _summed(store.masking_table()),
         "latency": _latency(store),
         "fabric": (fabric_status or {}).get("fabric")
@@ -176,6 +177,25 @@ def _heatmap(store):
                      "cells": row_cells})
     return {"columns": columns, "rows": rows,
             "truncated": max(0, len(by_key) - HEATMAP_MAX_ROWS)}
+
+
+def _fault_models(store):
+    """Per-fault-model rows: ``[model, trials, failures, rate]``.
+
+    Summed over campaigns and categories; a store with only default
+    single-bit campaigns yields one row, which the page hides.
+    """
+    rows = []
+    for model, cells in sorted(store.fault_model_table().items()):
+        total = fail = 0
+        for counts in cells.values():
+            for outcome, count in counts.items():
+                total += count
+                if outcome in ("sdc", "terminated"):
+                    fail += count
+        rows.append([model, total, fail,
+                     fail / total if total else 0.0])
+    return rows
 
 
 def _summed(per_campaign):
@@ -299,6 +319,10 @@ _PAGE = """<!DOCTYPE html>
     <div id="heatmap"></div>
     <div class="note" id="heatnote"></div>
   </section>
+  <section id="faultsec" hidden>
+    <h2>Fault models (failure rate per model)</h2>
+    <div id="faultmodels"></div>
+  </section>
   <section>
     <h2>Masking causes (benign trials, provenance campaigns)</h2>
     <div id="masking"></div>
@@ -404,6 +428,14 @@ function render(view) {
   document.getElementById("heatnote").textContent = hm.truncated
     ? hm.truncated + " more fields - use `repro-faults query --by " +
       "element` for the full breakdown" : "";
+  const fm = view.fault_models || [];
+  // One row (the single-bit default everywhere) carries no comparison.
+  document.getElementById("faultsec").hidden = fm.length < 2;
+  if (fm.length >= 2) document.getElementById("faultmodels").innerHTML =
+    "<table><tr><th>fault model</th><th>trials</th><th>failures</th>" +
+    "<th>fail%</th></tr>" + fm.map((r) => "<tr><td>" + esc(r[0]) +
+      "</td><td>" + r[1] + "</td><td>" + r[2] + "</td><td>" +
+      pct(r[3]) + "</td></tr>").join("") + "</table>";
   document.getElementById("masking").innerHTML = view.masking.length
     ? "<table><tr><th>cause</th><th>trials</th><th>share</th></tr>" +
       view.masking.map((m) => "<tr><td>" + esc(m[0]) + "</td><td>" +

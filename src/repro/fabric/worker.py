@@ -28,6 +28,7 @@ byte-identical journal.
 
 import asyncio
 import os
+import random
 from collections import deque
 
 from repro.errors import CampaignError, FabricError
@@ -48,9 +49,13 @@ from repro.workloads import get_workload
 
 __all__ = ["FabricWorker"]
 
-# Consecutive transport failures tolerated before the worker gives up
-# on the coordinator (each is paced by one poll interval).
+# Transport failures tolerated per wire call before the worker gives
+# up on the coordinator.  Backoff doubles from ``retry_base`` up to
+# ``_RETRY_CAP`` seconds, and every sleep is scaled by a jitter in
+# [0.5, 1.5) drawn from a per-worker seeded stream, so a fleet whose
+# coordinator blips never thunders back in lockstep.
 _MAX_TRANSPORT_FAILURES = 10
+_RETRY_CAP = 5.0
 # Consecutive empty lease polls before an --exit-when-idle worker stops.
 _IDLE_POLLS_BEFORE_EXIT = 3
 # A partitioned worker sits out this many TTLs before completing late
@@ -63,7 +68,8 @@ class FabricWorker:
 
     def __init__(self, host, port, name=None, processes=1, chaos=None,
                  poll_interval=None, max_leases=None, exit_when_idle=False,
-                 spool_dir=None, echo=None):
+                 spool_dir=None, echo=None, retry_base=0.1,
+                 retry_attempts=_MAX_TRANSPORT_FAILURES):
         self.host = host
         self.port = port
         self.name = name or "worker-%d" % os.getpid()
@@ -74,6 +80,11 @@ class FabricWorker:
         self.exit_when_idle = exit_when_idle
         self.spool_dir = spool_dir
         self.echo = echo
+        self.retry_base = retry_base
+        self.retry_attempts = max(1, retry_attempts)
+        # Jitter only -- never trial bytes -- so a fixed per-worker
+        # seed keeps runs replayable without coupling to wall clock.
+        self._backoff_rng = random.Random("backoff/%s" % self.name)
         self._contexts = {}  # fingerprint -> WorkerContext (inline path)
         self._pools = {}  # fingerprint -> WorkerPool (processes > 1)
         # fingerprint -> (eligible_bits, inventory, inventory dict)
@@ -85,7 +96,6 @@ class FabricWorker:
 
     async def run(self):
         """Pull and execute leases until idle/limits; returns stats."""
-        failures = 0
         idle_polls = 0
         lease_number = 0
         try:
@@ -93,19 +103,8 @@ class FabricWorker:
                 if self.max_leases is not None \
                         and self.stats["leases"] >= self.max_leases:
                     break
-                try:
-                    reply = await call(self.host, self.port, "/lease",
-                                       {"worker": self.name})
-                except (OSError, asyncio.TimeoutError):
-                    failures += 1
-                    if failures >= _MAX_TRANSPORT_FAILURES:
-                        raise FabricError(
-                            "worker %s: coordinator %s:%d unreachable "
-                            "after %d attempts"
-                            % (self.name, self.host, self.port, failures))
-                    await asyncio.sleep(self._pace())
-                    continue
-                failures = 0
+                reply = await self._call_retry("/lease",
+                                               {"worker": self.name})
                 lease = reply.get("lease")
                 if lease is None:
                     # Only count as idle when no campaign is live at all:
@@ -135,6 +134,32 @@ class FabricWorker:
         if self.poll_interval is not None:
             return self.poll_interval
         return 0.5
+
+    async def _call_retry(self, path, payload, attempts=None):
+        """One wire call with bounded, jittered exponential backoff.
+
+        Transport failures (socket errors, timeouts) are retried up to
+        ``attempts`` times (default ``retry_attempts``), then surfaced
+        as a :class:`~repro.errors.FabricError`.  Coordinator-level
+        :class:`~repro.errors.FabricError` replies are *not* retried:
+        those are answers (bad checksum, unknown lease), not outages,
+        and retrying them can only duplicate work.
+        """
+        attempts = self.retry_attempts if attempts is None else attempts
+        delay = self.retry_base
+        for attempt in range(1, attempts + 1):
+            try:
+                return await call(self.host, self.port, path, payload)
+            except (OSError, asyncio.TimeoutError) as error:
+                if attempt >= attempts:
+                    raise FabricError(
+                        "worker %s: %s to coordinator %s:%d failed "
+                        "after %d attempts: %s"
+                        % (self.name, path, self.host, self.port,
+                           attempt, error))
+                await asyncio.sleep(
+                    delay * (0.5 + self._backoff_rng.random()))
+                delay = min(delay * 2.0, _RETRY_CAP)
 
     def _say(self, text):
         if self.echo is not None:
@@ -196,11 +221,16 @@ class FabricWorker:
         while True:
             await asyncio.sleep(interval)
             try:
-                reply = await call(self.host, self.port, "/heartbeat",
-                                   {"worker": self.name,
-                                    "campaign": lease["campaign"],
-                                    "lease_id": lease["lease_id"]})
-            except (OSError, asyncio.TimeoutError, FabricError):
+                # A couple of quick in-beat retries; a beat that still
+                # fails is skipped, not fatal -- the lease may survive
+                # to the next one.
+                reply = await self._call_retry(
+                    "/heartbeat",
+                    {"worker": self.name,
+                     "campaign": lease["campaign"],
+                     "lease_id": lease["lease_id"]},
+                    attempts=3)
+            except FabricError:
                 continue  # transient; the lease may still be alive
             if not reply.get("ok"):
                 # Superseded or completed elsewhere: keep computing --
@@ -209,8 +239,12 @@ class FabricWorker:
                 return
 
     async def _complete(self, lease, fingerprint, entries):
-        reply = await call(
-            self.host, self.port, "/complete",
+        # A computed range is the expensive thing the worker holds;
+        # retry-backoff here means one flaky POST no longer throws
+        # away minutes of trial execution (the coordinator dedupes a
+        # double delivery as "duplicate", so at-least-once is safe).
+        reply = await self._call_retry(
+            "/complete",
             {"worker": self.name,
              "campaign": lease["campaign"],
              "lease_id": lease["lease_id"],

@@ -1,0 +1,21 @@
+"""repro.faultlib: first-class fault models for injection campaigns.
+
+See :mod:`repro.faultlib.models` for the spec grammar and
+``docs/FAULTMODELS.md`` for determinism and fingerprint rules.
+"""
+
+from repro.faultlib.models import (
+    DEFAULT_FAULT_MODEL,
+    FAULT_MODEL_KINDS,
+    FaultInstance,
+    FaultModel,
+    parse_fault_model,
+)
+
+__all__ = [
+    "DEFAULT_FAULT_MODEL",
+    "FAULT_MODEL_KINDS",
+    "FaultInstance",
+    "FaultModel",
+    "parse_fault_model",
+]

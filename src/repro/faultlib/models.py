@@ -1,0 +1,325 @@
+"""First-class fault models: what a "fault" is, beyond one flipped bit.
+
+The paper's campaigns flip exactly one randomly chosen bit per trial
+(the single-event-upset model).  This module generalises the *shape* of
+the disturbance while keeping every other campaign invariant intact --
+determinism, resume, batching, journal byte-identity:
+
+``single_bit``
+    One uniformly chosen bit inverted at injection time.  The default;
+    campaigns using it are byte-identical to the pre-faultlib harness.
+
+``multi_bit:adjacent:K``
+    K physically adjacent bits of one element inverted together (bit
+    offsets wrap within the element, matching a disturbance along a
+    physical row).  Exactly one extra bit pattern per trial, no extra
+    RNG draws -- exactly batchable in the bit-plane engine.
+
+``burst:array:p=P``
+    A spatially correlated burst: the base bit flips, then every *other*
+    entry of the same allocated array (the ``name[i]`` convention) is
+    hit independently with probability P, one uniform bit each.  Models
+    a particle track through a RAM array.
+
+``stuck_at:V[:lifetime=N]``
+    The chosen bit is forced to V at injection and re-forced at the top
+    of every window cycle while the fault is live (the first N cycles,
+    or the whole window when no lifetime is given).
+
+``intermittent:P,D``
+    The chosen bit is forced to the complement of its at-injection value
+    for D cycles out of every P (a marginal cell that glitches on a duty
+    cycle).
+
+Sampling draws only from the per-trial RNG -- the same named-split
+stream the single-bit injector uses -- so trials remain addressable and
+replayable by ``(workload, start_point, trial_index)`` under every
+model.  ``single_bit`` consumes exactly one ``randrange`` like the
+legacy injector, which is what keeps default campaigns byte-identical.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import CampaignError
+
+#: The model every pre-faultlib campaign implicitly ran.  Configs and
+#: journal lines omit the fault model when it equals this value, so
+#: fingerprints and journal bytes of existing campaigns are unchanged.
+DEFAULT_FAULT_MODEL = "single_bit"
+
+
+@dataclass(frozen=True)
+class FaultInstance:
+    """One sampled fault: concrete disturbances plus a re-assertion schedule.
+
+    ``flips`` are transient XOR disturbances applied once at injection;
+    ``force`` is a persistent ``(element_index, bit, value)`` assertion
+    re-applied by the classification window according to
+    :meth:`assert_at`.  ``element_index``/``bit`` name the *base* upset
+    -- what the trial result reports, and what provenance watches.
+    """
+
+    model: str
+    element_index: int
+    bit: int
+    flips: tuple
+    force: tuple = None
+    lifetime: int = None
+    period: int = 0
+    duty: int = 0
+
+    def apply(self, space):
+        """Apply the injection-time disturbance to a state space."""
+        for element_index, mask in self.flips:
+            space.apply_fault(element_index, mask)
+        if self.force is not None:
+            space.force_bit(*self.force)
+
+    def assert_at(self, cycle):
+        """True when the forced value must hold during window ``cycle``."""
+        if self.force is None:
+            return False
+        if self.period:
+            return (cycle % self.period) < self.duty
+        return self.lifetime is None or cycle < self.lifetime
+
+    def active_after(self, cycle):
+        """True when the fault can still assert after window ``cycle``.
+
+        While this holds, a microarchitectural-state match against the
+        golden run is not masking -- the fault would re-diverge -- so
+        the signature-match check is suppressed.
+        """
+        if self.force is None:
+            return False
+        if self.period:
+            return True
+        return self.lifetime is None or cycle + 1 < self.lifetime
+
+
+class FaultModel:
+    """Base class: a parsed fault-model spec that can sample instances.
+
+    ``batchable`` means every sampled instance is a single-element XOR
+    disturbance with no persistent assertion, so the bit-plane batch
+    engine can carry it as a plane XOR and stay byte-identical;
+    everything else runs the scalar trial path.
+    """
+
+    kind = None
+    batchable = False
+    persistent = False
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    @property
+    def is_default(self):
+        return self.spec == DEFAULT_FAULT_MODEL
+
+    def sample(self, space, rng, kinds):
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        return isinstance(other, FaultModel) and other.spec == self.spec
+
+    def __hash__(self):
+        return hash(self.spec)
+
+    def __repr__(self):
+        return "%s(%r)" % (type(self).__name__, self.spec)
+
+
+class SingleBit(FaultModel):
+    """The paper's model: one uniformly chosen bit, inverted once."""
+
+    kind = "single_bit"
+    batchable = True
+
+    def sample(self, space, rng, kinds):
+        element_index, bit = space.choose_bit(rng, kinds)
+        return FaultInstance(self.spec, element_index, bit,
+                             ((element_index, 1 << bit),))
+
+
+class MultiBit(FaultModel):
+    """K adjacent bits of one element, inverted together."""
+
+    kind = "multi_bit"
+    batchable = True
+
+    def __init__(self, spec, span):
+        super().__init__(spec)
+        self.span = span
+
+    def sample(self, space, rng, kinds):
+        element_index, bit = space.choose_bit(rng, kinds)
+        width = space.elements[element_index].width
+        mask = 0
+        for i in range(min(self.span, width)):
+            mask |= 1 << ((bit + i) % width)
+        return FaultInstance(self.spec, element_index, bit,
+                             ((element_index, mask),))
+
+
+class Burst(FaultModel):
+    """Correlated burst across one array: base bit + p-coupled neighbours."""
+
+    kind = "burst"
+
+    def __init__(self, spec, probability):
+        super().__init__(spec)
+        self.probability = probability
+
+    def sample(self, space, rng, kinds):
+        element_index, bit = space.choose_bit(rng, kinds)
+        flips = [(element_index, 1 << bit)]
+        for member in space.array_members(element_index):
+            if member == element_index:
+                continue
+            if rng.random() < self.probability:
+                width = space.elements[member].width
+                flips.append((member, 1 << rng.randrange(width)))
+        return FaultInstance(self.spec, element_index, bit, tuple(flips))
+
+
+class StuckAt(FaultModel):
+    """One bit forced to a constant for ``lifetime`` cycles (or for good)."""
+
+    kind = "stuck_at"
+    persistent = True
+
+    def __init__(self, spec, value, lifetime):
+        super().__init__(spec)
+        self.value = value
+        self.lifetime = lifetime
+
+    def sample(self, space, rng, kinds):
+        element_index, bit = space.choose_bit(rng, kinds)
+        return FaultInstance(self.spec, element_index, bit, (),
+                             force=(element_index, bit, self.value),
+                             lifetime=self.lifetime)
+
+
+class Intermittent(FaultModel):
+    """One bit glitched to its complement D cycles out of every P."""
+
+    kind = "intermittent"
+    persistent = True
+
+    def __init__(self, spec, period, duty):
+        super().__init__(spec)
+        self.period = period
+        self.duty = duty
+
+    def sample(self, space, rng, kinds):
+        element_index, bit = space.choose_bit(rng, kinds)
+        value = ((space.values[element_index] >> bit) & 1) ^ 1
+        return FaultInstance(self.spec, element_index, bit, (),
+                             force=(element_index, bit, value),
+                             period=self.period, duty=self.duty)
+
+
+def _bad(spec, why):
+    return CampaignError("invalid fault model %r: %s" % (spec, why))
+
+
+def _parse_single_bit(spec, params):
+    if params:
+        raise _bad(spec, "single_bit takes no parameters")
+    return SingleBit(DEFAULT_FAULT_MODEL)
+
+
+def _parse_multi_bit(spec, params):
+    if len(params) != 2 or params[0] != "adjacent":
+        raise _bad(spec, "expected multi_bit:adjacent:K")
+    try:
+        span = int(params[1])
+    except ValueError:
+        raise _bad(spec, "span %r is not an integer" % params[1])
+    if span < 2:
+        raise _bad(spec, "span must be >= 2 (use single_bit for 1)")
+    return MultiBit("multi_bit:adjacent:%d" % span, span)
+
+
+def _parse_burst(spec, params):
+    if len(params) != 2 or params[0] != "array" \
+            or not params[1].startswith("p="):
+        raise _bad(spec, "expected burst:array:p=P")
+    try:
+        probability = float(params[1][2:])
+    except ValueError:
+        raise _bad(spec, "coupling probability %r is not a number"
+                   % params[1][2:])
+    if not 0.0 < probability <= 1.0:
+        raise _bad(spec, "coupling probability must be in (0, 1]")
+    return Burst("burst:array:p=%s" % probability, probability)
+
+
+def _parse_stuck_at(spec, params):
+    if not params or params[0] not in ("0", "1"):
+        raise _bad(spec, "expected stuck_at:V[:lifetime=N] with V 0 or 1")
+    value = int(params[0])
+    lifetime = None
+    if len(params) == 2:
+        if not params[1].startswith("lifetime="):
+            raise _bad(spec, "expected lifetime=N, got %r" % params[1])
+        try:
+            lifetime = int(params[1][len("lifetime="):])
+        except ValueError:
+            raise _bad(spec, "lifetime is not an integer")
+        if lifetime < 1:
+            raise _bad(spec, "lifetime must be >= 1")
+    elif len(params) > 2:
+        raise _bad(spec, "too many parameters")
+    canonical = "stuck_at:%d" % value
+    if lifetime is not None:
+        canonical += ":lifetime=%d" % lifetime
+    return StuckAt(canonical, value, lifetime)
+
+
+def _parse_intermittent(spec, params):
+    if len(params) != 1 or "," not in params[0]:
+        raise _bad(spec, "expected intermittent:P,D")
+    period_text, _, duty_text = params[0].partition(",")
+    try:
+        period, duty = int(period_text), int(duty_text)
+    except ValueError:
+        raise _bad(spec, "period and duty must be integers")
+    if period < 2 or not 1 <= duty < period:
+        raise _bad(spec, "need period >= 2 and 1 <= duty < period")
+    return Intermittent("intermittent:%d,%d" % (period, duty), period, duty)
+
+
+# Kind -> parser.  The REP004-style inventory test asserts every kind
+# registered here is covered by the scalar-vs-batched equivalence matrix
+# and the journal round-trip tests -- new models cannot ship unproven.
+_PARSERS = {
+    "single_bit": _parse_single_bit,
+    "multi_bit": _parse_multi_bit,
+    "burst": _parse_burst,
+    "stuck_at": _parse_stuck_at,
+    "intermittent": _parse_intermittent,
+}
+
+#: Every registered fault-model kind, in registration order.
+FAULT_MODEL_KINDS = tuple(_PARSERS)
+
+
+def parse_fault_model(spec):
+    """Parse a ``--fault-model`` spec string into a :class:`FaultModel`.
+
+    Accepts an already-parsed model unchanged.  Raises
+    :class:`~repro.errors.CampaignError` on malformed specs; the
+    returned model's ``spec`` attribute is the canonical rendering
+    (what fingerprints, journals, and the results store record).
+    """
+    if isinstance(spec, FaultModel):
+        return spec
+    text = (spec or DEFAULT_FAULT_MODEL).strip()
+    parts = text.split(":")
+    parser = _PARSERS.get(parts[0])
+    if parser is None:
+        raise _bad(text, "unknown kind %r (known: %s)"
+                   % (parts[0], ", ".join(FAULT_MODEL_KINDS)))
+    return parser(text, parts[1:])

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import CampaignError
+from repro.faultlib import parse_fault_model
 from repro.inject.golden import record_golden, workload_page_sets
 from repro.inject.trial import run_trial
 from repro.uarch.config import PipelineConfig, ProtectionConfig
@@ -35,6 +36,13 @@ class CampaignConfig:
 
     ``kinds`` selects the element population: ``"latch+ram"`` (the
     paper's l+r campaigns) or ``"latch"`` (latch-only).
+
+    ``fault_model`` is a :mod:`repro.faultlib` spec string (e.g.
+    ``"multi_bit:adjacent:2"``); it is normalized to canonical form at
+    construction and folded into the campaign fingerprint -- except for
+    the default ``"single_bit"``, which is omitted from serialized
+    configs so existing fingerprints, journals, and golden caches stay
+    byte-identical.
 
     ``verify_golden`` replays the first golden window of each workload
     and asserts the two fault-free runs are bit-exactly identical --
@@ -62,11 +70,17 @@ class CampaignConfig:
     verify_golden: bool = True
     provenance: bool = False
     profile: bool = False
+    fault_model: str = "single_bit"
 
     def __post_init__(self):
         if self.kinds not in _KINDS:
             raise CampaignError(
                 "kinds must be 'latch' or 'latch+ram', got %r" % self.kinds)
+        # Validate the spec here (misconfiguration should fail at
+        # campaign construction, not mid-sweep) and store the canonical
+        # rendering so equivalent spellings fingerprint identically.
+        object.__setattr__(
+            self, "fault_model", parse_fault_model(self.fault_model).spec)
 
     @classmethod
     def test(cls, **overrides):
@@ -150,6 +164,7 @@ class Campaign:
         config = self.config
         rng_root = SplitRng(config.seed)
         kinds = _KINDS[config.kinds]
+        model = parse_fault_model(config.fault_model)
         observer = observer_from_config(config)
         self.observer = observer
         trials = []
@@ -189,7 +204,8 @@ class Campaign:
                         workload_name, start_point,
                         horizon=config.horizon,
                         locked_multiplier=config.locked_multiplier,
-                        trial_index=trial_index, obs=observer))
+                        trial_index=trial_index, obs=observer,
+                        model=model))
                     done += 1
                     if progress is not None:
                         progress(done, config.total_trials)

@@ -82,6 +82,11 @@ class TrialResult:
     arch_corrupt_cycle: Optional[int] = None  # SDC: divergence detected
     detect_latency: Optional[int] = None  # any failure: cycles to detect
     masking_cause: Optional[str] = None  # obs.MASKING_CAUSES member
+    # Canonical spec of the fault model that produced this trial
+    # (repro.faultlib).  Serialized only when non-default, so legacy
+    # journals -- which are all single-bit -- load and re-encode
+    # byte-identically.
+    fault_model: str = "single_bit"
 
     @classmethod
     def harness_error(cls, workload, start_point, trial_index, detail):

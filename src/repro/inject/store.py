@@ -36,8 +36,14 @@ RNG_SCHEME = "split-rng/v1"
 
 
 def config_to_dict(config):
-    """Serialise a :class:`CampaignConfig` to plain JSON types."""
-    return {
+    """Serialise a :class:`CampaignConfig` to plain JSON types.
+
+    The fault model is emitted only when non-default: every pre-faultlib
+    campaign was implicitly single-bit, so omitting the default keeps
+    their fingerprints -- and with them journal resume, merge, and
+    golden-cache validity -- byte-identical.
+    """
+    data = {
         "workloads": list(config.workloads),
         "scale": config.scale,
         "kinds": config.kinds,
@@ -56,11 +62,15 @@ def config_to_dict(config):
             "insn_parity": config.protection.insn_parity,
         },
     }
+    if config.fault_model != "single_bit":
+        data["fault_model"] = config.fault_model
+    return data
 
 
 def config_from_dict(raw_config):
     """Inverse of :func:`config_to_dict`."""
     return CampaignConfig(
+        fault_model=raw_config.get("fault_model", "single_bit"),
         workloads=tuple(raw_config["workloads"]),
         scale=raw_config["scale"],
         kinds=raw_config["kinds"],
@@ -94,8 +104,13 @@ def campaign_fingerprint(config):
 
 
 def trial_to_dict(trial):
-    """Serialise one :class:`TrialResult` to plain JSON types."""
-    return {
+    """Serialise one :class:`TrialResult` to plain JSON types.
+
+    As with :func:`config_to_dict`, the fault model is emitted only
+    when non-default, so legacy (all-single-bit) journal lines
+    round-trip byte-identically through load + re-encode.
+    """
+    data = {
         "outcome": trial.outcome.value,
         "mode": trial.failure_mode.value
         if trial.failure_mode else None,
@@ -116,16 +131,22 @@ def trial_to_dict(trial):
         "detect_latency": trial.detect_latency,
         "masking_cause": trial.masking_cause,
     }
+    if trial.fault_model != "single_bit":
+        data["fault_model"] = trial.fault_model
+    return data
 
 
 def trial_from_dict(raw):
     """Inverse of :func:`trial_to_dict`.
 
     Tolerant of older documents: legacy journals carry no ``bit`` (the
-    harness used to hardcode 0) and no propagation fields -- they load
-    with ``bit=0`` and the propagation fields None.
+    harness used to hardcode 0), no propagation fields, and no
+    ``fault_model`` (all pre-faultlib trials are single-bit) -- they
+    load with ``bit=0``, the propagation fields None, and
+    ``fault_model="single_bit"``.
     """
     return TrialResult(
+        fault_model=raw.get("fault_model", "single_bit"),
         outcome=TrialOutcome(raw["outcome"]),
         failure_mode=FailureMode(raw["mode"]) if raw["mode"] else None,
         workload=raw["workload"],

@@ -44,13 +44,15 @@ _FAILURE_BY_EVENT = {
 
 def run_trial(pipeline, checkpoint, golden, rng, kinds, workload_name,
               start_point, horizon=None, locked_multiplier=2,
-              trial_index=-1, obs=None):
+              trial_index=-1, obs=None, model=None):
     """Run one fault-injection trial; returns a :class:`TrialResult`.
 
     ``obs`` is an optional :class:`repro.obs.Observer`; it is attached
     to the pipeline for the duration of the trial (and always detached,
     even on an exception) and only *observes* -- the classification is
-    byte-identical with or without it.
+    byte-identical with or without it.  ``model`` is an optional parsed
+    :class:`~repro.faultlib.FaultModel`; None (or the default model)
+    runs the legacy single-bit path unchanged.
     """
     pipeline.restore(checkpoint)
     pipeline.tlb_insn_pages = golden.insn_pages
@@ -61,12 +63,13 @@ def run_trial(pipeline, checkpoint, golden, rng, kinds, workload_name,
 
     pipeline.obs = obs
     try:
-        meta, bit = pipeline.inject_random_fault(rng, kinds)
+        meta, bit, fault = pipeline.inject_fault(rng, kinds, model)
         return classify_window(
             pipeline, golden, meta, bit, workload_name, start_point,
             horizon=horizon, locked_multiplier=locked_multiplier,
             trial_index=trial_index, obs=obs,
-            valid_inflight=valid_inflight, total_inflight=len(inflight))
+            valid_inflight=valid_inflight, total_inflight=len(inflight),
+            fault=fault)
     finally:
         pipeline.obs = None
         if obs is not None:
@@ -78,7 +81,7 @@ def classify_window(pipeline, golden, meta, bit, workload_name,
                     trial_index=-1, obs=None, valid_inflight=0,
                     total_inflight=0, first_cycle=0, retired_count=0,
                     drain_count=0, cycles_since_retire=0, view_k=None,
-                    view_hash=None):
+                    view_hash=None, fault=None):
     """Run the classification loop from ``first_cycle`` to the horizon.
 
     The pipeline must already hold the faulty state the window starts
@@ -89,6 +92,13 @@ def classify_window(pipeline, golden, meta, bit, workload_name,
     counts (retirements, store drains, the current no-retirement gap,
     and the memoized committed-view hash -- equal to the golden one
     while the fault has never been architecturally visible).
+
+    ``fault`` is the sampled :class:`~repro.faultlib.FaultInstance` for
+    non-default fault models (None otherwise).  Persistent faults
+    (stuck-at, intermittent) are re-asserted at the top of each window
+    cycle per the instance's schedule, and the microarchitectural-match
+    check is suppressed while the fault can still re-assert: a state
+    match with a live fault is not masking.
     """
     horizon = horizon or golden.horizon
     locked_threshold = locked_multiplier * pipeline.config.deadlock_cycles
@@ -116,6 +126,7 @@ def classify_window(pipeline, golden, meta, bit, workload_name,
             arch_corrupt_cycle=(cycles if outcome == TrialOutcome.SDC
                                 else None),
             detect_latency=cycles if outcome.is_failure else None,
+            fault_model=fault.model if fault is not None else "single_bit",
         )
         if obs is not None:
             obs.trial_end(pipeline, trial)
@@ -127,8 +138,11 @@ def classify_window(pipeline, golden, meta, bit, workload_name,
     n_golden_retired = len(golden.retired)
     n_golden_drains = len(golden.drains)
     overrun = False
+    forcing = fault is not None and fault.force is not None
 
     for cycle in range(first_cycle, horizon):
+        if forcing and fault.assert_at(cycle):
+            space.force_bit(*fault.force)
         pipeline.cycle()
 
         # 1. Retirement-raised failures.
@@ -192,8 +206,11 @@ def classify_window(pipeline, golden, meta, bit, workload_name,
             return result(TrialOutcome.TERMINATED, FailureMode.LOCKED,
                           cycle + 1)
 
-        # 6. Complete microarchitectural state match.
-        if space.signature() == golden.sigs[cycle]:
+        # 6. Complete microarchitectural state match.  Suppressed while
+        # a persistent fault can still re-assert -- the match would not
+        # survive the next assertion, so it is not masking.
+        if space.signature() == golden.sigs[cycle] \
+                and not (forcing and fault.active_after(cycle)):
             return result(TrialOutcome.MICRO_MATCH, None, cycle + 1)
 
     # 7. Horizon exhausted without failure or match.

@@ -284,19 +284,44 @@ def record_activity(pipeline, checkpoint, golden, horizon):
     return trace
 
 
-def plan_lanes(space, sp_rng, kinds, trial_indices):
-    """Fault plan ``(trial_index, element_index, bit)`` per lane.
+def plan_lanes(space, sp_rng, kinds, trial_indices, model=None):
+    """Fault plan ``(trial_index, element_index, bit, mask, fault)`` per lane.
 
     Consumes the per-trial split RNGs exactly as the scalar path does
-    (one ``randrange`` through ``choose_bit`` per trial), so lane *i*
-    flips the very bit trial ``trial_indices[i]`` would.
+    (for the default model, one ``randrange`` through ``choose_bit``
+    per trial; for a batchable :class:`~repro.faultlib.FaultModel`, the
+    model's own ``sample``), so lane *i* disturbs the very bits trial
+    ``trial_indices[i]`` would.  ``mask`` is the XOR disturbance within
+    the element; ``fault`` is the sampled instance for non-default
+    models (None for the default, whose walk needs no instance).
     """
     plans = []
     for trial_index in trial_indices:
         trial_rng = sp_rng.split("trial/%d" % trial_index)
-        element_index, bit = space.choose_bit(trial_rng, kinds)
-        plans.append((trial_index, element_index, bit))
+        if model is None or model.is_default:
+            element_index, bit = space.choose_bit(trial_rng, kinds)
+            plans.append((trial_index, element_index, bit, 1 << bit, None))
+        else:
+            if not model.batchable:
+                raise SimulationError(
+                    "fault model %r is not batchable; run the scalar "
+                    "path" % model.spec)
+            fault = model.sample(space, trial_rng, kinds)
+            # Batchable models disturb exactly one element with one
+            # XOR mask and never re-assert.
+            (element_index, mask), = fault.flips
+            plans.append((trial_index, element_index, fault.bit, mask,
+                          fault))
     return plans
+
+
+def _normalize_plan(plan, space):
+    """Accept legacy explicit ``(trial_index, element_index, bit)`` plans."""
+    if len(plan) == 3:
+        trial_index, element_index, bit = plan
+        width = space.elements[element_index].width
+        return (trial_index, element_index, bit, 1 << (bit % width), None)
+    return plan
 
 
 def _gather(plane, lanes_by_element):
@@ -366,15 +391,23 @@ def _walk_planes(alive, element_plane, lanes_by_element, deltazero,
 def run_batch_group(pipeline, checkpoint, golden, sp_rng, kinds,
                     workload_name, start_point, trial_indices,
                     horizon=None, locked_multiplier=2, cache=None,
-                    cache_key=None, plans=None):
+                    cache_key=None, plans=None, model=None):
     """Run one same-``(workload, start_point)`` trial group batched.
 
     ``cache``/``cache_key`` (a :class:`repro.perf.goldencache.GoldenCache`
     and its ``(workload_name, start_point)`` store arguments are the
     key) let a freshly recorded activity trace be persisted onto the
     cached golden entry.  ``plans`` overrides RNG-driven lane planning
-    with explicit ``(trial_index, element_index, bit)`` tuples --
-    used by equivalence tests and importance-sampling callers.
+    with explicit ``(trial_index, element_index, bit)`` (or mask-bearing
+    5-tuple) plans -- used by equivalence tests and importance-sampling
+    callers.  ``model`` is an optional *batchable*
+    :class:`~repro.faultlib.FaultModel`: its single-element XOR masks
+    ride the plane walk exactly like single bits (the walk is
+    element-granular; a golden write still clears the whole mask, and
+    the Zobrist delta of a mask is as constant as a bit's).  Unbatchable
+    models (multi-element bursts, persistent stuck-at/intermittent)
+    must take the scalar path -- ``WorkerContext.run_batch`` gates on
+    ``model.batchable``.
 
     Returns a :class:`BatchOutcome` with trials in ``trial_indices``
     order, byte-identical to what ``run_trial`` would produce lane by
@@ -392,7 +425,9 @@ def run_batch_group(pipeline, checkpoint, golden, sp_rng, kinds,
 
     space = pipeline.space
     if plans is None:
-        plans = plan_lanes(space, sp_rng, kinds, trial_indices)
+        plans = plan_lanes(space, sp_rng, kinds, trial_indices, model)
+    else:
+        plans = [_normalize_plan(plan, space) for plan in plans]
     n_lanes = len(plans)
 
     values = checkpoint[0]  # element values at the injection point
@@ -400,10 +435,9 @@ def run_batch_group(pipeline, checkpoint, golden, sp_rng, kinds,
     element_plane = 0
     deltazero = 0
     for lane in range(n_lanes):
-        _trial_index, element_index, bit = plans[lane]
-        meta = space.elements[element_index]
+        _trial_index, element_index, _bit, mask, _fault = plans[lane]
         old = values[element_index]
-        new = old ^ (1 << (bit % meta.width))
+        new = old ^ mask
         if hash((element_index, old)) == hash((element_index, new)):
             deltazero |= 1 << lane
         lanes_by_element[element_index] = (
@@ -427,7 +461,7 @@ def run_batch_group(pipeline, checkpoint, golden, sp_rng, kinds,
     trials = [None] * n_lanes
 
     def lane_result(lane, outcome, mode, cycles):
-        trial_index, element_index, bit = plans[lane]
+        trial_index, element_index, bit, _mask, fault = plans[lane]
         meta = space.elements[element_index]
         trials[lane] = TrialResult(
             outcome=outcome, failure_mode=mode, workload=workload_name,
@@ -438,7 +472,8 @@ def run_batch_group(pipeline, checkpoint, golden, sp_rng, kinds,
             detail="", trial_index=trial_index,
             arch_corrupt_cycle=(cycles if outcome == TrialOutcome.SDC
                                 else None),
-            detect_latency=cycles if outcome.is_failure else None)
+            detect_latency=cycles if outcome.is_failure else None,
+            fault_model=fault.model if fault is not None else "single_bit")
 
     for cycle, mask in matched:
         while mask:
@@ -496,8 +531,9 @@ def run_batch_group(pipeline, checkpoint, golden, sp_rng, kinds,
                 mask ^= low
                 lane = low.bit_length() - 1
                 laned_out += 1
-                trial_index, element_index, bit = plans[lane]
-                meta = space.flip_bit(element_index, bit)
+                trial_index, element_index, bit, xor_mask, fault = \
+                    plans[lane]
+                meta = space.apply_fault(element_index, xor_mask)
                 view_k = None if cycle == 0 else prefix_k[cycle]
                 view_hash = (None if view_k is None
                              else golden.view_by_k.get(view_k))
@@ -516,7 +552,7 @@ def run_batch_group(pipeline, checkpoint, golden, sp_rng, kinds,
                     retired_count=prefix_k[cycle],
                     drain_count=prefix_d[cycle],
                     cycles_since_retire=gap_before[cycle],
-                    view_k=view_k, view_hash=view_hash)
+                    view_k=view_k, view_hash=view_hash, fault=fault)
                 pipeline.restore(boundary)
 
     return BatchOutcome(trials=trials, resolved=n_lanes - laned_out,

@@ -24,6 +24,7 @@ import multiprocessing
 import queue as queue_module
 
 from repro.errors import CampaignError, ReproError
+from repro.faultlib import parse_fault_model
 from repro.inject.campaign import _KINDS
 from repro.inject.golden import record_golden, workload_page_sets
 from repro.inject.trial import run_trial
@@ -71,6 +72,10 @@ class WorkerContext:
         self.pipeline_config = pipeline_config or PipelineConfig.paper(
             config.protection)
         self.kinds = _KINDS[config.kinds]
+        # Parsed once per context; None for the default model keeps the
+        # legacy single-bit injection path (and its bytes) untouched.
+        model = parse_fault_model(config.fault_model)
+        self.fault_model = None if model.is_default else model
         self._rng_root = SplitRng(config.seed)
         self._workloads = {}
         # The repro.obs observer attached to every trial this context
@@ -109,21 +114,26 @@ class WorkerContext:
             self.kinds, unit.workload, unit.start_point,
             horizon=self.config.horizon,
             locked_multiplier=self.config.locked_multiplier,
-            trial_index=unit.trial_index, obs=self.observer)
+            trial_index=unit.trial_index, obs=self.observer,
+            model=self.fault_model)
 
     def run_batch(self, batch):
         """Execute a :class:`UnitBatch`; yields ``(unit, TrialResult)``.
 
         Results come in ``batch.trial_indices`` order, byte-identical
         to running each unit through :meth:`run_unit`.  With
-        ``batch_lanes > 1``, no observer attached, and more than one
-        unit, the whole batch runs through the bit-plane engine
-        (:mod:`repro.perf.batch`); provenance/profiling campaigns force
-        the scalar path, because observation hooks single-lane pipeline
-        internals and must stay exact.
+        ``batch_lanes > 1``, no observer attached, a batchable fault
+        model, and more than one unit, the whole batch runs through the
+        bit-plane engine (:mod:`repro.perf.batch`); provenance/profiling
+        campaigns force the scalar path, because observation hooks
+        single-lane pipeline internals and must stay exact, and so do
+        multi-element or persistent fault models (burst, stuck-at,
+        intermittent), whose disturbances the plane walk cannot carry.
         """
         if (self.batch_lanes <= 1 or len(batch) <= 1
-                or self.observer is not None):
+                or self.observer is not None
+                or (self.fault_model is not None
+                    and not self.fault_model.batchable)):
             for unit in batch.units():
                 yield unit, self.run_unit(unit)
             return
@@ -133,7 +143,7 @@ class WorkerContext:
             self.kinds, batch.workload, batch.start_point,
             batch.trial_indices, horizon=self.config.horizon,
             locked_multiplier=self.config.locked_multiplier,
-            cache=self.golden_cache)
+            cache=self.golden_cache, model=self.fault_model)
         self.batched_resolved += outcome.resolved
         self.batched_laneout += outcome.laned_out
         for unit, trial in zip(batch.units(), outcome.trials):

@@ -21,6 +21,7 @@ from repro.store.db import IngestReport, ResultsStore
 from repro.store.query import (
     comparison_table,
     render_campaign_list,
+    render_store_fault_models,
     render_store_latency,
     render_store_masking,
     render_store_outcomes,
@@ -31,6 +32,7 @@ __all__ = [
     "ResultsStore",
     "comparison_table",
     "render_campaign_list",
+    "render_store_fault_models",
     "render_store_latency",
     "render_store_masking",
     "render_store_outcomes",

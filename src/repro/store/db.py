@@ -80,6 +80,7 @@ CREATE TABLE IF NOT EXISTS trials (
     arch_corrupt_cycle INTEGER,
     detect_latency INTEGER,
     masking_cause TEXT,
+    fault_model TEXT NOT NULL DEFAULT 'single_bit',
     PRIMARY KEY (campaign_id, workload, start_point, trial_index)
 );
 CREATE INDEX IF NOT EXISTS idx_trials_category
@@ -141,7 +142,24 @@ class ResultsStore:
         # threads; access is serialised by its sequential refresh loop.
         self._db = sqlite3.connect(path, check_same_thread=False)
         self._db.executescript(_SCHEMA)
+        self._migrate()
         self._db.commit()
+
+    def _migrate(self):
+        """Bring a pre-existing database up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` never alters a table that is
+        already there, so columns added after a database was created
+        must be grafted on here.  Additive only: every new column has a
+        default that matches what the old rows meant (all pre-faultlib
+        trials are single-bit).
+        """
+        columns = {row[1] for row in
+                   self._db.execute("PRAGMA table_info(trials)")}
+        if "fault_model" not in columns:
+            self._db.execute(
+                "ALTER TABLE trials ADD COLUMN fault_model TEXT NOT NULL "
+                "DEFAULT 'single_bit'")
 
     def close(self):
         self._db.close()
@@ -288,8 +306,9 @@ class ResultsStore:
             "start_point, trial_index, outcome, mode, element, category, "
             "kind, bit, inject_cycle, cycles_run, valid_inflight, "
             "total_inflight, first_read_cycle, arch_corrupt_cycle, "
-            "detect_latency, masking_cause) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            "detect_latency, masking_cause, fault_model) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
+            "?, ?)",
             (campaign_id, unit.workload, unit.start_point,
              unit.trial_index,
              trial.get("outcome", "harness_error"),
@@ -305,7 +324,8 @@ class ResultsStore:
              trial.get("first_read_cycle"),
              trial.get("arch_corrupt_cycle"),
              trial.get("detect_latency"),
-             trial.get("masking_cause")))
+             trial.get("masking_cause"),
+             trial.get("fault_model", "single_bit")))
 
     def record_snapshot(self, fingerprint, snapshot):
         """Store the latest telemetry snapshot of a campaign."""
@@ -362,7 +382,7 @@ class ResultsStore:
     # -- aggregates -----------------------------------------------------
 
     _BY = {"category": "category", "workload": "workload",
-           "element": "element"}
+           "element": "element", "fault_model": "fault_model"}
 
     def outcome_table(self, by="category", fingerprints=None):
         """``fingerprint -> {key -> {outcome -> count}}``.
@@ -439,6 +459,28 @@ class ResultsStore:
         return [(key or "?", workload, trials, failures or 0)
                 for key, workload, trials, failures in self._db.execute(
                     sql, tuple(_FAILURES) + tuple(fingerprints or ()))]
+
+    def fault_model_table(self, by="category", fingerprints=None):
+        """``fault_model -> {key -> {outcome -> count}}``.
+
+        The cross-model aggregate behind ``repro-faults query --by
+        fault_model``: trials of the selected campaigns pooled by fault
+        model, then grouped by ``by`` (``category`` for the paper's
+        per-structure reading).  Models are compared across campaigns
+        because one campaign runs exactly one model -- mixing models in
+        one fingerprint is impossible by construction.
+        """
+        column = self._column(by)
+        sql = ("SELECT t.fault_model, t.%s, t.outcome, COUNT(*) "
+               "FROM trials t JOIN campaigns c ON c.id = t.campaign_id "
+               "%s GROUP BY t.fault_model, t.%s, t.outcome"
+               % (column, self._where(fingerprints), column))
+        table = {}
+        for model, key, outcome, count in self._db.execute(
+                sql, fingerprints or ()):
+            table.setdefault(model, {}) \
+                .setdefault(key or "?", {})[outcome] = count
+        return table
 
     def _column(self, by):
         if by not in self._BY:

@@ -12,8 +12,8 @@ from repro.inject.outcome import TrialOutcome
 from repro.utils.tables import format_table
 
 __all__ = ["comparison_table", "render_campaign_list",
-           "render_store_latency", "render_store_masking",
-           "render_store_outcomes"]
+           "render_store_fault_models", "render_store_latency",
+           "render_store_masking", "render_store_outcomes"]
 
 _FAILURES = (TrialOutcome.SDC, TrialOutcome.TERMINATED)
 
@@ -78,7 +78,7 @@ def render_store_outcomes(store, by="category", fingerprints=None):
     return "\n\n".join(sections)
 
 
-def comparison_table(tables, labels, by="category"):
+def comparison_table(tables, labels, by="category", title=None):
     """Side-by-side failure rates: one row per key, columns per campaign.
 
     ``tables`` maps fingerprint to ``{key: {outcome: count}}`` (the
@@ -111,8 +111,27 @@ def comparison_table(tables, labels, by="category"):
             row.append(rates[1] - rates[0]
                        if None not in rates else "n/a")
         rows.append(row)
-    return format_table(headers, rows,
-                        title="Failure-rate comparison by %s" % by)
+    return format_table(
+        headers, rows,
+        title=title or "Failure-rate comparison by %s" % by)
+
+
+def render_store_fault_models(store, by="category", fingerprints=None):
+    """Side-by-side failure rates per fault model, one row per ``by`` key.
+
+    The DSN question this answers in one command: how does the 2-bit
+    adjacent failure rate per structure compare with single-bit?  Each
+    fault model found in the selected campaigns becomes a column pair
+    (trials, fail%); with exactly two models the ``delta_pp`` column
+    reads off the protection-coverage gap directly.
+    """
+    table = store.fault_model_table(by=by, fingerprints=fingerprints)
+    if not table:
+        return "No trials in store."
+    labels = {model: model for model in table}
+    return comparison_table(
+        table, labels, by,
+        title="Failure-rate comparison by %s x fault model" % by)
 
 
 def render_store_masking(store, fingerprints=None):

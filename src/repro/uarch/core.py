@@ -569,3 +569,25 @@ class Pipeline:
         if self.obs is not None:
             self.obs.on_inject(self, meta, bit)
         return meta, bit
+
+    def inject_fault(self, rng, kinds=_ALL_KINDS, model=None):
+        """Model-driven injection; returns ``(metadata, bit, fault)``.
+
+        With no model (or the default single-bit model) this takes the
+        exact legacy path -- same single RNG draw, same flip -- and
+        returns ``fault=None``, keeping default campaigns byte-identical.
+        Otherwise the model samples a :class:`FaultInstance` from the
+        trial RNG and applies its injection-time disturbance; the window
+        loop handles any persistent re-assertion.  ``metadata``/``bit``
+        describe the base upset, which is what results report and what
+        the observer's provenance tracker watches.
+        """
+        if model is None or model.is_default:
+            meta, bit = self.inject_random_fault(rng, kinds)
+            return meta, bit, None
+        fault = model.sample(self.space, rng, kinds)
+        fault.apply(self.space)
+        meta = self.space.elements[fault.element_index]
+        if self.obs is not None:
+            self.obs.on_inject(self, meta, fault.bit)
+        return meta, fault.bit, fault

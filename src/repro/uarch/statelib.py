@@ -211,6 +211,7 @@ class StateSpace:
         self._frozen = False
         self._signature_indices = None
         self._injection_tables = {}
+        self._array_groups = None
 
     # -- Allocation -------------------------------------------------------
 
@@ -338,6 +339,87 @@ class StateSpace:
             self._sig[0] ^= (hash((element_index, old))
                              ^ hash((element_index, new)))
         return meta
+
+    def apply_fault(self, element_index, mask):
+        """XOR a disturbance mask into one element (multi-bit upsets).
+
+        The mask is clamped to the element's width, so a fault can never
+        widen a value past its hardware width.  Maintains the rolling
+        signature exactly like :meth:`flip_bit`; applying the same mask
+        twice is the identity (XOR), which is what :meth:`undo_fault`
+        relies on.
+        """
+        meta = self.elements[element_index]
+        values = self.values
+        old = values[element_index]
+        new = old ^ (mask & ((1 << meta.width) - 1))
+        if new == old:
+            return meta
+        values[element_index] = new
+        if meta.category != StateCategory.GHOST:
+            self._sig[0] ^= (hash((element_index, old))
+                             ^ hash((element_index, new)))
+        return meta
+
+    def undo_fault(self, element_index, mask):
+        """Revert a disturbance applied by :meth:`apply_fault`.
+
+        XOR is self-inverse, so undo *is* re-apply -- the separate name
+        records intent at call sites (and keeps apply/undo pairs legible
+        in the property tests).
+        """
+        return self.apply_fault(element_index, mask)
+
+    def force_bit(self, element_index, bit, value):
+        """Force one bit of an element to ``value`` (stuck-at faults).
+
+        Unlike :meth:`flip_bit` this is idempotent: re-asserting a
+        stuck-at fault on an already-stuck bit is a no-op, including on
+        the rolling signature.  Returns True when the write changed the
+        element.
+        """
+        meta = self.elements[element_index]
+        values = self.values
+        old = values[element_index]
+        pick = 1 << (bit % meta.width)
+        new = (old | pick) if value else (old & ~pick)
+        if new == old:
+            return False
+        values[element_index] = new
+        if meta.category != StateCategory.GHOST:
+            self._sig[0] ^= (hash((element_index, old))
+                             ^ hash((element_index, new)))
+        return True
+
+    def array_members(self, element_index):
+        """Indices of the array the element belongs to (itself if scalar).
+
+        Arrays are recognised by the ``name[i]`` convention that
+        :meth:`array` allocates; members are returned in allocation
+        order.  Used by spatially-correlated (burst) fault models, so
+        only injectable members are listed.  The grouping is cached
+        lazily -- the registry is frozen before injection starts.
+        """
+        groups = getattr(self, "_array_groups", None)
+        if groups is None:
+            groups = {}
+            by_base = {}
+            for meta in self.elements:
+                if not meta.injectable:
+                    continue
+                name = meta.name
+                base = name[:name.rindex("[")] if name.endswith("]") \
+                    and "[" in name else None
+                if base is None:
+                    groups[meta.index] = (meta.index,)
+                else:
+                    by_base.setdefault(base, []).append(meta.index)
+            for members in by_base.values():
+                members = tuple(members)
+                for index in members:
+                    groups[index] = members
+            self._array_groups = groups
+        return groups.get(element_index, (element_index,))
 
     # -- Snapshot / compare ------------------------------------------------------
 

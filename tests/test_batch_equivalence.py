@@ -95,7 +95,7 @@ def test_explicit_plans_match_scalar_injections(tmp_path, kinds):
         context.kinds, "gzip", 0, trial_indices,
         horizon=config.horizon, plans=plans)
 
-    for (trial_index, element_index, bit), batched \
+    for (trial_index, element_index, bit, _mask, _fault), batched \
             in zip(plans, outcome.trials):
         offset = _offset_for(state.pipeline.space, context.kinds,
                              element_index, bit)

@@ -1,0 +1,133 @@
+"""Property tests for the statelib fault primitives at width edges.
+
+The fault models in :mod:`repro.faultlib` stand on three statelib
+primitives -- ``apply_fault`` (XOR a disturbance mask), ``undo_fault``
+(its self-inverse), and ``force_bit`` (idempotent stuck-at assertion).
+Every classification decision downstream compares the *incremental*
+signature against golden, so the property that matters is threefold at
+every width edge (top bit, full-width mask, over-wide mask): the value
+is exactly right, the rolling signature equals a full recompute, and a
+snapshot/restore across the fault is equivalent to never faulting.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.statelib import StateCategory, StateSpace, StorageKind
+
+# Widths that exercise the clamp edges: single-bit, byte, word-boundary
+# straddles, and the 64-bit machine-word edge where a naive mask would
+# overflow into a Python long.
+EDGE_WIDTHS = (1, 2, 8, 16, 31, 32, 63, 64, 65)
+
+
+def one_field_space(width, category=StateCategory.DATA):
+    space = StateSpace()
+    field = space.field("f", width, category, StorageKind.LATCH)
+    space.freeze()
+    return space, field
+
+
+def edge_masks(width):
+    """Disturbance masks at the interesting edges of ``width``."""
+    return (1,                        # bottom bit
+            1 << (width - 1),         # top bit
+            (1 << width) - 1,         # full-width upset
+            1 << width,               # just past the edge: must clamp away
+            ((1 << (width + 8)) - 1))  # over-wide: clamps to full width
+
+
+@settings(max_examples=60)
+@given(width=st.sampled_from(EDGE_WIDTHS), data=st.data())
+def test_apply_fault_value_signature_and_undo(width, data):
+    """value, rolling-vs-full signature, and XOR undo at every edge."""
+    value = data.draw(st.integers(0, (1 << width) - 1))
+    mask = data.draw(st.sampled_from(edge_masks(width)))
+    space, field = one_field_space(width)
+    field.set(value)
+    before_sig = space.signature()
+    assert before_sig == space.signature(full=True)
+
+    space.apply_fault(field.index, mask)
+    assert field.get() == value ^ (mask & ((1 << width) - 1))
+    assert space.signature() == space.signature(full=True)
+
+    space.undo_fault(field.index, mask)
+    assert field.get() == value
+    assert space.signature() == before_sig
+    assert space.signature() == space.signature(full=True)
+
+
+@settings(max_examples=60)
+@given(width=st.sampled_from(EDGE_WIDTHS), data=st.data())
+def test_snapshot_restore_equals_never_faulted(width, data):
+    """COW restore across any fault sequence == never having faulted."""
+    value = data.draw(st.integers(0, (1 << width) - 1))
+    masks = data.draw(st.lists(st.sampled_from(edge_masks(width)),
+                               min_size=1, max_size=4))
+    space, field = one_field_space(width)
+    field.set(value)
+    snap = space.snapshot()
+    sig = space.signature()
+
+    for mask in masks:
+        space.apply_fault(field.index, mask)
+    space.force_bit(field.index, width - 1, 1)
+    space.restore(snap)
+
+    assert field.get() == value
+    assert space.signature() == sig
+    assert space.signature() == space.signature(full=True)
+
+
+@settings(max_examples=60)
+@given(width=st.sampled_from(EDGE_WIDTHS),
+       bit=st.integers(0, 80), stuck=st.booleans(), data=st.data())
+def test_force_bit_idempotent(width, bit, stuck, data):
+    """Re-asserting a stuck-at is a no-op on value and signature."""
+    value = data.draw(st.integers(0, (1 << width) - 1))
+    space, field = one_field_space(width)
+    field.set(value)
+
+    changed = space.force_bit(field.index, bit, 1 if stuck else 0)
+    pick = 1 << (bit % width)
+    expected = (value | pick) if stuck else (value & ~pick)
+    assert field.get() == expected
+    assert changed == (expected != value)
+    after_sig = space.signature()
+    assert after_sig == space.signature(full=True)
+
+    # Second assertion of the same stuck-at: nothing moves.
+    assert space.force_bit(field.index, bit, 1 if stuck else 0) is False
+    assert field.get() == expected
+    assert space.signature() == after_sig
+
+
+@given(width=st.sampled_from(EDGE_WIDTHS))
+def test_ghost_faults_never_touch_signature(width):
+    """Disturbing a ghost element leaves the match signature alone."""
+    space = StateSpace()
+    field = space.field("f", width, StateCategory.DATA, StorageKind.LATCH)
+    ghost = space.field("g", width, StateCategory.GHOST, StorageKind.LATCH)
+    space.freeze()
+    field.set(1)
+    sig = space.signature()
+    space.apply_fault(ghost.index, (1 << width) - 1)
+    space.force_bit(ghost.index, width - 1, 1)
+    assert space.signature() == sig
+    assert space.signature() == space.signature(full=True)
+
+
+def test_array_members_groups_by_allocation():
+    """``name[i]`` fields group; scalars and ghosts stay solitary."""
+    space = StateSpace()
+    regs = space.array("r", 3, 8, StateCategory.DATA, StorageKind.RAM)
+    lone = space.field("lone", 4, StateCategory.CTRL, StorageKind.LATCH)
+    ghost = space.field("g", 4, StateCategory.GHOST, StorageKind.LATCH)
+    space.freeze()
+    members = space.array_members(regs[1].index)
+    assert members == tuple(r.index for r in regs)
+    assert space.array_members(lone.index) == (lone.index,)
+    # A ghost is not injectable, so it groups with nothing -- not even
+    # itself beyond the identity fallback.
+    assert space.array_members(ghost.index) == (ghost.index,)

@@ -1,0 +1,60 @@
+"""Inventory guard: every fault-model kind is proven, not just parsed.
+
+REP004 keeps the state-category inventory honest by failing the build
+when a category exists that the analysis layer does not aggregate.
+This applies the same pattern to fault models: a kind registered in
+``repro.faultlib`` must appear in the scalar-vs-batched equivalence
+matrix *and* the journal round-trip matrix of
+``tests/test_faultlib_models.py``.  The matrices are module-level
+literal tuples read from source with :mod:`ast`, so a new model that
+ships without either proof fails here -- before a campaign ever runs
+it.
+"""
+
+import ast
+import os
+
+from repro.faultlib import FAULT_MODEL_KINDS, parse_fault_model
+
+_MODELS_TEST = os.path.join(os.path.dirname(__file__),
+                            "test_faultlib_models.py")
+
+
+def _literal_tuple(name):
+    with open(_MODELS_TEST, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read())
+    for node in tree.body:
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(target, ast.Name) and target.id == name
+                        for target in node.targets):
+            value = ast.literal_eval(node.value)
+            assert isinstance(value, tuple), \
+                "%s must stay a literal tuple" % name
+            return value
+    raise AssertionError("%s not found in %s" % (name, _MODELS_TEST))
+
+
+def _kinds_of(specs):
+    return {parse_fault_model(spec).kind for spec in specs}
+
+
+def test_every_kind_in_equivalence_matrix():
+    """Scalar-vs-batched equivalence covers every registered kind."""
+    assert _kinds_of(_literal_tuple("EQUIVALENCE_SPECS")) \
+        == set(FAULT_MODEL_KINDS)
+
+
+def test_every_kind_in_roundtrip_matrix():
+    """Journal/dict round-trips cover every registered kind."""
+    assert _kinds_of(_literal_tuple("ROUNDTRIP_SPECS")) \
+        == set(FAULT_MODEL_KINDS)
+
+
+def test_kind_registry_is_stable():
+    """Kinds are unique, canonical, and include the paper's default."""
+    assert len(set(FAULT_MODEL_KINDS)) == len(FAULT_MODEL_KINDS)
+    assert "single_bit" in FAULT_MODEL_KINDS
+    for spec in ("single_bit", "multi_bit:adjacent:2",
+                 "burst:array:p=0.3", "stuck_at:0", "intermittent:4,1"):
+        model = parse_fault_model(spec)
+        assert model.kind in FAULT_MODEL_KINDS
